@@ -1,0 +1,136 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each benchmark toggles exactly one mechanism of the Dalorex design (scheduling
+policy, data placement, barrier mode, remote-invocation style, memory
+technology) and reports the resulting performance ratio, mirroring how the
+paper isolates each feature in Fig. 5.
+"""
+
+import pytest
+
+from conftest import BENCH_GRID, BENCH_SCALE, record
+from repro.baselines.ladder import dalorex_full_config
+from repro.core.machine import DalorexMachine
+from repro.experiments.common import build_kernel, load_experiment_dataset
+
+
+def run_variant(graph, app="sssp", **overrides):
+    config = dalorex_full_config(BENCH_GRID, BENCH_GRID, engine="cycle").with_overrides(**overrides)
+    kernel = build_kernel(app, graph)
+    return DalorexMachine(config, kernel, graph).run(verify=True)
+
+
+@pytest.fixture(scope="module")
+def amazon_graph():
+    return load_experiment_dataset("amazon", scale=BENCH_SCALE)
+
+
+def test_ablation_scheduling_policy(benchmark, amazon_graph):
+    """Traffic-aware (occupancy) scheduling vs round-robin."""
+
+    def run():
+        round_robin = run_variant(amazon_graph, scheduling="round_robin")
+        occupancy = run_variant(amazon_graph, scheduling="occupancy")
+        return round_robin, occupancy
+
+    round_robin, occupancy = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        {
+            "round_robin_cycles": round(round_robin.cycles),
+            "occupancy_cycles": round(occupancy.cycles),
+            "occupancy_speedup": round(round_robin.cycles / occupancy.cycles, 3),
+        },
+    )
+    assert occupancy.verified and round_robin.verified
+
+
+def test_ablation_vertex_placement(benchmark, amazon_graph):
+    """Uniform (interleaved) vertex placement vs contiguous blocks."""
+
+    def run():
+        block = run_variant(amazon_graph, vertex_placement="block")
+        interleave = run_variant(amazon_graph, vertex_placement="interleave")
+        return block, interleave
+
+    block, interleave = benchmark.pedantic(run, rounds=1, iterations=1)
+    balance = lambda result: float(  # noqa: E731 - tiny local helper
+        result.per_tile_busy_cycles.max() / max(result.per_tile_busy_cycles.mean(), 1e-9)
+    )
+    record(
+        benchmark,
+        {
+            "block_cycles": round(block.cycles),
+            "interleave_cycles": round(interleave.cycles),
+            "interleave_speedup": round(block.cycles / interleave.cycles, 3),
+            "block_imbalance": round(balance(block), 2),
+            "interleave_imbalance": round(balance(interleave), 2),
+        },
+    )
+    assert balance(interleave) <= balance(block) * 1.1
+
+
+def test_ablation_barrier_mode(benchmark, amazon_graph):
+    """Barrierless local frontiers vs a global barrier per epoch."""
+
+    def run():
+        barriered = run_variant(amazon_graph, app="bfs", barrier=True)
+        barrierless = run_variant(amazon_graph, app="bfs", barrier=False)
+        return barriered, barrierless
+
+    barriered, barrierless = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        {
+            "barrier_cycles": round(barriered.cycles),
+            "barrierless_cycles": round(barrierless.cycles),
+            "barrierless_speedup": round(barriered.cycles / barrierless.cycles, 3),
+            "barrier_epochs": barriered.epochs,
+            "extra_edges_explored": int(
+                barrierless.counters.edges_processed - barriered.counters.edges_processed
+            ),
+        },
+    )
+    assert barriered.verified and barrierless.verified
+
+
+def test_ablation_remote_invocation(benchmark, amazon_graph):
+    """Non-interrupting TSU invocation vs Tesseract-style interrupting calls."""
+
+    def run():
+        interrupting = run_variant(amazon_graph, remote_invocation="interrupting")
+        tsu = run_variant(amazon_graph, remote_invocation="tsu")
+        return interrupting, tsu
+
+    interrupting, tsu = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        {
+            "interrupting_cycles": round(interrupting.cycles),
+            "tsu_cycles": round(tsu.cycles),
+            "tsu_speedup": round(interrupting.cycles / tsu.cycles, 3),
+        },
+    )
+    assert tsu.cycles < interrupting.cycles
+
+
+def test_ablation_memory_technology(benchmark, amazon_graph):
+    """Local SRAM scratchpads vs DRAM-latency memory at equal parallelism."""
+
+    def run():
+        sram = run_variant(amazon_graph, memory="sram")
+        dram = run_variant(amazon_graph, memory="dram")
+        return sram, dram
+
+    sram, dram = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        {
+            "sram_cycles": round(sram.cycles),
+            "dram_cycles": round(dram.cycles),
+            "sram_speedup": round(dram.cycles / sram.cycles, 3),
+            "sram_energy_improvement": round(dram.energy.total_j / sram.energy.total_j, 1),
+        },
+    )
+    assert sram.cycles < dram.cycles
+    assert sram.energy.total_j < dram.energy.total_j

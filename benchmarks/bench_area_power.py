@@ -1,0 +1,32 @@
+"""Section V-A text numbers: chip area comparison and power density."""
+
+from conftest import BENCH_SCALE, record
+from repro.baselines.ladder import dalorex_full_config
+from repro.experiments import textstats
+from repro.experiments.common import build_kernel, load_experiment_dataset
+from repro.core.machine import DalorexMachine
+
+
+def test_area_comparison(benchmark):
+    """Dalorex ~305 mm^2 vs Tesseract ~3616 mm^2 at 256 cores (paper, Sec. V-A)."""
+    area = benchmark.pedantic(textstats.area_comparison, rounds=1, iterations=1)
+    record(benchmark, {k: round(v, 1) for k, v in area.items()})
+    assert area["dalorex_area_mm2"] < area["tesseract_area_mm2"] / 5
+
+
+def test_power_density_below_cooling_limit(benchmark):
+    """Power density stays below the paper's 300 mW/mm^2 threshold."""
+
+    def run():
+        graph = load_experiment_dataset("rmat22", scale=BENCH_SCALE)
+        config = dalorex_full_config(16, 16, engine="analytic").with_overrides(
+            scratchpad_bytes_per_tile=4 * 1024 * 1024
+        )
+        kernel = build_kernel("bfs", graph)
+        return DalorexMachine(config, kernel, graph, dataset_name="rmat22").run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    density = textstats.power_density(result)
+    record(benchmark, {k: round(float(v), 4) if isinstance(v, (int, float)) else v
+                       for k, v in density.items()})
+    assert density["below_paper_limit"]

@@ -1,0 +1,30 @@
+"""Fig. 10: PU and router utilization heatmaps, mesh versus torus."""
+
+from conftest import BENCH_SCALE, record
+from repro.experiments import fig10
+
+
+def test_fig10_mesh_vs_torus_heatmaps(benchmark):
+    """Regenerates the mesh-vs-torus utilization comparison for SSSP."""
+
+    def run():
+        return fig10.run_fig10(scale=BENCH_SCALE, width=16, height=16, verify=False)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    mesh_ratio = fig10.center_edge_router_ratio(results["mesh"])
+    torus_ratio = fig10.center_edge_router_ratio(results["torus"])
+    record(
+        benchmark,
+        {
+            "mesh_center_edge_router_ratio": round(mesh_ratio, 2),
+            "torus_center_edge_router_ratio": round(torus_ratio, 2),
+            "mesh_mean_pu_utilization": round(results["mesh"].mean_pu_utilization(), 3),
+            "torus_mean_pu_utilization": round(results["torus"].mean_pu_utilization(), 3),
+            "mesh_cycles": round(results["mesh"].cycles),
+            "torus_cycles": round(results["torus"].cycles),
+        },
+    )
+    # The mesh concentrates traffic towards the centre; the torus does not.
+    assert mesh_ratio > torus_ratio
+    # The torus should not be slower than the mesh.
+    assert results["torus"].cycles <= results["mesh"].cycles * 1.05

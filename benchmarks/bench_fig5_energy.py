@@ -1,0 +1,29 @@
+"""Fig. 5 (bottom): energy improvement over Tesseract, feature by feature."""
+
+from conftest import BENCH_GRID, BENCH_SCALE, record
+from repro.experiments import fig5
+
+
+def test_fig5_energy_ladder(benchmark):
+    """Regenerates the Fig. 5 energy bars (paper: 325x geomean for Dalorex)."""
+
+    def run():
+        return fig5.run_fig5(
+            apps=("bfs",),
+            datasets=("amazon",),
+            width=BENCH_GRID,
+            height=BENCH_GRID,
+            scale=BENCH_SCALE,
+            verify=False,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_config = results["bfs"]["amazon"]
+    baseline = per_config["Tesseract"].energy.total_j
+    improvements = {
+        name: baseline / result.energy.total_j for name, result in per_config.items()
+    }
+    record(benchmark, {f"energy_improvement[{k}]": round(v, 1) for k, v in improvements.items()})
+    assert improvements["Dalorex"] > 10.0
+    factors = fig5.headline_factors(results, metric="energy")
+    record(benchmark, {"energy_factor[Overall]": round(factors["Overall"], 1)})

@@ -1,0 +1,50 @@
+"""Fig. 5 (top): performance improvement over Tesseract, feature by feature."""
+
+import pytest
+
+from conftest import BENCH_GRID, BENCH_SCALE, record
+from repro.experiments import fig5
+
+
+@pytest.mark.parametrize("app", ["bfs", "sssp"])
+def test_fig5_performance_ladder(benchmark, app):
+    """Regenerates the Fig. 5 performance bars for one application on AZ."""
+
+    def run():
+        return fig5.run_fig5(
+            apps=(app,),
+            datasets=("amazon",),
+            width=BENCH_GRID,
+            height=BENCH_GRID,
+            scale=BENCH_SCALE,
+            verify=True,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_config = results[app]["amazon"]
+    improvements = {
+        name: per_config["Tesseract"].cycles / result.cycles
+        for name, result in per_config.items()
+    }
+    record(benchmark, {f"speedup_over_tesseract[{k}]": round(v, 2) for k, v in improvements.items()})
+    assert improvements["Dalorex"] > 1.0
+    assert all(result.verified for result in per_config.values())
+
+
+def test_fig5_headline_factors(benchmark):
+    """Per-feature geometric-mean factors (paper: 6.2x, 4.7x, 2.6x, 1.7x, 1.8x)."""
+
+    def run():
+        return fig5.run_fig5(
+            apps=("bfs",),
+            datasets=("amazon", "rmat22"),
+            width=BENCH_GRID,
+            height=BENCH_GRID,
+            scale=BENCH_SCALE,
+            verify=False,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    factors = fig5.headline_factors(results, metric="cycles")
+    record(benchmark, {f"factor[{k}]": round(v, 2) for k, v in factors.items()})
+    assert factors["Overall"] > 5.0

@@ -1,0 +1,35 @@
+"""Fig. 6: BFS strong scaling (runtime and energy) across grid sizes."""
+
+import pytest
+
+from conftest import BENCH_SCALE, record
+from repro.experiments import fig6
+
+
+@pytest.mark.parametrize("dataset", ["rmat16", "rmat22"])
+def test_fig6_strong_scaling(benchmark, dataset):
+    """Regenerates the Fig. 6 runtime/energy series for one RMAT dataset."""
+
+    def run():
+        return fig6.run_fig6(
+            datasets=(dataset,), grid_widths=(2, 4, 8, 16, 32), scale=BENCH_SCALE
+        )
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    points = sweeps[dataset]
+    record(
+        benchmark,
+        {
+            "tiles": [p.num_tiles for p in points],
+            "cycles": [round(p.cycles) for p in points],
+            "energy_uj": [round(p.energy_j * 1e6, 2) for p in points],
+            "kb_per_tile": [round(p.sram_kilobytes_per_tile, 1) for p in points],
+        },
+    )
+    # Runtime must keep improving while each tile still holds plenty of vertices
+    # (the paper's near-linear region).
+    assert points[1].cycles < points[0].cycles
+    assert points[2].cycles < points[1].cycles
+    summary = fig6.summarize(sweeps)[dataset]
+    record(benchmark, {"knee_vertices_per_tile": summary["knee_vertices_per_tile"],
+                       "energy_optimal_tiles": summary["energy_optimal_tiles"]})

@@ -1,0 +1,34 @@
+"""Fig. 7: throughput (edges/s, ops/s) and memory bandwidth while scaling."""
+
+import pytest
+
+from conftest import BENCH_SCALE, record
+from repro.experiments import fig7
+
+
+@pytest.mark.parametrize("app", ["bfs", "sssp", "spmv"])
+def test_fig7_throughput_scaling(benchmark, app):
+    """Regenerates the Fig. 7 series for one application on the RMAT-26 stand-in."""
+
+    def run():
+        return fig7.run_fig7(
+            apps=(app,), grid_widths=(8, 16, 32), scale=BENCH_SCALE, pagerank_iterations=2
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = results[app]
+    record(
+        benchmark,
+        {
+            "tiles": [r.num_tiles for r in series],
+            "edges_per_s": [f"{r.edges_per_second():.3g}" for r in series],
+            "ops_per_s": [f"{r.operations_per_second():.3g}" for r in series],
+            "mem_bw_gb_per_s": [round(r.memory_bandwidth_bytes_per_second() / 1e9, 2) for r in series],
+        },
+    )
+    # Throughput and utilized memory bandwidth keep growing with the grid.
+    assert series[-1].edges_per_second() > series[0].edges_per_second()
+    assert (
+        series[-1].memory_bandwidth_bytes_per_second()
+        > series[0].memory_bandwidth_bytes_per_second()
+    )

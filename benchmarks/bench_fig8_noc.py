@@ -1,0 +1,45 @@
+"""Fig. 8: torus and torus+ruche speedups over a mesh NoC."""
+
+import pytest
+
+from conftest import BENCH_SCALE, record
+from repro.experiments import fig8
+
+
+@pytest.mark.parametrize("dataset", ["rmat22", "wikipedia"])
+def test_fig8_noc_comparison_small_grid(benchmark, dataset):
+    """16x16-class comparison (the paper reports torus ~2x over mesh)."""
+
+    def run():
+        return fig8.run_fig8(
+            apps=("sssp",), datasets=(dataset,), nocs=("mesh", "torus"), scale=BENCH_SCALE
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = fig8.speedup_rows(results)
+    record(benchmark, {"torus_speedup": round(rows[0]["torus_speedup"], 2)})
+    # The torus should never lose to the mesh.
+    assert rows[0]["torus_speedup"] >= 0.95
+
+
+def test_fig8_ruche_on_large_grid(benchmark):
+    """64x64-class comparison where ruche channels start to pay off."""
+
+    def run():
+        return fig8.run_fig8(
+            apps=("bfs",),
+            datasets=("rmat26",),
+            nocs=("mesh", "torus", "torus_ruche"),
+            scale=BENCH_SCALE,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = fig8.speedup_rows(results)
+    record(
+        benchmark,
+        {
+            "torus_speedup": round(rows[0]["torus_speedup"], 2),
+            "torus_ruche_speedup": round(rows[0]["torus_ruche_speedup"], 2),
+        },
+    )
+    assert rows[0]["torus_ruche_speedup"] >= rows[0]["torus_speedup"] * 0.95

@@ -1,0 +1,32 @@
+"""Fig. 9: energy breakdown into logic, memory and network."""
+
+from conftest import BENCH_SCALE, record
+from repro.experiments import fig9
+
+
+def test_fig9_energy_breakdown(benchmark):
+    """Regenerates the Fig. 9 stacked bars for two applications."""
+
+    def run():
+        return fig9.run_fig9(
+            apps=("bfs", "spmv"), datasets=("rmat22", "livejournal"), scale=BENCH_SCALE
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = fig9.breakdown_rows(results)
+    for row in rows:
+        record(
+            benchmark,
+            {
+                f"{row['run']}": (
+                    f"logic {row['logic_pct']:.0f}% / memory {row['memory_pct']:.0f}% / "
+                    f"network {row['network_pct']:.0f}%"
+                )
+            },
+        )
+        total = row["logic_pct"] + row["memory_pct"] + row["network_pct"]
+        assert abs(total - 100.0) < 1e-6
+    # The paper's headline: the network is the largest consumer in Dalorex.
+    shares = fig9.network_share_summary(results)
+    record(benchmark, {"mean_network_share": {k: round(v, 2) for k, v in shares.items()}})
+    assert all(share > 0.3 for share in shares.values())

@@ -1,0 +1,46 @@
+"""Simulator-performance benchmarks: how fast the two engines themselves run.
+
+These are the only benchmarks measuring *wall-clock* behaviour of the library
+itself (the figure benchmarks measure the simulated machine).  They document
+the cost of cycle-accurate simulation versus the analytical engine and the cost
+of graph generation, which is what limits stand-in sizes in Python.
+"""
+
+import pytest
+
+from conftest import record
+from repro.apps import BFSKernel
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.graph.generators import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return rmat_graph(11, edge_factor=8, seed=4)
+
+
+@pytest.mark.parametrize("engine", ["analytic", "cycle"])
+def test_engine_simulation_speed(benchmark, bench_graph, engine):
+    """Simulated-edges-per-second of each engine on a 16x16 grid."""
+    root = bench_graph.highest_degree_vertex()
+
+    def run():
+        config = MachineConfig(width=16, height=16, engine=engine)
+        return DalorexMachine(config, BFSKernel(root=root), bench_graph).run()
+
+    result = benchmark(run)
+    record(
+        benchmark,
+        {
+            "graph_edges": bench_graph.num_edges,
+            "simulated_cycles": round(result.cycles),
+            "tasks_executed": result.counters.tasks_executed,
+        },
+    )
+
+
+def test_rmat_generation_speed(benchmark):
+    """Generation throughput of the RMAT stand-in generator."""
+    graph = benchmark(lambda: rmat_graph(13, edge_factor=10, seed=1))
+    record(benchmark, {"vertices": graph.num_vertices, "edges": graph.num_edges})

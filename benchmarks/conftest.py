@@ -1,0 +1,29 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at a reduced
+stand-in scale (see DESIGN.md for the substitution rationale) and attaches the
+figure's key series to ``benchmark.extra_info`` so the numbers appear in the
+pytest-benchmark report.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Larger, closer-to-the-paper runs are available through the experiment runners
+in ``repro.experiments`` (each module has a ``main()``).
+"""
+
+from __future__ import annotations
+
+#: Scale factor applied to the experiment-default stand-in sizes.  Benchmarks
+#: favour quick turnaround; raise this (up to 1.0 and beyond) for slower but
+#: larger reproductions.
+BENCH_SCALE = 0.25
+
+#: Grid used by the 256-core comparisons in benchmarks (the paper uses 16x16;
+#: benchmarks default to 8x8 to keep the cycle engine fast).
+BENCH_GRID = 8
+
+
+def record(benchmark, info: dict) -> None:
+    """Attach a dictionary of figure outputs to the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

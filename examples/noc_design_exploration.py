@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""NoC design exploration: mesh vs torus vs torus+ruche for SSSP.
+
+Reproduces the paper's NoC study (Figs. 8 and 10) on a single weighted graph:
+it runs the same SSSP workload over the three network options, prints the
+speedups over the mesh, and renders the PU/router utilization heatmaps that
+show the mesh's centre congestion.
+"""
+
+from repro.analysis.report import format_table, heatmap_report
+from repro.apps import SSSPKernel
+from repro.baselines import dalorex_full_config
+from repro.core.machine import DalorexMachine
+from repro.experiments.fig10 import center_edge_router_ratio
+from repro.graph.datasets import load_dataset
+from repro.noc.topology import make_topology
+
+
+def main() -> None:
+    graph = load_dataset("rmat22", scale_divisor=1024)
+    root = graph.highest_degree_vertex()
+    print(f"dataset: {graph.num_vertices} vertices, {graph.num_edges} edges, root={root}")
+
+    width = height = 16
+    results = {}
+    for noc in ("mesh", "torus", "torus_ruche"):
+        config = dalorex_full_config(width, height, engine="cycle").with_overrides(
+            name=f"Dalorex-{noc}", noc=noc
+        )
+        machine = DalorexMachine(config, SSSPKernel(root=root), graph, dataset_name="rmat22")
+        results[noc] = machine.run(verify=True)
+
+    mesh_cycles = results["mesh"].cycles
+    rows = [
+        {
+            "noc": noc,
+            "cycles": round(result.cycles),
+            "speedup_vs_mesh": round(mesh_cycles / result.cycles, 2),
+            "mean_pu_util_%": round(result.mean_pu_utilization() * 100, 1),
+            "center_vs_edge_router_load": round(center_edge_router_ratio(result), 2),
+            "energy_uJ": round(result.energy.total_j * 1e6, 2),
+        }
+        for noc, result in results.items()
+    ]
+    print(format_table(rows))
+
+    for noc in ("mesh", "torus"):
+        print()
+        print(heatmap_report(results[noc], make_topology(noc, width, height)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Run every figure-reproduction experiment and write a combined text report.
+
+This is the script used to produce the measured numbers recorded in
+EXPERIMENTS.md.  The ``--scale`` flag controls the stand-in dataset sizes
+relative to the experiment defaults (1.0 reproduces the sizes documented in
+DESIGN.md; smaller is faster).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, textstats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--output", default="experiment_report.txt", help="report path")
+    parser.add_argument(
+        "--figures", nargs="*", default=["5", "6", "7", "8", "9", "10", "text"],
+        help="subset of figures to run",
+    )
+    args = parser.parse_args(argv)
+
+    sections = []
+    started = time.time()
+
+    def note(label: str) -> None:
+        elapsed = time.time() - started
+        print(f"[{elapsed:7.1f}s] {label}", flush=True)
+
+    if "5" in args.figures:
+        note("running Fig. 5 (configuration ladder)")
+        sections.append(fig5.report(fig5.run_fig5(scale=args.scale)))
+    if "6" in args.figures:
+        note("running Fig. 6 (strong scaling)")
+        sections.append(fig6.report(fig6.run_fig6(scale=args.scale)))
+    if "7" in args.figures:
+        note("running Fig. 7 (throughput)")
+        sections.append(fig7.report(fig7.run_fig7(scale=args.scale)))
+    if "8" in args.figures:
+        note("running Fig. 8 (NoC comparison)")
+        sections.append(fig8.report(fig8.run_fig8(scale=args.scale)))
+    if "9" in args.figures:
+        note("running Fig. 9 (energy breakdown)")
+        sections.append(fig9.report(fig9.run_fig9(scale=args.scale)))
+    if "10" in args.figures:
+        note("running Fig. 10 (utilization heatmaps)")
+        sections.append(fig10.report(fig10.run_fig10(scale=args.scale)))
+    if "text" in args.figures:
+        sections.append(textstats.report())
+
+    report = "\n\n".join(sections)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    note(f"wrote {args.output}")
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

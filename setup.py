@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept so offline editable installs work without wheel)."""
+
+from setuptools import setup
+
+setup()

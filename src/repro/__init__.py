@@ -1,0 +1,40 @@
+"""Dalorex reproduction library.
+
+Reproduces "Dalorex: A Data-Local Program Execution and Architecture for
+Memory-bound Applications" (HPCA 2023): a tile-based distributed-memory
+architecture where tasks migrate to the data, evaluated on graph analytics and
+sparse linear algebra.
+
+Quickstart::
+
+    from repro import DalorexMachine, MachineConfig, load_dataset
+    from repro.apps import BFSKernel
+
+    graph = load_dataset("rmat16")
+    config = MachineConfig(width=8, height=8, engine="cycle")
+    result = DalorexMachine(config, BFSKernel(root=0), graph).run(verify=True)
+    print(result.cycles, result.energy.total_j, result.verified)
+"""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine, run_kernel
+from repro.core.results import AggregateCounters, EnergyBreakdown, SimulationResult
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import list_datasets, load_dataset
+from repro.graph.generators import rmat_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "DalorexMachine",
+    "run_kernel",
+    "SimulationResult",
+    "EnergyBreakdown",
+    "AggregateCounters",
+    "CSRGraph",
+    "load_dataset",
+    "list_datasets",
+    "rmat_graph",
+    "__version__",
+]

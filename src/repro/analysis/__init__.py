@@ -1,0 +1,23 @@
+"""Analysis utilities: metrics, parameter sweeps and plain-text reports."""
+
+from repro.analysis.metrics import (
+    edges_per_joule,
+    energy_improvements,
+    geometric_mean,
+    speedups,
+    throughput_summary,
+)
+from repro.analysis.sweep import ScalingPoint, strong_scaling_sweep
+from repro.analysis.report import format_table, heatmap_report
+
+__all__ = [
+    "geometric_mean",
+    "speedups",
+    "energy_improvements",
+    "edges_per_joule",
+    "throughput_summary",
+    "ScalingPoint",
+    "strong_scaling_sweep",
+    "format_table",
+    "heatmap_report",
+]

@@ -1,0 +1,100 @@
+"""Metrics derived from simulation results: speedups, geomeans, throughput."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.results import SimulationResult
+from repro.errors import ReproError
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's aggregation of speedups)."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        raise ReproError("geometric mean of an empty sequence")
+    if np.any(data <= 0):
+        raise ReproError("geometric mean requires strictly positive values")
+    return float(np.exp(np.log(data).mean()))
+
+
+def speedups(
+    results: Mapping[str, SimulationResult], baseline: str
+) -> Dict[str, float]:
+    """Performance improvement of every configuration relative to ``baseline``."""
+    if baseline not in results:
+        raise ReproError(f"baseline {baseline!r} missing from results")
+    reference_cycles = results[baseline].cycles
+    return {name: reference_cycles / result.cycles for name, result in results.items()}
+
+
+def energy_improvements(
+    results: Mapping[str, SimulationResult], baseline: str
+) -> Dict[str, float]:
+    """Energy improvement of every configuration relative to ``baseline``."""
+    if baseline not in results:
+        raise ReproError(f"baseline {baseline!r} missing from results")
+    reference_energy = results[baseline].energy.total_j
+    return {
+        name: reference_energy / result.energy.total_j for name, result in results.items()
+    }
+
+
+def stepwise_factors(
+    results: Mapping[str, SimulationResult], order: Sequence[str], metric: str = "cycles"
+) -> Dict[str, float]:
+    """Improvement of each configuration over the previous one in ``order``.
+
+    This is how the paper reports the per-feature factors (6.2x for data-local
+    execution, 4.7x for the TSU, ...).  ``metric`` is ``"cycles"`` or ``"energy"``.
+    """
+    factors: Dict[str, float] = {}
+    previous = None
+    for name in order:
+        if name not in results:
+            continue
+        result = results[name]
+        value = result.cycles if metric == "cycles" else result.energy.total_j
+        if previous is not None and value > 0:
+            factors[name] = previous / value
+        previous = value
+    return factors
+
+
+def edges_per_joule(result: SimulationResult) -> float:
+    """Work per unit of energy (higher is better)."""
+    if result.energy.total_j <= 0:
+        return 0.0
+    return result.counters.edges_processed / result.energy.total_j
+
+
+def throughput_summary(result: SimulationResult) -> Dict[str, float]:
+    """The three series of the paper's Fig. 7 for one run."""
+    return {
+        "edges_per_second": result.edges_per_second(),
+        "operations_per_second": result.operations_per_second(),
+        "memory_bandwidth_bytes_per_second": result.memory_bandwidth_bytes_per_second(),
+    }
+
+
+def work_balance(result: SimulationResult) -> float:
+    """Ratio of the busiest tile's cycles to the mean (1.0 = perfectly balanced)."""
+    busy = result.per_tile_busy_cycles
+    if len(busy) == 0 or busy.mean() == 0:
+        return 1.0
+    return float(busy.max() / busy.mean())
+
+
+def geomean_speedup_over_baseline(
+    per_dataset_results: Mapping[str, Mapping[str, SimulationResult]],
+    config: str,
+    baseline: str,
+) -> float:
+    """Geometric-mean speedup of ``config`` over ``baseline`` across datasets."""
+    ratios: List[float] = []
+    for results in per_dataset_results.values():
+        if baseline in results and config in results:
+            ratios.append(results[baseline].cycles / results[config].cycles)
+    return geometric_mean(ratios)

@@ -1,0 +1,133 @@
+"""Plain-text report helpers: aligned tables and tile-grid heatmaps."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import SimulationResult
+from repro.noc.topology import Topology
+from repro.noc.traffic import ascii_heatmap, utilization_grid
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render dictionaries as an aligned text table (one row per dict)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(row[i]) for row in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def heatmap_report(result: SimulationResult, topology: Topology) -> str:
+    """PU and router utilization heatmaps for one run (the paper's Fig. 10)."""
+    pu_grid = utilization_grid(result.pu_utilization() * 100.0, topology)
+    router_grid = utilization_grid(result.router_utilization() * 100.0, topology)
+    parts = [
+        ascii_heatmap(
+            pu_grid,
+            title=f"PU utilization (% of runtime) -- {result.config_name} / {result.noc}",
+            max_value=100.0,
+        ),
+        "",
+        ascii_heatmap(
+            router_grid,
+            title=f"Router utilization (% of runtime) -- {result.config_name} / {result.noc}",
+            max_value=100.0,
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def improvement_table(
+    per_dataset: Mapping[str, Mapping[str, SimulationResult]],
+    order: Sequence[str],
+    baseline: str,
+    metric: str = "cycles",
+) -> List[Dict[str, object]]:
+    """Rows of <config> x <dataset> improvements over a baseline configuration."""
+    rows: List[Dict[str, object]] = []
+    for config_name in order:
+        row: Dict[str, object] = {"config": config_name}
+        for dataset, results in per_dataset.items():
+            if config_name not in results or baseline not in results:
+                continue
+            if metric == "cycles":
+                row[dataset] = results[baseline].cycles / results[config_name].cycles
+            else:
+                row[dataset] = (
+                    results[baseline].energy.total_j / results[config_name].energy.total_j
+                )
+        rows.append(row)
+    return rows
+
+
+def energy_breakdown_rows(results: Mapping[str, SimulationResult]) -> List[Dict[str, object]]:
+    """Rows of per-run energy breakdown percentages (the paper's Fig. 9)."""
+    rows = []
+    for name, result in results.items():
+        fractions = result.energy.grouped_fractions()
+        rows.append(
+            {
+                "run": name,
+                "logic_pct": 100.0 * fractions["logic"],
+                "memory_pct": 100.0 * fractions["memory"],
+                "network_pct": 100.0 * fractions["network"],
+                "total_j": result.energy.total_j,
+            }
+        )
+    return rows
+
+
+def scaling_rows(points: Sequence) -> List[Dict[str, object]]:
+    """Rows for a strong-scaling sweep (used by the Fig. 6/7 runners)."""
+    rows = []
+    for point in points:
+        rows.append(
+            {
+                "tiles": point.num_tiles,
+                "cycles": point.cycles,
+                "energy_j": point.energy_j,
+                "kb_per_tile": point.sram_kilobytes_per_tile,
+                "vertices_per_tile": point.vertices_per_tile,
+                "edges_per_s": point.result.edges_per_second(),
+                "ops_per_s": point.result.operations_per_second(),
+                "mem_bw_gb_per_s": point.result.memory_bandwidth_bytes_per_second() / 1e9,
+            }
+        )
+    return rows
+
+
+def percentile_summary(values: np.ndarray) -> Dict[str, float]:
+    """Five-number summary used when reporting per-tile utilization."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        return {"min": 0.0, "p25": 0.0, "median": 0.0, "p75": 0.0, "max": 0.0}
+    return {
+        "min": float(data.min()),
+        "p25": float(np.percentile(data, 25)),
+        "median": float(np.percentile(data, 50)),
+        "p75": float(np.percentile(data, 75)),
+        "max": float(data.max()),
+    }

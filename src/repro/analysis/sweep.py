@@ -1,0 +1,108 @@
+"""Parameter sweeps: strong scaling over grid sizes (the paper's Figs. 6 and 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.core.results import SimulationResult
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class ScalingPoint:
+    """One point of a strong-scaling sweep."""
+
+    num_tiles: int
+    width: int
+    height: int
+    result: SimulationResult
+
+    @property
+    def cycles(self) -> float:
+        return self.result.cycles
+
+    @property
+    def energy_j(self) -> float:
+        return self.result.energy.total_j
+
+    @property
+    def vertices_per_tile(self) -> float:
+        return self.result.num_vertices / self.num_tiles
+
+    @property
+    def sram_kilobytes_per_tile(self) -> float:
+        return self.result.sram_bytes_per_tile / 1024.0
+
+    def to_dict(self) -> dict:
+        summary = self.result.to_dict()
+        summary.update(
+            {
+                "vertices_per_tile": self.vertices_per_tile,
+                "sram_kb_per_tile": self.sram_kilobytes_per_tile,
+            }
+        )
+        return summary
+
+
+def square_grid_sizes(min_width: int = 1, max_width: int = 128) -> List[int]:
+    """Power-of-two grid widths between the two bounds (inclusive)."""
+    sizes = []
+    width = max(1, min_width)
+    while width <= max_width:
+        sizes.append(width)
+        width *= 2
+    return sizes
+
+
+def strong_scaling_sweep(
+    kernel_factory: Callable[[], object],
+    graph: CSRGraph,
+    grid_widths: Sequence[int],
+    base_config: Optional[MachineConfig] = None,
+    dataset_name: Optional[str] = None,
+    verify: bool = False,
+) -> List[ScalingPoint]:
+    """Run the same kernel and dataset on increasingly large square grids.
+
+    A fresh kernel instance and machine are built per point (machines are
+    single-use).  ``base_config`` supplies every parameter except the grid
+    size; the paper's NoC policy (torus up to 32x32, torus+ruche beyond) is
+    applied when the base config does not pin a NoC explicitly.
+    """
+    from repro.baselines.ladder import dalorex_config
+
+    points: List[ScalingPoint] = []
+    for width in grid_widths:
+        if base_config is None:
+            config = dalorex_config(width, width, engine="analytic")
+        else:
+            noc = base_config.noc
+            config = base_config.with_overrides(width=width, height=width, noc=noc)
+        machine = DalorexMachine(config, kernel_factory(), graph, dataset_name=dataset_name)
+        result = machine.run(verify=verify)
+        points.append(ScalingPoint(config.num_tiles, width, width, result))
+    return points
+
+
+def knee_point(points: Sequence[ScalingPoint], threshold: float = 1.25) -> Optional[ScalingPoint]:
+    """First sweep point where doubling tiles stops paying off.
+
+    Scaling "hits the knee" when going to the next (4x larger) grid improves
+    runtime by less than ``4 / threshold``; the paper observes this when a tile
+    holds fewer than about a thousand vertices.
+    """
+    for current, following in zip(points, points[1:]):
+        expected = current.cycles / (following.num_tiles / current.num_tiles)
+        if following.cycles > expected * threshold:
+            return following
+    return None
+
+
+def energy_optimal_point(points: Sequence[ScalingPoint]) -> Optional[ScalingPoint]:
+    """Sweep point with the lowest total energy (the paper's deflection point)."""
+    if not points:
+        return None
+    return min(points, key=lambda point: point.energy_j)

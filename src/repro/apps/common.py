@@ -1,0 +1,146 @@
+"""Kernel base classes: the contract between applications and the machine.
+
+A kernel packages everything the machine needs to run one application:
+
+* the :class:`~repro.core.program.DalorexProgram` (array and task declarations
+  plus the task handlers, i.e. the paper's per-tile binary),
+* the initial contents of the distributed arrays,
+* the initial work (e.g. the BFS root, or one task per vertex for SPMV),
+* the per-epoch reseeding hook used when running with global barriers,
+* a sequential reference used to validate the simulated output.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.program import DalorexProgram
+from repro.graph.csr import CSRGraph
+
+Seed = Tuple[str, tuple]
+
+
+class Kernel(ABC):
+    """One application expressed in the Dalorex task-based programming model."""
+
+    #: Application name used in results and reports.
+    name: str = "kernel"
+    #: True when the algorithm needs a global barrier per epoch (e.g. PageRank).
+    requires_barrier: bool = False
+
+    # ----------------------------------------------------------- construction
+    @abstractmethod
+    def build_program(self) -> DalorexProgram:
+        """Declare the distributed arrays and tasks of this application."""
+
+    @abstractmethod
+    def initial_arrays(self, graph: CSRGraph) -> Dict[str, np.ndarray]:
+        """Initial contents of every declared array (keyed by array name)."""
+
+    @abstractmethod
+    def initial_tasks(self, graph: CSRGraph) -> List[Seed]:
+        """Work items seeded before the first epoch, as ``(task_name, params)``."""
+
+    def prepare_graph(self, graph: CSRGraph) -> CSRGraph:
+        """Optionally transform the input graph (e.g. symmetrize it for WCC)."""
+        return graph
+
+    def extra_spaces(self, graph: CSRGraph) -> Dict[str, Tuple[int, str]]:
+        """Index spaces beyond vertex/edge, as ``{name: (length, policy)}``."""
+        return {}
+
+    # -------------------------------------------------------------- execution
+    def next_epoch(self, machine, epoch_index: int) -> Optional[List[Seed]]:
+        """Work for the next barriered epoch, or ``None``/empty when converged.
+
+        Only called when the machine runs with global barriers.  The default is
+        a single-epoch program.
+        """
+        return None
+
+    def refill_tile(self, machine, tile_id: int, budget: int) -> List[Seed]:
+        """Work a tile can pull from its local frontier when it would otherwise idle.
+
+        Only called in barrierless mode.  The default is no local refill
+        (single-pass programs such as SPMV).
+        """
+        return []
+
+    # ------------------------------------------------------------ validation
+    @abstractmethod
+    def result(self, machine) -> np.ndarray:
+        """Extract the program output from the machine's arrays."""
+
+    @abstractmethod
+    def reference(self, graph: CSRGraph) -> np.ndarray:
+        """Sequential reference output for the (prepared) graph."""
+
+    def verify(self, machine) -> bool:
+        """Compare the simulated output against the sequential reference."""
+        produced = np.asarray(self.result(machine), dtype=np.float64)
+        expected = np.asarray(self.reference(machine.graph), dtype=np.float64)
+        if produced.shape != expected.shape:
+            return False
+        return bool(np.allclose(produced, expected, rtol=1e-6, atol=1e-9, equal_nan=True))
+
+
+class FrontierGraphKernel(Kernel):
+    """Base class for frontier-driven graph algorithms (BFS, SSSP, WCC).
+
+    The paper's local frontier (a bitmap plus the IQ4 queue of pending blocks)
+    is modeled as a per-vertex flag array ``in_frontier`` plus a per-tile
+    frontier queue:
+
+    * the update task (T3) calls :meth:`mark_frontier` when it improves a
+      vertex -- the flag deduplicates, and in barrierless mode the vertex is
+      also pushed onto the tile's local frontier queue;
+    * in barrierless mode the TSU drains the local queue through the
+      re-exploration task (T4) only when the tile has no other pending work
+      (:meth:`refill_tile`), which is what keeps asynchronous execution
+      work-efficient in the paper;
+    * in barrier mode :meth:`next_epoch` sweeps the flags into the next epoch's
+      seeds (the global frontier swap).
+    """
+
+    #: Name of the exploration task that re-processes a frontier vertex.
+    explore_task: str = "T1_explore"
+    #: Name of the task that pops a vertex from the local frontier.
+    refrontier_task: str = "T4_refrontier"
+    #: Name of the per-vertex frontier flag array.
+    frontier_array: str = "in_frontier"
+
+    def frontier_vertices(self, machine) -> np.ndarray:
+        """Vertices currently flagged in the local frontiers."""
+        return np.nonzero(machine.arrays[self.frontier_array])[0]
+
+    def mark_frontier(self, ctx, vertex: int) -> None:
+        """Insert ``vertex`` into the executing tile's local frontier (deduplicated)."""
+        if ctx.read(self.frontier_array, vertex):
+            return
+        ctx.write(self.frontier_array, vertex, 1)
+        if not ctx.barrier:
+            ctx.tile_state.setdefault("frontier", []).append(int(vertex))
+
+    def refill_tile(self, machine, tile_id: int, budget: int) -> List[Seed]:
+        queue = machine.tile_state[tile_id].get("frontier")
+        if not queue:
+            return []
+        take = min(budget, len(queue))
+        vertices, machine.tile_state[tile_id]["frontier"] = queue[:take], queue[take:]
+        return [(self.refrontier_task, (vertex,)) for vertex in vertices]
+
+    def next_epoch(self, machine, epoch_index: int) -> Optional[List[Seed]]:
+        frontier = machine.arrays[self.frontier_array]
+        vertices = np.nonzero(frontier)[0]
+        if len(vertices) == 0:
+            return None
+        frontier[vertices] = 0
+        return [(self.explore_task, (int(vertex),)) for vertex in vertices]
+
+
+def all_vertex_seeds(task_name: str, graph: CSRGraph) -> List[Seed]:
+    """One seed invocation of ``task_name`` per vertex (used by PR, WCC, SPMV)."""
+    return [(task_name, (vertex,)) for vertex in range(graph.num_vertices)]

@@ -1,0 +1,29 @@
+"""Baseline and ablation configurations (the Fig. 5 feature ladder)."""
+
+from repro.baselines.ladder import (
+    LADDER_ORDER,
+    basic_tsu_config,
+    dalorex_config,
+    dalorex_full_config,
+    data_local_config,
+    ladder_configs,
+    tesseract_config,
+    tesseract_lc_config,
+    torus_noc_config,
+    traffic_aware_config,
+    uniform_distribution_config,
+)
+
+__all__ = [
+    "LADDER_ORDER",
+    "ladder_configs",
+    "tesseract_config",
+    "tesseract_lc_config",
+    "data_local_config",
+    "basic_tsu_config",
+    "uniform_distribution_config",
+    "traffic_aware_config",
+    "torus_noc_config",
+    "dalorex_full_config",
+    "dalorex_config",
+]

@@ -1,0 +1,157 @@
+"""The Fig. 5 configuration ladder: from Tesseract to full Dalorex.
+
+The paper evaluates the impact of each Dalorex feature by starting from the
+Tesseract PIM baseline and enabling one feature at a time, all at an equal core
+count (256).  Every rung is expressed as a :class:`MachineConfig` so all the
+deltas come from the same simulator:
+
+1. ``Tesseract``      -- vertex-block placement with edges co-located on the
+                         vertex owner, interrupting remote calls, HMC/DRAM
+                         memory, mesh NoC, per-epoch barriers.
+2. ``Tesseract-LC``   -- adds a large private cache per core (SRAM-class
+                         latency/energy, no DRAM background power).
+3. ``Data-Local``     -- Dalorex array chunking and task splitting with local
+                         SRAM scratchpads, still with interrupting invocations
+                         and block placement.
+4. ``Basic-TSU``      -- non-blocking, non-interrupting task invocation with a
+                         round-robin scheduler.
+5. ``Uniform-Distr``  -- low-order-bit (interleaved) placement of vertex data.
+6. ``Traffic-Aware``  -- occupancy-based (traffic-aware) task scheduling.
+7. ``Torus-NoC``      -- 2D torus instead of the 2D mesh.
+8. ``Dalorex``        -- removes the per-epoch global barrier (full Dalorex).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import MachineConfig
+
+#: Rung names in the order the paper presents them (Fig. 5 legend order).
+LADDER_ORDER: List[str] = [
+    "Tesseract",
+    "Tesseract-LC",
+    "Data-Local",
+    "Basic-TSU",
+    "Uniform-Distr",
+    "Traffic-Aware",
+    "Torus-NoC",
+    "Dalorex",
+]
+
+
+def _base(width: int, height: int, engine: str) -> MachineConfig:
+    return MachineConfig(width=width, height=height, engine=engine)
+
+
+def tesseract_config(width: int = 16, height: int = 16, engine: str = "cycle") -> MachineConfig:
+    """Tesseract-style PIM baseline: one core per HMC vault, 256 cores total."""
+    return _base(width, height, engine).with_overrides(
+        name="Tesseract",
+        noc="mesh",
+        scheduling="round_robin",
+        vertex_placement="block",
+        edge_placement="row",
+        remote_invocation="interrupting",
+        barrier=True,
+        memory="dram",
+    )
+
+
+def tesseract_lc_config(width: int = 16, height: int = 16, engine: str = "cycle") -> MachineConfig:
+    """Tesseract with a 2 MB private cache per core (large-cache approximation)."""
+    return tesseract_config(width, height, engine).with_overrides(
+        name="Tesseract-LC",
+        memory="dram_cache",
+    )
+
+
+def data_local_config(width: int = 16, height: int = 16, engine: str = "cycle") -> MachineConfig:
+    """Dalorex data layout and task splitting, still with interrupting calls."""
+    return _base(width, height, engine).with_overrides(
+        name="Data-Local",
+        noc="mesh",
+        scheduling="round_robin",
+        vertex_placement="block",
+        edge_placement="block",
+        remote_invocation="interrupting",
+        barrier=True,
+        memory="sram",
+    )
+
+
+def basic_tsu_config(width: int = 16, height: int = 16, engine: str = "cycle") -> MachineConfig:
+    """Adds the TSU: non-blocking, non-interrupting invocation, round-robin."""
+    return data_local_config(width, height, engine).with_overrides(
+        name="Basic-TSU",
+        remote_invocation="tsu",
+    )
+
+
+def uniform_distribution_config(
+    width: int = 16, height: int = 16, engine: str = "cycle"
+) -> MachineConfig:
+    """Low-order-bit (interleaved) placement of the vertex-space arrays."""
+    return basic_tsu_config(width, height, engine).with_overrides(
+        name="Uniform-Distr",
+        vertex_placement="interleave",
+    )
+
+
+def traffic_aware_config(width: int = 16, height: int = 16, engine: str = "cycle") -> MachineConfig:
+    """Occupancy-based (traffic-aware) task scheduling in the TSU."""
+    return uniform_distribution_config(width, height, engine).with_overrides(
+        name="Traffic-Aware",
+        scheduling="occupancy",
+    )
+
+
+def torus_noc_config(width: int = 16, height: int = 16, engine: str = "cycle") -> MachineConfig:
+    """2D torus NoC instead of the 2D mesh."""
+    return traffic_aware_config(width, height, engine).with_overrides(
+        name="Torus-NoC",
+        noc="torus",
+    )
+
+
+def dalorex_full_config(width: int = 16, height: int = 16, engine: str = "cycle") -> MachineConfig:
+    """Full Dalorex: barrierless execution with local frontiers.
+
+    PageRank still synchronizes per epoch (its kernel requires a barrier), which
+    matches the paper's note that the last rung does not change for PageRank.
+    """
+    return torus_noc_config(width, height, engine).with_overrides(
+        name="Dalorex",
+        barrier=False,
+    )
+
+
+def dalorex_config(
+    width: int = 16,
+    height: int = 16,
+    engine: str = "analytic",
+    noc: str = None,
+) -> MachineConfig:
+    """The recommended Dalorex design point for a given grid size.
+
+    Uses a torus NoC up to 32x32 grids and a torus with ruche channels beyond,
+    matching the paper's methodology.
+    """
+    if noc is None:
+        noc = "torus" if width * height <= 1024 else "torus_ruche"
+    return dalorex_full_config(width, height, engine).with_overrides(name="Dalorex", noc=noc)
+
+
+def ladder_configs(width: int = 16, height: int = 16, engine: str = "cycle") -> Dict[str, MachineConfig]:
+    """All eight rungs keyed by name, in the paper's presentation order."""
+    builders = {
+        "Tesseract": tesseract_config,
+        "Tesseract-LC": tesseract_lc_config,
+        "Data-Local": data_local_config,
+        "Basic-TSU": basic_tsu_config,
+        "Uniform-Distr": uniform_distribution_config,
+        "Traffic-Aware": traffic_aware_config,
+        "Torus-NoC": torus_noc_config,
+        "Dalorex": dalorex_full_config,
+    }
+    return {name: builders[name](width, height, engine) for name in LADDER_ORDER}

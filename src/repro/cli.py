@@ -1,0 +1,126 @@
+"""Command-line interface for running Dalorex simulations and experiments.
+
+Two entry points are installed with the package:
+
+* ``dalorex-run`` -- run one application on one dataset with a chosen
+  configuration and print the result summary (optionally as JSON).
+* ``dalorex-experiments`` -- regenerate the paper's figures (wraps the runners
+  in :mod:`repro.experiments`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.apps import KERNELS
+from repro.baselines.ladder import LADDER_ORDER, dalorex_config, ladder_configs
+from repro.core.machine import DalorexMachine
+from repro.experiments.common import build_kernel, load_experiment_dataset
+from repro.graph.datasets import list_datasets
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", choices=sorted(KERNELS), default="bfs", help="application kernel")
+    parser.add_argument(
+        "--dataset", default="rmat16",
+        help=f"dataset stand-in (one of {', '.join(list_datasets())})",
+    )
+    parser.add_argument("--width", type=int, default=16, help="grid width in tiles")
+    parser.add_argument("--height", type=int, default=None, help="grid height (default: square)")
+    parser.add_argument(
+        "--config", default="Dalorex", choices=LADDER_ORDER,
+        help="configuration rung from the Fig. 5 ladder",
+    )
+    parser.add_argument("--noc", default=None, choices=["mesh", "torus", "torus_ruche"])
+    parser.add_argument("--engine", default=None, choices=["cycle", "analytic"])
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=7, help="dataset generator seed")
+    parser.add_argument("--no-verify", action="store_true", help="skip reference validation")
+    parser.add_argument("--json", action="store_true", help="print the summary as JSON")
+
+
+def run_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``dalorex-run``."""
+    parser = argparse.ArgumentParser(
+        prog="dalorex-run", description="Run one application on a Dalorex machine."
+    )
+    _add_run_arguments(parser)
+    args = parser.parse_args(argv)
+
+    height = args.height if args.height is not None else args.width
+    graph = load_experiment_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if args.config == "Dalorex":
+        config = dalorex_config(args.width, height)
+    else:
+        config = ladder_configs(args.width, height)[args.config]
+    overrides = {}
+    if args.noc:
+        overrides["noc"] = args.noc
+    if args.engine:
+        overrides["engine"] = args.engine
+    elif config.num_tiles > 1024:
+        overrides["engine"] = "analytic"
+    if overrides:
+        config = config.with_overrides(**overrides)
+
+    kernel = build_kernel(args.app, graph)
+    machine = DalorexMachine(config, kernel, graph, dataset_name=args.dataset)
+    result = machine.run(verify=not args.no_verify)
+
+    summary = result.to_dict()
+    summary["energy_breakdown"] = result.energy.grouped_fractions()
+    summary["chip_area_mm2"] = result.chip_area_mm2
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+    else:
+        print(f"{args.app} on {args.dataset} ({graph.num_vertices} V, {graph.num_edges} E)")
+        print(f"configuration: {config.describe()}")
+        for key, value in summary.items():
+            print(f"  {key:24s} {value}")
+    return 0 if (args.no_verify or result.verified) else 1
+
+
+def experiments_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``dalorex-experiments``."""
+    from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, textstats
+
+    runners = {
+        "fig5": lambda scale: fig5.report(fig5.run_fig5(scale=scale)),
+        "fig6": lambda scale: fig6.report(fig6.run_fig6(scale=scale)),
+        "fig7": lambda scale: fig7.report(fig7.run_fig7(scale=scale)),
+        "fig8": lambda scale: fig8.report(fig8.run_fig8(scale=scale)),
+        "fig9": lambda scale: fig9.report(fig9.run_fig9(scale=scale)),
+        "fig10": lambda scale: fig10.report(fig10.run_fig10(scale=scale)),
+        "textstats": lambda scale: textstats.report(),
+    }
+    parser = argparse.ArgumentParser(
+        prog="dalorex-experiments", description="Regenerate the paper's evaluation figures."
+    )
+    parser.add_argument("figures", nargs="*", default=[],
+                        help=f"figures to regenerate (default: all of {', '.join(runners)})")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--output", default=None, help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    unknown = [name for name in args.figures if name not in runners]
+    if unknown:
+        parser.error(f"unknown figures {unknown}; choose from {sorted(runners)}")
+    figures = args.figures or list(runners)
+    sections = [runners[name](args.scale) for name in figures]
+    report = "\n\n".join(sections)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - alias
+    return run_command(argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(run_command())

@@ -1,0 +1,28 @@
+"""Core Dalorex execution model: placement, programs, machine and engines."""
+
+from repro.core.config import MachineConfig
+from repro.core.placement import (
+    BlockPlacement,
+    DataPlacement,
+    InterleavedPlacement,
+    OwnerMapPlacement,
+)
+from repro.core.program import ArraySpec, DalorexProgram
+from repro.core.task import Task
+from repro.core.results import AggregateCounters, EnergyBreakdown, SimulationResult
+from repro.core.machine import DalorexMachine
+
+__all__ = [
+    "MachineConfig",
+    "DataPlacement",
+    "BlockPlacement",
+    "InterleavedPlacement",
+    "OwnerMapPlacement",
+    "ArraySpec",
+    "DalorexProgram",
+    "Task",
+    "AggregateCounters",
+    "EnergyBreakdown",
+    "SimulationResult",
+    "DalorexMachine",
+]

@@ -1,0 +1,135 @@
+"""Analytical engine: functional execution plus a bottleneck timing model.
+
+The engine executes every task invocation functionally (so outputs are exact)
+and estimates the epoch's duration as the maximum of three lower bounds:
+
+* **compute bound** -- the busiest tile's accumulated task cycles (work
+  imbalance shows up here, which is how vertex-block placement loses to the
+  paper's uniform placement);
+* **network bound** -- the hottest link / endpoint / bisection traffic, at one
+  flit per link per cycle (this is where mesh loses to torus and torus+ruche);
+* **critical path** -- the longest task-invocation chain times the average
+  per-hop task latency (this keeps latency-bound runs, e.g. a chain graph on a
+  huge grid, from looking free).
+
+Barriered executions sum per-epoch maxima plus a barrier/idle-detection cost,
+which reproduces the paper's observation that synchronization makes every
+epoch as slow as its slowest tile.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.engine_base import BaseEngine, Seed
+from repro.core.results import SimulationResult
+from repro.errors import SimulationError
+from repro.noc.analytical import LinkLoadModel
+
+
+class AnalyticalEngine(BaseEngine):
+    """Fast engine for large grids and scaling sweeps."""
+
+    def run(self) -> SimulationResult:
+        total_cycles = 0.0
+        epoch_index = 0
+        seeds: Optional[List[Seed]] = list(self.kernel.initial_tasks(self.machine.graph))
+        average_hops = self.topology.average_hop_distance(sample=64)
+
+        while seeds:
+            epoch_cycles = self._run_epoch(seeds, epoch_index, average_hops)
+            total_cycles += epoch_cycles
+            epoch_index += 1
+            if not self.machine.barrier_effective:
+                break
+            if epoch_index >= self.config.max_epochs:
+                raise SimulationError(
+                    f"exceeded max_epochs={self.config.max_epochs}; "
+                    "the kernel is not converging"
+                )
+            total_cycles += self.config.barrier_latency_cycles + self.topology.diameter()
+            seeds = self.next_epoch_seeds(epoch_index)
+
+        return self.build_result(max(total_cycles, 1.0), epochs=epoch_index)
+
+    # ------------------------------------------------------------------ epoch
+    def _run_epoch(self, seeds: List[Seed], epoch_index: int, average_hops: float) -> float:
+        num_tiles = self.config.num_tiles
+        epoch_busy = np.zeros(num_tiles, dtype=np.float64)
+        epoch_link = LinkLoadModel(self.topology, detailed=self.link_model.detailed)
+        tasks_this_epoch = 0
+        max_generation = 0
+
+        resolved = self.resolve_seeds(seeds)
+        if epoch_index > 0:
+            epoch_busy += self.charge_epoch_seeding(resolved)
+
+        worklist = deque(
+            (tile_id, task, params, 0, False) for tile_id, task, params in resolved
+        )
+        while worklist or self._refill_all_tiles(worklist):
+            tile_id, task, params, generation, remote = worklist.popleft()
+            ctx, cost = self.execute_invocation(tile_id, task, params, remote)
+            self.account_context(tile_id, ctx)
+            self.tiles[tile_id].pu.account_busy(cost, ctx.instructions)
+            epoch_busy[tile_id] += cost
+            tasks_this_epoch += 1
+            for out_task, out_params, destination in ctx.outgoing:
+                flits = out_task.flits_per_invocation
+                self.counters.messages += 1
+                self.counters.flits += flits
+                if destination == tile_id:
+                    self.counters.local_messages += 1
+                else:
+                    hops = epoch_link.record_message(
+                        tile_id, destination, flits, self.tile_pitch_mm
+                    )
+                    self.counters.flit_hops += flits * hops
+                    self.counters.router_traversals += flits * (hops + 1)
+                    self.tiles[tile_id].record_send(flits)
+                    self.tiles[destination].record_receive_flits(flits)
+                next_generation = generation + 1
+                if next_generation > max_generation:
+                    max_generation = next_generation
+                worklist.append(
+                    (destination, out_task, out_params, next_generation, destination != tile_id)
+                )
+
+        self.link_model.merge(epoch_link)
+        compute_bound = float(epoch_busy.max()) if len(epoch_busy) else 0.0
+        return self._epoch_cycles(compute_bound, epoch_link, epoch_busy, tasks_this_epoch,
+                                  max_generation, average_hops)
+
+    def _refill_all_tiles(self, worklist: deque) -> bool:
+        """Barrierless mode: pull parked frontier work once the worklist drains."""
+        if self.machine.barrier_effective:
+            return False
+        refilled = False
+        for tile_id in range(self.config.num_tiles):
+            seeds = self.kernel.refill_tile(
+                self.machine, tile_id, self.config.frontier_refill_batch
+            )
+            for task_name, params in seeds:
+                task = self.program.task(task_name)
+                worklist.append((tile_id, task, tuple(params), 0, False))
+                refilled = True
+        return refilled
+
+    def _epoch_cycles(
+        self,
+        compute_bound: float,
+        epoch_link: LinkLoadModel,
+        epoch_busy: np.ndarray,
+        tasks_this_epoch: int,
+        max_generation: int,
+        average_hops: float,
+    ) -> float:
+        network_bound = epoch_link.network_bound_cycles()
+        average_task_cost = (
+            epoch_busy.sum() / tasks_this_epoch if tasks_this_epoch else 0.0
+        )
+        critical_path = max_generation * (average_task_cost + average_hops)
+        return max(compute_bound, network_bound, critical_path, 1.0)

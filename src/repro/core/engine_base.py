@@ -1,0 +1,155 @@
+"""Shared logic between the analytical and cycle simulation engines.
+
+Both engines execute the same task programs functionally (so algorithm outputs
+are identical and can be validated against the sequential references); they
+differ only in how cycles are attributed.  This base class owns the functional
+execution of one task, the traffic/energy accounting, epoch seeding and the
+assembly of the :class:`~repro.core.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.context import TaskContext
+from repro.core.results import AggregateCounters, SimulationResult
+from repro.core.task import Task
+from repro.errors import SimulationError
+from repro.noc.analytical import LinkLoadModel
+
+#: Above this tile count the analytical engine switches the link-load model to
+#: its aggregate (non-per-link) mode to keep simulation time reasonable.
+DETAILED_LINK_MODEL_MAX_TILES = 2048
+
+Seed = Tuple[str, tuple]
+
+
+class BaseEngine:
+    """Functional task execution, accounting and result assembly."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.config = machine.config
+        self.program = machine.program
+        self.placement = machine.placement
+        self.topology = machine.topology
+        self.tiles = machine.tiles
+        self.kernel = machine.kernel
+        self.counters = AggregateCounters()
+        detailed = machine.config.num_tiles <= DETAILED_LINK_MODEL_MAX_TILES
+        self.link_model = LinkLoadModel(self.topology, detailed=detailed)
+        self.tile_pitch_mm = machine.tile_pitch_mm
+
+    # -------------------------------------------------------------- execution
+    def execute_invocation(
+        self, tile_id: int, task: Task, params: tuple, remote: bool
+    ) -> Tuple[TaskContext, float]:
+        """Run one task handler functionally and return its context and cost."""
+        ctx = TaskContext(self.machine, tile_id, task)
+        task.handler(ctx, *params)
+        cost = ctx.cycles
+        if remote and self.config.remote_invocation == "interrupting":
+            cost += self.config.interrupt_penalty_cycles
+            self.counters.remote_interrupts += 1
+            self.tiles[tile_id].interrupt_cycles += self.config.interrupt_penalty_cycles
+        return ctx, cost
+
+    def account_context(self, tile_id: int, ctx: TaskContext) -> None:
+        """Fold one task execution's counters into the machine-wide totals."""
+        tile = self.tiles[tile_id]
+        self.counters.instructions += ctx.instructions
+        self.counters.tasks_executed += 1
+        self.counters.sram_reads += ctx.sram_reads
+        self.counters.sram_writes += ctx.sram_writes
+        self.counters.dram_accesses += ctx.dram_accesses
+        self.counters.cache_hits += ctx.cache_hits
+        self.counters.edges_processed += ctx.edges
+        tile.edges_processed += ctx.edges
+        tile.scratchpad.record_read(ctx.sram_reads)
+        tile.scratchpad.record_write(ctx.sram_writes)
+        tile.dram_accesses += ctx.dram_accesses
+
+    def record_message_traffic(self, src: int, dst: int, task: Task) -> int:
+        """Account one task-invocation message; returns its hop count."""
+        flits = task.flits_per_invocation
+        self.counters.messages += 1
+        self.counters.flits += flits
+        if src == dst:
+            self.counters.local_messages += 1
+            return 0
+        hops = self.link_model.record_message(src, dst, flits, self.tile_pitch_mm)
+        self.counters.flit_hops += flits * hops
+        self.counters.router_traversals += flits * (hops + 1)
+        self.tiles[src].record_send(flits)
+        self.tiles[dst].record_receive_flits(flits)
+        return hops
+
+    # ------------------------------------------------------------------ seeds
+    def resolve_seeds(self, seeds: Sequence[Seed]) -> List[Tuple[int, Task, tuple]]:
+        """Map ``(task_name, params)`` seeds to their destination tiles."""
+        resolved = []
+        for task_name, params in seeds:
+            task = self.program.task(task_name)
+            params = tuple(params)
+            if len(params) != task.num_params:
+                raise SimulationError(
+                    f"seed for task {task_name!r} has {len(params)} parameters, "
+                    f"expected {task.num_params}"
+                )
+            destination = self.placement.owner(task.route_space, int(params[0]))
+            resolved.append((destination, task, params))
+        return resolved
+
+    def charge_epoch_seeding(self, resolved_seeds: Sequence[Tuple[int, Task, tuple]]) -> np.ndarray:
+        """Charge the per-vertex frontier re-exploration cost (the paper's T4).
+
+        Returns the per-tile cycles charged so the caller can add them to the
+        epoch's compute time.
+        """
+        per_tile = np.zeros(self.config.num_tiles, dtype=np.float64)
+        cost = self.config.epoch_seed_instructions
+        for tile_id, _task, _params in resolved_seeds:
+            per_tile[tile_id] += cost
+            self.counters.instructions += cost
+            self.tiles[tile_id].pu.instructions += cost
+        return per_tile
+
+    def next_epoch_seeds(self, epoch_index: int) -> Optional[List[Seed]]:
+        """Ask the kernel for the next epoch's work (barrier mode only)."""
+        seeds = self.kernel.next_epoch(self.machine, epoch_index)
+        if not seeds:
+            return None
+        return list(seeds)
+
+    # ----------------------------------------------------------------- result
+    def build_result(self, cycles: float, epochs: int) -> SimulationResult:
+        per_tile_busy = np.array([tile.pu.busy_cycles for tile in self.tiles])
+        per_tile_instructions = np.array([tile.pu.instructions for tile in self.tiles])
+        per_router_flits = self.link_model.router_traffic().astype(np.float64)
+        self.counters.flit_millimeters = self.link_model.total_flit_millimeters
+        self.counters.epochs = epochs
+        result = SimulationResult(
+            config_name=self.config.name,
+            app_name=self.kernel.name,
+            dataset_name=self.machine.dataset_name,
+            width=self.config.width,
+            height=self.config.height,
+            noc=self.config.noc,
+            cycles=float(cycles),
+            frequency_ghz=self.config.frequency_ghz,
+            counters=self.counters,
+            per_tile_busy_cycles=per_tile_busy,
+            per_tile_instructions=per_tile_instructions,
+            per_router_flits=per_router_flits,
+            sram_bytes_per_tile=self.machine.sram_bytes_per_tile(),
+            epochs=epochs,
+            outputs={name: array.copy() for name, array in self.machine.arrays.items()},
+            num_edges=self.machine.graph.num_edges,
+            num_vertices=self.machine.graph.num_vertices,
+        )
+        return result
+
+    def run(self) -> SimulationResult:  # pragma: no cover - overridden
+        raise NotImplementedError

@@ -1,0 +1,194 @@
+"""Event-driven cycle engine: TSU scheduling, PU occupancy and link contention.
+
+The engine keeps an event heap of task completions and message deliveries.
+A tile's TSU picks the next ready task (round-robin or occupancy priority) only
+when the PU is idle; a task executes from beginning to end (tasks never block),
+then its outgoing messages traverse the NoC hop by hop, each link serializing
+one flit per cycle with persistent per-link busy times (so congestion builds up
+exactly where traffic concentrates -- the effect visible in the paper's
+Fig. 10 heatmaps).
+
+Remote invocations are non-interrupting when the TSU is present and add the
+configured interrupt penalty in the Tesseract-style baseline.  Barriered
+executions wait for global idle, add the idle-detection/broadcast latency, and
+re-seed the next epoch from the kernel (the paper's per-epoch frontier swap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine_base import BaseEngine, Seed
+from repro.core.results import SimulationResult
+from repro.core.task import Task, TaskInvocation
+from repro.errors import SimulationError
+
+# Event kinds, ordered so deliveries at a timestamp happen before completions.
+_DELIVER = 0
+_COMPLETE = 1
+_REFILL = 2
+
+
+class CycleEngine(BaseEngine):
+    """Event-driven engine for detailed runs on small and medium grids."""
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        self._heap: List[Tuple[float, int, int, tuple]] = []
+        self._sequence = 0
+        self._link_free: Dict[Tuple[int, int], float] = {}
+        self._route_cache: Dict[Tuple[int, int], list] = {}
+        self._tile_busy = [False] * self.config.num_tiles
+        self._refill_pending = [False] * self.config.num_tiles
+        self._last_event_time = 0.0
+
+    # ------------------------------------------------------------------- heap
+    def _push(self, time: float, kind: int, payload: tuple) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, kind, self._sequence, payload))
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimulationResult:
+        epoch_index = 0
+        time_base = 0.0
+        seeds: Optional[List[Seed]] = list(self.kernel.initial_tasks(self.machine.graph))
+
+        while seeds:
+            self._inject_seeds(seeds, time_base, charge=epoch_index > 0)
+            self._drain_events()
+            if not self.machine.barrier_effective:
+                # Barrierless mode: any work still parked in local frontiers is
+                # pulled as soon as its tile idles (no global synchronization).
+                while self._refill_idle_tiles(self._last_event_time):
+                    self._drain_events()
+            epoch_index += 1
+            if not self.machine.barrier_effective:
+                break
+            if epoch_index >= self.config.max_epochs:
+                raise SimulationError(
+                    f"exceeded max_epochs={self.config.max_epochs}; "
+                    "the kernel is not converging"
+                )
+            seeds = self.next_epoch_seeds(epoch_index)
+            if seeds:
+                time_base = (
+                    self._last_event_time
+                    + self.config.barrier_latency_cycles
+                    + self.topology.diameter()
+                )
+
+        cycles = max(self._last_event_time, 1.0)
+        return self.build_result(cycles, epochs=epoch_index)
+
+    # ------------------------------------------------------------------ seeds
+    def _inject_seeds(self, seeds: List[Seed], time_base: float, charge: bool) -> None:
+        resolved = self.resolve_seeds(seeds)
+        if charge:
+            self.charge_epoch_seeding(resolved)
+        for tile_id, task, params in resolved:
+            invocation = TaskInvocation(task.task_id, params, generation=0, remote=False)
+            self._push(time_base, _DELIVER, (tile_id, invocation))
+
+    # ----------------------------------------------------------------- events
+    def _drain_events(self) -> None:
+        while self._heap:
+            time, kind, _seq, payload = heapq.heappop(self._heap)
+            if time > self._last_event_time:
+                self._last_event_time = time
+            if kind == _DELIVER:
+                tile_id, invocation = payload
+                self.tiles[tile_id].enqueue_task(invocation.task_id, invocation)
+                self._try_dispatch(tile_id, time)
+            elif kind == _COMPLETE:
+                tile_id, ctx = payload
+                self._tile_busy[tile_id] = False
+                self._emit_outputs(tile_id, ctx, time)
+                self._try_dispatch(tile_id, time)
+            else:  # _REFILL: low-priority local frontier drain (paper's T4)
+                (tile_id,) = payload
+                self._refill_pending[tile_id] = False
+                if not self._tile_busy[tile_id] and self.tiles[tile_id].is_idle():
+                    if self._refill_tile(tile_id, time):
+                        self._try_dispatch(tile_id, time)
+
+    def _refill_idle_tiles(self, now: float) -> bool:
+        """Give every idle tile work from its local frontier; True if any refilled."""
+        refilled = False
+        for tile_id in range(self.config.num_tiles):
+            if not self._tile_busy[tile_id] and self.tiles[tile_id].is_idle():
+                if self._refill_tile(tile_id, now):
+                    refilled = True
+                    self._try_dispatch(tile_id, now)
+        return refilled
+
+    def _refill_tile(self, tile_id: int, now: float) -> bool:
+        seeds = self.kernel.refill_tile(
+            self.machine, tile_id, self.config.frontier_refill_batch
+        )
+        if not seeds:
+            return False
+        for task_name, params in seeds:
+            task = self.program.task(task_name)
+            invocation = TaskInvocation(task.task_id, tuple(params), generation=0, remote=False)
+            self.tiles[tile_id].enqueue_task(task.task_id, invocation)
+        return True
+
+    def _try_dispatch(self, tile_id: int, now: float) -> None:
+        if self._tile_busy[tile_id]:
+            return
+        tile = self.tiles[tile_id]
+        task_id = tile.select_next_task()
+        if task_id is None and not self.machine.barrier_effective:
+            # The tile is idle: schedule a low-priority pull from its local
+            # frontier (the paper's T4 draining the bitmap under TSU control).
+            # The delay models T4's low priority: in-flight updates get a chance
+            # to land before the vertex is re-explored, preserving work efficiency.
+            if not self._refill_pending[tile_id]:
+                self._refill_pending[tile_id] = True
+                self._push(
+                    now + self.config.frontier_refill_delay_cycles, _REFILL, (tile_id,)
+                )
+            return
+        if task_id is None:
+            return
+        invocation: TaskInvocation = tile.input_queues[task_id].pop()
+        task = self.program.task_by_id(task_id)
+        ctx, cost = self.execute_invocation(tile_id, task, invocation.params, invocation.remote)
+        self.account_context(tile_id, ctx)
+        completion = tile.pu.start_task(now, cost, ctx.instructions)
+        self._tile_busy[tile_id] = True
+        self._push(completion, _COMPLETE, (tile_id, ctx))
+
+    def _emit_outputs(self, tile_id: int, ctx, now: float) -> None:
+        for task, params, destination in ctx.outgoing:
+            self.record_message_traffic(tile_id, destination, task)
+            invocation = TaskInvocation(
+                task.task_id,
+                params,
+                generation=0,
+                remote=destination != tile_id,
+                src_tile=tile_id,
+            )
+            if destination == tile_id:
+                self.tiles[tile_id].enqueue_task(task.task_id, invocation)
+            else:
+                arrival = self._network_delay(tile_id, destination, task, now)
+                self._push(arrival, _DELIVER, (destination, invocation))
+
+    # ---------------------------------------------------------------- network
+    def _network_delay(self, src: int, dst: int, task: Task, now: float) -> float:
+        """Walk the route charging per-link serialization with persistent state."""
+        key = (src, dst)
+        links = self._route_cache.get(key)
+        if links is None:
+            links = self.topology.links_on_route(src, dst)
+            self._route_cache[key] = links
+        flits = task.flits_per_invocation
+        time = now
+        for link in links:
+            start = max(time, self._link_free.get(link, 0.0))
+            finish = start + flits
+            self._link_free[link] = finish
+            time = finish
+        return time

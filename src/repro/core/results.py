@@ -1,0 +1,198 @@
+"""Simulation result containers: counters, energy breakdown, derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class AggregateCounters:
+    """Whole-machine activity counters accumulated during one simulation."""
+
+    instructions: int = 0
+    tasks_executed: int = 0
+    sram_reads: int = 0
+    sram_writes: int = 0
+    dram_accesses: float = 0.0
+    cache_hits: float = 0.0
+    messages: int = 0
+    local_messages: int = 0
+    flits: int = 0
+    flit_hops: int = 0
+    flit_millimeters: float = 0.0
+    router_traversals: int = 0
+    edges_processed: int = 0
+    remote_interrupts: int = 0
+    epochs: int = 0
+
+    def merge(self, other: "AggregateCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for field_name in self.__dataclass_fields__:
+            setattr(self, field_name, getattr(self, field_name) + getattr(other, field_name))
+
+    @property
+    def memory_accesses(self) -> float:
+        return self.sram_reads + self.sram_writes + self.dram_accesses
+
+    def bytes_accessed(self, entry_bytes: int = 4) -> float:
+        """Total data bytes touched by loads/stores (for memory-bandwidth figures)."""
+        return entry_bytes * (self.sram_reads + self.sram_writes + self.dram_accesses)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in joules split into the categories of the paper's Fig. 9."""
+
+    logic_j: float = 0.0
+    memory_j: float = 0.0
+    network_j: float = 0.0
+    static_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.logic_j + self.memory_j + self.network_j + self.static_j
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of each dynamic+static category (sums to 1.0 when total > 0)."""
+        total = self.total_j
+        if total <= 0:
+            return {"logic": 0.0, "memory": 0.0, "network": 0.0, "static": 0.0}
+        return {
+            "logic": self.logic_j / total,
+            "memory": self.memory_j / total,
+            "network": self.network_j / total,
+            "static": self.static_j / total,
+        }
+
+    def grouped_fractions(self) -> Dict[str, float]:
+        """Fig. 9 grouping: static energy is folded into the memory category
+        (SRAM leakage dominates the static component in the paper's model)."""
+        total = self.total_j
+        if total <= 0:
+            return {"logic": 0.0, "memory": 0.0, "network": 0.0}
+        return {
+            "logic": self.logic_j / total,
+            "memory": (self.memory_j + self.static_j) / total,
+            "network": self.network_j / total,
+        }
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "logic_j": self.logic_j,
+            "memory_j": self.memory_j,
+            "network_j": self.network_j,
+            "static_j": self.static_j,
+            "total_j": self.total_j,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run: timing, energy, activity and outputs."""
+
+    config_name: str
+    app_name: str
+    dataset_name: str
+    width: int
+    height: int
+    noc: str
+    cycles: float
+    frequency_ghz: float
+    counters: AggregateCounters
+    per_tile_busy_cycles: np.ndarray
+    per_tile_instructions: np.ndarray
+    per_router_flits: np.ndarray
+    sram_bytes_per_tile: int
+    epochs: int = 1
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    verified: Optional[bool] = None
+    num_edges: int = 0
+    num_vertices: int = 0
+    chip_area_mm2: float = 0.0
+
+    # ------------------------------------------------------------- derived
+    @property
+    def num_tiles(self) -> int:
+        return self.width * self.height
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.cycles * 1e-9 / self.frequency_ghz
+
+    def pu_utilization(self) -> np.ndarray:
+        """Per-tile PU busy fraction of the total runtime."""
+        if self.cycles <= 0:
+            return np.zeros_like(self.per_tile_busy_cycles)
+        return np.minimum(1.0, self.per_tile_busy_cycles / self.cycles)
+
+    def mean_pu_utilization(self) -> float:
+        utilization = self.pu_utilization()
+        return float(utilization.mean()) if len(utilization) else 0.0
+
+    def router_utilization(self) -> np.ndarray:
+        """Per-router busy fraction (flits forwarded / cycles)."""
+        if self.cycles <= 0:
+            return np.zeros_like(self.per_router_flits, dtype=np.float64)
+        return np.minimum(1.0, self.per_router_flits / self.cycles)
+
+    def edges_per_second(self) -> float:
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return self.counters.edges_processed / self.runtime_seconds
+
+    def operations_per_second(self) -> float:
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return self.counters.instructions / self.runtime_seconds
+
+    def memory_bandwidth_bytes_per_second(self, entry_bytes: int = 4) -> float:
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return self.counters.bytes_accessed(entry_bytes) / self.runtime_seconds
+
+    def average_power_w(self) -> float:
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return self.energy.total_j / self.runtime_seconds
+
+    def power_density_w_per_mm2(self) -> float:
+        if self.chip_area_mm2 <= 0 or self.runtime_seconds <= 0:
+            return 0.0
+        return self.average_power_w() / self.chip_area_mm2
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Performance improvement of this run relative to ``baseline``."""
+        if self.cycles <= 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+    def energy_improvement_over(self, baseline: "SimulationResult") -> float:
+        if self.energy.total_j <= 0:
+            return float("inf")
+        return baseline.energy.total_j / self.energy.total_j
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat summary used by the experiment runners and reports."""
+        return {
+            "config": self.config_name,
+            "app": self.app_name,
+            "dataset": self.dataset_name,
+            "tiles": self.num_tiles,
+            "noc": self.noc,
+            "cycles": self.cycles,
+            "runtime_s": self.runtime_seconds,
+            "energy_j": self.energy.total_j,
+            "edges_per_s": self.edges_per_second(),
+            "ops_per_s": self.operations_per_second(),
+            "mem_bw_bytes_per_s": self.memory_bandwidth_bytes_per_second(),
+            "mean_pu_utilization": self.mean_pu_utilization(),
+            "epochs": self.epochs,
+            "verified": self.verified,
+        }

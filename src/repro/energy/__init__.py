@@ -1,0 +1,7 @@
+"""Energy, power and area models (7 nm technology constants from the paper)."""
+
+from repro.energy.technology import TechnologyParameters, DEFAULT_TECHNOLOGY
+from repro.energy.model import EnergyModel
+from repro.energy.area import AreaModel
+
+__all__ = ["TechnologyParameters", "DEFAULT_TECHNOLOGY", "EnergyModel", "AreaModel"]

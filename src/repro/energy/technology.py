@@ -1,0 +1,58 @@
+"""Technology constants used by the energy, power and area models.
+
+All values default to the 7 nm numbers the paper cites:
+
+* SRAM: 5.8 pJ per bank read, 9.1 pJ per bank write, 0.82 ns access time,
+  16.9 uW leakage per 32 KB macro, 29.2 Mb/mm^2 density.
+* NoC: 8 pJ to move a 32-bit flit one millimetre; router traversal energy of
+  the order of an ALU operation.
+* PU: a thin single-issue in-order core (Ariane/Snitch-class) scaled to 7 nm.
+* DRAM/HMC: per-access energy two to three orders of magnitude above a local
+  SRAM read, plus background/refresh power -- the component the paper found
+  dominant in Tesseract's energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Per-operation energies (picojoules), leakage (watts) and densities."""
+
+    # SRAM scratchpad
+    sram_read_pj: float = 5.8
+    sram_write_pj: float = 9.1
+    sram_leakage_w_per_32kb: float = 16.9e-6
+    sram_density_mbit_per_mm2: float = 29.2
+    # Processing unit (thin in-order RISC-V class core at 7 nm)
+    pu_instruction_pj: float = 4.5
+    pu_leakage_w: float = 1.5e-4
+    pu_area_mm2: float = 0.02
+    # Network on chip
+    wire_pj_per_flit_mm: float = 8.0
+    router_hop_pj: float = 2.0
+    router_area_mm2: float = 0.01
+    router_leakage_w: float = 5.0e-5
+    # Off-chip / 3D-stacked DRAM (Tesseract baseline)
+    dram_access_pj: float = 1500.0
+    dram_background_w_per_gb: float = 0.02
+    dram_capacity_per_core_gb: float = 0.5
+    hmc_cube_area_mm2: float = 226.0
+    cores_per_hmc_cube: int = 16
+    # Large-cache approximation (Tesseract-LC)
+    cache_access_pj: float = 12.0
+
+    def sram_leakage_w(self, capacity_bytes: float) -> float:
+        """Leakage power of a scratchpad of the given capacity."""
+        return self.sram_leakage_w_per_32kb * capacity_bytes / (32 * 1024)
+
+    def sram_area_mm2(self, capacity_bytes: float) -> float:
+        """Area of a scratchpad of the given capacity."""
+        megabits = capacity_bytes * 8 / 1e6
+        return megabits / self.sram_density_mbit_per_mm2
+
+
+#: Default 7 nm technology point used throughout the library.
+DEFAULT_TECHNOLOGY = TechnologyParameters()

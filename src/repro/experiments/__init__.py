@@ -1,0 +1,16 @@
+"""Experiment runners: one module per figure of the paper's evaluation."""
+
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, textstats
+from repro.experiments.common import build_kernel, load_experiment_dataset
+
+__all__ = [
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "textstats",
+    "build_kernel",
+    "load_experiment_dataset",
+]

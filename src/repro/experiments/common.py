@@ -1,0 +1,78 @@
+"""Shared helpers for the figure-reproduction runners.
+
+Every runner accepts a ``scale`` knob (1.0 = the default stand-in sizes used in
+``EXPERIMENTS.md``; smaller values shrink the graphs further so the benchmark
+suite stays fast).  Absolute sizes are far below the paper's datasets -- see
+DESIGN.md for the substitution rationale -- but each figure's qualitative shape
+is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.apps import make_kernel
+from repro.apps.common import Kernel
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.core.results import SimulationResult
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import dataset_spec, load_dataset
+
+#: Default shrink factors (relative to the paper's dataset sizes) used by the
+#: experiment runners.  They keep cycle-accurate 16x16 runs to a few seconds.
+EXPERIMENT_SCALE_DIVISORS: Dict[str, int] = {
+    "amazon": 64,
+    "wikipedia": 2048,
+    "livejournal": 2048,
+    "rmat16": 16,
+    "rmat22": 1024,
+    "rmat25": 2048,
+    "rmat26": 4096,
+}
+
+#: Short dataset labels used in the paper's figures.
+DATASET_LABELS = {
+    "amazon": "AZ",
+    "wikipedia": "WK",
+    "livejournal": "LJ",
+    "rmat16": "R16",
+    "rmat22": "R22",
+    "rmat25": "R25",
+    "rmat26": "R26",
+}
+
+#: PageRank iterations used by the experiment runners (kept small for runtime).
+PAGERANK_ITERATIONS = 5
+
+
+def load_experiment_dataset(name: str, scale: float = 1.0, seed: int = 7) -> CSRGraph:
+    """Load a dataset stand-in at the experiment's default size times ``scale``."""
+    spec = dataset_spec(name)
+    divisor = EXPERIMENT_SCALE_DIVISORS.get(spec.name, spec.default_scale_divisor)
+    effective = max(1, int(round(divisor / max(scale, 1e-6))))
+    return load_dataset(name, scale_divisor=effective, seed=seed)
+
+
+def build_kernel(app: str, graph: CSRGraph, pagerank_iterations: int = PAGERANK_ITERATIONS) -> Kernel:
+    """Instantiate the kernel for an application, picking a sensible root."""
+    key = app.strip().lower()
+    if key in ("bfs", "sssp"):
+        return make_kernel(key, root=graph.highest_degree_vertex())
+    if key == "pagerank":
+        return make_kernel(key, num_iterations=pagerank_iterations)
+    return make_kernel(key)
+
+
+def run_configuration(
+    config: MachineConfig,
+    app: str,
+    graph: CSRGraph,
+    dataset_name: Optional[str] = None,
+    verify: bool = False,
+    pagerank_iterations: int = PAGERANK_ITERATIONS,
+) -> SimulationResult:
+    """Build a fresh machine for (config, app, graph) and run it once."""
+    kernel = build_kernel(app, graph, pagerank_iterations=pagerank_iterations)
+    machine = DalorexMachine(config, kernel, graph, dataset_name=dataset_name or graph.name)
+    return machine.run(verify=verify)

@@ -1,0 +1,95 @@
+"""Fig. 10: PU and router utilization heatmaps, mesh versus torus.
+
+The paper's heatmaps show that on a 16x16 mesh the dimension-ordered traffic
+concentrates towards the centre of the chip, clogging the NoC and starving the
+PUs, while a torus spreads router utilization uniformly and lets the PUs run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.report import heatmap_report, percentile_summary
+from repro.baselines.ladder import dalorex_full_config
+from repro.core.results import SimulationResult
+from repro.experiments.common import load_experiment_dataset, run_configuration
+from repro.noc.topology import make_topology
+
+DEFAULT_NOCS = ("mesh", "torus")
+
+
+def run_fig10(
+    dataset: str = "rmat22",
+    app: str = "sssp",
+    nocs: Sequence[str] = DEFAULT_NOCS,
+    width: int = 16,
+    height: int = 16,
+    scale: float = 1.0,
+    engine: str = "cycle",
+    verify: bool = False,
+) -> Dict[str, SimulationResult]:
+    """Run SSSP on the given dataset for each NoC kind; returns ``results[noc]``."""
+    graph = load_experiment_dataset(dataset, scale=scale)
+    results: Dict[str, SimulationResult] = {}
+    for noc in nocs:
+        config = dalorex_full_config(width, height, engine=engine).with_overrides(
+            name=f"Dalorex-{noc}", noc=noc
+        )
+        results[noc] = run_configuration(config, app, graph, dataset_name=dataset, verify=verify)
+    return results
+
+
+def center_edge_router_ratio(result: SimulationResult) -> float:
+    """Ratio of average router traffic in the chip's centre to its border.
+
+    Values well above 1 indicate the centre congestion the paper observes on
+    the mesh; a torus should be close to 1.
+    """
+    width, height = result.width, result.height
+    traffic = result.per_router_flits.reshape(height, width)
+    border_mask = np.zeros((height, width), dtype=bool)
+    border_mask[0, :] = border_mask[-1, :] = True
+    border_mask[:, 0] = border_mask[:, -1] = True
+    border = traffic[border_mask].mean() if border_mask.any() else 0.0
+    center = traffic[~border_mask].mean() if (~border_mask).any() else 0.0
+    if border <= 0:
+        return float("inf") if center > 0 else 1.0
+    return float(center / border)
+
+
+def summary_rows(results: Dict[str, SimulationResult]) -> list:
+    rows = []
+    for noc, result in results.items():
+        pu = percentile_summary(result.pu_utilization())
+        rows.append(
+            {
+                "noc": noc,
+                "cycles": result.cycles,
+                "mean_pu_utilization": result.mean_pu_utilization(),
+                "median_pu_utilization": pu["median"],
+                "center_edge_router_ratio": center_edge_router_ratio(result),
+            }
+        )
+    return rows
+
+
+def report(results: Dict[str, SimulationResult]) -> str:
+    from repro.analysis.report import format_table
+
+    sections = ["== Fig. 10 (PU / router utilization heatmaps, mesh vs torus) =="]
+    for noc, result in results.items():
+        topology = make_topology(noc, result.width, result.height)
+        sections.append(heatmap_report(result, topology))
+        sections.append("")
+    sections.append(format_table(summary_rows(results)))
+    return "\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(report(run_fig10()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

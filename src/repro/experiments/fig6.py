@@ -1,0 +1,88 @@
+"""Fig. 6: strong scaling of BFS runtime and energy with increasing tile counts.
+
+The paper runs BFS on four RMAT datasets (scale 16, 22, 25, 26) on grids from a
+single tile to 16,384 tiles, observing near-linear runtime scaling until a tile
+holds roughly a thousand vertices, and an energy minimum at roughly ten
+thousand vertices per tile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table, scaling_rows
+from repro.analysis.sweep import (
+    ScalingPoint,
+    energy_optimal_point,
+    knee_point,
+    strong_scaling_sweep,
+)
+from repro.apps import BFSKernel
+from repro.experiments.common import load_experiment_dataset
+
+DEFAULT_DATASETS = ("rmat16", "rmat22", "rmat25", "rmat26")
+DEFAULT_GRID_WIDTHS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def run_fig6(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    grid_widths: Sequence[int] = DEFAULT_GRID_WIDTHS,
+    scale: float = 1.0,
+    verify: bool = False,
+) -> Dict[str, List[ScalingPoint]]:
+    """Strong-scaling sweep of BFS per dataset; returns ``points[dataset]``."""
+    sweeps: Dict[str, List[ScalingPoint]] = {}
+    for dataset in datasets:
+        graph = load_experiment_dataset(dataset, scale=scale)
+        root = graph.highest_degree_vertex()
+        widths = [
+            width for width in grid_widths if width * width <= max(1, graph.num_vertices)
+        ]
+        sweeps[dataset] = strong_scaling_sweep(
+            lambda: BFSKernel(root=root),
+            graph,
+            widths,
+            dataset_name=dataset,
+            verify=verify,
+        )
+    return sweeps
+
+
+def summarize(sweeps: Dict[str, List[ScalingPoint]]) -> Dict[str, dict]:
+    """Scaling knee and energy-optimal point per dataset (the paper's findings)."""
+    summary = {}
+    for dataset, points in sweeps.items():
+        knee = knee_point(points)
+        optimum = energy_optimal_point(points)
+        summary[dataset] = {
+            "max_tiles": points[-1].num_tiles if points else 0,
+            "best_cycles": min((p.cycles for p in points), default=0.0),
+            "knee_tiles": knee.num_tiles if knee else None,
+            "knee_vertices_per_tile": knee.vertices_per_tile if knee else None,
+            "energy_optimal_tiles": optimum.num_tiles if optimum else None,
+            "energy_optimal_vertices_per_tile": (
+                optimum.vertices_per_tile if optimum else None
+            ),
+        }
+    return summary
+
+
+def report(sweeps: Dict[str, List[ScalingPoint]]) -> str:
+    sections = ["== Fig. 6 (BFS strong scaling: runtime and energy) =="]
+    for dataset, points in sweeps.items():
+        sections.append(f"-- {dataset} --")
+        sections.append(format_table(scaling_rows(points)))
+    summary_rows = [
+        {"dataset": name, **values} for name, values in summarize(sweeps).items()
+    ]
+    sections.append("-- scaling knees and energy optima --")
+    sections.append(format_table(summary_rows))
+    return "\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(report(run_fig6()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

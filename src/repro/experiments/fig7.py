@@ -1,0 +1,92 @@
+"""Fig. 7: throughput and memory bandwidth while strong-scaling RMAT-26.
+
+The paper reports edges per second, operations per second and the average
+utilized on-chip memory bandwidth for all five applications while the grid
+grows from 256 to 16,384 tiles, showing that none of them saturates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.metrics import throughput_summary
+from repro.analysis.report import format_table
+from repro.baselines.ladder import dalorex_config
+from repro.core.results import SimulationResult
+from repro.experiments.common import (
+    PAGERANK_ITERATIONS,
+    build_kernel,
+    load_experiment_dataset,
+)
+from repro.core.machine import DalorexMachine
+
+DEFAULT_APPS = ("bfs", "wcc", "pagerank", "sssp", "spmv")
+DEFAULT_GRID_WIDTHS = (16, 32, 64, 128)
+DEFAULT_DATASET = "rmat26"
+
+
+def run_fig7(
+    apps: Sequence[str] = DEFAULT_APPS,
+    grid_widths: Sequence[int] = DEFAULT_GRID_WIDTHS,
+    dataset: str = DEFAULT_DATASET,
+    scale: float = 1.0,
+    verify: bool = False,
+    pagerank_iterations: int = PAGERANK_ITERATIONS,
+) -> Dict[str, List[SimulationResult]]:
+    """Throughput sweep; returns ``results[app]`` as a list over grid sizes."""
+    graph = load_experiment_dataset(dataset, scale=scale)
+    results: Dict[str, List[SimulationResult]] = {}
+    for app in apps:
+        series: List[SimulationResult] = []
+        for width in grid_widths:
+            config = dalorex_config(width, width, engine="analytic")
+            kernel = build_kernel(app, graph, pagerank_iterations=pagerank_iterations)
+            machine = DalorexMachine(config, kernel, graph, dataset_name=dataset)
+            series.append(machine.run(verify=verify))
+        results[app] = series
+    return results
+
+
+def throughput_rows(results: Dict[str, List[SimulationResult]]) -> List[dict]:
+    rows = []
+    for app, series in results.items():
+        for result in series:
+            summary = throughput_summary(result)
+            rows.append(
+                {
+                    "app": app,
+                    "tiles": result.num_tiles,
+                    "edges_per_s": summary["edges_per_second"],
+                    "ops_per_s": summary["operations_per_second"],
+                    "mem_bw_gb_per_s": summary["memory_bandwidth_bytes_per_second"] / 1e9,
+                }
+            )
+    return rows
+
+
+def scaling_monotonicity(results: Dict[str, List[SimulationResult]]) -> Dict[str, bool]:
+    """True per app when throughput keeps growing with the largest grids."""
+    verdict = {}
+    for app, series in results.items():
+        throughputs = [result.edges_per_second() for result in series]
+        verdict[app] = all(b >= a * 0.9 for a, b in zip(throughputs, throughputs[1:]))
+    return verdict
+
+
+def report(results: Dict[str, List[SimulationResult]]) -> str:
+    sections = ["== Fig. 7 (throughput and memory bandwidth, strong scaling) =="]
+    sections.append(format_table(throughput_rows(results)))
+    verdict_rows = [
+        {"app": app, "throughput_keeps_scaling": keeps}
+        for app, keeps in scaling_monotonicity(results).items()
+    ]
+    sections.append(format_table(verdict_rows))
+    return "\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(report(run_fig7()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,86 @@
+"""Fig. 8: performance of torus and torus+ruche NoCs relative to a mesh.
+
+The paper shows a 16x16 torus is nearly twice as fast as a mesh on the smaller
+datasets, and that ruche channels only pay off on the large 64x64 grid used for
+RMAT-26.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table
+from repro.baselines.ladder import dalorex_full_config
+from repro.core.results import SimulationResult
+from repro.experiments.common import (
+    DATASET_LABELS,
+    load_experiment_dataset,
+    run_configuration,
+)
+
+DEFAULT_APPS = ("bfs", "wcc", "pagerank", "sssp", "spmv")
+DEFAULT_DATASETS = ("wikipedia", "livejournal", "rmat22", "rmat26")
+NOC_KINDS = ("mesh", "torus", "torus_ruche")
+
+#: Grid used per dataset: RMAT-26 runs on 64x64 tiles, the rest on 16x16.
+GRID_FOR_DATASET = {"rmat26": 64}
+
+
+def run_fig8(
+    apps: Sequence[str] = DEFAULT_APPS,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    nocs: Sequence[str] = NOC_KINDS,
+    scale: float = 1.0,
+    engine_small: str = "cycle",
+    engine_large: str = "analytic",
+    verify: bool = False,
+) -> Dict[str, Dict[str, Dict[str, SimulationResult]]]:
+    """Run every (app, dataset, NoC); returns ``results[app][dataset][noc]``."""
+    results: Dict[str, Dict[str, Dict[str, SimulationResult]]] = {}
+    for app in apps:
+        results[app] = {}
+        for dataset in datasets:
+            graph = load_experiment_dataset(dataset, scale=scale)
+            width = GRID_FOR_DATASET.get(dataset, 16)
+            engine = engine_large if width > 16 else engine_small
+            per_noc: Dict[str, SimulationResult] = {}
+            for noc in nocs:
+                config = dalorex_full_config(width, width, engine=engine).with_overrides(
+                    name=f"Dalorex-{noc}", noc=noc
+                )
+                per_noc[noc] = run_configuration(
+                    config, app, graph, dataset_name=dataset, verify=verify
+                )
+            results[app][dataset] = per_noc
+    return results
+
+
+def speedup_rows(results: Dict[str, Dict[str, Dict[str, SimulationResult]]]) -> List[dict]:
+    """Speedups of torus and torus+ruche over mesh (the figure's bars)."""
+    rows = []
+    for app, per_dataset in results.items():
+        for dataset, per_noc in per_dataset.items():
+            if "mesh" not in per_noc:
+                continue
+            mesh_cycles = per_noc["mesh"].cycles
+            row = {"app": app, "dataset": DATASET_LABELS.get(dataset, dataset)}
+            for noc, result in per_noc.items():
+                if noc == "mesh":
+                    continue
+                row[f"{noc}_speedup"] = mesh_cycles / result.cycles
+            rows.append(row)
+    return rows
+
+
+def report(results: Dict[str, Dict[str, Dict[str, SimulationResult]]]) -> str:
+    sections = ["== Fig. 8 (Torus and Torus+Ruche speedup over Mesh) =="]
+    sections.append(format_table(speedup_rows(results)))
+    return "\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(report(run_fig8()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""Fig. 9: breakdown of the energy consumed by logic, memory and network.
+
+The paper shows that in Dalorex the network dominates energy (the memories are
+energy-efficient SRAM and the PUs are tiny and clock-gated), and that the
+network share grows with the grid size because average distances grow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import energy_breakdown_rows, format_table
+from repro.baselines.ladder import dalorex_config
+from repro.core.results import SimulationResult
+from repro.experiments.common import (
+    DATASET_LABELS,
+    load_experiment_dataset,
+    run_configuration,
+)
+
+DEFAULT_APPS = ("bfs", "wcc", "pagerank", "sssp", "spmv")
+DEFAULT_DATASETS = ("wikipedia", "livejournal", "rmat22", "rmat26")
+GRID_FOR_DATASET = {"rmat26": 64}
+
+
+def run_fig9(
+    apps: Sequence[str] = DEFAULT_APPS,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    scale: float = 1.0,
+    engine: str = "analytic",
+    verify: bool = False,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every (app, dataset) on the Dalorex design point."""
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for app in apps:
+        results[app] = {}
+        for dataset in datasets:
+            graph = load_experiment_dataset(dataset, scale=scale)
+            width = GRID_FOR_DATASET.get(dataset, 16)
+            config = dalorex_config(width, width, engine=engine)
+            results[app][dataset] = run_configuration(
+                config, app, graph, dataset_name=dataset, verify=verify
+            )
+    return results
+
+
+def breakdown_rows(results: Dict[str, Dict[str, SimulationResult]]) -> List[dict]:
+    rows: List[dict] = []
+    for app, per_dataset in results.items():
+        labelled = {
+            f"{app}/{DATASET_LABELS.get(dataset, dataset)}": result
+            for dataset, result in per_dataset.items()
+        }
+        rows.extend(energy_breakdown_rows(labelled))
+    return rows
+
+
+def network_share_summary(results: Dict[str, Dict[str, SimulationResult]]) -> Dict[str, float]:
+    """Average network energy share per application (the paper's headline)."""
+    shares: Dict[str, float] = {}
+    for app, per_dataset in results.items():
+        values = [
+            result.energy.grouped_fractions()["network"] for result in per_dataset.values()
+        ]
+        shares[app] = sum(values) / len(values) if values else 0.0
+    return shares
+
+
+def report(results: Dict[str, Dict[str, SimulationResult]]) -> str:
+    sections = ["== Fig. 9 (energy breakdown: logic / memory / network) =="]
+    sections.append(format_table(breakdown_rows(results)))
+    share_rows = [
+        {"app": app, "mean_network_share": share}
+        for app, share in network_share_summary(results).items()
+    ]
+    sections.append(format_table(share_rows))
+    return "\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(report(run_fig9()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Headline numbers quoted in the paper's text (Section V-A).
+
+* Chip area: a 16x16 Dalorex with 4.2 MB tiles uses about 305 mm^2, versus
+  about 3616 mm^2 for the sixteen HMC cubes of the Tesseract configuration.
+* Power density: below 300 mW/mm^2 in all experiments (air-coolable).
+* Storage-per-tile: the energy-optimal scratchpad is in the single-digit
+  megabyte range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.results import SimulationResult
+from repro.energy.area import AreaModel
+from repro.energy.technology import DEFAULT_TECHNOLOGY
+
+#: The paper's reference configuration for the area comparison.
+PAPER_TILE_SRAM_BYTES = int(4.2 * 1024 * 1024)
+PAPER_GRID_TILES = 256
+PAPER_DALOREX_AREA_MM2 = 305.0
+PAPER_TESSERACT_AREA_MM2 = 3616.0
+PAPER_POWER_DENSITY_LIMIT_W_PER_MM2 = 0.300
+
+
+def area_comparison(
+    tile_sram_bytes: int = PAPER_TILE_SRAM_BYTES,
+    num_tiles: int = PAPER_GRID_TILES,
+    noc: str = "torus",
+) -> Dict[str, float]:
+    """Dalorex vs Tesseract silicon area at equal core count."""
+    model = AreaModel(DEFAULT_TECHNOLOGY)
+    dalorex = model.chip_area_mm2(num_tiles, tile_sram_bytes, noc)
+    tesseract = model.hmc_area_mm2(num_tiles)
+    return {
+        "dalorex_area_mm2": dalorex,
+        "tesseract_area_mm2": tesseract,
+        "area_ratio": tesseract / dalorex if dalorex else float("inf"),
+        "paper_dalorex_area_mm2": PAPER_DALOREX_AREA_MM2,
+        "paper_tesseract_area_mm2": PAPER_TESSERACT_AREA_MM2,
+    }
+
+
+def power_density(result: SimulationResult) -> Dict[str, float]:
+    """Average power density of one run and whether it stays air-coolable."""
+    density = result.power_density_w_per_mm2()
+    return {
+        "average_power_w": result.average_power_w(),
+        "chip_area_mm2": result.chip_area_mm2,
+        "power_density_w_per_mm2": density,
+        "below_paper_limit": density < PAPER_POWER_DENSITY_LIMIT_W_PER_MM2,
+    }
+
+
+def report(result: Optional[SimulationResult] = None) -> str:
+    lines = ["== Text statistics (Section V-A) =="]
+    area = area_comparison()
+    lines.append(
+        f"Dalorex area: {area['dalorex_area_mm2']:.0f} mm^2 (paper: "
+        f"{area['paper_dalorex_area_mm2']:.0f} mm^2); Tesseract area: "
+        f"{area['tesseract_area_mm2']:.0f} mm^2 (paper: "
+        f"{area['paper_tesseract_area_mm2']:.0f} mm^2)"
+    )
+    if result is not None:
+        density = power_density(result)
+        lines.append(
+            f"Power density for {result.app_name}/{result.dataset_name}: "
+            f"{1000 * density['power_density_w_per_mm2']:.1f} mW/mm^2 "
+            f"(paper limit: {1000 * PAPER_POWER_DENSITY_LIMIT_W_PER_MM2:.0f} mW/mm^2)"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

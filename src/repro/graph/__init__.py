@@ -1,0 +1,30 @@
+"""Graph substrate: CSR storage, generators, datasets, and reference algorithms."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.graph.datasets import DATASETS, DatasetSpec, list_datasets, load_dataset
+from repro.graph import reference
+
+__all__ = [
+    "CSRGraph",
+    "rmat_graph",
+    "uniform_random_graph",
+    "power_law_graph",
+    "grid_graph",
+    "star_graph",
+    "chain_graph",
+    "complete_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "list_datasets",
+    "load_dataset",
+    "reference",
+]

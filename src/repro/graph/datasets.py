@@ -1,0 +1,184 @@
+"""Dataset registry with synthetic stand-ins for the paper's evaluation graphs.
+
+The paper evaluates Amazon (AZ), Wikipedia (WK), LiveJournal (LJ) and RMAT-16 to
+RMAT-26.  The real edge lists are not available offline, so every dataset is a
+synthetic stand-in whose degree skew and average degree match the original, but
+whose size is scaled down (default ``scale_divisor``) so that Python simulation
+stays tractable.  ``DESIGN.md`` documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import power_law_graph, rmat_graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one evaluation dataset.
+
+    Attributes:
+        name: canonical dataset name used throughout the library.
+        aliases: alternative names accepted by :func:`load_dataset`.
+        kind: generator family ("rmat" or "power_law").
+        paper_vertices: vertex count reported in the paper.
+        paper_edges: edge count reported in the paper.
+        default_scale_divisor: how much the stand-in is shrunk by default.
+        rmat_scale: log2 vertex count for RMAT datasets (before shrinking).
+        description: human-readable provenance note.
+    """
+
+    name: str
+    aliases: tuple
+    kind: str
+    paper_vertices: int
+    paper_edges: int
+    default_scale_divisor: int
+    rmat_scale: Optional[int] = None
+    description: str = ""
+
+    def stand_in_vertices(self, scale_divisor: Optional[int] = None) -> int:
+        divisor = scale_divisor or self.default_scale_divisor
+        return max(64, self.paper_vertices // divisor)
+
+    def stand_in_edges(self, scale_divisor: Optional[int] = None) -> int:
+        divisor = scale_divisor or self.default_scale_divisor
+        return max(256, self.paper_edges // divisor)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "amazon": DatasetSpec(
+        name="amazon",
+        aliases=("az", "amazon0302"),
+        kind="power_law",
+        paper_vertices=262_000,
+        paper_edges=1_200_000,
+        default_scale_divisor=32,
+        description="Amazon co-purchase network stand-in (power-law destinations).",
+    ),
+    "wikipedia": DatasetSpec(
+        name="wikipedia",
+        aliases=("wk", "wiki"),
+        kind="power_law",
+        paper_vertices=4_200_000,
+        paper_edges=101_000_000,
+        default_scale_divisor=2048,
+        description="Wikipedia link graph stand-in (deep/skewed structure).",
+    ),
+    "livejournal": DatasetSpec(
+        name="livejournal",
+        aliases=("lj", "soc-livejournal"),
+        kind="power_law",
+        paper_vertices=5_300_000,
+        paper_edges=79_000_000,
+        default_scale_divisor=2048,
+        description="LiveJournal social network stand-in.",
+    ),
+    "rmat16": DatasetSpec(
+        name="rmat16",
+        aliases=("r16",),
+        kind="rmat",
+        paper_vertices=1 << 16,
+        paper_edges=(1 << 16) * 10,
+        default_scale_divisor=16,
+        rmat_scale=16,
+        description="RMAT scale-16 Kronecker graph (shrunk by default).",
+    ),
+    "rmat22": DatasetSpec(
+        name="rmat22",
+        aliases=("r22",),
+        kind="rmat",
+        paper_vertices=1 << 22,
+        paper_edges=(1 << 22) * 10,
+        default_scale_divisor=256,
+        rmat_scale=22,
+        description="RMAT scale-22 Kronecker graph (shrunk by default).",
+    ),
+    "rmat25": DatasetSpec(
+        name="rmat25",
+        aliases=("r25",),
+        kind="rmat",
+        paper_vertices=1 << 25,
+        paper_edges=(1 << 25) * 10,
+        default_scale_divisor=2048,
+        rmat_scale=25,
+        description="RMAT scale-25 Kronecker graph (shrunk by default).",
+    ),
+    "rmat26": DatasetSpec(
+        name="rmat26",
+        aliases=("r26",),
+        kind="rmat",
+        paper_vertices=1 << 26,
+        paper_edges=(1 << 26) * 10,
+        default_scale_divisor=4096,
+        rmat_scale=26,
+        description="RMAT scale-26 Kronecker graph, the paper's largest dataset.",
+    ),
+}
+
+_ALIAS_INDEX: Dict[str, str] = {}
+for _spec in DATASETS.values():
+    _ALIAS_INDEX[_spec.name] = _spec.name
+    for _alias in _spec.aliases:
+        _ALIAS_INDEX[_alias] = _spec.name
+
+
+def list_datasets() -> List[str]:
+    """Canonical names of all registered datasets."""
+    return sorted(DATASETS)
+
+
+def resolve_dataset_name(name: str) -> str:
+    """Map an alias (e.g. ``"WK"``) to its canonical dataset name."""
+    key = name.strip().lower()
+    if key not in _ALIAS_INDEX:
+        raise GraphError(f"unknown dataset {name!r}; known: {list_datasets()}")
+    return _ALIAS_INDEX[key]
+
+
+def load_dataset(
+    name: str,
+    scale_divisor: Optional[int] = None,
+    seed: int = 7,
+    weighted: bool = True,
+) -> CSRGraph:
+    """Build the synthetic stand-in for a paper dataset.
+
+    Args:
+        name: dataset name or alias (``"AZ"``, ``"wikipedia"``, ``"rmat22"``...).
+        scale_divisor: shrink factor relative to the paper's size; ``None`` uses
+            the registry default, ``1`` reproduces the paper's full size (only
+            advisable for the smallest datasets in Python).
+        seed: RNG seed.
+        weighted: generate integer edge weights (needed by SSSP / SPMV).
+    """
+    spec = DATASETS[resolve_dataset_name(name)]
+    vertices = spec.stand_in_vertices(scale_divisor)
+    edges = spec.stand_in_edges(scale_divisor)
+    if spec.kind == "rmat":
+        scale = max(6, int(round(vertices)).bit_length() - 1)
+        edge_factor = max(2, edges // (1 << scale))
+        graph = rmat_graph(
+            scale, edge_factor=edge_factor, seed=seed, weighted=weighted, name=spec.name
+        )
+    elif spec.kind == "power_law":
+        average_degree = max(2, edges // vertices)
+        graph = power_law_graph(
+            vertices,
+            average_degree=average_degree,
+            seed=seed,
+            weighted=weighted,
+            name=spec.name,
+        )
+    else:  # pragma: no cover - registry is static
+        raise GraphError(f"unknown dataset kind {spec.kind!r}")
+    return graph
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` for a dataset name or alias."""
+    return DATASETS[resolve_dataset_name(name)]

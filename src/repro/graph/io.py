@@ -1,0 +1,91 @@
+"""Graph persistence helpers (edge-list text files and compressed numpy archives)."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+def save_npz(graph: CSRGraph, path: str) -> None:
+    """Serialize a CSR graph to a ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        indptr=graph.indptr,
+        indices=graph.indices,
+        values=graph.values,
+        directed=np.array([graph.directed]),
+        name=np.array([graph.name]),
+    )
+
+
+def load_npz(path: str) -> CSRGraph:
+    """Load a CSR graph previously written by :func:`save_npz`."""
+    if not os.path.exists(path):
+        raise GraphError(f"no such graph file: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        return CSRGraph(
+            data["indptr"],
+            data["indices"],
+            data["values"],
+            directed=bool(data["directed"][0]),
+            name=str(data["name"][0]),
+        )
+
+
+def save_edge_list(graph: CSRGraph, path: str, include_weights: bool = True) -> None:
+    """Write the graph as a whitespace-separated edge list (``src dst [weight]``)."""
+    sources = graph.edge_sources()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for i in range(graph.num_edges):
+            if include_weights:
+                handle.write(f"{sources[i]} {graph.indices[i]} {graph.values[i]:g}\n")
+            else:
+                handle.write(f"{sources[i]} {graph.indices[i]}\n")
+
+
+def load_edge_list(
+    path: str,
+    num_vertices: Optional[int] = None,
+    directed: bool = True,
+    name: Optional[str] = None,
+) -> CSRGraph:
+    """Read an edge-list file written by :func:`save_edge_list` (or compatible).
+
+    Lines starting with ``#`` are comments; a ``# vertices N`` comment sets the
+    vertex count when ``num_vertices`` is not given explicitly.
+    """
+    if not os.path.exists(path):
+        raise GraphError(f"no such edge-list file: {path}")
+    edges = []
+    weights = []
+    declared_vertices = num_vertices
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices" and declared_vertices is None:
+                    declared_vertices = int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"malformed edge-list line: {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+            weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    if declared_vertices is None:
+        declared_vertices = 1 + max((max(s, d) for s, d in edges), default=-1)
+    return CSRGraph.from_edges(
+        declared_vertices,
+        edges,
+        weights,
+        directed=directed,
+        name=name or os.path.basename(path),
+    )

@@ -1,0 +1,21 @@
+"""Network-on-chip substrate: topologies, routing, link-load and traffic models."""
+
+from repro.noc.topology import (
+    Mesh2D,
+    RucheTorus2D,
+    Topology,
+    Torus2D,
+    make_topology,
+)
+from repro.noc.analytical import LinkLoadModel
+from repro.noc.traffic import TrafficMatrix
+
+__all__ = [
+    "Topology",
+    "Mesh2D",
+    "Torus2D",
+    "RucheTorus2D",
+    "make_topology",
+    "LinkLoadModel",
+    "TrafficMatrix",
+]

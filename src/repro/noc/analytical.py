@@ -1,0 +1,156 @@
+"""Analytical link-load model used by the fast (non-cycle) simulation engine.
+
+Every message is routed over the topology and its flits are charged to each
+directed link on the path.  The resulting per-link loads bound the achievable
+runtime (one flit per link per cycle), expose the mesh-vs-torus center
+congestion the paper shows in Fig. 10, and feed the energy model via flit-hops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.noc.topology import Topology
+
+Link = Tuple[int, int]
+
+
+class LinkLoadModel:
+    """Accumulates flit traffic per directed link, per router, and per endpoint.
+
+    Two accounting modes are supported:
+
+    * ``detailed=True`` (default): every message is routed and its flits are
+      charged to each link on the path.  Exact, but O(hops) per message --
+      appropriate up to a few thousand tiles.
+    * ``detailed=False``: only aggregate statistics are kept (flit-hops via the
+      O(1) hop distance, endpoint loads, bisection crossings); the hottest link
+      is estimated as ``flit_hops / links * congestion_factor``.  Used by the
+      analytical engine on very large grids, where per-link accounting would
+      dominate simulation time.
+    """
+
+    def __init__(self, topology: Topology, detailed: bool = True) -> None:
+        self.topology = topology
+        self.detailed = detailed
+        self.link_flits: Dict[Link, int] = {}
+        self.router_flits = np.zeros(topology.num_tiles, dtype=np.int64)
+        self.injected_flits = np.zeros(topology.num_tiles, dtype=np.int64)
+        self.ejected_flits = np.zeros(topology.num_tiles, dtype=np.int64)
+        self.total_flit_hops = 0
+        self.total_flit_millimeters = 0.0
+        self.total_messages = 0
+        self._bisection_flits = 0
+        self._route_cache: Dict[Link, list] = {}
+
+    def record_message(self, src: int, dst: int, flits: int, tile_pitch_mm: float = 1.0) -> int:
+        """Charge one ``flits``-long message from ``src`` to ``dst``.
+
+        Returns the hop count of the route (0 for a local, same-tile message).
+        """
+        self.total_messages += 1
+        self.injected_flits[src] += flits
+        self.ejected_flits[dst] += flits
+        if src == dst:
+            return 0
+        if not self.detailed:
+            hops = self.topology.hop_distance(src, dst)
+            self.total_flit_hops += flits * hops
+            self.total_flit_millimeters += (
+                flits * self.topology.route_span_tiles(src, dst) * tile_pitch_mm
+            )
+            middle = self.topology.width // 2
+            if (self.topology.coords(src)[0] < middle) != (self.topology.coords(dst)[0] < middle):
+                self._bisection_flits += flits
+            return hops
+        key = (src, dst)
+        links = self._route_cache.get(key)
+        if links is None:
+            links = self.topology.links_on_route(src, dst)
+            self._route_cache[key] = links
+        for link in links:
+            self.link_flits[link] = self.link_flits.get(link, 0) + flits
+            self.router_flits[link[0]] += flits
+            self.total_flit_millimeters += (
+                flits * self.topology.link_length_tiles(*link) * tile_pitch_mm
+            )
+        self.router_flits[dst] += flits
+        self.total_flit_hops += flits * len(links)
+        return len(links)
+
+    # ------------------------------------------------------------------ bounds
+    def max_link_load(self) -> float:
+        """Heaviest per-link flit count: a lower bound on cycles (1 flit/cycle)."""
+        if not self.detailed:
+            links = max(1, self.topology.num_directed_links())
+            return self.total_flit_hops / links * self.topology.congestion_factor
+        return max(self.link_flits.values(), default=0)
+
+    def max_endpoint_load(self) -> int:
+        """Heaviest injection/ejection flit count over all tiles."""
+        inject = int(self.injected_flits.max()) if len(self.injected_flits) else 0
+        eject = int(self.ejected_flits.max()) if len(self.ejected_flits) else 0
+        return max(inject, eject)
+
+    def bisection_load(self) -> int:
+        """Flits crossing the vertical middle cut (both directions)."""
+        if not self.detailed:
+            return self._bisection_flits
+        middle = self.topology.width // 2
+        total = 0
+        for (src, dst), flits in self.link_flits.items():
+            sx, _ = self.topology.coords(src)
+            dx, _ = self.topology.coords(dst)
+            if (sx < middle) != (dx < middle):
+                total += flits
+        return total
+
+    def bisection_bound_cycles(self) -> float:
+        """Cycles needed to push the bisection traffic through the bisection links."""
+        links = self.topology.bisection_links()
+        if links == 0:
+            return 0.0
+        return self.bisection_load() / links
+
+    def network_bound_cycles(self) -> float:
+        """Overall network lower bound on execution cycles."""
+        return float(
+            max(self.max_link_load(), self.max_endpoint_load(), self.bisection_bound_cycles())
+        )
+
+    # ------------------------------------------------------------------- stats
+    def router_traffic(self) -> np.ndarray:
+        """Flits traversing each router (for utilization heatmaps)."""
+        return self.router_flits.copy()
+
+    def link_load_matrix(self) -> np.ndarray:
+        """Dense (num_tiles x num_tiles) matrix of link loads (0 where no link)."""
+        matrix = np.zeros((self.topology.num_tiles, self.topology.num_tiles), dtype=np.int64)
+        for (src, dst), flits in self.link_flits.items():
+            matrix[src, dst] = flits
+        return matrix
+
+    def merge(self, other: "LinkLoadModel") -> None:
+        """Accumulate another model's traffic into this one (same topology)."""
+        for link, flits in other.link_flits.items():
+            self.link_flits[link] = self.link_flits.get(link, 0) + flits
+        self.router_flits += other.router_flits
+        self.injected_flits += other.injected_flits
+        self.ejected_flits += other.ejected_flits
+        self.total_flit_hops += other.total_flit_hops
+        self.total_flit_millimeters += other.total_flit_millimeters
+        self.total_messages += other.total_messages
+        self._bisection_flits += other._bisection_flits
+
+    def reset(self) -> None:
+        """Clear all accumulated traffic (route cache is kept)."""
+        self.link_flits.clear()
+        self.router_flits[:] = 0
+        self.injected_flits[:] = 0
+        self.ejected_flits[:] = 0
+        self.total_flit_hops = 0
+        self.total_flit_millimeters = 0.0
+        self.total_messages = 0
+        self._bisection_flits = 0

@@ -1,0 +1,354 @@
+"""NoC topologies: 2D mesh, 2D torus, and torus with ruche (express) channels.
+
+Routing is dimension-ordered (X then Y), matching the paper's wormhole network.
+A route is the ordered list of tiles a message traverses, including source and
+destination; the directed links used are the consecutive pairs of that list.
+
+The torus models the paper's folded layout ("consecutive logical tiles at a
+distance of two in the silicon"): link length is twice the tile pitch, which the
+energy model uses.  Ruche channels are long physical wires that skip
+``ruche_factor - 1`` routers in one dimension, increasing bisection bandwidth.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import lru_cache
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+Link = Tuple[int, int]
+
+
+class Topology(ABC):
+    """Base class for 2D tiled topologies addressed as ``tile = y * width + x``."""
+
+    kind = "abstract"
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ConfigurationError("topology dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    # -------------------------------------------------------------- addressing
+    @property
+    def num_tiles(self) -> int:
+        return self.width * self.height
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        """Return ``(x, y)`` coordinates of a tile ID."""
+        if tile < 0 or tile >= self.num_tiles:
+            raise ConfigurationError(f"tile {tile} out of range")
+        return tile % self.width, tile // self.width
+
+    def tile_at(self, x: int, y: int) -> int:
+        """Return the tile ID at coordinates ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigurationError(f"coordinates ({x}, {y}) out of range")
+        return y * self.width + x
+
+    # ----------------------------------------------------------------- routing
+    @abstractmethod
+    def next_hop_offsets(self, delta: int, size: int) -> List[int]:
+        """Decompose a 1D displacement into a sequence of per-hop offsets."""
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Dimension-ordered (X then Y) route from ``src`` to ``dst`` inclusive."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        for step in self.next_hop_offsets(dx - sx, self.width):
+            x = (x + step) % self.width
+            path.append(self.tile_at(x, y))
+        for step in self.next_hop_offsets(dy - sy, self.height):
+            y = (y + step) % self.height
+            path.append(self.tile_at(x, y))
+        return path
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Number of router-to-router hops between two tiles (O(1) arithmetic)."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return self._dimension_hops(dx - sx, self.width) + self._dimension_hops(
+            dy - sy, self.height
+        )
+
+    def _dimension_hops(self, delta: int, size: int) -> int:
+        """Hop count along one dimension; subclasses override for O(1) math."""
+        return len(self.next_hop_offsets(delta, size))
+
+    def _dimension_span(self, delta: int, size: int) -> int:
+        """Tile-pitch distance traveled along one dimension (before folding)."""
+        return abs(delta)
+
+    def route_span_tiles(self, src: int, dst: int) -> float:
+        """Physical wire length (in tile pitches) traveled from ``src`` to ``dst``."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        span = self._dimension_span(dx - sx, self.width) + self._dimension_span(
+            dy - sy, self.height
+        )
+        return span * self.physical_length_factor
+
+    #: Physical wire length per tile of logical displacement (folded torus = 2).
+    physical_length_factor = 1.0
+
+    #: Ratio of the hottest link load to the average link load under uniform
+    #: random traffic with dimension-ordered routing; used by the sparse
+    #: link-load model on very large grids.
+    congestion_factor = 1.0
+
+    def num_directed_links(self) -> int:
+        """Total number of directed router-to-router links (cached enumeration)."""
+        cached = getattr(self, "_num_directed_links", None)
+        if cached is None:
+            cached = sum(1 for _ in self.links())
+            self._num_directed_links = cached
+        return cached
+
+    def links_on_route(self, src: int, dst: int) -> List[Link]:
+        """Directed links traversed by a message from ``src`` to ``dst``."""
+        path = self.route(src, dst)
+        return list(zip(path[:-1], path[1:]))
+
+    def links(self) -> Iterator[Link]:
+        """All directed links of the topology."""
+        seen = set()
+        for tile in range(self.num_tiles):
+            for neighbor in self.neighbors(tile):
+                link = (tile, neighbor)
+                if link not in seen:
+                    seen.add(link)
+                    yield link
+
+    def neighbors(self, tile: int) -> List[int]:
+        """Tiles directly reachable from ``tile`` over one link."""
+        x, y = self.coords(tile)
+        result = []
+        for step in self._unit_steps(self.width):
+            result.append(self.tile_at((x + step) % self.width, y))
+        for step in self._unit_steps(self.height):
+            result.append(self.tile_at(x, (y + step) % self.height))
+        return sorted(set(result) - {tile})
+
+    @abstractmethod
+    def _unit_steps(self, size: int) -> List[int]:
+        """Offsets reachable in one hop along one dimension."""
+
+    # -------------------------------------------------------------- properties
+    @abstractmethod
+    def bisection_links(self) -> int:
+        """Number of directed links crossing a vertical cut through the middle."""
+
+    @abstractmethod
+    def link_length_tiles(self, src: int, dst: int) -> float:
+        """Physical length of the ``src -> dst`` link, in tile pitches."""
+
+    @property
+    @abstractmethod
+    def area_factor(self) -> float:
+        """Router+wiring area relative to a plain 2D mesh (mesh == 1.0)."""
+
+    def average_hop_distance(self, sample: int = 256) -> float:
+        """Average hop count over a deterministic sample of tile pairs."""
+        total = 0
+        count = 0
+        stride = max(1, self.num_tiles // max(1, int(sample ** 0.5)))
+        for src in range(0, self.num_tiles, stride):
+            for dst in range(0, self.num_tiles, stride):
+                total += self.hop_distance(src, dst)
+                count += 1
+        return total / count if count else 0.0
+
+    def diameter(self) -> int:
+        """Maximum hop distance between any two tiles (computed per-dimension)."""
+        worst_x = max(
+            len(self.next_hop_offsets(d, self.width)) for d in range(self.width)
+        )
+        worst_y = max(
+            len(self.next_hop_offsets(d, self.height)) for d in range(self.height)
+        )
+        return worst_x + worst_y
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.width}x{self.height})"
+
+
+class Mesh2D(Topology):
+    """Plain 2D mesh with nearest-neighbour links and no wraparound."""
+
+    kind = "mesh"
+    area_factor = 1.0
+    physical_length_factor = 1.0
+    # Dimension-ordered routing concentrates traffic on the central columns/rows.
+    congestion_factor = 2.0
+
+    def next_hop_offsets(self, delta: int, size: int) -> List[int]:
+        step = 1 if delta > 0 else -1
+        return [step] * abs(delta)
+
+    def _dimension_hops(self, delta: int, size: int) -> int:
+        return abs(delta)
+
+    def _unit_steps(self, size: int) -> List[int]:
+        return [-1, 1] if size > 1 else []
+
+    def neighbors(self, tile: int) -> List[int]:
+        x, y = self.coords(tile)
+        result = []
+        if x > 0:
+            result.append(self.tile_at(x - 1, y))
+        if x + 1 < self.width:
+            result.append(self.tile_at(x + 1, y))
+        if y > 0:
+            result.append(self.tile_at(x, y - 1))
+        if y + 1 < self.height:
+            result.append(self.tile_at(x, y + 1))
+        return result
+
+    def bisection_links(self) -> int:
+        # Directed links crossing the vertical middle cut, both directions.
+        return 2 * self.height
+
+    def link_length_tiles(self, src: int, dst: int) -> float:
+        return 1.0
+
+
+class Torus2D(Topology):
+    """2D torus with wraparound links and shortest-direction dimension routing.
+
+    The paper notes a 32-bit 2D torus is ~50% larger than a mesh but doubles the
+    bisection bandwidth; the folded physical layout makes every link span two
+    tile pitches.
+    """
+
+    kind = "torus"
+    area_factor = 1.5
+    physical_length_factor = 2.0
+    congestion_factor = 1.25
+
+    def next_hop_offsets(self, delta: int, size: int) -> List[int]:
+        if size <= 1 or delta == 0:
+            return []
+        forward = delta % size
+        backward = size - forward
+        if forward <= backward:
+            return [1] * forward
+        return [-1] * backward
+
+    def _dimension_hops(self, delta: int, size: int) -> int:
+        if size <= 1 or delta == 0:
+            return 0
+        forward = delta % size
+        return min(forward, size - forward)
+
+    def _dimension_span(self, delta: int, size: int) -> int:
+        return self._dimension_hops(delta, size)
+
+    def _unit_steps(self, size: int) -> List[int]:
+        return [-1, 1] if size > 1 else []
+
+    def bisection_links(self) -> int:
+        # Wraparound doubles the number of links crossing the middle cut.
+        return 4 * self.height
+
+    def link_length_tiles(self, src: int, dst: int) -> float:
+        # Folded torus layout: every link spans two tile pitches.
+        return 2.0
+
+
+class RucheTorus2D(Torus2D):
+    """Torus augmented with ruche (express) channels of a configurable factor.
+
+    A ruche factor ``R`` adds physical links that skip ``R - 1`` routers in each
+    dimension.  Routing greedily uses express hops and finishes with unit hops.
+    """
+
+    kind = "torus_ruche"
+
+    congestion_factor = 1.1
+
+    def __init__(self, width: int, height: int, ruche_factor: int = 2) -> None:
+        super().__init__(width, height)
+        if ruche_factor < 2:
+            raise ConfigurationError("ruche factor must be at least 2")
+        self.ruche_factor = ruche_factor
+
+    def _dimension_hops(self, delta: int, size: int) -> int:
+        if size <= 1 or delta == 0:
+            return 0
+        forward = delta % size
+        distance = min(forward, size - forward)
+        return distance // self.ruche_factor + distance % self.ruche_factor
+
+    def _dimension_span(self, delta: int, size: int) -> int:
+        if size <= 1 or delta == 0:
+            return 0
+        forward = delta % size
+        return min(forward, size - forward)
+
+    @property
+    def area_factor(self) -> float:
+        # The paper reports the ruche-torus NoC uses more than twice the area of
+        # a regular torus (1.2% vs 0.2% of chip area in their configuration).
+        return 1.5 * (1.0 + self.ruche_factor)
+
+    def next_hop_offsets(self, delta: int, size: int) -> List[int]:
+        if size <= 1 or delta == 0:
+            return []
+        forward = delta % size
+        backward = size - forward
+        distance, sign = (forward, 1) if forward <= backward else (backward, -1)
+        hops: List[int] = []
+        remaining = distance
+        while remaining >= self.ruche_factor:
+            hops.append(sign * self.ruche_factor)
+            remaining -= self.ruche_factor
+        hops.extend([sign] * remaining)
+        return hops
+
+    def _unit_steps(self, size: int) -> List[int]:
+        steps = [-1, 1]
+        if size > self.ruche_factor:
+            steps.extend([-self.ruche_factor, self.ruche_factor])
+        return steps
+
+    def bisection_links(self) -> int:
+        # Express channels crossing the cut add (R - 1) links per row/direction.
+        return 4 * self.height + 4 * self.height * (self.ruche_factor - 1)
+
+    def link_length_tiles(self, src: int, dst: int) -> float:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        span_x = min(abs(dx - sx), self.width - abs(dx - sx))
+        span_y = min(abs(dy - sy), self.height - abs(dy - sy))
+        span = max(span_x, span_y, 1)
+        return 2.0 * span
+
+
+_TOPOLOGY_KINDS = {
+    "mesh": Mesh2D,
+    "torus": Torus2D,
+    "torus_ruche": RucheTorus2D,
+}
+
+
+def make_topology(kind: str, width: int, height: int, ruche_factor: int = 2) -> Topology:
+    """Factory for topologies by name: ``mesh``, ``torus`` or ``torus_ruche``."""
+    key = kind.strip().lower()
+    if key not in _TOPOLOGY_KINDS:
+        raise ConfigurationError(
+            f"unknown NoC kind {kind!r}; expected one of {sorted(_TOPOLOGY_KINDS)}"
+        )
+    if key == "torus_ruche":
+        return RucheTorus2D(width, height, ruche_factor=ruche_factor)
+    return _TOPOLOGY_KINDS[key](width, height)
+
+
+@lru_cache(maxsize=64)
+def cached_topology(kind: str, width: int, height: int, ruche_factor: int = 2) -> Topology:
+    """Memoized topology construction (topologies are immutable)."""
+    return make_topology(kind, width, height, ruche_factor)

@@ -1,0 +1,17 @@
+"""Tile microarchitecture: queues, scratchpad, processing unit, TSU, and cache."""
+
+from repro.tile.queues import CircularQueue
+from repro.tile.scratchpad import Scratchpad
+from repro.tile.pu import ProcessingUnit
+from repro.tile.tsu import TaskSchedulingUnit
+from repro.tile.cache import SetAssociativeCache
+from repro.tile.tile import Tile
+
+__all__ = [
+    "CircularQueue",
+    "Scratchpad",
+    "ProcessingUnit",
+    "TaskSchedulingUnit",
+    "SetAssociativeCache",
+    "Tile",
+]

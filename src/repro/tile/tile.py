@@ -1,0 +1,96 @@
+"""Composition of one processing tile: scratchpad, PU, TSU and task queues."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.tile.pu import ProcessingUnit
+from repro.tile.queues import CircularQueue
+from repro.tile.scratchpad import Scratchpad
+from repro.tile.tsu import TaskSchedulingUnit
+
+
+class Tile:
+    """One Dalorex processing tile.
+
+    The simulation engines own the timing; the tile object holds the structural
+    state (queues, scratchpad regions) and the per-tile counters used by the
+    energy model and the utilization heatmaps.
+    """
+
+    def __init__(
+        self,
+        tile_id: int,
+        coords: Tuple[int, int],
+        task_ids: Iterable[int],
+        iq_capacities: Dict[int, int],
+        scheduling_policy: str,
+        scratchpad_bytes: Optional[int] = None,
+    ) -> None:
+        self.tile_id = tile_id
+        self.coords = coords
+        self.scratchpad = Scratchpad(scratchpad_bytes, strict=False)
+        self.pu = ProcessingUnit(tile_id)
+        task_id_list = list(task_ids)
+        self.input_queues: Dict[int, CircularQueue] = {
+            task_id: CircularQueue(
+                iq_capacities[task_id],
+                name=f"tile{tile_id}.iq{task_id}",
+                allow_overflow=True,
+            )
+            for task_id in task_id_list
+        }
+        self.tsu = TaskSchedulingUnit(task_id_list, policy=scheduling_policy)
+        # Counters consumed by the energy model and the result object.
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.flits_sent = 0
+        self.flits_received = 0
+        self.dram_accesses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.interrupt_cycles = 0.0
+        self.edges_processed = 0
+
+    # ------------------------------------------------------------------ queues
+    def enqueue_task(self, task_id: int, params: tuple) -> None:
+        """Push one task invocation's parameters into the task's input queue."""
+        self.input_queues[task_id].push(params)
+        self.messages_received += 1
+
+    def pending_invocations(self) -> int:
+        """Total entries across all input queues."""
+        return sum(len(queue) for queue in self.input_queues.values())
+
+    def is_idle(self) -> bool:
+        """True when no task invocation is pending on this tile."""
+        return self.pending_invocations() == 0
+
+    def select_next_task(
+        self, output_occupancy: Optional[Dict[int, float]] = None
+    ) -> Optional[int]:
+        """Ask the TSU which task to run next (``None`` when nothing is ready)."""
+        return self.tsu.select_task(self.input_queues, output_occupancy)
+
+    # ---------------------------------------------------------------- counters
+    def record_send(self, flits: int) -> None:
+        self.messages_sent += 1
+        self.flits_sent += flits
+
+    def record_receive_flits(self, flits: int) -> None:
+        self.flits_received += flits
+
+    def queue_statistics(self) -> Dict[int, dict]:
+        """Per-task queue statistics (occupancy peaks, throughput, overflows)."""
+        return {
+            task_id: {
+                "capacity": queue.capacity,
+                "max_occupancy": queue.max_occupancy,
+                "total_pushed": queue.total_pushed,
+                "overflow_events": queue.overflow_events,
+            }
+            for task_id, queue in self.input_queues.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Tile(id={self.tile_id}, coords={self.coords}, pending={self.pending_invocations()})"

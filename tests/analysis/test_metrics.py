@@ -1,0 +1,104 @@
+"""Unit tests for metrics: geomean, speedups, stepwise factors, throughput."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    edges_per_joule,
+    energy_improvements,
+    geometric_mean,
+    geomean_speedup_over_baseline,
+    speedups,
+    stepwise_factors,
+    throughput_summary,
+    work_balance,
+)
+from repro.core.results import AggregateCounters, EnergyBreakdown, SimulationResult
+from repro.errors import ReproError
+
+
+def make_result(cycles, energy=1e-6):
+    return SimulationResult(
+        config_name="c",
+        app_name="a",
+        dataset_name="d",
+        width=2,
+        height=2,
+        noc="torus",
+        cycles=cycles,
+        frequency_ghz=1.0,
+        counters=AggregateCounters(instructions=1000, edges_processed=500, sram_reads=100),
+        per_tile_busy_cycles=np.array([4.0, 2.0, 2.0, 0.0]),
+        per_tile_instructions=np.zeros(4),
+        per_router_flits=np.zeros(4),
+        sram_bytes_per_tile=1024,
+        energy=EnergyBreakdown(memory_j=energy),
+    )
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([10, 10, 10]) == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSpeedups:
+    def test_speedups_relative_to_baseline(self):
+        results = {"slow": make_result(1000), "fast": make_result(100)}
+        ratios = speedups(results, "slow")
+        assert ratios["fast"] == pytest.approx(10.0)
+        assert ratios["slow"] == pytest.approx(1.0)
+
+    def test_energy_improvements(self):
+        results = {"slow": make_result(1000, energy=1e-3), "fast": make_result(100, energy=1e-5)}
+        ratios = energy_improvements(results, "slow")
+        assert ratios["fast"] == pytest.approx(100.0)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ReproError):
+            speedups({"a": make_result(10)}, "missing")
+
+    def test_stepwise_factors(self):
+        results = {
+            "first": make_result(1000),
+            "second": make_result(500),
+            "third": make_result(100),
+        }
+        factors = stepwise_factors(results, ["first", "second", "third"])
+        assert factors["second"] == pytest.approx(2.0)
+        assert factors["third"] == pytest.approx(5.0)
+        assert "first" not in factors
+
+    def test_geomean_speedup_over_baseline(self):
+        per_dataset = {
+            "d1": {"base": make_result(100), "new": make_result(10)},
+            "d2": {"base": make_result(100), "new": make_result(25)},
+        }
+        assert geomean_speedup_over_baseline(per_dataset, "new", "base") == pytest.approx(
+            (10 * 4) ** 0.5
+        )
+
+
+class TestOtherMetrics:
+    def test_throughput_summary_keys(self):
+        summary = throughput_summary(make_result(1000))
+        assert set(summary) == {
+            "edges_per_second",
+            "operations_per_second",
+            "memory_bandwidth_bytes_per_second",
+        }
+        assert all(value > 0 for value in summary.values())
+
+    def test_edges_per_joule(self):
+        assert edges_per_joule(make_result(100, energy=1e-6)) == pytest.approx(5e8)
+
+    def test_work_balance(self):
+        assert work_balance(make_result(100)) == pytest.approx(4.0 / 2.0)

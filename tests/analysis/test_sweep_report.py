@@ -1,0 +1,114 @@
+"""Unit tests for scaling sweeps and text reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    energy_breakdown_rows,
+    format_table,
+    heatmap_report,
+    improvement_table,
+    percentile_summary,
+    scaling_rows,
+)
+from repro.analysis.sweep import (
+    energy_optimal_point,
+    knee_point,
+    square_grid_sizes,
+    strong_scaling_sweep,
+)
+from repro.apps import BFSKernel
+from repro.core.config import MachineConfig
+from repro.graph.generators import rmat_graph
+from repro.noc.topology import make_topology
+from tests.analysis.test_metrics import make_result
+
+
+class TestSweep:
+    def test_square_grid_sizes(self):
+        assert square_grid_sizes(1, 16) == [1, 2, 4, 8, 16]
+        assert square_grid_sizes(4, 4) == [4]
+
+    def test_strong_scaling_improves_runtime(self, small_rmat):
+        root = small_rmat.highest_degree_vertex()
+        points = strong_scaling_sweep(
+            lambda: BFSKernel(root=root),
+            small_rmat,
+            grid_widths=[1, 2, 4],
+            base_config=MachineConfig(width=1, height=1, engine="analytic"),
+        )
+        assert len(points) == 3
+        assert points[-1].cycles < points[0].cycles
+        assert points[0].vertices_per_tile == small_rmat.num_vertices
+
+    def test_knee_point_detection(self):
+        class FakePoint:
+            def __init__(self, tiles, cycles):
+                self.num_tiles = tiles
+                self.cycles = cycles
+
+        perfect = [FakePoint(1, 1000), FakePoint(4, 250), FakePoint(16, 63)]
+        assert knee_point(perfect) is None
+        stalled = [FakePoint(1, 1000), FakePoint(4, 250), FakePoint(16, 240)]
+        knee = knee_point(stalled)
+        assert knee is not None and knee.num_tiles == 16
+
+    def test_energy_optimal_point(self):
+        class FakePoint:
+            def __init__(self, tiles, energy):
+                self.num_tiles = tiles
+                self.energy_j = energy
+
+        points = [FakePoint(1, 5.0), FakePoint(4, 2.0), FakePoint(16, 3.0)]
+        assert energy_optimal_point(points).num_tiles == 4
+        assert energy_optimal_point([]) is None
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bbbb", "value": 20.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_improvement_table(self):
+        per_dataset = {
+            "d1": {"base": make_result(100), "fast": make_result(10)},
+        }
+        rows = improvement_table(per_dataset, ["base", "fast"], "base")
+        assert rows[1]["d1"] == pytest.approx(10.0)
+
+    def test_energy_breakdown_rows_sum_to_hundred(self):
+        rows = energy_breakdown_rows({"run": make_result(100)})
+        row = rows[0]
+        assert row["logic_pct"] + row["memory_pct"] + row["network_pct"] == pytest.approx(100.0)
+
+    def test_heatmap_report_contains_both_maps(self):
+        result = make_result(100)
+        topology = make_topology("torus", 2, 2)
+        text = heatmap_report(result, topology)
+        assert "PU utilization" in text
+        assert "Router utilization" in text
+
+    def test_percentile_summary(self):
+        summary = percentile_summary(np.array([0.0, 1.0, 2.0, 3.0]))
+        assert summary["min"] == 0.0
+        assert summary["max"] == 3.0
+        assert summary["median"] == pytest.approx(1.5)
+        assert percentile_summary(np.array([]))["max"] == 0.0
+
+    def test_scaling_rows_fields(self, small_rmat):
+        root = small_rmat.highest_degree_vertex()
+        points = strong_scaling_sweep(
+            lambda: BFSKernel(root=root),
+            small_rmat,
+            grid_widths=[2],
+            base_config=MachineConfig(width=2, height=2, engine="analytic"),
+        )
+        rows = scaling_rows(points)
+        assert rows[0]["tiles"] == 4
+        assert rows[0]["cycles"] > 0

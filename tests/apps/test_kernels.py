@@ -1,0 +1,151 @@
+"""Unit tests for the application kernels (program structure and correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BFSKernel,
+    KERNELS,
+    PageRankKernel,
+    SPMVKernel,
+    SSSPKernel,
+    WCCKernel,
+    make_kernel,
+)
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.graph.generators import chain_graph, grid_graph, rmat_graph, star_graph
+from repro.graph.reference import UNREACHED
+
+
+def run_kernel_on(kernel, graph, engine="cycle", **overrides):
+    config = MachineConfig(width=4, height=4, engine=engine).with_overrides(**overrides)
+    machine = DalorexMachine(config, kernel, graph)
+    return machine.run(verify=True), machine
+
+
+class TestRegistry:
+    def test_all_five_applications_registered(self):
+        assert set(KERNELS) == {"bfs", "sssp", "pagerank", "wcc", "spmv"}
+
+    def test_make_kernel_by_name(self):
+        assert isinstance(make_kernel("bfs", root=3), BFSKernel)
+        assert isinstance(make_kernel("SSSP"), SSSPKernel)
+
+    def test_unknown_application(self):
+        with pytest.raises(KeyError):
+            make_kernel("bellman_ford")
+
+
+class TestProgramStructure:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_programs_declare_tasks_and_arrays(self, name):
+        program = make_kernel(name).build_program()
+        assert program.num_tasks >= 3
+        assert len(program.arrays) >= 3
+
+    @pytest.mark.parametrize("name", ["bfs", "sssp", "wcc", "spmv"])
+    def test_four_task_split(self, name):
+        # The paper splits these kernels at each pointer indirection -> 4 tasks.
+        assert make_kernel(name).build_program().num_tasks == 4
+
+    def test_graph_kernels_route_updates_by_vertex(self):
+        program = BFSKernel().build_program()
+        assert program.task("T3_relax").route_space == "vertex"
+        assert program.task("T2_expand").route_space == "edge"
+
+
+class TestBFS:
+    def test_matches_reference_on_rmat(self, small_rmat):
+        root = small_rmat.highest_degree_vertex()
+        result, _ = run_kernel_on(BFSKernel(root=root), small_rmat)
+        assert result.verified is True
+
+    def test_unreachable_vertices_stay_unreached(self):
+        graph = rmat_graph(6, edge_factor=2, seed=5)
+        isolated = int(np.argmin(graph.degrees()))
+        root = graph.highest_degree_vertex()
+        result, machine = run_kernel_on(BFSKernel(root=root), graph)
+        reference = machine.kernel.reference(machine.graph)
+        assert np.array_equal(result.outputs["level"], reference)
+
+    def test_star_graph_levels(self):
+        result, _ = run_kernel_on(BFSKernel(root=0), star_graph(12))
+        levels = result.outputs["level"]
+        assert levels[0] == 0
+        assert np.all(levels[1:] == 1)
+
+    def test_counts_edges(self, small_rmat):
+        root = small_rmat.highest_degree_vertex()
+        result, _ = run_kernel_on(BFSKernel(root=root), small_rmat)
+        assert result.counters.edges_processed > 0
+
+
+class TestSSSP:
+    def test_matches_dijkstra_on_weighted_graph(self, small_rmat):
+        root = small_rmat.highest_degree_vertex()
+        result, _ = run_kernel_on(SSSPKernel(root=root), small_rmat)
+        assert result.verified is True
+
+    def test_matches_dijkstra_on_grid(self):
+        graph = grid_graph(5, 5, weighted=True, seed=4)
+        result, _ = run_kernel_on(SSSPKernel(root=0), graph)
+        assert result.verified is True
+
+    def test_barrier_and_barrierless_agree(self, small_rmat):
+        root = small_rmat.highest_degree_vertex()
+        barriered, _ = run_kernel_on(SSSPKernel(root=root), small_rmat, barrier=True)
+        barrierless, _ = run_kernel_on(SSSPKernel(root=root), small_rmat, barrier=False)
+        assert np.allclose(barriered.outputs["dist"], barrierless.outputs["dist"])
+
+
+class TestPageRank:
+    def test_matches_reference(self, small_rmat):
+        result, _ = run_kernel_on(PageRankKernel(num_iterations=4), small_rmat)
+        assert result.verified is True
+
+    def test_requires_barrier(self):
+        assert PageRankKernel().requires_barrier is True
+
+    def test_epochs_match_iterations(self, small_rmat):
+        iterations = 3
+        result, _ = run_kernel_on(PageRankKernel(num_iterations=iterations), small_rmat)
+        assert result.epochs == iterations
+
+    def test_ranks_sum_to_one(self, small_rmat):
+        result, _ = run_kernel_on(PageRankKernel(num_iterations=4), small_rmat)
+        assert result.outputs["rank"].sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestWCC:
+    def test_single_component_chain(self):
+        result, _ = run_kernel_on(WCCKernel(), chain_graph(12))
+        assert len(np.unique(result.outputs["label"])) == 1
+
+    def test_matches_reference_on_sparse_graph(self):
+        graph = rmat_graph(6, edge_factor=2, seed=9)
+        result, _ = run_kernel_on(WCCKernel(), graph)
+        assert result.verified is True
+
+    def test_symmetrizes_directed_input(self):
+        graph = rmat_graph(6, edge_factor=3, seed=2)
+        kernel = WCCKernel()
+        prepared = kernel.prepare_graph(graph)
+        assert prepared.is_symmetric()
+
+
+class TestSPMV:
+    def test_matches_reference(self, small_rmat):
+        result, _ = run_kernel_on(SPMVKernel(seed=1), small_rmat)
+        assert result.verified is True
+
+    def test_explicit_vector(self):
+        graph = chain_graph(6, weighted=True)
+        x = np.arange(6, dtype=np.float64)
+        result, machine = run_kernel_on(SPMVKernel(x=x), graph)
+        assert result.verified is True
+        assert np.allclose(machine.kernel.vector(graph), x)
+
+    def test_zero_vector_gives_zero_output(self, small_rmat):
+        result, _ = run_kernel_on(SPMVKernel(x=np.zeros(small_rmat.num_vertices)), small_rmat)
+        assert np.allclose(result.outputs["y"], 0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the Fig. 5 configuration ladder."""
+
+import pytest
+
+from repro.baselines.ladder import (
+    LADDER_ORDER,
+    dalorex_config,
+    dalorex_full_config,
+    ladder_configs,
+    tesseract_config,
+    tesseract_lc_config,
+)
+
+
+class TestLadderStructure:
+    def test_eight_rungs_in_paper_order(self):
+        configs = ladder_configs()
+        assert list(configs) == LADDER_ORDER
+        assert len(configs) == 8
+
+    def test_all_rungs_use_same_core_count(self):
+        configs = ladder_configs(16, 16)
+        assert {config.num_tiles for config in configs.values()} == {256}
+
+    def test_all_rungs_validate(self):
+        for config in ladder_configs().values():
+            config.validate()
+
+    def test_tesseract_baseline_features(self):
+        config = tesseract_config()
+        assert config.memory == "dram"
+        assert config.remote_invocation == "interrupting"
+        assert config.vertex_placement == "block"
+        assert config.edge_placement == "row"
+        assert config.barrier is True
+        assert config.noc == "mesh"
+
+    def test_tesseract_lc_only_changes_memory(self):
+        base = tesseract_config()
+        lc = tesseract_lc_config()
+        assert lc.memory == "dram_cache"
+        assert lc.remote_invocation == base.remote_invocation
+        assert lc.vertex_placement == base.vertex_placement
+
+    def test_each_rung_differs_from_previous(self):
+        configs = ladder_configs()
+        names = list(configs)
+        fields = (
+            "memory", "edge_placement", "vertex_placement", "remote_invocation",
+            "scheduling", "noc", "barrier",
+        )
+        for previous, current in zip(names, names[1:]):
+            before = configs[previous]
+            after = configs[current]
+            assert any(getattr(before, f) != getattr(after, f) for f in fields), (
+                f"{current} does not change any feature over {previous}"
+            )
+
+    def test_full_dalorex_features(self):
+        config = dalorex_full_config()
+        assert config.memory == "sram"
+        assert config.remote_invocation == "tsu"
+        assert config.scheduling == "occupancy"
+        assert config.vertex_placement == "interleave"
+        assert config.edge_placement == "block"
+        assert config.noc == "torus"
+        assert config.barrier is False
+
+
+class TestDalorexDesignPoint:
+    def test_small_grids_use_torus(self):
+        assert dalorex_config(16, 16).noc == "torus"
+        assert dalorex_config(32, 32).noc == "torus"
+
+    def test_large_grids_use_ruche(self):
+        assert dalorex_config(64, 64).noc == "torus_ruche"
+        assert dalorex_config(128, 128).noc == "torus_ruche"
+
+    def test_explicit_noc_respected(self):
+        assert dalorex_config(64, 64, noc="mesh").noc == "mesh"

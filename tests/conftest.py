@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.graph.generators import chain_graph, grid_graph, rmat_graph, star_graph
+
+
+@pytest.fixture(scope="session")
+def small_rmat():
+    """A small skewed graph (128 vertices) used by most simulation tests."""
+    return rmat_graph(7, edge_factor=6, seed=3)
+
+
+@pytest.fixture(scope="session")
+def medium_rmat():
+    """A slightly larger graph for integration tests."""
+    return rmat_graph(9, edge_factor=8, seed=5)
+
+
+@pytest.fixture()
+def chain8():
+    """Deterministic 8-vertex weighted chain."""
+    return chain_graph(8, weighted=True, seed=1)
+
+
+@pytest.fixture()
+def grid4x4():
+    """Deterministic 4x4 grid graph."""
+    return grid_graph(4, 4)
+
+
+@pytest.fixture()
+def star16():
+    """Star graph with an extreme hub at vertex 0."""
+    return star_graph(16)
+
+
+def make_config(engine: str = "cycle", width: int = 4, height: int = 4, **overrides) -> MachineConfig:
+    """Small Dalorex configuration used throughout the tests."""
+    config = MachineConfig(width=width, height=height, engine=engine)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config.validate()
+
+
+@pytest.fixture()
+def cycle_config():
+    return make_config(engine="cycle")
+
+
+@pytest.fixture()
+def analytic_config():
+    return make_config(engine="analytic")

@@ -1,0 +1,108 @@
+"""Unit tests for counters, energy breakdowns and simulation results."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import AggregateCounters, EnergyBreakdown, SimulationResult
+
+
+def make_result(cycles=1000.0, tiles=4):
+    counters = AggregateCounters(
+        instructions=5000,
+        sram_reads=2000,
+        sram_writes=1000,
+        edges_processed=800,
+        messages=300,
+    )
+    return SimulationResult(
+        config_name="demo",
+        app_name="bfs",
+        dataset_name="chain",
+        width=2,
+        height=2,
+        noc="torus",
+        cycles=cycles,
+        frequency_ghz=1.0,
+        counters=counters,
+        per_tile_busy_cycles=np.array([500.0, 400.0, 300.0, 200.0]),
+        per_tile_instructions=np.array([100, 100, 100, 100]),
+        per_router_flits=np.array([10.0, 20.0, 30.0, 40.0]),
+        sram_bytes_per_tile=1 << 20,
+        energy=EnergyBreakdown(logic_j=1e-6, memory_j=2e-6, network_j=3e-6, static_j=4e-6),
+        chip_area_mm2=10.0,
+        num_edges=1000,
+        num_vertices=100,
+    )
+
+
+class TestCounters:
+    def test_merge(self):
+        a = AggregateCounters(instructions=10, messages=2)
+        b = AggregateCounters(instructions=5, messages=1, flits=7)
+        a.merge(b)
+        assert a.instructions == 15
+        assert a.messages == 3
+        assert a.flits == 7
+
+    def test_bytes_accessed(self):
+        counters = AggregateCounters(sram_reads=10, sram_writes=5, dram_accesses=5)
+        assert counters.bytes_accessed(4) == 80
+        assert counters.memory_accesses == 20
+
+    def test_to_dict_round_trip(self):
+        counters = AggregateCounters(instructions=42)
+        assert counters.to_dict()["instructions"] == 42
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        breakdown = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert breakdown.total_j == 10.0
+
+    def test_fractions_sum_to_one(self):
+        breakdown = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+        assert sum(breakdown.grouped_fractions().values()) == pytest.approx(1.0)
+
+    def test_zero_energy_fractions(self):
+        assert EnergyBreakdown().fractions()["logic"] == 0.0
+
+    def test_grouped_folds_static_into_memory(self):
+        breakdown = EnergyBreakdown(logic_j=1.0, memory_j=1.0, network_j=1.0, static_j=1.0)
+        assert breakdown.grouped_fractions()["memory"] == pytest.approx(0.5)
+
+
+class TestSimulationResult:
+    def test_runtime_seconds(self):
+        result = make_result(cycles=2e9)
+        assert result.runtime_seconds == pytest.approx(2.0)
+
+    def test_utilization_clamped(self):
+        result = make_result(cycles=400.0)
+        assert result.pu_utilization().max() <= 1.0
+        assert result.mean_pu_utilization() <= 1.0
+
+    def test_throughput_metrics_positive(self):
+        result = make_result()
+        assert result.edges_per_second() > 0
+        assert result.operations_per_second() > 0
+        assert result.memory_bandwidth_bytes_per_second() > 0
+
+    def test_power_and_density(self):
+        result = make_result()
+        assert result.average_power_w() > 0
+        assert result.power_density_w_per_mm2() == pytest.approx(
+            result.average_power_w() / 10.0
+        )
+
+    def test_speedup_and_energy_improvement(self):
+        fast = make_result(cycles=500.0)
+        slow = make_result(cycles=5000.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+        assert fast.energy_improvement_over(slow) == pytest.approx(1.0)
+
+    def test_to_dict_contains_key_fields(self):
+        summary = make_result().to_dict()
+        assert summary["config"] == "demo"
+        assert summary["tiles"] == 4
+        assert "energy_j" in summary

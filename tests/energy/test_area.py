@@ -1,0 +1,44 @@
+"""Unit tests for the area and power-density model."""
+
+import pytest
+
+from repro.energy.area import AreaModel
+
+
+class TestAreaModel:
+    def test_paper_dalorex_area(self):
+        # 16x16 tiles with 4.2 MB scratchpads: the paper reports about 305 mm^2.
+        model = AreaModel()
+        area = model.chip_area_mm2(256, int(4.2 * 1024 * 1024), "torus")
+        assert area == pytest.approx(305.0, rel=0.15)
+
+    def test_paper_tesseract_area(self):
+        # 16 HMC cubes for 256 cores: the paper reports 3616 mm^2.
+        model = AreaModel()
+        assert model.hmc_area_mm2(256) == pytest.approx(3616.0, rel=0.01)
+
+    def test_dalorex_much_smaller_than_tesseract(self):
+        model = AreaModel()
+        dalorex = model.chip_area_mm2(256, int(4.2 * 1024 * 1024), "torus")
+        assert model.hmc_area_mm2(256) > 5 * dalorex
+
+    def test_tile_area_grows_with_sram(self):
+        model = AreaModel()
+        assert model.tile_area_mm2(4 << 20) > model.tile_area_mm2(1 << 20)
+
+    def test_noc_area_ordering(self):
+        model = AreaModel()
+        mesh = model.tile_area_mm2(1 << 20, "mesh")
+        torus = model.tile_area_mm2(1 << 20, "torus")
+        ruche = model.tile_area_mm2(1 << 20, "torus_ruche")
+        assert mesh < torus < ruche
+
+    def test_tile_pitch_is_square_root(self):
+        model = AreaModel()
+        area = model.tile_area_mm2(1 << 20, "torus")
+        assert model.tile_pitch_mm(1 << 20, "torus") == pytest.approx(area ** 0.5)
+
+    def test_power_density(self):
+        model = AreaModel()
+        assert model.power_density_w_per_mm2(30.0, 300.0) == pytest.approx(0.1)
+        assert model.power_density_w_per_mm2(30.0, 0.0) == 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.results import AggregateCounters, SimulationResult
+from repro.energy.model import EnergyModel
+
+
+def make_result(memory_counters=None, cycles=1e6, tiles=16, sram_bytes=1 << 20):
+    counters = AggregateCounters(
+        instructions=100_000,
+        sram_reads=40_000,
+        sram_writes=20_000,
+        flit_hops=30_000,
+        flit_millimeters=50_000.0,
+        router_traversals=35_000,
+    )
+    if memory_counters:
+        for key, value in memory_counters.items():
+            setattr(counters, key, value)
+    side = int(np.sqrt(tiles))
+    return SimulationResult(
+        config_name="demo",
+        app_name="bfs",
+        dataset_name="x",
+        width=side,
+        height=side,
+        noc="torus",
+        cycles=cycles,
+        frequency_ghz=1.0,
+        counters=counters,
+        per_tile_busy_cycles=np.zeros(tiles),
+        per_tile_instructions=np.zeros(tiles),
+        per_router_flits=np.zeros(tiles),
+        sram_bytes_per_tile=sram_bytes,
+    )
+
+
+class TestEnergyModel:
+    def test_all_components_positive_for_sram_machine(self):
+        result = make_result()
+        breakdown = EnergyModel().compute(result, MachineConfig(memory="sram"))
+        assert breakdown.logic_j > 0
+        assert breakdown.memory_j > 0
+        assert breakdown.network_j > 0
+        assert breakdown.static_j > 0
+
+    def test_dram_machine_pays_background_power(self):
+        result = make_result(memory_counters={"dram_accesses": 10_000.0})
+        sram_energy = EnergyModel().compute(result, MachineConfig(memory="sram"))
+        dram_energy = EnergyModel().compute(result, MachineConfig(memory="dram"))
+        assert dram_energy.total_j > sram_energy.total_j
+
+    def test_dram_cache_removes_background(self):
+        result = make_result(memory_counters={"dram_accesses": 1_000.0, "cache_hits": 9_000.0})
+        dram = EnergyModel().compute(result, MachineConfig(memory="dram"))
+        cached = EnergyModel().compute(result, MachineConfig(memory="dram_cache"))
+        assert cached.static_j < dram.static_j
+
+    def test_network_energy_scales_with_traffic(self):
+        light = make_result()
+        heavy = make_result()
+        heavy.counters.flit_millimeters *= 10
+        heavy.counters.router_traversals *= 10
+        config = MachineConfig()
+        assert (
+            EnergyModel().compute(heavy, config).network_j
+            > 5 * EnergyModel().compute(light, config).network_j
+        )
+
+    def test_static_energy_scales_with_runtime(self):
+        short = make_result(cycles=1e6)
+        long = make_result(cycles=1e8)
+        config = MachineConfig()
+        assert (
+            EnergyModel().compute(long, config).static_j
+            > 10 * EnergyModel().compute(short, config).static_j
+        )
+
+    def test_static_energy_scales_with_sram_size(self):
+        small = make_result(sram_bytes=1 << 18)
+        large = make_result(sram_bytes=1 << 22)
+        config = MachineConfig()
+        assert (
+            EnergyModel().compute(large, config).static_j
+            > EnergyModel().compute(small, config).static_j
+        )
+
+    def test_attach_sets_result_energy(self):
+        result = make_result()
+        EnergyModel().attach(result, MachineConfig())
+        assert result.energy.total_j > 0

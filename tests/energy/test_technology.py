@@ -1,0 +1,36 @@
+"""Unit tests for the technology constants."""
+
+import pytest
+
+from repro.energy.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+
+class TestTechnology:
+    def test_paper_sram_energies(self):
+        # Values quoted in the paper's methodology (7 nm SRAM macro).
+        assert DEFAULT_TECHNOLOGY.sram_read_pj == pytest.approx(5.8)
+        assert DEFAULT_TECHNOLOGY.sram_write_pj == pytest.approx(9.1)
+        assert DEFAULT_TECHNOLOGY.wire_pj_per_flit_mm == pytest.approx(8.0)
+
+    def test_sram_leakage_scales_with_capacity(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.sram_leakage_w(64 * 1024) == pytest.approx(2 * tech.sram_leakage_w(32 * 1024))
+
+    def test_sram_area_matches_density(self):
+        tech = DEFAULT_TECHNOLOGY
+        # 29.2 Mb/mm^2 -> 4.2 MB should be roughly 1.15 mm^2.
+        area = tech.sram_area_mm2(4.2 * 1024 * 1024)
+        assert area == pytest.approx(1.2, rel=0.1)
+
+    def test_dram_access_much_costlier_than_sram(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.dram_access_pj > 50 * tech.sram_read_pj
+
+    def test_custom_technology_point(self):
+        tech = TechnologyParameters(sram_read_pj=10.0)
+        assert tech.sram_read_pj == 10.0
+        assert tech.sram_write_pj == DEFAULT_TECHNOLOGY.sram_write_pj
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_TECHNOLOGY.sram_read_pj = 1.0

@@ -1,0 +1,55 @@
+"""Tests for the shared experiment helpers."""
+
+import pytest
+
+from repro.apps import BFSKernel, PageRankKernel, SPMVKernel
+from repro.experiments.common import (
+    DATASET_LABELS,
+    EXPERIMENT_SCALE_DIVISORS,
+    build_kernel,
+    load_experiment_dataset,
+    run_configuration,
+)
+from repro.core.config import MachineConfig
+from repro.graph.datasets import DATASETS
+
+
+class TestDatasetHelpers:
+    def test_every_paper_dataset_has_a_divisor_and_label(self):
+        assert set(EXPERIMENT_SCALE_DIVISORS) == set(DATASETS)
+        assert set(DATASET_LABELS) == set(DATASETS)
+
+    def test_scale_controls_size(self):
+        small = load_experiment_dataset("rmat16", scale=0.25)
+        large = load_experiment_dataset("rmat16", scale=1.0)
+        assert large.num_vertices >= small.num_vertices
+
+    def test_deterministic(self):
+        assert load_experiment_dataset("amazon", scale=0.2) == load_experiment_dataset(
+            "amazon", scale=0.2
+        )
+
+
+class TestKernelBuilder:
+    def test_bfs_root_is_high_degree(self):
+        graph = load_experiment_dataset("amazon", scale=0.1)
+        kernel = build_kernel("bfs", graph)
+        assert isinstance(kernel, BFSKernel)
+        assert kernel.root == graph.highest_degree_vertex()
+
+    def test_pagerank_iterations_forwarded(self):
+        graph = load_experiment_dataset("rmat16", scale=0.1)
+        kernel = build_kernel("pagerank", graph, pagerank_iterations=2)
+        assert isinstance(kernel, PageRankKernel)
+        assert kernel.num_iterations == 2
+
+    def test_spmv_has_no_root(self):
+        graph = load_experiment_dataset("rmat16", scale=0.1)
+        assert isinstance(build_kernel("spmv", graph), SPMVKernel)
+
+    def test_run_configuration_verifies(self):
+        graph = load_experiment_dataset("rmat16", scale=0.1)
+        config = MachineConfig(width=4, height=4, engine="analytic")
+        result = run_configuration(config, "bfs", graph, dataset_name="rmat16", verify=True)
+        assert result.verified is True
+        assert result.dataset_name == "rmat16"

@@ -1,0 +1,91 @@
+"""Smoke tests for the figure-reproduction runners (tiny problem sizes)."""
+
+import pytest
+
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, textstats
+from repro.baselines.ladder import LADDER_ORDER
+
+TINY = 0.12  # shrink the default stand-ins a lot so these tests stay fast
+
+
+class TestFig5Runner:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig5.run_fig5(
+            apps=("bfs",), datasets=("amazon",), width=8, height=8, scale=TINY, verify=True
+        )
+
+    def test_all_rungs_present_and_verified(self, results):
+        per_config = results["bfs"]["amazon"]
+        assert list(per_config) == LADDER_ORDER
+        assert all(result.verified for result in per_config.values())
+
+    def test_dalorex_beats_tesseract(self, results):
+        per_config = results["bfs"]["amazon"]
+        assert per_config["Dalorex"].cycles < per_config["Tesseract"].cycles
+
+    def test_headline_factors_and_report(self, results):
+        factors = fig5.headline_factors(results)
+        assert factors["Overall"] > 1.0
+        text = fig5.report(results)
+        assert "Fig. 5" in text and "Tesseract" in text
+
+
+class TestFig6Runner:
+    def test_scaling_series_shapes(self):
+        sweeps = fig6.run_fig6(datasets=("rmat16",), grid_widths=(2, 4, 8), scale=0.5)
+        points = sweeps["rmat16"]
+        assert [p.num_tiles for p in points] == [4, 16, 64]
+        assert points[-1].cycles < points[0].cycles
+        summary = fig6.summarize(sweeps)
+        assert "rmat16" in summary
+        assert "Fig. 6" in fig6.report(sweeps)
+
+
+class TestFig7Runner:
+    def test_throughput_series(self):
+        results = fig7.run_fig7(apps=("bfs", "spmv"), grid_widths=(8, 16), scale=TINY)
+        rows = fig7.throughput_rows(results)
+        assert len(rows) == 4
+        assert all(row["edges_per_s"] > 0 for row in rows)
+        verdict = fig7.scaling_monotonicity(results)
+        assert set(verdict) == {"bfs", "spmv"}
+
+
+class TestFig8Runner:
+    def test_noc_comparison(self):
+        results = fig8.run_fig8(
+            apps=("bfs",), datasets=("rmat22",), nocs=("mesh", "torus"), scale=TINY
+        )
+        rows = fig8.speedup_rows(results)
+        assert rows[0]["torus_speedup"] > 0.5
+        assert "Fig. 8" in fig8.report(results)
+
+
+class TestFig9Runner:
+    def test_energy_breakdown_rows(self):
+        results = fig9.run_fig9(apps=("bfs",), datasets=("rmat22",), scale=TINY)
+        rows = fig9.breakdown_rows(results)
+        assert rows[0]["logic_pct"] + rows[0]["memory_pct"] + rows[0]["network_pct"] == pytest.approx(100.0)
+        shares = fig9.network_share_summary(results)
+        assert 0.0 < shares["bfs"] <= 1.0
+
+
+class TestFig10Runner:
+    def test_heatmaps_and_center_ratio(self):
+        results = fig10.run_fig10(scale=TINY, width=8, height=8, verify=True)
+        assert set(results) == {"mesh", "torus"}
+        ratio_mesh = fig10.center_edge_router_ratio(results["mesh"])
+        ratio_torus = fig10.center_edge_router_ratio(results["torus"])
+        assert ratio_mesh > ratio_torus
+        assert "PU utilization" in fig10.report(results)
+
+
+class TestTextStats:
+    def test_area_comparison_close_to_paper(self):
+        area = textstats.area_comparison()
+        assert area["dalorex_area_mm2"] == pytest.approx(area["paper_dalorex_area_mm2"], rel=0.2)
+        assert area["tesseract_area_mm2"] == pytest.approx(
+            area["paper_tesseract_area_mm2"], rel=0.05
+        )
+        assert "Dalorex area" in textstats.report()

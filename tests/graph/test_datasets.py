@@ -1,0 +1,66 @@
+"""Unit tests for the dataset registry and stand-in loader."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.datasets import (
+    DATASETS,
+    dataset_spec,
+    list_datasets,
+    load_dataset,
+    resolve_dataset_name,
+)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        names = set(list_datasets())
+        assert {"amazon", "wikipedia", "livejournal", "rmat16", "rmat22", "rmat25", "rmat26"} <= names
+
+    def test_aliases_resolve(self):
+        assert resolve_dataset_name("AZ") == "amazon"
+        assert resolve_dataset_name("wk") == "wikipedia"
+        assert resolve_dataset_name("LJ") == "livejournal"
+        assert resolve_dataset_name("R22") == "rmat22"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(GraphError):
+            resolve_dataset_name("orkut")
+
+    def test_paper_sizes_recorded(self):
+        spec = dataset_spec("livejournal")
+        assert spec.paper_vertices == 5_300_000
+        assert spec.paper_edges == 79_000_000
+
+    def test_stand_in_sizes_scale_down(self):
+        spec = DATASETS["wikipedia"]
+        assert spec.stand_in_vertices() < spec.paper_vertices
+        assert spec.stand_in_vertices(1024) > spec.stand_in_vertices(4096)
+
+
+class TestLoading:
+    def test_load_amazon_stand_in(self):
+        graph = load_dataset("amazon", scale_divisor=128)
+        assert graph.num_vertices > 100
+        assert graph.num_edges > graph.num_vertices
+
+    def test_load_rmat_stand_in_power_of_two(self):
+        graph = load_dataset("rmat22", scale_divisor=2048)
+        assert graph.num_vertices & (graph.num_vertices - 1) == 0
+
+    def test_load_is_deterministic(self):
+        a = load_dataset("rmat16", scale_divisor=64, seed=9)
+        b = load_dataset("rmat16", scale_divisor=64, seed=9)
+        assert a == b
+
+    def test_weighted_flag(self):
+        weighted = load_dataset("amazon", scale_divisor=256, weighted=True)
+        unweighted = load_dataset("amazon", scale_divisor=256, weighted=False)
+        assert weighted.values.max() > 1.0
+        assert unweighted.values.max() == 1.0
+
+    def test_average_degree_roughly_matches_paper(self):
+        graph = load_dataset("livejournal", scale_divisor=4096)
+        spec = dataset_spec("livejournal")
+        paper_degree = spec.paper_edges / spec.paper_vertices
+        assert graph.average_degree == pytest.approx(paper_degree, rel=0.6)

@@ -1,0 +1,114 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    star_graph,
+    uniform_random_graph,
+)
+
+
+class TestRMAT:
+    def test_vertex_count_is_power_of_two(self):
+        graph = rmat_graph(8, edge_factor=4, seed=0)
+        assert graph.num_vertices == 256
+
+    def test_edge_factor_controls_density(self):
+        sparse = rmat_graph(8, edge_factor=2, seed=0)
+        dense = rmat_graph(8, edge_factor=12, seed=0)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_deterministic_for_seed(self):
+        a = rmat_graph(7, edge_factor=4, seed=11)
+        b = rmat_graph(7, edge_factor=4, seed=11)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = rmat_graph(7, edge_factor=4, seed=1)
+        b = rmat_graph(7, edge_factor=4, seed=2)
+        assert not (a == b)
+
+    def test_skewed_degree_distribution(self):
+        graph = rmat_graph(10, edge_factor=8, seed=0)
+        degrees = graph.degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_weighted_edges_positive(self):
+        graph = rmat_graph(6, seed=0, weighted=True, max_weight=5)
+        assert graph.values.min() >= 1
+        assert graph.values.max() <= 5
+
+    def test_unweighted_edges_are_ones(self):
+        graph = rmat_graph(6, seed=0, weighted=False)
+        assert np.all(graph.values == 1.0)
+
+    def test_undirected_option(self):
+        graph = rmat_graph(6, seed=0, undirected=True)
+        assert graph.is_symmetric()
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(GraphError):
+            rmat_graph(0)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(GraphError):
+            rmat_graph(5, a=0.6, b=0.3, c=0.3)
+
+
+class TestOtherGenerators:
+    def test_uniform_random_size(self):
+        graph = uniform_random_graph(100, 500, seed=1)
+        assert graph.num_vertices == 100
+        assert 0 < graph.num_edges <= 500
+
+    def test_uniform_random_needs_vertices(self):
+        with pytest.raises(GraphError):
+            uniform_random_graph(0, 10)
+
+    def test_power_law_hubs_at_low_ids(self):
+        graph = power_law_graph(512, average_degree=8, seed=2)
+        in_degree = np.bincount(graph.indices, minlength=graph.num_vertices)
+        assert in_degree[:32].sum() > in_degree[-32:].sum()
+
+    def test_power_law_exponent_controls_skew(self):
+        mild = power_law_graph(512, average_degree=8, exponent=0.3, seed=2)
+        strong = power_law_graph(512, average_degree=8, exponent=1.5, seed=2)
+        mild_top = np.bincount(mild.indices, minlength=512).max() / mild.num_edges
+        strong_top = np.bincount(strong.indices, minlength=512).max() / strong.num_edges
+        assert strong_top > mild_top
+
+    def test_grid_graph_degrees(self):
+        graph = grid_graph(3, 3)
+        degrees = graph.degrees()
+        assert degrees.max() == 4  # interior vertex
+        assert degrees.min() == 2  # corner vertex
+
+    def test_grid_graph_symmetric(self):
+        assert grid_graph(4, 3).is_symmetric()
+
+    def test_chain_graph_path_lengths(self):
+        graph = chain_graph(5)
+        assert graph.num_edges == 8  # 4 undirected edges, stored both ways
+        assert graph.out_degree(0) == 1
+        assert graph.out_degree(2) == 2
+
+    def test_star_graph_hub(self):
+        graph = star_graph(10)
+        assert graph.out_degree(0) == 9
+        assert graph.out_degree(5) == 1
+
+    def test_star_graph_minimum_size(self):
+        with pytest.raises(GraphError):
+            star_graph(1)
+
+    def test_complete_graph_edges(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 20
+        assert graph.is_symmetric()

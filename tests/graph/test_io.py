@@ -1,0 +1,58 @@
+"""Unit tests for graph persistence helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import rmat_graph
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+@pytest.fixture()
+def sample_graph():
+    return rmat_graph(6, edge_factor=4, seed=13)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_preserves_graph(self, sample_graph, tmp_path):
+        path = str(tmp_path / "graph.npz")
+        save_npz(sample_graph, path)
+        loaded = load_npz(path)
+        assert loaded == sample_graph
+        assert loaded.name == sample_graph.name
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_npz(str(tmp_path / "missing.npz"))
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip_with_weights(self, sample_graph, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        save_edge_list(sample_graph, path, include_weights=True)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == sample_graph.num_vertices
+        assert loaded.num_edges == sample_graph.num_edges
+        assert np.allclose(np.sort(loaded.values), np.sort(sample_graph.values))
+
+    def test_round_trip_without_weights(self, sample_graph, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        save_edge_list(sample_graph, path, include_weights=False)
+        loaded = load_edge_list(path)
+        assert np.all(loaded.values == 1.0)
+
+    def test_vertex_count_inferred(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 3\n2 1\n")
+        loaded = load_edge_list(str(path))
+        assert loaded.num_vertices == 4
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            load_edge_list(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_edge_list(str(tmp_path / "missing.txt"))

@@ -1,0 +1,91 @@
+"""Integration tests: every kernel, engine and placement produces correct output."""
+
+import numpy as np
+import pytest
+
+from repro.apps import KERNELS, make_kernel
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.baselines.ladder import ladder_configs
+
+
+def build_kernel(name, graph):
+    if name in ("bfs", "sssp"):
+        return make_kernel(name, root=graph.highest_degree_vertex())
+    if name == "pagerank":
+        return make_kernel(name, num_iterations=3)
+    return make_kernel(name)
+
+
+class TestAllKernelsAllEngines:
+    @pytest.mark.parametrize("app", sorted(KERNELS))
+    @pytest.mark.parametrize("engine", ["cycle", "analytic"])
+    def test_output_matches_reference(self, app, engine, small_rmat):
+        config = MachineConfig(width=4, height=4, engine=engine)
+        kernel = build_kernel(app, small_rmat)
+        result = DalorexMachine(config, kernel, small_rmat).run(verify=True)
+        assert result.verified is True, f"{app} on {engine} engine diverged from reference"
+
+    @pytest.mark.parametrize("app", sorted(KERNELS))
+    def test_output_independent_of_placement(self, app, small_rmat):
+        outputs = []
+        for vertex_placement, edge_placement in (("block", "block"), ("interleave", "block"),
+                                                 ("block", "row")):
+            config = MachineConfig(
+                width=4, height=4, engine="analytic",
+                vertex_placement=vertex_placement, edge_placement=edge_placement,
+            )
+            kernel = build_kernel(app, small_rmat)
+            result = DalorexMachine(config, kernel, small_rmat).run(verify=True)
+            assert result.verified is True
+            outputs.append(kernel.result(type("M", (), {"arrays": result.outputs})()))
+        for other in outputs[1:]:
+            assert np.allclose(outputs[0], other, rtol=1e-6, equal_nan=True)
+
+    @pytest.mark.parametrize("app", ["bfs", "sssp", "wcc"])
+    def test_output_independent_of_barrier_mode(self, app, small_rmat):
+        values = []
+        for barrier in (True, False):
+            config = MachineConfig(width=4, height=4, engine="cycle", barrier=barrier)
+            kernel = build_kernel(app, small_rmat)
+            result = DalorexMachine(config, kernel, small_rmat).run(verify=True)
+            assert result.verified is True
+            values.append(result)
+        assert values[0].counters.edges_processed > 0
+
+
+class TestLadderCorrectness:
+    @pytest.mark.parametrize("rung", ["Tesseract", "Data-Local", "Uniform-Distr", "Dalorex"])
+    def test_every_ladder_rung_is_functionally_correct(self, rung, small_rmat):
+        config = ladder_configs(4, 4, engine="cycle")[rung]
+        kernel = build_kernel("sssp", small_rmat)
+        result = DalorexMachine(config, kernel, small_rmat).run(verify=True)
+        assert result.verified is True
+
+
+class TestCountersConsistency:
+    def test_message_and_flit_counters_consistent(self, small_rmat):
+        config = MachineConfig(width=4, height=4, engine="cycle")
+        kernel = build_kernel("sssp", small_rmat)
+        result = DalorexMachine(config, kernel, small_rmat).run()
+        counters = result.counters
+        assert counters.flits >= counters.messages
+        assert counters.local_messages <= counters.messages
+        assert counters.flit_hops >= 0
+        assert counters.tasks_executed > 0
+        assert counters.instructions > counters.tasks_executed
+
+    def test_edges_processed_bounded_by_work(self, small_rmat):
+        config = MachineConfig(width=4, height=4, engine="analytic", barrier=True)
+        kernel = build_kernel("bfs", small_rmat)
+        result = DalorexMachine(config, kernel, small_rmat).run()
+        # Each explored vertex contributes its out-degree at most once per epoch.
+        assert result.counters.edges_processed <= small_rmat.num_edges * result.epochs
+
+    def test_per_tile_arrays_have_grid_size(self, small_rmat):
+        config = MachineConfig(width=4, height=4, engine="cycle")
+        kernel = build_kernel("bfs", small_rmat)
+        result = DalorexMachine(config, kernel, small_rmat).run()
+        assert len(result.per_tile_busy_cycles) == 16
+        assert len(result.per_router_flits) == 16
+        assert result.per_tile_busy_cycles.sum() > 0

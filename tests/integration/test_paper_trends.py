@@ -1,0 +1,152 @@
+"""Integration tests asserting the paper's qualitative findings hold.
+
+These are the reproduction's acceptance tests: they do not check absolute
+numbers (our substrate is a simulator, not the authors' testbed), only the
+directions and orderings the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFSKernel, SSSPKernel
+from repro.baselines.ladder import (
+    dalorex_full_config,
+    data_local_config,
+    ladder_configs,
+    tesseract_config,
+)
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.experiments.fig10 import center_edge_router_ratio
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def amazon_graph():
+    return load_dataset("amazon", scale_divisor=256)
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    return power_law_graph(1024, average_degree=8, seed=11)
+
+
+def run(config, kernel, graph):
+    return DalorexMachine(config, kernel, graph).run(verify=True)
+
+
+class TestHeadlineClaims:
+    def test_dalorex_beats_tesseract_by_an_order_of_magnitude(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        tesseract = run(tesseract_config(8, 8), BFSKernel(root=root), amazon_graph)
+        dalorex = run(dalorex_full_config(8, 8), BFSKernel(root=root), amazon_graph)
+        assert dalorex.cycles * 10 < tesseract.cycles
+        assert dalorex.energy.total_j * 10 < tesseract.energy.total_j
+
+    def test_data_local_layout_beats_tesseract(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        tesseract = run(tesseract_config(8, 8), BFSKernel(root=root), amazon_graph)
+        data_local = run(data_local_config(8, 8), BFSKernel(root=root), amazon_graph)
+        assert data_local.cycles < tesseract.cycles
+
+    def test_every_ladder_rung_beats_tesseract(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        configs = ladder_configs(8, 8, engine="cycle")
+        baseline = run(configs["Tesseract"], BFSKernel(root=root), amazon_graph)
+        for name in ("Data-Local", "Basic-TSU", "Uniform-Distr", "Dalorex"):
+            result = run(configs[name], BFSKernel(root=root), amazon_graph)
+            assert result.cycles < baseline.cycles, f"{name} slower than Tesseract"
+
+    def test_uniform_placement_improves_balance_on_hub_graphs(self, skewed_graph):
+        root = skewed_graph.highest_degree_vertex()
+        block = run(
+            MachineConfig(width=4, height=4, engine="analytic", vertex_placement="block",
+                          barrier=True),
+            SSSPKernel(root=root),
+            skewed_graph,
+        )
+        uniform = run(
+            MachineConfig(width=4, height=4, engine="analytic", vertex_placement="interleave",
+                          barrier=True),
+            SSSPKernel(root=root),
+            skewed_graph,
+        )
+        block_imbalance = block.per_tile_busy_cycles.max() / block.per_tile_busy_cycles.mean()
+        uniform_imbalance = (
+            uniform.per_tile_busy_cycles.max() / uniform.per_tile_busy_cycles.mean()
+        )
+        assert uniform_imbalance < block_imbalance
+        assert uniform.cycles <= block.cycles
+
+
+class TestScalingClaims:
+    def test_strong_scaling_until_small_chunks(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        cycles = []
+        for width in (2, 4, 8):
+            config = MachineConfig(width=width, height=width, engine="analytic")
+            cycles.append(run(config, BFSKernel(root=root), amazon_graph).cycles)
+        assert cycles[1] < cycles[0]
+        assert cycles[2] < cycles[1]
+
+    def test_memory_bandwidth_grows_with_tiles(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        small = run(MachineConfig(width=2, height=2, engine="analytic"), BFSKernel(root=root), amazon_graph)
+        large = run(MachineConfig(width=8, height=8, engine="analytic"), BFSKernel(root=root), amazon_graph)
+        assert large.memory_bandwidth_bytes_per_second() > small.memory_bandwidth_bytes_per_second()
+
+
+class TestNoCClaims:
+    def test_mesh_concentrates_traffic_in_the_center(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        mesh = run(
+            dalorex_full_config(8, 8).with_overrides(noc="mesh"),
+            SSSPKernel(root=root),
+            amazon_graph,
+        )
+        torus = run(
+            dalorex_full_config(8, 8).with_overrides(noc="torus"),
+            SSSPKernel(root=root),
+            amazon_graph,
+        )
+        assert center_edge_router_ratio(mesh) > center_edge_router_ratio(torus)
+
+    def test_torus_not_slower_than_mesh(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        mesh = run(
+            dalorex_full_config(8, 8).with_overrides(noc="mesh"),
+            SSSPKernel(root=root),
+            amazon_graph,
+        )
+        torus = run(
+            dalorex_full_config(8, 8).with_overrides(noc="torus"),
+            SSSPKernel(root=root),
+            amazon_graph,
+        )
+        assert torus.cycles <= mesh.cycles * 1.05
+
+
+class TestEnergyClaims:
+    def test_network_dominates_dalorex_energy(self, amazon_graph):
+        # The paper's observation is for 16x16 and larger grids, where the
+        # average update travels many hops.
+        root = amazon_graph.highest_degree_vertex()
+        result = run(
+            dalorex_full_config(16, 16, engine="analytic"), BFSKernel(root=root), amazon_graph
+        )
+        fractions = result.energy.grouped_fractions()
+        assert fractions["network"] == max(fractions.values())
+
+    def test_power_density_below_air_cooling_limit(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        config = dalorex_full_config(8, 8).with_overrides(
+            scratchpad_bytes_per_tile=4 * 1024 * 1024
+        )
+        result = run(config, BFSKernel(root=root), amazon_graph)
+        assert result.power_density_w_per_mm2() < 0.3
+
+    def test_dram_refresh_dominates_tesseract_energy(self, amazon_graph):
+        root = amazon_graph.highest_degree_vertex()
+        result = run(tesseract_config(8, 8), BFSKernel(root=root), amazon_graph)
+        assert result.energy.static_j > result.energy.logic_j

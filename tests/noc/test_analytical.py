@@ -1,0 +1,105 @@
+"""Unit tests for the link-load model."""
+
+import pytest
+
+from repro.noc.analytical import LinkLoadModel
+from repro.noc.topology import Mesh2D, Torus2D
+
+
+class TestDetailedModel:
+    def test_local_message_uses_no_links(self):
+        model = LinkLoadModel(Mesh2D(4, 4))
+        hops = model.record_message(3, 3, flits=2)
+        assert hops == 0
+        assert model.max_link_load() == 0
+        assert model.total_messages == 1
+
+    def test_single_message_loads_route(self):
+        topo = Mesh2D(4, 4)
+        model = LinkLoadModel(topo)
+        hops = model.record_message(0, 3, flits=2)
+        assert hops == 3
+        assert model.max_link_load() == 2
+        assert model.total_flit_hops == 6
+
+    def test_overlapping_messages_accumulate(self):
+        topo = Mesh2D(4, 1)
+        model = LinkLoadModel(topo)
+        model.record_message(0, 3, flits=1)
+        model.record_message(1, 3, flits=1)
+        # The 2 -> 3 link carries both messages.
+        assert model.max_link_load() == 2
+
+    def test_endpoint_load(self):
+        model = LinkLoadModel(Mesh2D(4, 4))
+        model.record_message(0, 5, flits=3)
+        model.record_message(1, 5, flits=3)
+        assert model.max_endpoint_load() == 6
+
+    def test_bisection_load_counts_crossings(self):
+        topo = Mesh2D(4, 4)
+        model = LinkLoadModel(topo)
+        model.record_message(0, 3, flits=1)   # crosses the vertical middle cut
+        model.record_message(0, 1, flits=1)   # stays in the left half
+        assert model.bisection_load() == 1
+
+    def test_network_bound_positive(self):
+        model = LinkLoadModel(Torus2D(4, 4))
+        model.record_message(0, 10, flits=2)
+        assert model.network_bound_cycles() > 0
+
+    def test_router_traffic_shape(self):
+        topo = Mesh2D(4, 4)
+        model = LinkLoadModel(topo)
+        model.record_message(0, 15, flits=1)
+        assert len(model.router_traffic()) == topo.num_tiles
+        assert model.router_traffic().sum() > 0
+
+    def test_merge_accumulates(self):
+        topo = Mesh2D(4, 4)
+        a = LinkLoadModel(topo)
+        b = LinkLoadModel(topo)
+        a.record_message(0, 3, flits=1)
+        b.record_message(0, 3, flits=1)
+        a.merge(b)
+        assert a.max_link_load() == 2
+        assert a.total_messages == 2
+
+    def test_reset_clears_state(self):
+        model = LinkLoadModel(Mesh2D(4, 4))
+        model.record_message(0, 3, flits=1)
+        model.reset()
+        assert model.max_link_load() == 0
+        assert model.total_messages == 0
+
+    def test_wire_millimeters_scale_with_pitch(self):
+        topo = Mesh2D(4, 4)
+        small = LinkLoadModel(topo)
+        large = LinkLoadModel(topo)
+        small.record_message(0, 3, flits=1, tile_pitch_mm=1.0)
+        large.record_message(0, 3, flits=1, tile_pitch_mm=2.0)
+        assert large.total_flit_millimeters == pytest.approx(2 * small.total_flit_millimeters)
+
+
+class TestAggregateModel:
+    def test_aggregate_mode_estimates_link_load(self):
+        topo = Torus2D(8, 8)
+        detailed = LinkLoadModel(topo, detailed=True)
+        aggregate = LinkLoadModel(topo, detailed=False)
+        pairs = [(i, (i * 17 + 3) % 64) for i in range(64)]
+        for src, dst in pairs:
+            detailed.record_message(src, dst, flits=2)
+            aggregate.record_message(src, dst, flits=2)
+        assert aggregate.total_flit_hops == detailed.total_flit_hops
+        assert aggregate.max_link_load() == pytest.approx(
+            detailed.max_link_load(), rel=2.0, abs=5
+        )
+
+    def test_aggregate_mode_tracks_bisection(self):
+        topo = Mesh2D(4, 4)
+        model = LinkLoadModel(topo, detailed=False)
+        model.record_message(0, 3, flits=1)
+        assert model.bisection_load() == 1
+
+    def test_congestion_factor_orders_mesh_above_torus(self):
+        assert Mesh2D(8, 8).congestion_factor > Torus2D(8, 8).congestion_factor

@@ -1,0 +1,93 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.reference import bfs_levels, spmv, sssp_distances, wcc_labels, UNREACHED
+
+
+@st.composite
+def edge_lists(draw, max_vertices=24, max_edges=80):
+    num_vertices = draw(st.integers(min_value=1, max_value=max_vertices))
+    edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_vertices - 1),
+                st.integers(min_value=0, max_value=num_vertices - 1),
+            ),
+            min_size=edge_count,
+            max_size=edge_count,
+        )
+    )
+    return num_vertices, edges
+
+
+class TestCSRInvariants:
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_indptr_consistent_with_edges(self, data):
+        num_vertices, edges = data
+        graph = CSRGraph.from_edges(num_vertices, edges)
+        assert graph.indptr[0] == 0
+        assert graph.indptr[-1] == graph.num_edges
+        assert np.all(np.diff(graph.indptr) >= 0)
+        assert graph.degrees().sum() == graph.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_preserves_edge_count(self, data):
+        num_vertices, edges = data
+        graph = CSRGraph.from_edges(num_vertices, edges)
+        assert graph.transpose().num_edges == graph.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_to_undirected_is_symmetric(self, data):
+        num_vertices, edges = data
+        graph = CSRGraph.from_edges(num_vertices, edges).to_undirected()
+        assert graph.is_symmetric()
+
+
+class TestReferenceInvariants:
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_levels_increase_by_at_most_one_across_edges(self, data):
+        num_vertices, edges = data
+        graph = CSRGraph.from_edges(num_vertices, edges)
+        levels = bfs_levels(graph, 0)
+        assert levels[0] == 0
+        for src, dst, _ in graph.iter_edges():
+            if levels[src] != UNREACHED:
+                assert levels[dst] <= levels[src] + 1
+
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_sssp_triangle_inequality_over_edges(self, data):
+        num_vertices, edges = data
+        graph = CSRGraph.from_edges(num_vertices, edges)
+        dist = sssp_distances(graph, 0)
+        for src, dst, weight in graph.iter_edges():
+            if np.isfinite(dist[src]):
+                assert dist[dst] <= dist[src] + weight + 1e-9
+
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_wcc_labels_constant_within_edges(self, data):
+        num_vertices, edges = data
+        graph = CSRGraph.from_edges(num_vertices, edges)
+        labels = wcc_labels(graph)
+        for src, dst, _ in graph.iter_edges():
+            assert labels[src] == labels[dst]
+        assert np.all(labels <= np.arange(num_vertices))
+
+    @given(edge_lists(), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_spmv_linearity(self, data, scale):
+        num_vertices, edges = data
+        graph = CSRGraph.from_edges(num_vertices, edges)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(size=num_vertices)
+        assert np.allclose(spmv(graph, scale * x), scale * spmv(graph, x))

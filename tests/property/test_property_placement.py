@@ -1,0 +1,68 @@
+"""Property-based tests for data placement: total coverage, ranges, balance."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import BlockPlacement, InterleavedPlacement, make_space_placement
+
+placement_params = st.tuples(
+    st.integers(min_value=1, max_value=2000),   # length
+    st.integers(min_value=1, max_value=64),     # tiles
+)
+
+
+class TestPlacementInvariants:
+    @given(placement_params, st.sampled_from(["block", "interleave"]))
+    @settings(max_examples=60, deadline=None)
+    def test_every_element_has_exactly_one_owner(self, params, policy):
+        length, tiles = params
+        placement = make_space_placement(policy, length, tiles)
+        counts = placement.per_tile_counts()
+        assert counts.sum() == length
+        for index in range(0, length, max(1, length // 17)):
+            owner = placement.owner(index)
+            assert 0 <= owner < tiles
+            assert 0 <= placement.local_index(index) < placement.chunk_length(owner)
+
+    @given(placement_params)
+    @settings(max_examples=60, deadline=None)
+    def test_interleave_is_balanced(self, params):
+        length, tiles = params
+        placement = InterleavedPlacement(length, tiles)
+        counts = placement.per_tile_counts()
+        assert counts.max() - counts.min() <= 1
+
+    @given(placement_params)
+    @settings(max_examples=60, deadline=None)
+    def test_block_chunks_are_contiguous(self, params):
+        length, tiles = params
+        placement = BlockPlacement(length, tiles)
+        owners = [placement.owner(i) for i in range(length)]
+        # Owners are non-decreasing for block placement.
+        assert all(a <= b for a, b in zip(owners, owners[1:]))
+
+    @given(
+        placement_params,
+        st.sampled_from(["block", "interleave"]),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_contiguous_ranges_cover_request_exactly(self, params, policy, data):
+        length, tiles = params
+        placement = make_space_placement(policy, length, tiles)
+        begin = data.draw(st.integers(min_value=0, max_value=length - 1))
+        end = data.draw(st.integers(min_value=begin, max_value=length))
+        ranges = placement.contiguous_ranges(begin, end)
+        covered = []
+        for tile, sub_begin, sub_end in ranges:
+            assert sub_begin < sub_end
+            for index in range(sub_begin, sub_end):
+                assert placement.owner(index) == tile
+            covered.append((sub_begin, sub_end))
+        # The sub-ranges are disjoint, ordered and cover [begin, end) exactly.
+        total = sum(sub_end - sub_begin for sub_begin, sub_end in covered)
+        assert total == end - begin
+        if covered:
+            assert covered[0][0] == begin
+            assert covered[-1][1] == end
+            assert all(a[1] == b[0] for a, b in zip(covered, covered[1:]))

@@ -1,0 +1,47 @@
+"""Property-based tests for the circular queues (FIFO order, statistics)."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tile.queues import CircularQueue
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers()),
+        st.tuples(st.just("pop"), st.none()),
+    ),
+    max_size=200,
+)
+
+
+class TestQueueModelEquivalence:
+    @given(st.integers(min_value=1, max_value=32), operations)
+    @settings(max_examples=80, deadline=None)
+    def test_behaves_like_a_deque(self, capacity, ops):
+        queue = CircularQueue(capacity, allow_overflow=True)
+        model = deque()
+        pushes = 0
+        for op, value in ops:
+            if op == "push":
+                queue.push(value)
+                model.append(value)
+                pushes += 1
+            else:
+                expected = model.popleft() if model else None
+                actual = queue.try_pop()
+                assert actual == expected
+        assert len(queue) == len(model)
+        assert queue.total_pushed == pushes
+        assert queue.max_occupancy <= pushes
+        assert queue.occupancy == len(model)
+
+    @given(st.integers(min_value=1, max_value=16), st.lists(st.integers(), max_size=64))
+    @settings(max_examples=80, deadline=None)
+    def test_drain_returns_fifo_order(self, capacity, values):
+        queue = CircularQueue(capacity, allow_overflow=True)
+        for value in values:
+            queue.push(value)
+        assert queue.drain() == list(values)
+        assert queue.is_empty

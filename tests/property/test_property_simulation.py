@@ -1,0 +1,66 @@
+"""Property-based end-to-end tests: simulated outputs always match references."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import BFSKernel, SPMVKernel, SSSPKernel, WCCKernel
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.graph.generators import rmat_graph, uniform_random_graph
+
+
+@st.composite
+def simulation_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=50))
+    generator = draw(st.sampled_from(["rmat", "uniform"]))
+    if generator == "rmat":
+        graph = rmat_graph(draw(st.integers(min_value=4, max_value=6)), edge_factor=4, seed=seed)
+    else:
+        vertices = draw(st.integers(min_value=8, max_value=48))
+        graph = uniform_random_graph(vertices, vertices * 3, seed=seed)
+    width = draw(st.sampled_from([1, 2, 3, 4]))
+    engine = draw(st.sampled_from(["cycle", "analytic"]))
+    vertex_placement = draw(st.sampled_from(["block", "interleave"]))
+    barrier = draw(st.booleans())
+    return graph, width, engine, vertex_placement, barrier
+
+
+class TestSimulationCorrectness:
+    @given(simulation_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_bfs_always_matches_reference(self, case):
+        graph, width, engine, vertex_placement, barrier = case
+        config = MachineConfig(
+            width=width, height=width, engine=engine,
+            vertex_placement=vertex_placement, barrier=barrier,
+        )
+        kernel = BFSKernel(root=graph.highest_degree_vertex())
+        result = DalorexMachine(config, kernel, graph).run(verify=True)
+        assert result.verified is True
+        assert result.cycles >= 1.0
+
+    @given(simulation_cases())
+    @settings(max_examples=12, deadline=None)
+    def test_sssp_always_matches_reference(self, case):
+        graph, width, engine, vertex_placement, barrier = case
+        config = MachineConfig(
+            width=width, height=width, engine=engine,
+            vertex_placement=vertex_placement, barrier=barrier,
+        )
+        kernel = SSSPKernel(root=graph.highest_degree_vertex())
+        result = DalorexMachine(config, kernel, graph).run(verify=True)
+        assert result.verified is True
+
+    @given(simulation_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_wcc_and_spmv_always_match_reference(self, case):
+        graph, width, engine, vertex_placement, barrier = case
+        config = MachineConfig(
+            width=width, height=width, engine=engine,
+            vertex_placement=vertex_placement, barrier=barrier,
+        )
+        wcc = DalorexMachine(config, WCCKernel(), graph).run(verify=True)
+        config2 = config.with_overrides()
+        spmv = DalorexMachine(config2, SPMVKernel(seed=1), graph).run(verify=True)
+        assert wcc.verified is True
+        assert spmv.verified is True

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+class TestRunCommand:
+    def test_runs_bfs_and_prints_summary(self, capsys):
+        exit_code = cli.run_command(
+            ["--app", "bfs", "--dataset", "rmat16", "--width", "4", "--scale", "0.1",
+             "--engine", "analytic"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "bfs on rmat16" in captured
+        assert "cycles" in captured
+
+    def test_json_output_is_parseable(self, capsys):
+        exit_code = cli.run_command(
+            ["--app", "spmv", "--dataset", "rmat16", "--width", "4", "--scale", "0.1",
+             "--engine", "analytic", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "spmv"
+        assert payload["verified"] is True
+        assert payload["tiles"] == 16
+
+    def test_ladder_configuration_selectable(self, capsys):
+        exit_code = cli.run_command(
+            ["--app", "bfs", "--dataset", "amazon", "--width", "4", "--scale", "0.05",
+             "--config", "Tesseract", "--engine", "analytic", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"] == "Tesseract"
+
+    def test_noc_override(self, capsys):
+        exit_code = cli.run_command(
+            ["--app", "bfs", "--dataset", "rmat16", "--width", "4", "--scale", "0.1",
+             "--engine", "analytic", "--noc", "mesh", "--json"]
+        )
+        assert exit_code == 0
+        assert json.loads(capsys.readouterr().out)["noc"] == "mesh"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.run_command(["--app", "bellman_ford"])
+
+
+class TestExperimentsCommand:
+    def test_textstats_only(self, capsys, tmp_path):
+        output = tmp_path / "report.txt"
+        exit_code = cli.experiments_command(["textstats", "--output", str(output)])
+        assert exit_code == 0
+        assert "Dalorex area" in capsys.readouterr().out
+        assert output.read_text().startswith("== Text statistics")

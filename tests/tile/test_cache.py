@@ -1,0 +1,65 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tile.cache import SetAssociativeCache
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(0)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(1000, line_bytes=64, associativity=8)  # not a multiple
+
+    def test_set_count(self):
+        cache = SetAssociativeCache(64 * 1024, line_bytes=64, associativity=8)
+        assert cache.num_sets == 128
+
+
+class TestBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, associativity=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_same_line_hits(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, associativity=2)
+        cache.access(0)
+        assert cache.access(63) is True  # same 64-byte line
+
+    def test_lru_eviction(self):
+        # One set of two ways: three conflicting lines evict the oldest.
+        cache = SetAssociativeCache(128, line_bytes=64, associativity=2)
+        cache.access(0)      # line 0
+        cache.access(64)     # line 1
+        cache.access(128)    # line 2 evicts line 0
+        assert cache.access(0) is False
+
+    def test_working_set_that_fits_has_high_hit_rate(self):
+        cache = SetAssociativeCache(4096, line_bytes=64, associativity=4)
+        for _ in range(4):
+            for address in range(0, 2048, 64):
+                cache.access(address)
+        assert cache.hit_rate() > 0.7
+
+    def test_streaming_access_has_low_hit_rate(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, associativity=2)
+        for address in range(0, 64 * 1024, 64):
+            cache.access(address)
+        assert cache.hit_rate() < 0.1
+
+    def test_access_word_helper(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, associativity=2)
+        cache.access_word(0, 0)
+        assert cache.access_word(0, 1) is True  # adjacent word, same line
+
+    def test_flush_and_reset(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, associativity=2)
+        cache.access(0)
+        cache.reset_statistics()
+        assert cache.accesses == 0
+        cache.flush()
+        assert cache.access(0) is False

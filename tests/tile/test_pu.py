@@ -1,0 +1,52 @@
+"""Unit tests for the processing unit model."""
+
+import pytest
+
+from repro.tile.pu import ProcessingUnit
+
+
+class TestTimelinePlacement:
+    def test_task_occupies_pu(self):
+        pu = ProcessingUnit(0)
+        completion = pu.start_task(now=10.0, duration_cycles=5.0, instructions=5)
+        assert completion == 15.0
+        assert not pu.is_idle(12.0)
+        assert pu.is_idle(15.0)
+
+    def test_back_to_back_tasks_serialize(self):
+        pu = ProcessingUnit(0)
+        first = pu.start_task(0.0, 10.0, 10)
+        second = pu.start_task(5.0, 10.0, 10)
+        assert first == 10.0
+        assert second == 20.0
+        assert pu.stall_cycles == 5.0
+
+    def test_busy_cycles_accumulate(self):
+        pu = ProcessingUnit(0)
+        pu.start_task(0.0, 4.0, 4)
+        pu.start_task(4.0, 6.0, 6)
+        assert pu.busy_cycles == 10.0
+        assert pu.instructions == 10
+        assert pu.tasks_executed == 2
+
+
+class TestAccounting:
+    def test_account_busy_without_timeline(self):
+        pu = ProcessingUnit(1)
+        pu.account_busy(7.0, 7)
+        assert pu.busy_cycles == 7.0
+        assert pu.busy_until == 0.0
+
+    def test_utilization(self):
+        pu = ProcessingUnit(0)
+        pu.account_busy(50.0, 50)
+        assert pu.utilization(100.0) == pytest.approx(0.5)
+        assert pu.utilization(0.0) == 0.0
+        assert pu.utilization(10.0) == 1.0  # clamped
+
+    def test_reset(self):
+        pu = ProcessingUnit(0)
+        pu.start_task(0.0, 5.0, 5)
+        pu.reset()
+        assert pu.busy_cycles == 0.0
+        assert pu.tasks_executed == 0

@@ -1,0 +1,84 @@
+"""Unit tests for the circular task queues."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.tile.queues import CircularQueue
+
+
+class TestBasicOperations:
+    def test_fifo_order(self):
+        queue = CircularQueue(4)
+        for item in "abc":
+            queue.push(item)
+        assert [queue.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_peek_does_not_remove(self):
+        queue = CircularQueue(2)
+        queue.push(1)
+        assert queue.peek() == 1
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(CapacityError):
+            CircularQueue(2).pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(CapacityError):
+            CircularQueue(2).peek()
+
+    def test_try_pop_returns_none(self):
+        assert CircularQueue(2).try_pop() is None
+
+    def test_push_beyond_capacity_raises(self):
+        queue = CircularQueue(1)
+        queue.push(1)
+        with pytest.raises(CapacityError):
+            queue.push(2)
+
+    def test_overflow_allowed_when_configured(self):
+        queue = CircularQueue(1, allow_overflow=True)
+        queue.push(1)
+        queue.push(2)
+        assert queue.overflow_events == 1
+        assert len(queue) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CapacityError):
+            CircularQueue(0)
+
+    def test_clear_and_drain(self):
+        queue = CircularQueue(4)
+        queue.push(1)
+        queue.push(2)
+        assert queue.drain() == [1, 2]
+        queue.push(3)
+        queue.clear()
+        assert queue.is_empty
+
+
+class TestOccupancyTracking:
+    def test_occupancy_fraction(self):
+        queue = CircularQueue(4)
+        queue.push(1)
+        queue.push(2)
+        assert queue.occupancy_fraction() == 0.5
+        assert queue.free_entries() == 2
+
+    def test_nearly_full_and_empty(self):
+        queue = CircularQueue(4)
+        assert queue.nearly_empty()
+        for i in range(4):
+            queue.push(i)
+        assert queue.nearly_full()
+        assert queue.is_full
+
+    def test_statistics(self):
+        queue = CircularQueue(3)
+        queue.push(1)
+        queue.push(2)
+        queue.pop()
+        queue.push(3)
+        assert queue.total_pushed == 3
+        assert queue.total_popped == 1
+        assert queue.max_occupancy == 2

@@ -1,0 +1,65 @@
+"""Unit tests for the scratchpad memory model."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.tile.scratchpad import Scratchpad
+
+
+class TestCapacity:
+    def test_regions_accumulate(self):
+        pad = Scratchpad(1024)
+        pad.register_region("data", 512)
+        pad.register_region("code", 256)
+        assert pad.used_bytes == 768
+        assert pad.free_bytes == 256
+        assert pad.fits()
+
+    def test_region_update_replaces(self):
+        pad = Scratchpad(1024)
+        pad.register_region("data", 512)
+        pad.register_region("data", 128)
+        assert pad.used_bytes == 128
+
+    def test_strict_overflow_raises(self):
+        pad = Scratchpad(100, strict=True)
+        with pytest.raises(CapacityError):
+            pad.register_region("data", 200)
+
+    def test_non_strict_overflow_allowed(self):
+        pad = Scratchpad(100, strict=False)
+        pad.register_region("data", 200)
+        assert not pad.fits()
+
+    def test_auto_sized_effective_capacity(self):
+        pad = Scratchpad(None)
+        pad.register_region("data", 4096)
+        assert pad.effective_capacity_bytes() == 4096
+        assert pad.fits()
+
+    def test_negative_region_rejected(self):
+        with pytest.raises(CapacityError):
+            Scratchpad(10).register_region("data", -1)
+
+    def test_utilization(self):
+        pad = Scratchpad(1000)
+        pad.register_region("data", 250)
+        assert pad.utilization() == pytest.approx(0.25)
+
+
+class TestAccessCounters:
+    def test_reads_and_writes_counted(self):
+        pad = Scratchpad(1024)
+        pad.record_read(3)
+        pad.record_write(2)
+        assert pad.reads == 3
+        assert pad.writes == 2
+        assert pad.total_accesses == 5
+
+    def test_bytes_accessed(self):
+        pad = Scratchpad(1024)
+        pad.record_read(2, entry_bytes=8)
+        pad.record_write(1, entry_bytes=4)
+        assert pad.bytes_read == 16
+        assert pad.bytes_written == 4
+        assert pad.total_bytes_accessed == 20

@@ -1,0 +1,52 @@
+"""Unit tests for the tile composition."""
+
+from repro.tile.tile import Tile
+
+
+def make_tile(policy="occupancy"):
+    return Tile(
+        tile_id=3,
+        coords=(3, 0),
+        task_ids=[0, 1],
+        iq_capacities={0: 8, 1: 16},
+        scheduling_policy=policy,
+        scratchpad_bytes=64 * 1024,
+    )
+
+
+class TestTile:
+    def test_initial_state_idle(self):
+        tile = make_tile()
+        assert tile.is_idle()
+        assert tile.pending_invocations() == 0
+        assert tile.select_next_task() is None
+
+    def test_enqueue_and_select(self):
+        tile = make_tile()
+        tile.enqueue_task(1, ("params",))
+        assert not tile.is_idle()
+        assert tile.pending_invocations() == 1
+        assert tile.select_next_task() == 1
+        assert tile.messages_received == 1
+
+    def test_send_counters(self):
+        tile = make_tile()
+        tile.record_send(flits=3)
+        tile.record_receive_flits(flits=2)
+        assert tile.messages_sent == 1
+        assert tile.flits_sent == 3
+        assert tile.flits_received == 2
+
+    def test_queue_statistics(self):
+        tile = make_tile()
+        tile.enqueue_task(0, ("a",))
+        tile.enqueue_task(0, ("b",))
+        stats = tile.queue_statistics()
+        assert stats[0]["total_pushed"] == 2
+        assert stats[0]["capacity"] == 8
+        assert stats[1]["total_pushed"] == 0
+
+    def test_scratchpad_attached(self):
+        tile = make_tile()
+        tile.scratchpad.register_region("data", 1024)
+        assert tile.scratchpad.used_bytes == 1024

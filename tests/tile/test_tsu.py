@@ -1,0 +1,88 @@
+"""Unit tests for the task scheduling unit."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tile.queues import CircularQueue
+from repro.tile.tsu import OCCUPANCY, ROUND_ROBIN, TaskSchedulingUnit
+
+
+def make_queues(capacities):
+    return {
+        task_id: CircularQueue(capacity, allow_overflow=True)
+        for task_id, capacity in capacities.items()
+    }
+
+
+class TestSelection:
+    def test_no_ready_task_returns_none(self):
+        tsu = TaskSchedulingUnit([0, 1])
+        queues = make_queues({0: 4, 1: 4})
+        assert tsu.select_task(queues) is None
+        assert tsu.clock_gated
+
+    def test_single_ready_task_selected(self):
+        tsu = TaskSchedulingUnit([0, 1])
+        queues = make_queues({0: 4, 1: 4})
+        queues[1].push(("x",))
+        assert tsu.select_task(queues) == 1
+        assert not tsu.clock_gated
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskSchedulingUnit([0], policy="priority")
+
+    def test_ready_tasks_listing(self):
+        tsu = TaskSchedulingUnit([0, 1, 2])
+        queues = make_queues({0: 4, 1: 4, 2: 4})
+        queues[0].push(1)
+        queues[2].push(1)
+        assert tsu.ready_tasks(queues) == [0, 2]
+
+
+class TestRoundRobin:
+    def test_alternates_between_ready_tasks(self):
+        tsu = TaskSchedulingUnit([0, 1], policy=ROUND_ROBIN)
+        queues = make_queues({0: 4, 1: 4})
+        for _ in range(4):
+            queues[0].push("a")
+            queues[1].push("b")
+        picks = []
+        for _ in range(4):
+            choice = tsu.select_task(queues)
+            picks.append(choice)
+            queues[choice].pop()
+        assert set(picks) == {0, 1}
+
+
+class TestOccupancyPolicy:
+    def test_nearly_full_queue_wins(self):
+        tsu = TaskSchedulingUnit([0, 1], policy=OCCUPANCY)
+        queues = make_queues({0: 4, 1: 100})
+        for _ in range(4):
+            queues[0].push("hot")  # 100% full -> high priority
+        queues[1].push("cold")
+        assert tsu.select_task(queues) == 0
+
+    def test_larger_queue_breaks_ties(self):
+        tsu = TaskSchedulingUnit([0, 1], policy=OCCUPANCY)
+        queues = make_queues({0: 32, 1: 2048})
+        queues[0].push("a")
+        queues[1].push("b")
+        assert tsu.select_task(queues) == 1
+
+    def test_starving_consumer_gets_medium_priority(self):
+        tsu = TaskSchedulingUnit([0, 1], policy=OCCUPANCY)
+        queues = make_queues({0: 2048, 1: 32})
+        queues[0].push("a")
+        queues[1].push("b")
+        # Task 1's output queue is empty -> medium priority beats the larger queue.
+        choice = tsu.select_task(queues, output_occupancy={0: 0.5, 1: 0.0})
+        assert choice == 1
+
+    def test_scheduling_decisions_counted(self):
+        tsu = TaskSchedulingUnit([0], policy=OCCUPANCY)
+        queues = make_queues({0: 4})
+        queues[0].push("a")
+        tsu.select_task(queues)
+        assert tsu.scheduling_decisions == 1
