@@ -1,6 +1,6 @@
 """Fig. 10: PU and router utilization heatmaps, mesh versus torus."""
 
-from conftest import BENCH_SCALE, record
+from conftest import BENCH_SCALE, bench_runner, record
 from repro.experiments import fig10
 
 
@@ -8,7 +8,9 @@ def test_fig10_mesh_vs_torus_heatmaps(benchmark):
     """Regenerates the mesh-vs-torus utilization comparison for SSSP."""
 
     def run():
-        return fig10.run_fig10(scale=BENCH_SCALE, width=16, height=16, verify=False)
+        return fig10.run_fig10(
+            scale=BENCH_SCALE, width=16, height=16, verify=False, runner=bench_runner()
+        )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     mesh_ratio = fig10.center_edge_router_ratio(results["mesh"])

@@ -1,6 +1,6 @@
 """Fig. 5 (bottom): energy improvement over Tesseract, feature by feature."""
 
-from conftest import BENCH_GRID, BENCH_SCALE, record
+from conftest import BENCH_GRID, BENCH_SCALE, bench_runner, record
 from repro.experiments import fig5
 
 
@@ -15,6 +15,7 @@ def test_fig5_energy_ladder(benchmark):
             height=BENCH_GRID,
             scale=BENCH_SCALE,
             verify=False,
+            runner=bench_runner(),
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

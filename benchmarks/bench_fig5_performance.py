@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import BENCH_GRID, BENCH_SCALE, record
+from conftest import BENCH_GRID, BENCH_SCALE, bench_runner, record
 from repro.experiments import fig5
 
 
@@ -18,6 +18,7 @@ def test_fig5_performance_ladder(benchmark, app):
             height=BENCH_GRID,
             scale=BENCH_SCALE,
             verify=True,
+            runner=bench_runner(),
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -42,6 +43,7 @@ def test_fig5_headline_factors(benchmark):
             height=BENCH_GRID,
             scale=BENCH_SCALE,
             verify=False,
+            runner=bench_runner(),
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

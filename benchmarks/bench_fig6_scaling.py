@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import BENCH_SCALE, record
+from conftest import BENCH_SCALE, bench_runner, record
 from repro.experiments import fig6
 
 
@@ -12,7 +12,8 @@ def test_fig6_strong_scaling(benchmark, dataset):
 
     def run():
         return fig6.run_fig6(
-            datasets=(dataset,), grid_widths=(2, 4, 8, 16, 32), scale=BENCH_SCALE
+            datasets=(dataset,), grid_widths=(2, 4, 8, 16, 32), scale=BENCH_SCALE,
+            runner=bench_runner(),
         )
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)

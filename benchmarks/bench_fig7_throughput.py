@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import BENCH_SCALE, record
+from conftest import BENCH_SCALE, bench_runner, record
 from repro.experiments import fig7
 
 
@@ -12,7 +12,8 @@ def test_fig7_throughput_scaling(benchmark, app):
 
     def run():
         return fig7.run_fig7(
-            apps=(app,), grid_widths=(8, 16, 32), scale=BENCH_SCALE, pagerank_iterations=2
+            apps=(app,), grid_widths=(8, 16, 32), scale=BENCH_SCALE, pagerank_iterations=2,
+            runner=bench_runner(),
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import BENCH_SCALE, record
+from conftest import BENCH_SCALE, bench_runner, record
 from repro.experiments import fig8
 
 
@@ -12,7 +12,8 @@ def test_fig8_noc_comparison_small_grid(benchmark, dataset):
 
     def run():
         return fig8.run_fig8(
-            apps=("sssp",), datasets=(dataset,), nocs=("mesh", "torus"), scale=BENCH_SCALE
+            apps=("sssp",), datasets=(dataset,), nocs=("mesh", "torus"), scale=BENCH_SCALE,
+            runner=bench_runner(),
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -31,6 +32,7 @@ def test_fig8_ruche_on_large_grid(benchmark):
             datasets=("rmat26",),
             nocs=("mesh", "torus", "torus_ruche"),
             scale=BENCH_SCALE,
+            runner=bench_runner(),
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,6 +1,6 @@
 """Fig. 9: energy breakdown into logic, memory and network."""
 
-from conftest import BENCH_SCALE, record
+from conftest import BENCH_SCALE, bench_runner, record
 from repro.experiments import fig9
 
 
@@ -9,7 +9,8 @@ def test_fig9_energy_breakdown(benchmark):
 
     def run():
         return fig9.run_fig9(
-            apps=("bfs", "spmv"), datasets=("rmat22", "livejournal"), scale=BENCH_SCALE
+            apps=("bfs", "spmv"), datasets=("rmat22", "livejournal"), scale=BENCH_SCALE,
+            runner=bench_runner(),
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -5,15 +5,41 @@ This is the script used to produce the measured numbers recorded in
 EXPERIMENTS.md.  The ``--scale`` flag controls the stand-in dataset sizes
 relative to the experiment defaults (1.0 reproduces the sizes documented in
 DESIGN.md; smaller is faster).
+
+All simulations route through the shared :mod:`repro.runtime` substrate:
+
+* ``--jobs N`` fans independent simulation points out over N worker processes;
+* ``--cache-dir PATH`` makes sweeps resumable: every simulation is stored in a
+  content-addressed cache, so a re-run (or a crash recovery) only executes
+  points that are not cached yet -- a fully warm cache executes nothing;
+* ``--no-cache`` ignores ``--cache-dir``;
+* ``--json PATH`` additionally writes each figure's result summaries as one
+  JSON document (byte-identical for any ``--jobs`` value and cache state).
+
+A ``[runtime] executed=... cache_hits=... deduplicated=...`` line reports how
+the runner satisfied the batch.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro.cli import add_runtime_arguments, runner_from_args
 from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, textstats
+
+
+def _summarize(value):
+    """Recursively convert result containers into JSON-able summaries."""
+    if hasattr(value, "to_dict"):
+        return _summarize(value.to_dict())
+    if isinstance(value, dict):
+        return {str(key): _summarize(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_summarize(entry) for entry in value]
+    return value
 
 
 def main(argv=None) -> int:
@@ -21,12 +47,24 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
     parser.add_argument("--output", default="experiment_report.txt", help="report path")
     parser.add_argument(
-        "--figures", nargs="*", default=["5", "6", "7", "8", "9", "10", "text"],
+        "--json", default=None, metavar="PATH",
+        help="also write per-figure result summaries as one JSON document",
+    )
+    parser.add_argument(
+        "--figures", nargs="*", choices=("5", "6", "7", "8", "9", "10", "text"),
+        default=["5", "6", "7", "8", "9", "10", "text"],
         help="subset of figures to run",
     )
+    add_runtime_arguments(parser)
     args = parser.parse_args(argv)
 
+    with runner_from_args(args) as runner:
+        return _run_figures(args, runner)
+
+
+def _run_figures(args, runner) -> int:
     sections = []
+    payloads = {}
     started = time.time()
 
     def note(label: str) -> None:
@@ -35,29 +73,49 @@ def main(argv=None) -> int:
 
     if "5" in args.figures:
         note("running Fig. 5 (configuration ladder)")
-        sections.append(fig5.report(fig5.run_fig5(scale=args.scale)))
+        results = fig5.run_fig5(scale=args.scale, runner=runner)
+        sections.append(fig5.report(results))
+        payloads["fig5"] = _summarize(results)
     if "6" in args.figures:
         note("running Fig. 6 (strong scaling)")
-        sections.append(fig6.report(fig6.run_fig6(scale=args.scale)))
+        sweeps = fig6.run_fig6(scale=args.scale, runner=runner)
+        sections.append(fig6.report(sweeps))
+        payloads["fig6"] = _summarize(sweeps)
     if "7" in args.figures:
         note("running Fig. 7 (throughput)")
-        sections.append(fig7.report(fig7.run_fig7(scale=args.scale)))
+        results = fig7.run_fig7(scale=args.scale, runner=runner)
+        sections.append(fig7.report(results))
+        payloads["fig7"] = _summarize(results)
     if "8" in args.figures:
         note("running Fig. 8 (NoC comparison)")
-        sections.append(fig8.report(fig8.run_fig8(scale=args.scale)))
+        results = fig8.run_fig8(scale=args.scale, runner=runner)
+        sections.append(fig8.report(results))
+        payloads["fig8"] = _summarize(results)
     if "9" in args.figures:
         note("running Fig. 9 (energy breakdown)")
-        sections.append(fig9.report(fig9.run_fig9(scale=args.scale)))
+        results = fig9.run_fig9(scale=args.scale, runner=runner)
+        sections.append(fig9.report(results))
+        payloads["fig9"] = _summarize(results)
     if "10" in args.figures:
         note("running Fig. 10 (utilization heatmaps)")
-        sections.append(fig10.report(fig10.run_fig10(scale=args.scale)))
+        results = fig10.run_fig10(scale=args.scale, runner=runner)
+        sections.append(fig10.report(results))
+        payloads["fig10"] = _summarize(results)
     if "text" in args.figures:
-        sections.append(textstats.report())
+        result = textstats.run_textstats(scale=args.scale, runner=runner)
+        sections.append(textstats.report(result))
+        payloads["textstats"] = _summarize(result)
 
     report = "\n\n".join(sections)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(report)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payloads, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        note(f"wrote {args.json}")
     note(f"wrote {args.output}")
+    print(f"[runtime] {runner.stats.describe()}")
     print(report)
     return 0
 

@@ -1,4 +1,15 @@
-"""Parameter sweeps: strong scaling over grid sizes (the paper's Figs. 6 and 7)."""
+"""Parameter sweeps: strong scaling over grid sizes (the paper's Figs. 6 and 7).
+
+Sweep points are executed through the shared :mod:`repro.runtime` substrate:
+:func:`scaling_run_specs` turns a (app, dataset, grid widths) request into
+:class:`~repro.runtime.spec.RunSpec` values and
+:func:`strong_scaling_sweep` hands them to an
+:class:`~repro.runtime.runner.ExperimentRunner`, so sweeps parallelize over
+worker processes and replay from the on-disk result cache.  The legacy
+entry style (an ad-hoc kernel factory plus an in-memory graph) still works,
+but bypasses the runner: an anonymous graph cannot be rebuilt inside a
+worker or keyed into the cache, so those points run inline and serially.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +20,7 @@ from repro.core.config import MachineConfig
 from repro.core.machine import DalorexMachine
 from repro.core.results import SimulationResult
 from repro.graph.csr import CSRGraph
+from repro.runtime import ExperimentRunner, RunSpec
 
 
 @dataclass
@@ -57,30 +69,94 @@ def square_grid_sizes(min_width: int = 1, max_width: int = 128) -> List[int]:
     return sizes
 
 
-def strong_scaling_sweep(
-    kernel_factory: Callable[[], object],
-    graph: CSRGraph,
-    grid_widths: Sequence[int],
-    base_config: Optional[MachineConfig] = None,
-    dataset_name: Optional[str] = None,
-    verify: bool = False,
-) -> List[ScalingPoint]:
-    """Run the same kernel and dataset on increasingly large square grids.
+def _grid_config(width: int, base_config: Optional[MachineConfig]) -> MachineConfig:
+    """Configuration for one square sweep point.
 
-    A fresh kernel instance and machine are built per point (machines are
-    single-use).  ``base_config`` supplies every parameter except the grid
-    size; the paper's NoC policy (torus up to 32x32, torus+ruche beyond) is
-    applied when the base config does not pin a NoC explicitly.
+    ``base_config`` supplies every parameter except the grid size; the paper's
+    NoC policy (torus up to 32x32, torus+ruche beyond) is applied when no base
+    config pins a NoC explicitly.
     """
     from repro.baselines.ladder import dalorex_config
 
+    if base_config is None:
+        return dalorex_config(width, width, engine="analytic")
+    return base_config.with_overrides(width=width, height=width)
+
+
+def scaling_run_specs(
+    app: str,
+    dataset: str,
+    grid_widths: Sequence[int],
+    base_config: Optional[MachineConfig] = None,
+    scale: float = 1.0,
+    seed: int = 7,
+    verify: bool = False,
+) -> List[RunSpec]:
+    """Specs of a strong-scaling sweep, one per square grid width."""
+    return [
+        RunSpec(
+            app=app,
+            dataset=dataset,
+            config=_grid_config(width, base_config),
+            scale=scale,
+            seed=seed,
+            verify=verify,
+        )
+        for width in grid_widths
+    ]
+
+
+def points_from_results(results: Sequence[SimulationResult]) -> List[ScalingPoint]:
+    """Wrap one result per sweep point into :class:`ScalingPoint` values."""
+    return [
+        ScalingPoint(result.num_tiles, result.width, result.height, result)
+        for result in results
+    ]
+
+
+def strong_scaling_sweep(
+    kernel_factory: Optional[Callable[[], object]] = None,
+    graph: Optional[CSRGraph] = None,
+    grid_widths: Optional[Sequence[int]] = None,
+    base_config: Optional[MachineConfig] = None,
+    dataset_name: Optional[str] = None,
+    verify: bool = False,
+    *,
+    app: Optional[str] = None,
+    scale: float = 1.0,
+    seed: int = 7,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[ScalingPoint]:
+    """Run the same kernel and dataset on increasingly large square grids.
+
+    Two entry styles:
+
+    * ``app`` + ``dataset_name`` (+ ``scale``/``seed``): the sweep is expressed
+      as :class:`RunSpec` values and executed by ``runner`` (a fresh serial
+      runner when omitted), so it parallelizes and caches.
+    * legacy ``kernel_factory`` + ``graph``: a fresh kernel and machine are
+      built inline per point (machines are single-use); no cache key exists
+      for an anonymous in-memory graph, so this path always runs serially.
+    """
+    if grid_widths is None:
+        # An explicitly empty sequence is a legitimate filtered-away sweep
+        # (tiny graphs) and returns []; omitting the argument is a bug.
+        raise ValueError("grid_widths is required (pass [] for an empty sweep)")
+    if app is not None:
+        if dataset_name is None:
+            raise ValueError("app-based sweeps require dataset_name")
+        specs = scaling_run_specs(
+            app, dataset_name, grid_widths, base_config,
+            scale=scale, seed=seed, verify=verify,
+        )
+        active_runner = ExperimentRunner.ensure(runner)
+        return points_from_results(active_runner.run_batch(specs))
+
+    if kernel_factory is None or graph is None:
+        raise ValueError("provide either app+dataset_name or kernel_factory+graph")
     points: List[ScalingPoint] = []
     for width in grid_widths:
-        if base_config is None:
-            config = dalorex_config(width, width, engine="analytic")
-        else:
-            noc = base_config.noc
-            config = base_config.with_overrides(width=width, height=width, noc=noc)
+        config = _grid_config(width, base_config)
         machine = DalorexMachine(config, kernel_factory(), graph, dataset_name=dataset_name)
         result = machine.run(verify=verify)
         points.append(ScalingPoint(config.num_tiles, width, width, result))

@@ -6,6 +6,17 @@ Two entry points are installed with the package:
   configuration and print the result summary (optionally as JSON).
 * ``dalorex-experiments`` -- regenerate the paper's figures (wraps the runners
   in :mod:`repro.experiments`).
+
+Both route their simulations through :mod:`repro.runtime` and share three
+execution flags:
+
+* ``--jobs N`` fans independent simulations out over N worker processes;
+* ``--cache-dir PATH`` replays previously computed runs from a
+  content-addressed on-disk cache (one JSON blob per run, keyed by the
+  SHA-256 of the run's spec) and stores new ones;
+* ``--no-cache`` disables the cache even when ``--cache-dir`` is given.
+
+Results are bit-identical whatever the jobs/cache settings.
 """
 
 from __future__ import annotations
@@ -17,9 +28,41 @@ from typing import List, Optional
 
 from repro.apps import KERNELS
 from repro.baselines.ladder import LADDER_ORDER, dalorex_config, ladder_configs
-from repro.core.machine import DalorexMachine
-from repro.experiments.common import build_kernel, load_experiment_dataset
 from repro.graph.datasets import list_datasets
+from repro.runtime import ExperimentRunner, ResultCache, RunSpec
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags."""
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for independent simulations (default: 1, serial; "
+             "only batches of two or more points fan out, so a single "
+             "dalorex-run executes in-process regardless)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="reuse/store simulation results in this content-addressed cache",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the result cache even if --cache-dir is set",
+    )
+
+
+def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the shared experiment runner the parsed flags describe."""
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    return ExperimentRunner(jobs=args.jobs, cache=cache)
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -40,6 +83,7 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="dataset generator seed")
     parser.add_argument("--no-verify", action="store_true", help="skip reference validation")
     parser.add_argument("--json", action="store_true", help="print the summary as JSON")
+    add_runtime_arguments(parser)
 
 
 def run_command(argv: Optional[List[str]] = None) -> int:
@@ -51,7 +95,6 @@ def run_command(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     height = args.height if args.height is not None else args.width
-    graph = load_experiment_dataset(args.dataset, scale=args.scale, seed=args.seed)
     if args.config == "Dalorex":
         config = dalorex_config(args.width, height)
     else:
@@ -66,9 +109,16 @@ def run_command(argv: Optional[List[str]] = None) -> int:
     if overrides:
         config = config.with_overrides(**overrides)
 
-    kernel = build_kernel(args.app, graph)
-    machine = DalorexMachine(config, kernel, graph, dataset_name=args.dataset)
-    result = machine.run(verify=not args.no_verify)
+    spec = RunSpec(
+        app=args.app,
+        dataset=args.dataset,
+        config=config,
+        scale=args.scale,
+        seed=args.seed,
+        verify=not args.no_verify,
+    )
+    with runner_from_args(args) as runner:
+        result = runner.run(spec)
 
     summary = result.to_dict()
     summary["energy_breakdown"] = result.energy.grouped_fractions()
@@ -76,7 +126,10 @@ def run_command(argv: Optional[List[str]] = None) -> int:
     if args.json:
         print(json.dumps(summary, indent=2, default=str))
     else:
-        print(f"{args.app} on {args.dataset} ({graph.num_vertices} V, {graph.num_edges} E)")
+        print(
+            f"{args.app} on {args.dataset} "
+            f"({result.num_vertices} V, {result.num_edges} E)"
+        )
         print(f"configuration: {config.describe()}")
         for key, value in summary.items():
             print(f"  {key:24s} {value}")
@@ -88,13 +141,15 @@ def experiments_command(argv: Optional[List[str]] = None) -> int:
     from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, textstats
 
     runners = {
-        "fig5": lambda scale: fig5.report(fig5.run_fig5(scale=scale)),
-        "fig6": lambda scale: fig6.report(fig6.run_fig6(scale=scale)),
-        "fig7": lambda scale: fig7.report(fig7.run_fig7(scale=scale)),
-        "fig8": lambda scale: fig8.report(fig8.run_fig8(scale=scale)),
-        "fig9": lambda scale: fig9.report(fig9.run_fig9(scale=scale)),
-        "fig10": lambda scale: fig10.report(fig10.run_fig10(scale=scale)),
-        "textstats": lambda scale: textstats.report(),
+        "fig5": lambda scale, runner: fig5.report(fig5.run_fig5(scale=scale, runner=runner)),
+        "fig6": lambda scale, runner: fig6.report(fig6.run_fig6(scale=scale, runner=runner)),
+        "fig7": lambda scale, runner: fig7.report(fig7.run_fig7(scale=scale, runner=runner)),
+        "fig8": lambda scale, runner: fig8.report(fig8.run_fig8(scale=scale, runner=runner)),
+        "fig9": lambda scale, runner: fig9.report(fig9.run_fig9(scale=scale, runner=runner)),
+        "fig10": lambda scale, runner: fig10.report(fig10.run_fig10(scale=scale, runner=runner)),
+        "textstats": lambda scale, runner: textstats.report(
+            textstats.run_textstats(scale=scale, runner=runner)
+        ),
     }
     parser = argparse.ArgumentParser(
         prog="dalorex-experiments", description="Regenerate the paper's evaluation figures."
@@ -103,13 +158,15 @@ def experiments_command(argv: Optional[List[str]] = None) -> int:
                         help=f"figures to regenerate (default: all of {', '.join(runners)})")
     parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
     parser.add_argument("--output", default=None, help="also write the report to this file")
+    add_runtime_arguments(parser)
     args = parser.parse_args(argv)
 
     unknown = [name for name in args.figures if name not in runners]
     if unknown:
         parser.error(f"unknown figures {unknown}; choose from {sorted(runners)}")
     figures = args.figures or list(runners)
-    sections = [runners[name](args.scale) for name in figures]
+    with runner_from_args(args) as shared_runner:
+        sections = [runners[name](args.scale, shared_runner) for name in figures]
     report = "\n\n".join(sections)
     print(report)
     if args.output:

@@ -5,6 +5,14 @@ Every runner accepts a ``scale`` knob (1.0 = the default stand-in sizes used in
 suite stays fast).  Absolute sizes are far below the paper's datasets -- see
 DESIGN.md for the substitution rationale -- but each figure's qualitative shape
 is preserved.
+
+The figure runners themselves no longer construct machines inline: they
+describe their simulations as :class:`repro.runtime.RunSpec` batches and hand
+them to an :class:`repro.runtime.ExperimentRunner` (parallel workers plus the
+on-disk result cache).  The helpers here remain the single place that maps
+(app, dataset, scale) onto kernels and stand-in graphs -- both the runners and
+the runtime's spec executor call through them, so a ``RunSpec`` reproduces
+exactly what :func:`run_configuration` would run inline.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ from repro.core.config import MachineConfig
 from repro.core.machine import DalorexMachine
 from repro.core.results import SimulationResult
 from repro.graph.csr import CSRGraph
-from repro.graph.datasets import dataset_spec, load_dataset
+from repro.graph.datasets import dataset_spec, load_dataset, stand_in_vertex_count
 
 #: Default shrink factors (relative to the paper's dataset sizes) used by the
 #: experiment runners.  They keep cycle-accurate 16x16 runs to a few seconds.
@@ -46,12 +54,24 @@ DATASET_LABELS = {
 PAGERANK_ITERATIONS = 5
 
 
-def load_experiment_dataset(name: str, scale: float = 1.0, seed: int = 7) -> CSRGraph:
-    """Load a dataset stand-in at the experiment's default size times ``scale``."""
+def experiment_scale_divisor(name: str, scale: float = 1.0) -> int:
+    """Effective shrink divisor for a dataset at an experiment ``scale``."""
     spec = dataset_spec(name)
     divisor = EXPERIMENT_SCALE_DIVISORS.get(spec.name, spec.default_scale_divisor)
-    effective = max(1, int(round(divisor / max(scale, 1e-6))))
-    return load_dataset(name, scale_divisor=effective, seed=seed)
+    return max(1, int(round(divisor / max(scale, 1e-6))))
+
+
+def experiment_dataset_vertices(name: str, scale: float = 1.0) -> int:
+    """Vertex count :func:`load_experiment_dataset` would produce, computed
+    arithmetically -- lets callers size grids without building the graph."""
+    return stand_in_vertex_count(name, experiment_scale_divisor(name, scale))
+
+
+def load_experiment_dataset(name: str, scale: float = 1.0, seed: int = 7) -> CSRGraph:
+    """Load a dataset stand-in at the experiment's default size times ``scale``."""
+    return load_dataset(
+        name, scale_divisor=experiment_scale_divisor(name, scale), seed=seed
+    )
 
 
 def build_kernel(app: str, graph: CSRGraph, pagerank_iterations: int = PAGERANK_ITERATIONS) -> Kernel:
@@ -72,7 +92,11 @@ def run_configuration(
     verify: bool = False,
     pagerank_iterations: int = PAGERANK_ITERATIONS,
 ) -> SimulationResult:
-    """Build a fresh machine for (config, app, graph) and run it once."""
+    """Build a fresh machine for (config, app, graph) and run it once.
+
+    Compatibility helper for callers that already hold a graph; batch and
+    cacheable execution should go through :mod:`repro.runtime` instead.
+    """
     kernel = build_kernel(app, graph, pagerank_iterations=pagerank_iterations)
     machine = DalorexMachine(config, kernel, graph, dataset_name=dataset_name or graph.name)
     return machine.run(verify=verify)

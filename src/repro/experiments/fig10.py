@@ -7,15 +7,15 @@ PUs, while a torus spreads router utilization uniformly and lets the PUs run.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.report import heatmap_report, percentile_summary
 from repro.baselines.ladder import dalorex_full_config
 from repro.core.results import SimulationResult
-from repro.experiments.common import load_experiment_dataset, run_configuration
 from repro.noc.topology import make_topology
+from repro.runtime import ExperimentRunner, RunSpec
 
 DEFAULT_NOCS = ("mesh", "torus")
 
@@ -29,16 +29,24 @@ def run_fig10(
     scale: float = 1.0,
     engine: str = "cycle",
     verify: bool = False,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, SimulationResult]:
     """Run SSSP on the given dataset for each NoC kind; returns ``results[noc]``."""
-    graph = load_experiment_dataset(dataset, scale=scale)
-    results: Dict[str, SimulationResult] = {}
-    for noc in nocs:
-        config = dalorex_full_config(width, height, engine=engine).with_overrides(
-            name=f"Dalorex-{noc}", noc=noc
+    runner = ExperimentRunner.ensure(runner)
+    nocs = tuple(nocs)  # consumed twice (specs + result keys)
+    specs = [
+        RunSpec(
+            app,
+            dataset,
+            dalorex_full_config(width, height, engine=engine).with_overrides(
+                name=f"Dalorex-{noc}", noc=noc
+            ),
+            scale=scale,
+            verify=verify,
         )
-        results[noc] = run_configuration(config, app, graph, dataset_name=dataset, verify=verify)
-    return results
+        for noc in nocs
+    ]
+    return dict(zip(nocs, runner.run_batch(specs)))
 
 
 def center_edge_router_ratio(result: SimulationResult) -> float:

@@ -15,11 +15,8 @@ from repro.analysis.metrics import geometric_mean, stepwise_factors
 from repro.analysis.report import format_table, improvement_table
 from repro.baselines.ladder import LADDER_ORDER, ladder_configs
 from repro.core.results import SimulationResult
-from repro.experiments.common import (
-    DATASET_LABELS,
-    load_experiment_dataset,
-    run_configuration,
-)
+from repro.experiments.common import DATASET_LABELS
+from repro.runtime import ExperimentRunner, RunSpec
 
 DEFAULT_APPS = ("bfs", "wcc", "pagerank", "sssp")
 DEFAULT_DATASETS = ("amazon", "wikipedia", "livejournal", "rmat22")
@@ -34,22 +31,27 @@ def run_fig5(
     engine: str = "cycle",
     scale: float = 1.0,
     verify: bool = True,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, SimulationResult]]]:
     """Run the configuration ladder; returns ``results[app][dataset][config]``."""
     ladder = ladder_configs(width, height, engine=engine)
     selected = list(configs) if configs else LADDER_ORDER
+    runner = ExperimentRunner.ensure(runner)
+    grid = [
+        (app, dataset, config_name)
+        for app in apps
+        for dataset in datasets
+        for config_name in selected
+    ]
+    batch = runner.run_batch(
+        [
+            RunSpec(app, dataset, ladder[config_name], scale=scale, verify=verify)
+            for app, dataset, config_name in grid
+        ]
+    )
     results: Dict[str, Dict[str, Dict[str, SimulationResult]]] = {}
-    for app in apps:
-        results[app] = {}
-        for dataset in datasets:
-            graph = load_experiment_dataset(dataset, scale=scale)
-            per_config: Dict[str, SimulationResult] = {}
-            for config_name in selected:
-                config = ladder[config_name]
-                per_config[config_name] = run_configuration(
-                    config, app, graph, dataset_name=dataset, verify=verify
-                )
-            results[app][dataset] = per_config
+    for (app, dataset, config_name), result in zip(grid, batch):
+        results.setdefault(app, {}).setdefault(dataset, {})[config_name] = result
     return results
 
 

@@ -15,10 +15,11 @@ from repro.analysis.sweep import (
     ScalingPoint,
     energy_optimal_point,
     knee_point,
-    strong_scaling_sweep,
+    points_from_results,
+    scaling_run_specs,
 )
-from repro.apps import BFSKernel
-from repro.experiments.common import load_experiment_dataset
+from repro.experiments.common import experiment_dataset_vertices
+from repro.runtime import ExperimentRunner
 
 DEFAULT_DATASETS = ("rmat16", "rmat22", "rmat25", "rmat26")
 DEFAULT_GRID_WIDTHS = (1, 2, 4, 8, 16, 32, 64, 128)
@@ -29,23 +30,34 @@ def run_fig6(
     grid_widths: Sequence[int] = DEFAULT_GRID_WIDTHS,
     scale: float = 1.0,
     verify: bool = False,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, List[ScalingPoint]]:
-    """Strong-scaling sweep of BFS per dataset; returns ``points[dataset]``."""
-    sweeps: Dict[str, List[ScalingPoint]] = {}
+    """Strong-scaling sweep of BFS per dataset; returns ``points[dataset]``.
+
+    All datasets' sweep points go through the runner as one batch, so the
+    whole figure parallelizes across worker processes (and replays from the
+    result cache) instead of running strictly serially.
+    """
+    runner = ExperimentRunner.ensure(runner)
+    specs = []
+    spans: List[tuple] = []
     for dataset in datasets:
-        graph = load_experiment_dataset(dataset, scale=scale)
-        root = graph.highest_degree_vertex()
+        # Grid sizing needs only the vertex count, which is derivable without
+        # materializing the graph -- a fully warm cache builds no graphs.
+        num_vertices = experiment_dataset_vertices(dataset, scale=scale)
         widths = [
-            width for width in grid_widths if width * width <= max(1, graph.num_vertices)
+            width for width in grid_widths if width * width <= max(1, num_vertices)
         ]
-        sweeps[dataset] = strong_scaling_sweep(
-            lambda: BFSKernel(root=root),
-            graph,
-            widths,
-            dataset_name=dataset,
-            verify=verify,
+        dataset_specs = scaling_run_specs(
+            "bfs", dataset, widths, scale=scale, verify=verify
         )
-    return sweeps
+        spans.append((dataset, len(specs), len(specs) + len(dataset_specs)))
+        specs.extend(dataset_specs)
+    batch = runner.run_batch(specs)
+    return {
+        dataset: points_from_results(batch[start:stop])
+        for dataset, start, stop in spans
+    }
 
 
 def summarize(sweeps: Dict[str, List[ScalingPoint]]) -> Dict[str, dict]:

@@ -7,18 +7,14 @@ grows from 256 to 16,384 tiles, showing that none of them saturates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import throughput_summary
 from repro.analysis.report import format_table
 from repro.baselines.ladder import dalorex_config
 from repro.core.results import SimulationResult
-from repro.experiments.common import (
-    PAGERANK_ITERATIONS,
-    build_kernel,
-    load_experiment_dataset,
-)
-from repro.core.machine import DalorexMachine
+from repro.experiments.common import PAGERANK_ITERATIONS
+from repro.runtime import ExperimentRunner, RunSpec
 
 DEFAULT_APPS = ("bfs", "wcc", "pagerank", "sssp", "spmv")
 DEFAULT_GRID_WIDTHS = (16, 32, 64, 128)
@@ -32,18 +28,27 @@ def run_fig7(
     scale: float = 1.0,
     verify: bool = False,
     pagerank_iterations: int = PAGERANK_ITERATIONS,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, List[SimulationResult]]:
     """Throughput sweep; returns ``results[app]`` as a list over grid sizes."""
-    graph = load_experiment_dataset(dataset, scale=scale)
+    runner = ExperimentRunner.ensure(runner)
+    grid = [(app, width) for app in apps for width in grid_widths]
+    batch = runner.run_batch(
+        [
+            RunSpec(
+                app,
+                dataset,
+                dalorex_config(width, width, engine="analytic"),
+                scale=scale,
+                verify=verify,
+                pagerank_iterations=pagerank_iterations,
+            )
+            for app, width in grid
+        ]
+    )
     results: Dict[str, List[SimulationResult]] = {}
-    for app in apps:
-        series: List[SimulationResult] = []
-        for width in grid_widths:
-            config = dalorex_config(width, width, engine="analytic")
-            kernel = build_kernel(app, graph, pagerank_iterations=pagerank_iterations)
-            machine = DalorexMachine(config, kernel, graph, dataset_name=dataset)
-            series.append(machine.run(verify=verify))
-        results[app] = series
+    for (app, _width), result in zip(grid, batch):
+        results.setdefault(app, []).append(result)
     return results
 
 

@@ -7,16 +7,13 @@ RMAT-26.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.baselines.ladder import dalorex_full_config
 from repro.core.results import SimulationResult
-from repro.experiments.common import (
-    DATASET_LABELS,
-    load_experiment_dataset,
-    run_configuration,
-)
+from repro.experiments.common import DATASET_LABELS
+from repro.runtime import ExperimentRunner, RunSpec
 
 DEFAULT_APPS = ("bfs", "wcc", "pagerank", "sssp", "spmv")
 DEFAULT_DATASETS = ("wikipedia", "livejournal", "rmat22", "rmat26")
@@ -34,24 +31,22 @@ def run_fig8(
     engine_small: str = "cycle",
     engine_large: str = "analytic",
     verify: bool = False,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, SimulationResult]]]:
     """Run every (app, dataset, NoC); returns ``results[app][dataset][noc]``."""
+    runner = ExperimentRunner.ensure(runner)
+    specs = []
+    grid = [(app, dataset, noc) for app in apps for dataset in datasets for noc in nocs]
+    for app, dataset, noc in grid:
+        width = GRID_FOR_DATASET.get(dataset, 16)
+        engine = engine_large if width > 16 else engine_small
+        config = dalorex_full_config(width, width, engine=engine).with_overrides(
+            name=f"Dalorex-{noc}", noc=noc
+        )
+        specs.append(RunSpec(app, dataset, config, scale=scale, verify=verify))
     results: Dict[str, Dict[str, Dict[str, SimulationResult]]] = {}
-    for app in apps:
-        results[app] = {}
-        for dataset in datasets:
-            graph = load_experiment_dataset(dataset, scale=scale)
-            width = GRID_FOR_DATASET.get(dataset, 16)
-            engine = engine_large if width > 16 else engine_small
-            per_noc: Dict[str, SimulationResult] = {}
-            for noc in nocs:
-                config = dalorex_full_config(width, width, engine=engine).with_overrides(
-                    name=f"Dalorex-{noc}", noc=noc
-                )
-                per_noc[noc] = run_configuration(
-                    config, app, graph, dataset_name=dataset, verify=verify
-                )
-            results[app][dataset] = per_noc
+    for (app, dataset, noc), result in zip(grid, runner.run_batch(specs)):
+        results.setdefault(app, {}).setdefault(dataset, {})[noc] = result
     return results
 
 

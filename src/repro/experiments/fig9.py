@@ -7,16 +7,13 @@ network share grows with the grid size because average distances grow.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import energy_breakdown_rows, format_table
 from repro.baselines.ladder import dalorex_config
 from repro.core.results import SimulationResult
-from repro.experiments.common import (
-    DATASET_LABELS,
-    load_experiment_dataset,
-    run_configuration,
-)
+from repro.experiments.common import DATASET_LABELS
+from repro.runtime import ExperimentRunner, RunSpec
 
 DEFAULT_APPS = ("bfs", "wcc", "pagerank", "sssp", "spmv")
 DEFAULT_DATASETS = ("wikipedia", "livejournal", "rmat22", "rmat26")
@@ -29,18 +26,30 @@ def run_fig9(
     scale: float = 1.0,
     engine: str = "analytic",
     verify: bool = False,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every (app, dataset) on the Dalorex design point."""
-    results: Dict[str, Dict[str, SimulationResult]] = {}
-    for app in apps:
-        results[app] = {}
-        for dataset in datasets:
-            graph = load_experiment_dataset(dataset, scale=scale)
-            width = GRID_FOR_DATASET.get(dataset, 16)
-            config = dalorex_config(width, width, engine=engine)
-            results[app][dataset] = run_configuration(
-                config, app, graph, dataset_name=dataset, verify=verify
+    runner = ExperimentRunner.ensure(runner)
+    grid = [(app, dataset) for app in apps for dataset in datasets]
+    batch = runner.run_batch(
+        [
+            RunSpec(
+                app,
+                dataset,
+                dalorex_config(
+                    GRID_FOR_DATASET.get(dataset, 16),
+                    GRID_FOR_DATASET.get(dataset, 16),
+                    engine=engine,
+                ),
+                scale=scale,
+                verify=verify,
             )
+            for app, dataset in grid
+        ]
+    )
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for (app, dataset), result in zip(grid, batch):
+        results.setdefault(app, {})[dataset] = result
     return results
 
 

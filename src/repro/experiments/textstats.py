@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.core.results import SimulationResult
 from repro.energy.area import AreaModel
 from repro.energy.technology import DEFAULT_TECHNOLOGY
+from repro.runtime import ExperimentRunner, RunSpec
 
 #: The paper's reference configuration for the area comparison.
 PAPER_TILE_SRAM_BYTES = int(4.2 * 1024 * 1024)
@@ -39,6 +40,24 @@ def area_comparison(
         "paper_dalorex_area_mm2": PAPER_DALOREX_AREA_MM2,
         "paper_tesseract_area_mm2": PAPER_TESSERACT_AREA_MM2,
     }
+
+
+def run_textstats(
+    scale: float = 1.0,
+    app: str = "bfs",
+    dataset: str = "rmat22",
+    runner: Optional[ExperimentRunner] = None,
+) -> SimulationResult:
+    """One representative 16x16 Dalorex run for the power-density statistic.
+
+    Routed through the shared experiment runtime so the run is cached
+    alongside the figure sweeps (Fig. 9 uses the same design point).
+    """
+    from repro.baselines.ladder import dalorex_config
+
+    runner = ExperimentRunner.ensure(runner)
+    spec = RunSpec(app, dataset, dalorex_config(16, 16, engine="analytic"), scale=scale)
+    return runner.run(spec)
 
 
 def power_density(result: SimulationResult) -> Dict[str, float]:

@@ -140,6 +140,19 @@ def resolve_dataset_name(name: str) -> str:
     return _ALIAS_INDEX[key]
 
 
+def stand_in_vertex_count(name: str, scale_divisor: Optional[int] = None) -> int:
+    """Vertices :func:`load_dataset` would generate, without building the graph.
+
+    RMAT stand-ins round *down* to a power of two (at least 64) because the
+    generator works on a log2 scale; other kinds use the shrunk count directly.
+    """
+    spec = dataset_spec(name)
+    vertices = spec.stand_in_vertices(scale_divisor)
+    if spec.kind == "rmat":
+        return 1 << max(6, int(round(vertices)).bit_length() - 1)
+    return vertices
+
+
 def load_dataset(
     name: str,
     scale_divisor: Optional[int] = None,
@@ -160,7 +173,7 @@ def load_dataset(
     vertices = spec.stand_in_vertices(scale_divisor)
     edges = spec.stand_in_edges(scale_divisor)
     if spec.kind == "rmat":
-        scale = max(6, int(round(vertices)).bit_length() - 1)
+        scale = stand_in_vertex_count(name, scale_divisor).bit_length() - 1
         edge_factor = max(2, edges // (1 << scale))
         graph = rmat_graph(
             scale, edge_factor=edge_factor, seed=seed, weighted=weighted, name=spec.name

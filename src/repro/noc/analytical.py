@@ -133,7 +133,24 @@ class LinkLoadModel:
         return matrix
 
     def merge(self, other: "LinkLoadModel") -> None:
-        """Accumulate another model's traffic into this one (same topology)."""
+        """Accumulate another model's traffic into this one.
+
+        Both models must use the same accounting mode and an identical
+        topology; merging across modes would silently drop the detailed
+        per-link loads (or the aggregate bisection estimate) and miscount
+        every bound derived from them, so a mismatch raises instead.
+        """
+        if self.detailed != other.detailed:
+            raise ValueError(
+                f"cannot merge a detailed={other.detailed} link-load model into "
+                f"a detailed={self.detailed} one; per-link and aggregate "
+                "accounting are not interchangeable"
+            )
+        if not self.topology.same_grid(other.topology):
+            raise ValueError(
+                "cannot merge link-load models built on different topologies: "
+                f"{self.topology.describe()} vs {other.topology.describe()}"
+            )
         for link, flits in other.link_flits.items():
             self.link_flits[link] = self.link_flits.get(link, 0) + flits
         self.router_flits += other.router_flits

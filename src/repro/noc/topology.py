@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from functools import lru_cache
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -25,6 +25,8 @@ class Topology(ABC):
     """Base class for 2D tiled topologies addressed as ``tile = y * width + x``."""
 
     kind = "abstract"
+    #: Express-channel skip distance; only ruche topologies set a value.
+    ruche_factor: Optional[int] = None
 
     def __init__(self, width: int, height: int) -> None:
         if width < 1 or height < 1:
@@ -172,6 +174,21 @@ class Topology(ABC):
             len(self.next_hop_offsets(d, self.height)) for d in range(self.height)
         )
         return worst_x + worst_y
+
+    # --------------------------------------------------------------- identity
+    def signature(self) -> Tuple:
+        """Value identity of this topology: kind, grid shape and ruche factor."""
+        return (self.kind, self.width, self.height, self.ruche_factor)
+
+    def same_grid(self, other: "Topology") -> bool:
+        """True when ``other`` describes the identical network."""
+        return self.signature() == other.signature()
+
+    def describe(self) -> str:
+        """Short human-readable identity used in error messages."""
+        kind, width, height, ruche = self.signature()
+        suffix = f" (ruche={ruche})" if ruche is not None else ""
+        return f"{kind} {width}x{height}{suffix}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}({self.width}x{self.height})"

@@ -1,0 +1,42 @@
+"""Shared experiment execution substrate: specs, caching and parallel fan-out.
+
+Every figure runner, sweep, CLI entry point and benchmark describes the
+simulations it needs as :class:`~repro.runtime.spec.RunSpec` values (a frozen,
+content-hashable description of one run) and hands them to an
+:class:`~repro.runtime.runner.ExperimentRunner`, which
+
+* deduplicates identical specs within a batch,
+* satisfies repeats from a content-addressed on-disk
+  :class:`~repro.runtime.cache.ResultCache`, and
+* fans cache misses out over a ``ProcessPoolExecutor`` (workers rebuild the
+  graph and machine from the spec, so nothing unpicklable crosses the process
+  boundary).
+
+Results are bit-identical regardless of worker count or cache state because
+every result -- serial, parallel or cached -- passes through the same JSON
+serialization round-trip (:mod:`repro.runtime.serialize`).
+"""
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.runner import ExperimentRunner, RunnerStats
+from repro.runtime.serialize import result_from_payload, result_to_payload
+from repro.runtime.spec import (
+    RunSpec,
+    build_graph,
+    execute_spec,
+    load_graph,
+    reset_graph_memo,
+)
+
+__all__ = [
+    "RunSpec",
+    "ResultCache",
+    "ExperimentRunner",
+    "RunnerStats",
+    "build_graph",
+    "execute_spec",
+    "load_graph",
+    "reset_graph_memo",
+    "result_to_payload",
+    "result_from_payload",
+]

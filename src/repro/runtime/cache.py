@@ -1,0 +1,110 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Layout: one JSON file per run under the cache root, named ``<key>.json`` where
+``key`` is :meth:`RunSpec.key` (SHA-256 of the spec's canonical form).  Each
+file wraps the result payload with an integrity digest::
+
+    {"key": "<spec key>", "sha256": "<digest of payload JSON>", "payload": {...}}
+
+Loads verify both the filename key and the payload digest; any mismatch,
+truncation or parse error is treated as a cache miss (the entry is evicted so
+the runner recomputes it) rather than returning corrupted data.  Writes are
+atomic (temp file + ``os.replace``), so a crashed sweep never leaves a
+half-written entry that poisons the next one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+def _payload_digest(payload: Dict[str, Any]) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Maps spec keys to serialized result payloads, stored as JSON blobs."""
+
+    #: Temp files older than this are leftovers of a crashed writer.
+    _STALE_TMP_SECONDS = 3600.0
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp_files()
+
+    def _sweep_stale_tmp_files(self) -> None:
+        """Remove temp files abandoned by crashed writers.
+
+        Only clearly stale files go (age-gated), so a concurrent runner
+        mid-``store`` on the same cache root is never disturbed.
+        """
+        cutoff = time.time() - self._STALE_TMP_SECONDS
+        for tmp in self.root.glob("*.tmp.*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                pass
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached payload for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                wrapper = json.load(handle)
+        except FileNotFoundError:
+            return None  # ordinary cold miss: nothing to evict
+        except OSError:
+            # Transient I/O trouble (EMFILE, EIO, ...) says nothing about the
+            # entry itself -- miss without destroying a valid result.
+            return None
+        except ValueError:
+            self._evict(path)  # unparseable JSON: the entry is corrupt
+            return None
+        if not isinstance(wrapper, dict):
+            self._evict(path)
+            return None
+        payload = wrapper.get("payload")
+        if (
+            wrapper.get("key") != key
+            or not isinstance(payload, dict)
+            or wrapper.get("sha256") != _payload_digest(payload)
+        ):
+            self._evict(path)
+            return None
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically persist one payload under ``key``; returns its path."""
+        wrapper = {"key": key, "sha256": _payload_digest(payload), "payload": payload}
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(wrapper, handle, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> List[str]:
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -1,0 +1,267 @@
+"""ExperimentRunner: deduplicated, cached, optionally parallel spec execution.
+
+The runner is the single execution substrate behind the figure runners, the
+strong-scaling sweeps, both CLI entry points and the benchmark suite.  A batch
+of :class:`~repro.runtime.spec.RunSpec` values is
+
+1. deduplicated by content key -- against the batch itself and against every
+   spec this runner already ran (an in-memory payload memo), so identical
+   points simulate once per runner even without an on-disk cache,
+2. checked against the :class:`~repro.runtime.cache.ResultCache` (if any),
+3. executed -- serially for ``jobs <= 1``, otherwise fanned out over a
+   persistent ``ProcessPoolExecutor``; workers rebuild graph and machine from
+   the spec so only the (picklable) spec and the JSON payload cross process
+   boundaries, and each result streams into the cache as it lands,
+4. stored back into the cache.
+
+Every result, whatever its provenance, passes through the same serialization
+round-trip, so ``run_batch`` output is bit-identical across ``jobs`` settings
+and cache states.  :attr:`ExperimentRunner.stats` counts executed / cached /
+deduplicated specs, which is how sweeps verify that a warm cache re-runs
+nothing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.results import SimulationResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.serialize import (
+    PAYLOAD_FORMAT,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.runtime.spec import RunSpec, execute_spec
+
+
+def _execute_to_payload(spec: RunSpec) -> Tuple[str, Dict[str, Any]]:
+    """Worker entry point: run one spec and return ``(key, payload)``."""
+    return spec.key(), result_to_payload(execute_spec(spec))
+
+
+def _payload_weight(payload: Dict[str, Any]) -> int:
+    """Approximate size of one payload as its total array-element count."""
+    total = 64  # scalars and strings
+    for name in ("per_tile_busy_cycles", "per_tile_instructions", "per_router_flits"):
+        total += len(payload[name]["data"])
+    for encoded in payload["outputs"].values():
+        total += len(encoded["data"])
+    return total
+
+
+@dataclass
+class RunnerStats:
+    """Counts of how a runner satisfied the specs it was given.
+
+    ``deduplicated`` covers both duplicates within one batch and specs whose
+    identical twin already ran in an earlier batch of the same runner.
+    """
+
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"executed={self.executed} cache_hits={self.cache_hits} "
+            f"deduplicated={self.deduplicated}"
+        )
+
+
+class ExperimentRunner:
+    """Runs batches of specs with caching, deduplication and parallel fan-out.
+
+    Args:
+        jobs: worker processes for cache misses; ``1`` executes in-process.
+        cache: optional on-disk result cache shared across invocations.
+        refresh: ignore (but still refill) existing cache entries.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        refresh: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.refresh = refresh
+        self.stats = RunnerStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # Payloads of recent specs, so a spec repeated across *batches*
+        # (e.g. fig9 and textstats sharing a design point in one sweep)
+        # simulates once even without an on-disk cache.  Only used when no
+        # cache is configured -- the cache already provides cross-batch reuse
+        # without holding list-encoded payloads in RAM -- and FIFO-evicted
+        # against a total array-element budget, since payloads for large
+        # graphs run to megabytes each.
+        self._memo: Dict[str, Dict[str, Any]] = {}
+        self._memo_weights: Dict[str, int] = {}
+        self._memo_weight = 0
+        self._memo_weight_max = 2_000_000  # array elements, ~tens of MB
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the runner stays usable --
+        the next parallel batch starts a fresh pool)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _terminate_pool(self) -> None:
+        """Tear the pool down without waiting for in-flight simulations."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # Snapshot before shutdown(): the executor nulls _processes there.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except OSError:
+                pass
+
+    def clear_memo(self) -> None:
+        """Forget in-memory payloads (benchmarks use this between timings so
+        repeated points are re-simulated, not replayed)."""
+        self._memo.clear()
+        self._memo_weights.clear()
+        self._memo_weight = 0
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def ensure(cls, runner: Optional["ExperimentRunner"]) -> "ExperimentRunner":
+        """The given runner, or a fresh serial/uncached default -- the single
+        place that defines what "no runner supplied" means for the figure
+        runners and sweeps."""
+        return runner if runner is not None else cls()
+
+    # ---------------------------------------------------------------- running
+    def run(self, spec: RunSpec) -> SimulationResult:
+        """Run a single spec (through the batch path, so caching applies)."""
+        return self.run_batch([spec])[0]
+
+    def run_batch(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Run every spec; results come back in input order.
+
+        Duplicate specs are simulated once and share one result payload (each
+        returned ``SimulationResult`` is still a distinct object, since some
+        callers mutate results in place).
+        """
+        keys = [spec.key() for spec in specs]
+        unique: Dict[str, RunSpec] = {}
+        for key, spec in zip(keys, specs):
+            unique.setdefault(key, spec)
+        self.stats.deduplicated += len(specs) - len(unique)
+
+        payloads: Dict[str, Dict[str, Any]] = {}
+        if self.cache is None and not self.refresh:
+            for key in unique:
+                payload = self._memo.get(key)
+                if payload is not None:
+                    payloads[key] = payload
+            self.stats.deduplicated += len(payloads)
+        if self.cache is not None and not self.refresh:
+            for key in unique:
+                payload = self.cache.load(key)
+                # Entries from an older serialization layout are misses (and
+                # get overwritten below), not errors.
+                if payload is not None and payload.get("format") == PAYLOAD_FORMAT:
+                    payloads[key] = payload
+                    self.stats.cache_hits += 1
+
+        pending = [spec for key, spec in unique.items() if key not in payloads]
+        # Results stream out of _execute as each simulation lands and are
+        # cached immediately, so a crash (or a failing spec) mid-batch keeps
+        # every simulation completed before it -- that is what makes long
+        # sweeps resumable.
+        for key, payload in self._execute(pending):
+            payloads[key] = payload
+            self._remember(key, payload)
+            self.stats.executed += 1
+            if self.cache is not None:
+                self.cache.store(key, payload)
+
+        return [result_from_payload(payloads[key]) for key in keys]
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        if self.cache is not None:
+            return  # the on-disk cache provides cross-batch reuse instead
+        if key in self._memo:
+            return
+        weight = _payload_weight(payload)
+        if weight > self._memo_weight_max:
+            return  # one giant payload would evict everything for nothing
+        self._memo_weight += weight
+        self._memo_weights[key] = weight
+        self._memo[key] = payload
+        while self._memo_weight > self._memo_weight_max and self._memo:
+            oldest = next(iter(self._memo))
+            del self._memo[oldest]
+            self._memo_weight -= self._memo_weights.pop(oldest)
+
+    def _execute(
+        self, pending: Sequence[RunSpec]
+    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        if not pending:
+            return
+        if self.jobs > 1 and len(pending) > 1:
+            # One lazily-created pool serves every batch of this runner, so
+            # worker-process graph memos survive across figures of a sweep.
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            # as_completed (not pool.map) so a finished simulation reaches the
+            # caller -- and the cache -- even while an earlier, slower
+            # submission is still running.  On a failure, queued work is
+            # cancelled but already-running simulations are still drained into
+            # the cache before the first error propagates, so one bad point
+            # never throws away its siblings' completed work.
+            futures = [self._pool.submit(_execute_to_payload, spec) for spec in pending]
+            failure: Optional[Exception] = None
+            try:
+                for future in as_completed(futures):
+                    try:
+                        yield future.result()
+                    except CancelledError:
+                        continue  # queued work cancelled after the first failure
+                    except Exception as exc:
+                        if failure is None:
+                            failure = exc
+                            for other in futures:
+                                other.cancel()
+            except BaseException:
+                # KeyboardInterrupt (typically raised inside as_completed's
+                # wait) and friends: stop immediately instead of draining
+                # in-flight work -- resumability is for spec failures, not
+                # for the operator's Ctrl-C.  Workers are terminated
+                # outright; otherwise the executor's atexit hook would block
+                # process exit until every in-flight simulation finished.
+                for other in futures:
+                    other.cancel()
+                self._terminate_pool()
+                raise
+            if failure is not None:
+                if isinstance(failure, BrokenExecutor):
+                    # A dead worker poisons the whole pool; drop it so the
+                    # runner stays usable (the next batch re-pools).
+                    self._terminate_pool()
+                raise failure
+        else:
+            for spec in pending:
+                yield _execute_to_payload(spec)

@@ -1,0 +1,107 @@
+"""Lossless JSON serialization of :class:`~repro.core.results.SimulationResult`.
+
+The payload is a plain JSON object (numpy arrays become ``{"dtype", "data"}``
+wrappers) so cached results survive on disk in an inspectable format.  Floats
+round-trip exactly through ``json`` (shortest-repr encoding), which is what
+lets the runner guarantee bit-identical results whether a simulation was
+executed serially, in a worker process, or replayed from the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.results import AggregateCounters, EnergyBreakdown, SimulationResult
+
+#: Bump when the payload layout changes; mismatched payloads are cache misses.
+PAYLOAD_FORMAT = 1
+
+
+def _encode_array(array: np.ndarray) -> Dict[str, Any]:
+    return {"dtype": str(array.dtype), "data": array.tolist()}
+
+
+def _decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    return np.array(payload["data"], dtype=np.dtype(payload["dtype"]))
+
+
+def _plain(value):
+    """Coerce numpy scalars to native Python numbers (JSON-safe)."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
+    """Full (not summary) JSON form of one simulation result."""
+    return {
+        "format": PAYLOAD_FORMAT,
+        "config_name": result.config_name,
+        "app_name": result.app_name,
+        "dataset_name": result.dataset_name,
+        "width": int(result.width),
+        "height": int(result.height),
+        "noc": result.noc,
+        "cycles": float(result.cycles),
+        "frequency_ghz": float(result.frequency_ghz),
+        "counters": {
+            name: _plain(value) for name, value in result.counters.to_dict().items()
+        },
+        "per_tile_busy_cycles": _encode_array(np.asarray(result.per_tile_busy_cycles)),
+        "per_tile_instructions": _encode_array(np.asarray(result.per_tile_instructions)),
+        "per_router_flits": _encode_array(np.asarray(result.per_router_flits)),
+        "sram_bytes_per_tile": int(result.sram_bytes_per_tile),
+        "epochs": int(result.epochs),
+        "energy": {
+            "logic_j": float(result.energy.logic_j),
+            "memory_j": float(result.energy.memory_j),
+            "network_j": float(result.energy.network_j),
+            "static_j": float(result.energy.static_j),
+        },
+        "outputs": {
+            name: _encode_array(np.asarray(array))
+            for name, array in result.outputs.items()
+        },
+        "verified": result.verified,
+        "num_edges": int(result.num_edges),
+        "num_vertices": int(result.num_vertices),
+        "chip_area_mm2": float(result.chip_area_mm2),
+    }
+
+
+def result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_payload` output."""
+    if payload.get("format") != PAYLOAD_FORMAT:
+        raise ValueError(
+            f"unsupported result payload format {payload.get('format')!r}; "
+            f"expected {PAYLOAD_FORMAT}"
+        )
+    energy = EnergyBreakdown(**payload["energy"])
+    counters = AggregateCounters(**payload["counters"])
+    return SimulationResult(
+        config_name=payload["config_name"],
+        app_name=payload["app_name"],
+        dataset_name=payload["dataset_name"],
+        width=payload["width"],
+        height=payload["height"],
+        noc=payload["noc"],
+        cycles=payload["cycles"],
+        frequency_ghz=payload["frequency_ghz"],
+        counters=counters,
+        per_tile_busy_cycles=_decode_array(payload["per_tile_busy_cycles"]),
+        per_tile_instructions=_decode_array(payload["per_tile_instructions"]),
+        per_router_flits=_decode_array(payload["per_router_flits"]),
+        sram_bytes_per_tile=payload["sram_bytes_per_tile"],
+        epochs=payload["epochs"],
+        energy=energy,
+        outputs={
+            name: _decode_array(encoded)
+            for name, encoded in payload["outputs"].items()
+        },
+        verified=payload["verified"],
+        num_edges=payload["num_edges"],
+        num_vertices=payload["num_vertices"],
+        chip_area_mm2=payload["chip_area_mm2"],
+    )

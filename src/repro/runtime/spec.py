@@ -1,0 +1,151 @@
+"""RunSpec: a frozen, content-hashable description of one simulation.
+
+A spec pins everything needed to reproduce a run from scratch -- application,
+dataset stand-in (name, scale factor, generator seed), the full
+:class:`~repro.core.config.MachineConfig` and the verify flag -- so a run can
+be re-executed in another process (or another day) and produce bit-identical
+results.  :meth:`RunSpec.key` is a SHA-256 digest of the canonical JSON form,
+which makes it stable across processes and interpreter runs (no dependence on
+``PYTHONHASHSEED``) and suitable as a content-addressed cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import MachineConfig
+from repro.core.results import SimulationResult
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import resolve_dataset_name
+
+#: Bump when the canonical form (or anything influencing simulation output)
+#: changes incompatibly, so stale cache entries never alias new runs.
+SPEC_VERSION = 1
+
+
+def _default_pagerank_iterations() -> int:
+    # Deferred: importing repro.experiments at module load would close an
+    # import cycle (experiments -> analysis/figures -> runtime -> here).
+    from repro.experiments.common import PAGERANK_ITERATIONS
+
+    return PAGERANK_ITERATIONS
+
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """One simulation: ``app`` on ``dataset`` under ``config``.
+
+    Equality and hashing go through :meth:`canonical`, so two specs that
+    describe the same simulation compare equal even when built independently
+    (dataset aliases such as ``"R16"`` are resolved to canonical names).
+    """
+
+    app: str
+    dataset: str
+    config: MachineConfig
+    scale: float = 1.0
+    seed: int = 7
+    verify: bool = False
+    pagerank_iterations: int = field(default_factory=_default_pagerank_iterations)
+
+    # ---------------------------------------------------------------- identity
+    def canonical(self) -> dict:
+        """JSON-able canonical form: the sole input of :meth:`key`.
+
+        ``pagerank_iterations`` only participates for the pagerank app; other
+        kernels ignore it, and two identical simulations must never get
+        distinct cache keys because of a knob that cannot affect them.
+        """
+        app = self.app.strip().lower()
+        return {
+            "version": SPEC_VERSION,
+            "app": app,
+            "dataset": resolve_dataset_name(self.dataset),
+            "config": dataclasses.asdict(self.config),
+            "scale": float(self.scale),
+            "seed": int(self.seed),
+            "verify": bool(self.verify),
+            "pagerank_iterations": (
+                int(self.pagerank_iterations) if app == "pagerank" else None
+            ),
+        }
+
+    def key(self) -> str:
+        """Stable content hash: SHA-256 hex digest of the canonical JSON."""
+        blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunSpec):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return int(self.key()[:16], 16)
+
+    def describe(self) -> str:
+        """One-line summary used in logs and progress notes."""
+        return (
+            f"{self.app} on {resolve_dataset_name(self.dataset)} "
+            f"(scale={self.scale}, seed={self.seed}) @ "
+            f"{self.config.width}x{self.config.height}/{self.config.engine}"
+        )
+
+
+# ---------------------------------------------------------------------- build
+def build_graph(spec: RunSpec) -> CSRGraph:
+    """Load the dataset stand-in a spec describes (memoized per process)."""
+    return load_graph(spec.dataset, scale=spec.scale, seed=spec.seed)
+
+
+_GRAPH_MEMO: dict = {}
+_GRAPH_MEMO_MAX = 8
+
+
+def reset_graph_memo() -> None:
+    """Drop all memoized graphs (benchmarks use this to keep timings
+    independent of which graphs previous benchmarks already built)."""
+    _GRAPH_MEMO.clear()
+
+
+def load_graph(dataset: str, scale: float = 1.0, seed: int = 7) -> CSRGraph:
+    """Memoized :func:`load_experiment_dataset`: one graph instance per
+    (dataset, scale, seed) per process.
+
+    Graphs are read-only during simulation (machines copy their mutable
+    arrays), so one instance can safely back many runs; callers that peek at
+    a dataset before building specs (e.g. to size grids) share the same
+    instance the executor will use.
+    """
+    from repro.experiments.common import load_experiment_dataset
+
+    key = (resolve_dataset_name(dataset), float(scale), int(seed))
+    graph = _GRAPH_MEMO.get(key)
+    if graph is None:
+        graph = load_experiment_dataset(key[0], scale=key[1], seed=key[2])
+        if len(_GRAPH_MEMO) >= _GRAPH_MEMO_MAX:
+            _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
+        _GRAPH_MEMO[key] = graph
+    return graph
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Run one spec from scratch and return the simulation result."""
+    from repro.core.machine import DalorexMachine
+    from repro.experiments.common import build_kernel
+
+    graph = build_graph(spec)
+    kernel = build_kernel(
+        spec.app, graph, pagerank_iterations=spec.pagerank_iterations
+    )
+    machine = DalorexMachine(
+        spec.config.validate(),
+        kernel,
+        graph,
+        dataset_name=resolve_dataset_name(spec.dataset),
+    )
+    return machine.run(verify=spec.verify)

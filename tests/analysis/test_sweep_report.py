@@ -14,6 +14,8 @@ from repro.analysis.report import (
 from repro.analysis.sweep import (
     energy_optimal_point,
     knee_point,
+    points_from_results,
+    scaling_run_specs,
     square_grid_sizes,
     strong_scaling_sweep,
 )
@@ -21,6 +23,7 @@ from repro.apps import BFSKernel
 from repro.core.config import MachineConfig
 from repro.graph.generators import rmat_graph
 from repro.noc.topology import make_topology
+from repro.runtime import ExperimentRunner
 from tests.analysis.test_metrics import make_result
 
 
@@ -40,6 +43,42 @@ class TestSweep:
         assert len(points) == 3
         assert points[-1].cycles < points[0].cycles
         assert points[0].vertices_per_tile == small_rmat.num_vertices
+
+    def test_spec_based_sweep_routes_through_runner(self):
+        specs = scaling_run_specs("bfs", "rmat16", [2, 4], scale=0.1)
+        assert [spec.config.num_tiles for spec in specs] == [4, 16]
+        runner = ExperimentRunner()
+        points = strong_scaling_sweep(
+            grid_widths=[2, 4],
+            dataset_name="rmat16",
+            app="bfs",
+            scale=0.1,
+            runner=runner,
+        )
+        assert runner.stats.executed == 2
+        assert [p.num_tiles for p in points] == [4, 16]
+        assert points[-1].cycles < points[0].cycles * 1.5
+
+    def test_spec_based_sweep_requires_dataset_name(self):
+        with pytest.raises(ValueError, match="dataset_name"):
+            strong_scaling_sweep(grid_widths=[2], app="bfs")
+
+    def test_sweep_requires_some_entry_style(self):
+        with pytest.raises(ValueError, match="kernel_factory"):
+            strong_scaling_sweep(grid_widths=[2])
+
+    def test_sweep_requires_grid_widths_but_allows_empty(self):
+        with pytest.raises(ValueError, match="grid_widths"):
+            strong_scaling_sweep(dataset_name="rmat16", app="bfs")
+        # A filtered-to-empty sweep (tiny graph) is legitimate and yields [].
+        assert strong_scaling_sweep(grid_widths=[], dataset_name="rmat16", app="bfs") == []
+
+    def test_points_from_results_wraps_in_order(self, small_rmat):
+        runner = ExperimentRunner()
+        results = runner.run_batch(scaling_run_specs("bfs", "rmat16", [2], scale=0.1))
+        points = points_from_results(results)
+        assert points[0].num_tiles == 4
+        assert points[0].result is results[0]
 
     def test_knee_point_detection(self):
         class FakePoint:

@@ -7,6 +7,7 @@ from repro.experiments.common import (
     DATASET_LABELS,
     EXPERIMENT_SCALE_DIVISORS,
     build_kernel,
+    experiment_dataset_vertices,
     load_experiment_dataset,
     run_configuration,
 )
@@ -23,6 +24,13 @@ class TestDatasetHelpers:
         small = load_experiment_dataset("rmat16", scale=0.25)
         large = load_experiment_dataset("rmat16", scale=1.0)
         assert large.num_vertices >= small.num_vertices
+
+    @pytest.mark.parametrize("scale", [0.1, 0.5])
+    @pytest.mark.parametrize("name", ["rmat16", "rmat22", "amazon", "wikipedia"])
+    def test_arithmetic_vertex_count_matches_loaded_graph(self, name, scale):
+        # fig6 sizes its grids from this arithmetic instead of building graphs.
+        predicted = experiment_dataset_vertices(name, scale=scale)
+        assert predicted == load_experiment_dataset(name, scale=scale).num_vertices
 
     def test_deterministic(self):
         assert load_experiment_dataset("amazon", scale=0.2) == load_experiment_dataset(

@@ -1,0 +1,150 @@
+"""Cross-engine equivalence: the cycle and analytic engines must count the
+same work, and cycle-accurate time can never beat the analytic network bound.
+
+Both engines execute programs functionally through the shared BaseEngine, so
+on workloads whose work is independent of task-execution order they must agree
+*exactly* on every counted quantity (instructions, messages, flits, flit-hops,
+epochs, ...).  Order-independent cases per kernel:
+
+* BFS: the visited flag deduplicates, so each reachable vertex is explored
+  exactly once whatever the interleaving (any graph works);
+* PageRank: fixed iteration count, every vertex contributes per iteration;
+* SPMV: single pass over all rows;
+* SSSP: on graphs with a unique path to every vertex (chains, stars) each
+  vertex is relaxed exactly once;
+* WCC: on a star the hub holds the minimum label, so every label settles in
+  one exchange; on a chain, barriered epochs make propagation deterministic
+  (barrierless chains ARE order-dependent and are deliberately not asserted).
+
+The second family of checks pins the engines' relationship: the cycle engine
+models link serialization and queueing, so its cycle count must be at least
+the analytic link-load model's network lower bound for the same traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_kernel
+from repro.core.config import MachineConfig
+from repro.core.engine_analytic import AnalyticalEngine
+from repro.core.engine_cycle import CycleEngine
+from repro.core.machine import DalorexMachine
+from repro.graph.generators import chain_graph, rmat_graph, star_graph
+
+#: Counters that must agree exactly between the engines on order-independent
+#: workloads (the analytic engine estimates cycles, never work).
+EXACT_COUNTERS = (
+    "instructions",
+    "tasks_executed",
+    "messages",
+    "local_messages",
+    "flits",
+    "flit_hops",
+    "router_traversals",
+    "edges_processed",
+    "epochs",
+)
+
+
+def graph_cases():
+    rmat = rmat_graph(7, edge_factor=6, seed=3)
+    chain = chain_graph(24, weighted=True, seed=1)
+    star = star_graph(16)
+    cases = []
+    for barrier in (False, True):
+        cases.append(("bfs", rmat, {"root": rmat.highest_degree_vertex()}, barrier))
+        cases.append(("pagerank", rmat, {"num_iterations": 3}, barrier))
+        cases.append(("spmv", rmat, {}, barrier))
+        cases.append(("sssp", chain, {"root": 0}, barrier))
+        cases.append(("sssp", star, {"root": star.highest_degree_vertex()}, barrier))
+        cases.append(("wcc", star, {}, barrier))
+    cases.append(("wcc", chain, {}, True))
+    return cases
+
+
+def case_id(case):
+    app, graph, _kwargs, barrier = case
+    return f"{app}-{graph.name}-{'barrier' if barrier else 'async'}"
+
+
+def run_engine(engine_kind, app, graph, kernel_kwargs, barrier):
+    config = MachineConfig(width=4, height=4, engine=engine_kind, barrier=barrier)
+    machine = DalorexMachine(config, make_kernel(app, **kernel_kwargs), graph)
+    engine = CycleEngine(machine) if engine_kind == "cycle" else AnalyticalEngine(machine)
+    result = engine.run()
+    return machine, engine, result
+
+
+@pytest.mark.parametrize("case", graph_cases(), ids=case_id)
+class TestCountedWorkEquivalence:
+    @pytest.fixture()
+    def pair(self, case):
+        app, graph, kwargs, barrier = case
+        _, cycle_engine, cycle_result = run_engine("cycle", app, graph, kwargs, barrier)
+        _, analytic_engine, analytic_result = run_engine(
+            "analytic", app, graph, kwargs, barrier
+        )
+        return cycle_engine, cycle_result, analytic_engine, analytic_result
+
+    def test_counters_agree_exactly(self, pair):
+        _, cycle_result, _, analytic_result = pair
+        for name in EXACT_COUNTERS:
+            cycle_value = getattr(cycle_result.counters, name)
+            analytic_value = getattr(analytic_result.counters, name)
+            assert cycle_value == analytic_value, (
+                f"counter {name!r} diverged: cycle={cycle_value} "
+                f"analytic={analytic_value}"
+            )
+        assert cycle_result.epochs == analytic_result.epochs
+        assert int(cycle_result.per_tile_instructions.sum()) == int(
+            analytic_result.per_tile_instructions.sum()
+        )
+
+    def test_outputs_agree(self, pair):
+        _, cycle_result, _, analytic_result = pair
+        assert set(cycle_result.outputs) == set(analytic_result.outputs)
+        for name, cycle_array in cycle_result.outputs.items():
+            np.testing.assert_allclose(
+                cycle_array,
+                analytic_result.outputs[name],
+                rtol=1e-9,
+                atol=1e-12,
+                err_msg=f"output array {name!r} diverged between engines",
+            )
+
+    def test_both_engines_validate_against_reference(self, case):
+        app, graph, kwargs, barrier = case
+        for engine_kind in ("cycle", "analytic"):
+            machine, _, _ = run_engine(engine_kind, app, graph, kwargs, barrier)
+            assert machine.kernel.verify(machine), f"{engine_kind} output wrong"
+
+    def test_cycle_time_respects_analytic_network_bound(self, pair):
+        cycle_engine, cycle_result, analytic_engine, _ = pair
+        bound = analytic_engine.link_model.network_bound_cycles()
+        assert cycle_result.cycles >= bound, (
+            f"cycle engine finished in {cycle_result.cycles} cycles, below the "
+            f"network lower bound of {bound}"
+        )
+        # The bound also holds for the cycle engine's own traffic accounting.
+        own_bound = cycle_engine.link_model.network_bound_cycles()
+        assert cycle_result.cycles >= own_bound
+
+
+class TestKnownDivergence:
+    def test_barrierless_wcc_on_a_chain_is_order_dependent(self):
+        """Documents why chains are excluded from the barrierless WCC matrix:
+        label propagation work legitimately depends on execution order, so if
+        the engines ever started agreeing here by construction, the exact
+        equality above could be tightened to cover it."""
+        chain = chain_graph(24, weighted=True, seed=1)
+        _, _, cycle_result = run_engine("cycle", "wcc", chain, {}, barrier=False)
+        _, _, analytic_result = run_engine("analytic", "wcc", chain, {}, barrier=False)
+        # Outputs still converge to the same components...
+        np.testing.assert_allclose(
+            cycle_result.outputs["label"], analytic_result.outputs["label"]
+        )
+        # ...but the amount of work differs between schedules.
+        assert (
+            cycle_result.counters.instructions
+            != analytic_result.counters.instructions
+        )

@@ -81,6 +81,43 @@ class TestDetailedModel:
         assert large.total_flit_millimeters == pytest.approx(2 * small.total_flit_millimeters)
 
 
+class TestMergeValidation:
+    """Regression tests: merge used to silently miscount across mismatched models."""
+
+    def test_merge_rejects_mixed_detail_modes(self):
+        topo = Mesh2D(4, 4)
+        detailed = LinkLoadModel(topo, detailed=True)
+        aggregate = LinkLoadModel(topo, detailed=False)
+        aggregate.record_message(0, 3, flits=2)
+        before = (detailed.total_messages, detailed.total_flit_hops)
+        with pytest.raises(ValueError, match="detailed"):
+            detailed.merge(aggregate)
+        with pytest.raises(ValueError, match="detailed"):
+            aggregate.merge(detailed)
+        # The failed merge must not have partially mutated the target.
+        assert (detailed.total_messages, detailed.total_flit_hops) == before
+
+    def test_merge_rejects_different_topologies(self):
+        a = LinkLoadModel(Mesh2D(4, 4))
+        b = LinkLoadModel(Mesh2D(8, 8))
+        with pytest.raises(ValueError, match="topolog"):
+            a.merge(b)
+
+    def test_merge_rejects_different_noc_kind_same_shape(self):
+        mesh = LinkLoadModel(Mesh2D(4, 4))
+        torus = LinkLoadModel(Torus2D(4, 4))
+        with pytest.raises(ValueError, match="topolog"):
+            mesh.merge(torus)
+
+    def test_merge_same_grid_still_accumulates(self):
+        a = LinkLoadModel(Torus2D(4, 4), detailed=False)
+        b = LinkLoadModel(Torus2D(4, 4), detailed=False)
+        a.record_message(0, 3, flits=1)
+        b.record_message(0, 3, flits=1)
+        a.merge(b)
+        assert a.total_messages == 2
+
+
 class TestAggregateModel:
     def test_aggregate_mode_estimates_link_load(self):
         topo = Torus2D(8, 8)

@@ -1,0 +1,273 @@
+"""Determinism, caching and corruption-recovery tests for ExperimentRunner."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.runtime import (
+    ExperimentRunner,
+    ResultCache,
+    RunSpec,
+    result_from_payload,
+    result_to_payload,
+)
+
+SCALE = 0.1
+
+
+def make_specs():
+    """A small mixed batch: two apps, two grids, both engines."""
+    specs = []
+    for app in ("bfs", "spmv"):
+        for width in (2, 4):
+            for engine in ("analytic", "cycle"):
+                specs.append(
+                    RunSpec(
+                        app=app,
+                        dataset="rmat16",
+                        config=MachineConfig(width=width, height=width, engine=engine),
+                        scale=SCALE,
+                        verify=True,
+                    )
+                )
+    return specs
+
+
+def summaries(results):
+    return [result.to_dict() for result in results]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return ExperimentRunner(jobs=1).run_batch(make_specs())
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, serial_results):
+        parallel = ExperimentRunner(jobs=2).run_batch(make_specs())
+        assert summaries(parallel) == summaries(serial_results)
+        for a, b in zip(parallel, serial_results):
+            assert np.array_equal(a.per_tile_busy_cycles, b.per_tile_busy_cycles)
+            assert np.array_equal(a.per_router_flits, b.per_router_flits)
+            assert a.energy.to_dict() == b.energy.to_dict()
+            assert a.counters.to_dict() == b.counters.to_dict()
+            assert set(a.outputs) == set(b.outputs)
+            for name in a.outputs:
+                assert np.array_equal(a.outputs[name], b.outputs[name])
+
+    def test_results_verified(self, serial_results):
+        assert all(result.verified for result in serial_results)
+
+    def test_serialization_round_trip_is_lossless(self, serial_results):
+        for result in serial_results:
+            clone = result_from_payload(
+                json.loads(json.dumps(result_to_payload(result)))
+            )
+            assert clone.to_dict() == result.to_dict()
+            assert np.array_equal(clone.per_tile_instructions, result.per_tile_instructions)
+
+    def test_pool_persists_across_batches_and_close_is_idempotent(self):
+        with ExperimentRunner(jobs=2) as runner:
+            runner.run_batch(make_specs()[:2])
+            pool = runner._pool
+            assert pool is not None
+            runner.run_batch(make_specs()[2:4])
+            assert runner._pool is pool  # reused, not rebuilt per batch
+        assert runner._pool is None
+        runner.close()  # idempotent
+        # A closed runner stays usable: the next parallel batch re-pools.
+        assert summaries(runner.run_batch(make_specs()[4:6])) == summaries(
+            ExperimentRunner().run_batch(make_specs()[4:6])
+        )
+
+    def test_spec_repeated_across_batches_simulates_once(self):
+        # No on-disk cache: the runner's in-memory memo still deduplicates
+        # across run_batch calls (e.g. fig9 and textstats share a point).
+        spec = make_specs()[0]
+        runner = ExperimentRunner()
+        first = runner.run_batch([spec])
+        second = runner.run_batch([spec])
+        assert runner.stats.executed == 1
+        assert runner.stats.deduplicated == 1
+        assert summaries(first) == summaries(second)
+
+    def test_duplicate_specs_simulate_once(self):
+        spec = make_specs()[0]
+        runner = ExperimentRunner()
+        results = runner.run_batch([spec, spec, spec])
+        assert runner.stats.executed == 1
+        assert runner.stats.deduplicated == 2
+        assert summaries(results)[0] == summaries(results)[1] == summaries(results)[2]
+
+
+class TestCache:
+    def test_warm_cache_short_circuits_reruns(self, tmp_path, serial_results):
+        cache = ResultCache(tmp_path / "cache")
+        specs = make_specs()
+
+        cold = ExperimentRunner(cache=cache)
+        cold_results = cold.run_batch(specs)
+        assert cold.stats.executed == len(specs)
+        assert cold.stats.cache_hits == 0
+        assert len(cache) == len(specs)
+
+        warm = ExperimentRunner(cache=cache)
+        warm_results = warm.run_batch(specs)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(specs)
+        assert summaries(warm_results) == summaries(cold_results) == summaries(serial_results)
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = make_specs()[:2]
+        ExperimentRunner(jobs=2, cache=cache).run_batch(specs)
+        warm = ExperimentRunner(jobs=1, cache=cache)
+        warm.run_batch(specs)
+        assert warm.stats.executed == 0
+
+    def test_completed_work_is_cached_before_a_later_spec_fails(self, tmp_path):
+        # A failing point (or a crash) mid-batch must not discard the
+        # simulations that already finished -- that is what makes long
+        # sweeps resumable.
+        cache = ResultCache(tmp_path / "cache")
+        good = make_specs()[:2]
+        bad = RunSpec(
+            app="bfs",
+            dataset="rmat16",
+            config=MachineConfig(
+                width=4, height=4, engine="analytic", barrier=True, max_epochs=1
+            ),
+            scale=SCALE,
+            seed=999,  # distinct key; barrier + max_epochs=1 makes the run abort
+        )
+        runner = ExperimentRunner(cache=cache)
+        with pytest.raises(Exception):
+            runner.run_batch(good + [bad])
+        assert runner.stats.executed == len(good)
+        assert len(cache) == len(good)
+        resumed = ExperimentRunner(cache=cache)
+        resumed.run_batch(good)
+        assert resumed.stats.executed == 0
+
+    def test_parallel_failure_keeps_completed_siblings(self, tmp_path):
+        # jobs>1: one failing point cancels queued work but never discards
+        # simulations that finish; a rerun executes only what is missing,
+        # so each good spec simulates exactly once across both calls.
+        cache = ResultCache(tmp_path / "cache")
+        good = make_specs()[:3]
+        bad = RunSpec(
+            app="bfs",
+            dataset="rmat16",
+            config=MachineConfig(
+                width=4, height=4, engine="analytic", barrier=True, max_epochs=1
+            ),
+            scale=SCALE,
+            seed=999,
+        )
+        from repro.errors import SimulationError
+
+        first = ExperimentRunner(jobs=2, cache=cache)
+        with pytest.raises(SimulationError):
+            first.run_batch([bad] + good)  # failure lands early in the batch
+        first.close()
+        resumed = ExperimentRunner(jobs=2, cache=cache)
+        results = resumed.run_batch(good)
+        assert first.stats.executed + resumed.stats.executed == len(good)
+        assert all(result.verified for result in results)
+
+    def test_refresh_ignores_existing_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_specs()[0]
+        ExperimentRunner(cache=cache).run(spec)
+        refresher = ExperimentRunner(cache=cache, refresh=True)
+        refresher.run(spec)
+        assert refresher.stats.executed == 1
+        assert refresher.stats.cache_hits == 0
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["truncate", "garbage", "tampered_payload", "wrong_key"],
+    )
+    def test_corrupted_entry_is_recomputed_not_trusted(self, tmp_path, corruption):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_specs()[0]
+        baseline = ExperimentRunner(cache=cache).run(spec)
+        path = cache.path_for(spec.key())
+        assert path.is_file()
+
+        if corruption == "truncate":
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        elif corruption == "garbage":
+            path.write_text("not json at all {")
+        elif corruption == "tampered_payload":
+            wrapper = json.loads(path.read_text())
+            wrapper["payload"]["cycles"] = wrapper["payload"]["cycles"] + 1.0
+            path.write_text(json.dumps(wrapper))
+        else:  # wrong_key: a blob copied under the wrong content address
+            wrapper = json.loads(path.read_text())
+            wrapper["key"] = "0" * 64
+            path.write_text(json.dumps(wrapper))
+
+        runner = ExperimentRunner(cache=cache)
+        recovered = runner.run(spec)
+        assert runner.stats.executed == 1
+        assert runner.stats.cache_hits == 0
+        assert recovered.to_dict() == baseline.to_dict()
+        # The recomputed result must have replaced the corrupted entry.
+        fresh = ExperimentRunner(cache=cache)
+        fresh.run(spec)
+        assert fresh.stats.cache_hits == 1
+
+    def test_stale_payload_format_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_specs()[0]
+        baseline = ExperimentRunner(cache=cache).run(spec)
+        # Rewrite the entry as a (digest-valid) blob from an older layout.
+        path = cache.path_for(spec.key())
+        wrapper = json.loads(path.read_text())
+        wrapper["payload"]["format"] = 0
+        cache.store(spec.key(), wrapper["payload"])
+        runner = ExperimentRunner(cache=cache)
+        result = runner.run(spec)
+        assert runner.stats.executed == 1
+        assert result.to_dict() == baseline.to_dict()
+        # The entry was refreshed to the current layout.
+        refreshed = ExperimentRunner(cache=cache)
+        refreshed.run(spec)
+        assert refreshed.stats.cache_hits == 1
+
+    def test_stale_tmp_files_are_swept_fresh_ones_kept(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        stale = root / ("a" * 64 + ".tmp.123")
+        fresh = root / ("b" * 64 + ".tmp.456")
+        stale.write_text("{}")
+        fresh.write_text("{}")
+        os.utime(stale, (0, 0))  # ancient mtime: a crashed writer's leftover
+        ResultCache(root)  # re-opening sweeps
+        assert not stale.exists()
+        assert fresh.exists()  # possibly a concurrent writer: untouched
+
+    def test_cache_file_layout_is_content_addressed_json(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_specs()[0]
+        ExperimentRunner(cache=cache).run(spec)
+        assert cache.keys() == [spec.key()]
+        wrapper = json.loads(cache.path_for(spec.key()).read_text())
+        assert wrapper["key"] == spec.key()
+        assert {"key", "sha256", "payload"} <= set(wrapper)
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(jobs=0)
+
+    def test_payload_format_mismatch_rejected(self, serial_results):
+        payload = result_to_payload(serial_results[0])
+        payload["format"] = 999
+        with pytest.raises(ValueError, match="format"):
+            result_from_payload(payload)

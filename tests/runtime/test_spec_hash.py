@@ -1,0 +1,159 @@
+"""Property tests for RunSpec identity: equal specs hash equal, any field
+perturbation changes the key, and keys are stable across processes."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.runtime import RunSpec
+from repro.runtime.spec import SPEC_VERSION
+
+
+def make_spec(**overrides) -> RunSpec:
+    fields = dict(
+        app="bfs",
+        dataset="rmat16",
+        config=MachineConfig(width=4, height=4, engine="analytic"),
+        scale=0.5,
+        seed=7,
+        verify=True,
+        pagerank_iterations=5,
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+class TestEquality:
+    def test_independently_built_equal_specs_match(self):
+        a, b = make_spec(), make_spec()
+        assert a is not b
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+    def test_dataset_aliases_resolve_to_the_same_key(self):
+        assert make_spec(dataset="r16") == make_spec(dataset="RMAT16")
+
+    def test_app_case_is_canonicalized(self):
+        assert make_spec(app="BFS").key() == make_spec(app="bfs").key()
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            make_spec().app = "sssp"
+
+    def test_usable_as_dict_and_set_keys(self):
+        seen = {make_spec(): 1}
+        assert seen[make_spec()] == 1
+        assert len({make_spec(), make_spec(), make_spec(scale=0.25)}) == 2
+
+
+class TestPerturbation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"app": "sssp"},
+            {"dataset": "rmat22"},
+            {"scale": 0.25},
+            {"seed": 8},
+            {"verify": False},
+        ],
+    )
+    def test_spec_field_perturbations_change_the_key(self, overrides):
+        assert make_spec(**overrides).key() != make_spec().key()
+
+    def test_pagerank_iterations_keys_only_the_pagerank_app(self):
+        # The knob cannot affect other kernels, so it must not fragment
+        # their cache keys...
+        assert (
+            make_spec(pagerank_iterations=3).key() == make_spec().key()
+        )
+        # ...but it is part of a pagerank run's identity.
+        assert (
+            make_spec(app="pagerank", pagerank_iterations=3).key()
+            != make_spec(app="pagerank").key()
+        )
+
+    def test_every_config_field_perturbation_changes_the_key(self):
+        base = make_spec()
+        perturbations = {
+            "name": "other",
+            "width": 8,
+            "height": 8,
+            "noc": "mesh",
+            "ruche_factor": 3,
+            "scheduling": "round_robin",
+            "remote_invocation": "interrupting",
+            "interrupt_penalty_cycles": 51,
+            "vertex_placement": "block",
+            "edge_placement": "interleave",
+            "barrier": True,
+            "barrier_latency_cycles": 129,
+            "max_epochs": 99_999,
+            "memory": "dram",
+            "sram_latency_cycles": 2,
+            "dram_latency_cycles": 61,
+            "cache_hit_latency_cycles": 3,
+            "cache_hit_rate": 0.5,
+            "scratchpad_bytes_per_tile": 1 << 20,
+            "engine": "cycle",
+            "frequency_ghz": 2.0,
+            "flit_bytes": 8,
+            "max_range_per_message": 512,
+            "task_overhead_instructions": 5,
+            "epoch_seed_instructions": 4,
+            "frontier_refill_batch": 16,
+            "frontier_refill_delay_cycles": 128,
+            "queue_region_bytes": 8 * 1024,
+            "code_region_bytes": 2 * 1024,
+            "allow_remote_access": True,
+            "remote_access_penalty_cycles": 41,
+        }
+        # Every MachineConfig field must be covered, so a newly added knob
+        # cannot silently alias distinct design points in the cache.
+        assert set(perturbations) == set(MachineConfig.__dataclass_fields__)
+        seen = {base.key()}
+        for field, value in perturbations.items():
+            key = make_spec(config=base.config.with_overrides(**{field: value})).key()
+            assert key not in seen, f"perturbing {field!r} did not change the key"
+            seen.add(key)
+
+
+class TestStability:
+    def test_key_is_hex_sha256(self):
+        key = make_spec().key()
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_key_stable_across_processes_and_hash_seeds(self):
+        code = (
+            "from repro.core.config import MachineConfig\n"
+            "from repro.runtime import RunSpec\n"
+            "spec = RunSpec(app='bfs', dataset='rmat16',\n"
+            "    config=MachineConfig(width=4, height=4, engine='analytic'),\n"
+            "    scale=0.5, seed=7, verify=True, pagerank_iterations=5)\n"
+            "print(spec.key())\n"
+        )
+        expected = make_spec().key()
+        import repro
+
+        src_path = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        for hash_seed in ("0", "1", "12345"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = src_path + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert proc.stdout.strip() == expected
+
+    def test_version_field_participates(self):
+        # Bumping SPEC_VERSION must invalidate old keys; this pins the
+        # canonical form so the bump is a conscious act.
+        assert make_spec().canonical()["version"] == SPEC_VERSION

@@ -1,6 +1,10 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface and the experiment orchestration script."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -51,10 +55,119 @@ class TestRunCommand:
             cli.run_command(["--app", "bellman_ford"])
 
 
+class TestRuntimeFlags:
+    """Smoke tests for the shared --jobs / --cache-dir / --no-cache flags."""
+
+    RUN_ARGS = ["--app", "bfs", "--dataset", "rmat16", "--width", "4", "--scale", "0.1",
+                "--engine", "analytic", "--json"]
+
+    def test_jobs_flag_accepted_and_output_unchanged(self, capsys):
+        # A single dalorex-run never fans out (one spec), so this only pins
+        # flag acceptance and identical output; the real serial-vs-parallel
+        # equality lives in tests/runtime/test_runner.py and the script test.
+        assert cli.run_command(self.RUN_ARGS) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert cli.run_command(self.RUN_ARGS + ["--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_non_positive_jobs_rejected_by_the_parser(self, capsys):
+        for bogus in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                cli.run_command(self.RUN_ARGS + ["--jobs", bogus])
+            capsys.readouterr()
+
+    def test_cache_dir_populates_and_replays(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = self.RUN_ARGS + ["--cache-dir", str(cache_dir)]
+        assert cli.run_command(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        entries = list(cache_dir.glob("*.json"))
+        assert len(entries) == 1
+        # A second invocation replays the cached result bit-for-bit.
+        assert cli.run_command(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second == first
+        assert list(cache_dir.glob("*.json")) == entries
+
+    def test_no_cache_disables_the_cache(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = self.RUN_ARGS + ["--cache-dir", str(cache_dir), "--no-cache"]
+        assert cli.run_command(args) == 0
+        capsys.readouterr()
+        assert not cache_dir.exists() or not list(cache_dir.glob("*.json"))
+
+    def test_runner_from_args_shapes(self, tmp_path):
+        args = cli.argparse.Namespace(jobs=3, cache_dir=str(tmp_path), no_cache=False)
+        runner = cli.runner_from_args(args)
+        assert runner.jobs == 3 and runner.cache is not None
+        args = cli.argparse.Namespace(jobs=1, cache_dir=None, no_cache=False)
+        assert cli.runner_from_args(args).cache is None
+
+    def test_experiments_command_accepts_runtime_flags(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        exit_code = cli.experiments_command(
+            ["textstats", "--scale", "0.05", "--cache-dir", str(cache_dir)]
+        )
+        assert exit_code == 0
+        assert "Power density" in capsys.readouterr().out
+        assert len(list(cache_dir.glob("*.json"))) == 1
+
+
 class TestExperimentsCommand:
     def test_textstats_only(self, capsys, tmp_path):
         output = tmp_path / "report.txt"
-        exit_code = cli.experiments_command(["textstats", "--output", str(output)])
+        exit_code = cli.experiments_command(
+            ["textstats", "--scale", "0.05", "--output", str(output)]
+        )
         assert exit_code == 0
         assert "Dalorex area" in capsys.readouterr().out
         assert output.read_text().startswith("== Text statistics")
+
+
+class TestRunAllExperimentsScript:
+    """End-to-end contract of scripts/run_all_experiments.py: parallel runs are
+    byte-identical to serial ones, and a warm cache executes zero simulations."""
+
+    SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "run_all_experiments.py"
+
+    def run_script(self, tmp_path, tag, extra):
+        json_path = tmp_path / f"{tag}.json"
+        report_path = tmp_path / f"{tag}.txt"
+        env = dict(os.environ)
+        src = str(Path(cli.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(self.SCRIPT), "--scale", "0.05", "--figures", "6",
+             "--json", str(json_path), "--output", str(report_path)] + extra,
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        stats_lines = [
+            line for line in proc.stdout.splitlines() if line.startswith("[runtime]")
+        ]
+        assert len(stats_lines) == 1
+        stats = dict(
+            pair.split("=") for pair in stats_lines[0].split("]", 1)[1].split()
+        )
+        return json_path.read_bytes(), {k: int(v) for k, v in stats.items()}
+
+    def test_parallel_bytes_identical_and_warm_cache_runs_nothing(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        serial_json, serial_stats = self.run_script(tmp_path, "serial", ["--jobs", "1"])
+        assert serial_stats["executed"] > 0
+
+        parallel_json, parallel_stats = self.run_script(
+            tmp_path, "parallel", ["--jobs", "2", "--cache-dir", str(cache_dir)]
+        )
+        assert parallel_json == serial_json
+        assert parallel_stats["executed"] == serial_stats["executed"]
+
+        warm_json, warm_stats = self.run_script(
+            tmp_path, "warm", ["--jobs", "2", "--cache-dir", str(cache_dir)]
+        )
+        assert warm_stats["executed"] == 0
+        assert warm_stats["cache_hits"] == parallel_stats["executed"]
+        assert warm_json == serial_json
