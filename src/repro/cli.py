@@ -1,14 +1,19 @@
 """Command-line interface for running Dalorex simulations and experiments.
 
-Two entry points are installed with the package:
+``python -m repro.cli`` (the ``dalorex`` command) dispatches subcommands:
 
-* ``dalorex-run`` -- run one application on one dataset with a chosen
+* ``dalorex run`` -- run one application on one dataset with a chosen
   configuration and print the result summary (optionally as JSON).
-* ``dalorex-experiments`` -- regenerate the paper's figures (wraps the runners
-  in :mod:`repro.experiments`).
+* ``dalorex experiments`` -- regenerate the paper's figures (wraps the
+  runners in :mod:`repro.experiments`).
+* ``dalorex verify`` -- differential conformance: run a workload on both
+  engines, check the equality/bounds oracles against the reference executor,
+  and replay shrunk fuzzer failures via ``--spec FILE``.
+* ``dalorex cache stats`` / ``dalorex cache prune`` -- inspect and bound the
+  content-addressed result cache.
 
-Both route their simulations through :mod:`repro.runtime` and share three
-execution flags:
+``run`` and ``experiments`` route their simulations through
+:mod:`repro.runtime` and share three execution flags:
 
 * ``--jobs N`` fans independent simulations out over N worker processes;
 * ``--cache-dir PATH`` replays previously computed runs from a
@@ -24,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.apps import KERNELS
@@ -65,22 +71,46 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     return ExperimentRunner(jobs=args.jobs, cache=cache)
 
 
-def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+def add_workload_arguments(
+    parser: argparse.ArgumentParser,
+    width_default: int = 16,
+    scale_default: float = 1.0,
+) -> None:
+    """Install the workload flags shared by ``run`` and ``verify``.
+
+    The single definition keeps the two subcommands replay-compatible: any
+    workload knob added here is automatically available to both.
+    """
     parser.add_argument("--app", choices=sorted(KERNELS), default="bfs", help="application kernel")
     parser.add_argument(
         "--dataset", default="rmat16",
         help=f"dataset stand-in (one of {', '.join(list_datasets())})",
     )
-    parser.add_argument("--width", type=int, default=16, help="grid width in tiles")
+    parser.add_argument("--width", type=int, default=width_default, help="grid width in tiles")
     parser.add_argument("--height", type=int, default=None, help="grid height (default: square)")
+    parser.add_argument("--noc", default=None, choices=["mesh", "torus", "torus_ruche"])
+    parser.add_argument("--scale", type=float, default=scale_default, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=7, help="dataset generator seed")
+
+
+def resolve_workload_shape(args: argparse.Namespace):
+    """Interpret the shared workload flags: ``(width, height, config overrides)``.
+
+    Owns the square-by-default grid rule and the optional NoC override, so
+    ``run`` and ``verify`` cannot drift on how the same flags are read.
+    """
+    height = args.height if args.height is not None else args.width
+    overrides = {"noc": args.noc} if args.noc else {}
+    return args.width, height, overrides
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    add_workload_arguments(parser)
     parser.add_argument(
         "--config", default="Dalorex", choices=LADDER_ORDER,
         help="configuration rung from the Fig. 5 ladder",
     )
-    parser.add_argument("--noc", default=None, choices=["mesh", "torus", "torus_ruche"])
     parser.add_argument("--engine", default=None, choices=["cycle", "analytic"])
-    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
-    parser.add_argument("--seed", type=int, default=7, help="dataset generator seed")
     parser.add_argument("--no-verify", action="store_true", help="skip reference validation")
     parser.add_argument("--json", action="store_true", help="print the summary as JSON")
     add_runtime_arguments(parser)
@@ -94,14 +124,11 @@ def run_command(argv: Optional[List[str]] = None) -> int:
     _add_run_arguments(parser)
     args = parser.parse_args(argv)
 
-    height = args.height if args.height is not None else args.width
+    width, height, overrides = resolve_workload_shape(args)
     if args.config == "Dalorex":
-        config = dalorex_config(args.width, height)
+        config = dalorex_config(width, height)
     else:
-        config = ladder_configs(args.width, height)[args.config]
-    overrides = {}
-    if args.noc:
-        overrides["noc"] = args.noc
+        config = ladder_configs(width, height)[args.config]
     if args.engine:
         overrides["engine"] = args.engine
     elif config.num_tiles > 1024:
@@ -175,9 +202,154 @@ def experiments_command(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - alias
+def verify_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``dalorex verify``: differential conformance runs.
+
+    Either replays one or more JSON repro files (``--spec``, typically shrunk
+    failures emitted by the conformance fuzzer) or builds a spec from the
+    usual run flags and checks it on the spot.
+    """
+    from repro.core.config import MachineConfig
+    from repro.verify.harness import load_repro_spec, run_conformance
+
+    parser = argparse.ArgumentParser(
+        prog="dalorex verify",
+        description="Run differential conformance checks (cycle vs analytic vs "
+        "reference executor) on one workload.",
+    )
+    parser.add_argument(
+        "--spec", action="append", default=[], metavar="FILE",
+        help="replay a JSON repro spec (repeatable); overrides the inline flags",
+    )
+    # Smaller default shape/scale than `run`: a conformance check simulates
+    # the workload twice (both engines) plus the reference executor.
+    add_workload_arguments(parser, width_default=4, scale_default=0.1)
+    parser.add_argument("--barrier", action="store_true",
+                        help="run with per-epoch global barriers")
+    parser.add_argument("--detailed-trace", action="store_true",
+                        help="record the per-epoch invariant trace in the report")
+    parser.add_argument("--json", action="store_true", help="print reports as JSON")
+    args = parser.parse_args(argv)
+
+    if args.spec:
+        specs = [load_repro_spec(path) for path in args.spec]
+    else:
+        width, height, overrides = resolve_workload_shape(args)
+        config = MachineConfig(
+            width=width, height=height, barrier=args.barrier, **overrides
+        )
+        specs = [
+            RunSpec(app=args.app, dataset=args.dataset, config=config,
+                    scale=args.scale, seed=args.seed)
+        ]
+
+    reports = [run_conformance(spec, detailed_trace=args.detailed_trace) for spec in specs]
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.describe())
+    return 0 if all(report.ok for report in reports) else 1
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix (binary multiples)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    raw = text.strip().lower().removesuffix("b")
+    multiplier = 1
+    if raw and raw[-1] in units:
+        multiplier = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be non-negative, got {text!r}")
+    return value
+
+
+def cache_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``dalorex cache``: result-cache inspection and pruning."""
+    parser = argparse.ArgumentParser(
+        prog="dalorex cache", description="Manage the content-addressed result cache."
+    )
+    subparsers = parser.add_subparsers(dest="action", required=True)
+    stats = subparsers.add_parser("stats", help="summarize cache size and age")
+    prune = subparsers.add_parser(
+        "prune", help="evict oldest entries until the cache fits --max-size"
+    )
+    for sub in (stats, prune):
+        sub.add_argument("--cache-dir", required=True, metavar="PATH")
+        sub.add_argument("--json", action="store_true", help="print the summary as JSON")
+    prune.add_argument(
+        "--max-size", type=_parse_size, required=True, metavar="SIZE",
+        help="target cache size in bytes (K/M/G suffixes accepted, e.g. 512M)",
+    )
+    prune.add_argument(
+        "--dry-run", action="store_true", help="report evictions without deleting"
+    )
+    args = parser.parse_args(argv)
+
+    # Unlike the runners (which create the cache they are about to fill),
+    # inspection must not conjure an empty cache out of a mistyped path.
+    if not Path(args.cache_dir).is_dir():
+        print(f"cache directory {args.cache_dir!r} does not exist", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        summary = cache.stats()
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(f"cache {summary['root']}: {summary['entries']} entries, "
+                  f"{summary['total_bytes']} bytes")
+        return 0
+    evicted = cache.prune(args.max_size, dry_run=args.dry_run)
+    summary = cache.stats()
+    summary["evicted"] = evicted
+    summary["dry_run"] = args.dry_run
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        verb = "would evict" if args.dry_run else "evicted"
+        print(f"cache {summary['root']}: {verb} {len(evicted)} entries; "
+              f"now {summary['entries']} entries, {summary['total_bytes']} bytes")
+    return 0
+
+
+#: Subcommands of the unified ``dalorex`` entry point.
+SUBCOMMANDS = {
+    "run": run_command,
+    "experiments": experiments_command,
+    "verify": verify_command,
+    "cache": cache_command,
+}
+
+
+def dalorex_command(argv: Optional[List[str]] = None) -> int:
+    """Unified ``dalorex`` entry point dispatching to the subcommands.
+
+    For backwards compatibility, invocations that start with an option
+    (``dalorex --app bfs ...``) are treated as ``dalorex run ...``.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
+    if argv and not argv[0].startswith("-"):
+        print(f"unknown subcommand {argv[0]!r}; choose from {sorted(SUBCOMMANDS)}",
+              file=sys.stderr)
+        return 2
+    if argv in ([], ["-h"], ["--help"]):
+        print("usage: dalorex {run,experiments,verify,cache} ...\n"
+              "       dalorex --app ... (alias for 'dalorex run')")
+        return 0
     return run_command(argv)
 
 
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - alias
+    return dalorex_command(argv)
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(run_command())
+    sys.exit(dalorex_command())

@@ -42,6 +42,7 @@ class AnalyticalEngine(BaseEngine):
         while seeds:
             epoch_cycles = self._run_epoch(seeds, epoch_index, average_hops)
             total_cycles += epoch_cycles
+            self.tracer.epoch_finished(epoch_index, self.counters)
             epoch_index += 1
             if not self.machine.barrier_effective:
                 break
@@ -109,12 +110,8 @@ class AnalyticalEngine(BaseEngine):
             return False
         refilled = False
         for tile_id in range(self.config.num_tiles):
-            seeds = self.kernel.refill_tile(
-                self.machine, tile_id, self.config.frontier_refill_batch
-            )
-            for task_name, params in seeds:
-                task = self.program.task(task_name)
-                worklist.append((tile_id, task, tuple(params), 0, False))
+            for task, params in self.resolve_refill(tile_id):
+                worklist.append((tile_id, task, params, 0, False))
                 refilled = True
         return refilled
 

@@ -18,6 +18,7 @@ from repro.core.results import AggregateCounters, SimulationResult
 from repro.core.task import Task
 from repro.errors import SimulationError
 from repro.noc.analytical import LinkLoadModel
+from repro.verify.tracing import InvariantTracer
 
 #: Above this tile count the analytical engine switches the link-load model to
 #: its aggregate (non-per-link) mode to keep simulation time reasonable.
@@ -41,6 +42,11 @@ class BaseEngine:
         detailed = machine.config.num_tiles <= DETAILED_LINK_MODEL_MAX_TILES
         self.link_model = LinkLoadModel(self.topology, detailed=detailed)
         self.tile_pitch_mm = machine.tile_pitch_mm
+        # Conservation tracing: both engines feed the same spawn/consume hooks,
+        # and build_result() runs the always-on checks.  The machine keeps a
+        # reference so callers can inspect the trace after run() returns.
+        self.tracer = InvariantTracer(detailed=getattr(machine, "detailed_trace", False))
+        machine.tracer = self.tracer
 
     # -------------------------------------------------------------- execution
     def execute_invocation(
@@ -49,6 +55,7 @@ class BaseEngine:
         """Run one task handler functionally and return its context and cost."""
         ctx = TaskContext(self.machine, tile_id, task)
         task.handler(ctx, *params)
+        self.tracer.record_execution(task, ctx.outgoing)
         cost = ctx.cycles
         if remote and self.config.remote_invocation == "interrupting":
             cost += self.config.interrupt_penalty_cycles
@@ -100,6 +107,23 @@ class BaseEngine:
                 )
             destination = self.placement.owner(task.route_space, int(params[0]))
             resolved.append((destination, task, params))
+        self.tracer.record_seeds(resolved)
+        return resolved
+
+    def resolve_refill(self, tile_id: int) -> List[Tuple[Task, tuple]]:
+        """Pull parked frontier work for one tile (barrierless mode).
+
+        The single refill path shared by both engines, so the invariant tracer
+        sees every refill-origin spawn exactly once.
+        """
+        seeds = self.kernel.refill_tile(
+            self.machine, tile_id, self.config.frontier_refill_batch
+        )
+        resolved = [
+            (self.program.task(task_name), tuple(params)) for task_name, params in seeds
+        ]
+        if resolved:
+            self.tracer.record_refill(resolved)
         return resolved
 
     def charge_epoch_seeding(self, resolved_seeds: Sequence[Tuple[int, Task, tuple]]) -> np.ndarray:
@@ -125,6 +149,8 @@ class BaseEngine:
 
     # ----------------------------------------------------------------- result
     def build_result(self, cycles: float, epochs: int) -> SimulationResult:
+        self.tracer.record_queue_stats(self.tiles)
+        self.tracer.verify(self.counters, self.tiles)
         per_tile_busy = np.array([tile.pu.busy_cycles for tile in self.tiles])
         per_tile_instructions = np.array([tile.pu.instructions for tile in self.tiles])
         per_router_flits = self.link_model.router_traffic().astype(np.float64)

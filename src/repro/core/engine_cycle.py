@@ -62,6 +62,7 @@ class CycleEngine(BaseEngine):
                 # pulled as soon as its tile idles (no global synchronization).
                 while self._refill_idle_tiles(self._last_event_time):
                     self._drain_events()
+            self.tracer.epoch_finished(epoch_index, self.counters)
             epoch_index += 1
             if not self.machine.barrier_effective:
                 break
@@ -123,14 +124,11 @@ class CycleEngine(BaseEngine):
         return refilled
 
     def _refill_tile(self, tile_id: int, now: float) -> bool:
-        seeds = self.kernel.refill_tile(
-            self.machine, tile_id, self.config.frontier_refill_batch
-        )
-        if not seeds:
+        resolved = self.resolve_refill(tile_id)
+        if not resolved:
             return False
-        for task_name, params in seeds:
-            task = self.program.task(task_name)
-            invocation = TaskInvocation(task.task_id, tuple(params), generation=0, remote=False)
+        for task, params in resolved:
+            invocation = TaskInvocation(task.task_id, params, generation=0, remote=False)
             self.tiles[tile_id].enqueue_task(task.task_id, invocation)
         return True
 

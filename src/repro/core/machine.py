@@ -50,6 +50,11 @@ class DalorexMachine:
         # Per-tile mutable state outside the distributed arrays (models the
         # tile-local frontier queue fed by T3 and drained by T4).
         self.tile_state = [dict() for _ in range(config.num_tiles)]
+        # Invariant tracing: set detailed_trace=True before run() for the
+        # opt-in per-epoch trace; the engine publishes its tracer here so
+        # callers can inspect the traced task flow after the run.
+        self.detailed_trace = False
+        self.tracer = None
         self.barrier_effective = config.barrier or kernel.requires_barrier
 
         self.topology = make_topology(

@@ -39,5 +39,17 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent state (deadlock, missing task...)."""
 
 
+class InvariantViolation(SimulationError):
+    """An engine-independent execution invariant was broken.
+
+    Raised by the :class:`~repro.verify.tracing.InvariantTracer` when the
+    always-on conservation checks fail at the end of a run: a spawned task was
+    never consumed (or consumed twice), the aggregate counters disagree with
+    the traced task flow, or work counters moved backwards across an epoch.
+    A violation means the *simulator* miscounted, not that the workload is
+    wrong -- it is the safety net differential testing relies on.
+    """
+
+
 class CapacityError(ReproError):
     """A scratchpad or queue capacity was exceeded where overflow is not allowed."""

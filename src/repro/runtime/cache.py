@@ -108,3 +108,56 @@ class ResultCache:
 
     def __len__(self) -> int:
         return len(self.keys())
+
+    # ------------------------------------------------------------- management
+    def _entries(self) -> List[tuple]:
+        """``(mtime, size_bytes, path)`` per entry; unstatable files skipped
+        (a concurrent prune/evict may remove files mid-scan)."""
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def stats(self) -> Dict[str, Any]:
+        """Size/age summary of the cache (the ``dalorex cache stats`` payload)."""
+        entries = self._entries()
+        total_bytes = sum(size for _mtime, size, _path in entries)
+        mtimes = [mtime for mtime, _size, _path in entries]
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": total_bytes,
+            "oldest_mtime": min(mtimes) if mtimes else None,
+            "newest_mtime": max(mtimes) if mtimes else None,
+        }
+
+    def prune(self, max_size_bytes: int, dry_run: bool = False) -> List[str]:
+        """Evict oldest entries (by mtime) until the cache fits ``max_size_bytes``.
+
+        Returns the evicted keys, oldest first.  ``dry_run`` reports what
+        would be evicted without deleting anything.  A loaded entry's mtime is
+        its store time, so this is FIFO by write -- re-storing (refresh) makes
+        an entry young again.  An entry that cannot be deleted (permissions,
+        concurrent access) is not reported as evicted and does not count
+        towards the freed budget.
+        """
+        if max_size_bytes < 0:
+            raise ValueError(f"max_size_bytes must be >= 0, got {max_size_bytes}")
+        entries = sorted(self._entries())
+        total = sum(size for _mtime, size, _path in entries)
+        evicted = []
+        for _mtime, size, path in entries:
+            if total <= max_size_bytes:
+                break
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue  # undeletable: still on disk, still counted
+            evicted.append(path.stem)
+            total -= size
+        return evicted

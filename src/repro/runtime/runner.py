@@ -47,6 +47,14 @@ def _execute_to_payload(spec: RunSpec) -> Tuple[str, Dict[str, Any]]:
     return spec.key(), result_to_payload(execute_spec(spec))
 
 
+def _predicted_cost(spec: RunSpec) -> float:
+    """Sort key for adaptive batch ordering; unknown datasets sort as free."""
+    try:
+        return spec.predicted_cost()
+    except Exception:
+        return 0.0
+
+
 def _payload_weight(payload: Dict[str, Any]) -> int:
     """Approximate size of one payload as its total array-element count."""
     total = 64  # scalars and strings
@@ -187,6 +195,12 @@ class ExperimentRunner:
                     self.stats.cache_hits += 1
 
         pending = [spec for key, spec in unique.items() if key not in payloads]
+        # Adaptive ordering: start the predicted-slowest points first so the
+        # parallel tail shrinks (a cheap point never straggles behind the big
+        # one that was submitted last).  Results still return in input order,
+        # so output bytes are unaffected.  Stable sort keeps equal-cost specs
+        # in batch order, which keeps serial execution order deterministic.
+        pending.sort(key=_predicted_cost, reverse=True)
         # Results stream out of _execute as each simulation lands and are
         # cached immediately, so a crash (or a failing spec) mid-batch keeps
         # every simulation completed before it -- that is what makes long

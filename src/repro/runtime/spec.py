@@ -79,6 +79,46 @@ class RunSpec:
         blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    @classmethod
+    def from_canonical(cls, data: dict) -> "RunSpec":
+        """Rebuild a spec from its :meth:`canonical` form (repro-file replay).
+
+        Round-trip guarantee: ``RunSpec.from_canonical(spec.canonical())``
+        compares equal to ``spec`` and produces the same cache key.
+        """
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"spec version {version} is not supported (expected {SPEC_VERSION})"
+            )
+        pagerank_iterations = data.get("pagerank_iterations")
+        kwargs = {}
+        if pagerank_iterations is not None:
+            kwargs["pagerank_iterations"] = int(pagerank_iterations)
+        return cls(
+            app=data["app"],
+            dataset=data["dataset"],
+            config=MachineConfig(**data["config"]).validate(),
+            scale=float(data.get("scale", 1.0)),
+            seed=int(data.get("seed", 7)),
+            verify=bool(data.get("verify", False)),
+            **kwargs,
+        )
+
+    def predicted_cost(self) -> float:
+        """Estimated simulation cost (tiles x edges), computed arithmetically.
+
+        Uses the dataset registry's stand-in sizing, so no graph is built;
+        the runner sorts pending batches by this so the slowest points start
+        first and parallel tail latency shrinks.
+        """
+        from repro.experiments.common import experiment_scale_divisor
+        from repro.graph.datasets import dataset_spec
+
+        divisor = experiment_scale_divisor(self.dataset, self.scale)
+        edges = dataset_spec(self.dataset).stand_in_edges(divisor)
+        return float(self.config.num_tiles) * float(edges)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RunSpec):
             return NotImplemented

@@ -1,0 +1,43 @@
+"""Differential conformance subsystem.
+
+Every future optimization of the engines (adaptive scheduling, distributed
+fan-out, new kernels) lands on top of this safety net:
+
+* :mod:`repro.verify.tracing` -- the :class:`InvariantTracer` both engines
+  feed through :class:`~repro.core.engine_base.BaseEngine`: cheap always-on
+  conservation checks (every task spawned is consumed exactly once, aggregate
+  counters agree with the traced task flow, per-epoch work counters are
+  monotone) plus an opt-in detailed per-epoch / per-task trace;
+* :mod:`repro.verify.reference` -- a reference executor that runs each kernel
+  on the plain CSR graph (no machine model) to produce ground-truth outputs
+  and work-count bounds;
+* :mod:`repro.verify.oracles` -- equality oracles for order-independent
+  kernels and bounds oracles for order-dependent (relaxation-style) kernels;
+* :mod:`repro.verify.harness` -- runs one :class:`~repro.runtime.spec.RunSpec`
+  through both engines, the reference executor and every oracle, and
+  serializes failing specs as JSON repro files that ``dalorex verify --spec``
+  replays.
+"""
+
+from repro.verify.harness import (
+    ConformanceReport,
+    load_repro_spec,
+    run_conformance,
+    write_repro_spec,
+)
+from repro.verify.oracles import EQUALITY_COUNTERS, oracle_kind
+from repro.verify.reference import ReferenceRun, WorkBounds, reference_run
+from repro.verify.tracing import InvariantTracer
+
+__all__ = [
+    "ConformanceReport",
+    "EQUALITY_COUNTERS",
+    "InvariantTracer",
+    "ReferenceRun",
+    "WorkBounds",
+    "load_repro_spec",
+    "oracle_kind",
+    "reference_run",
+    "run_conformance",
+    "write_repro_spec",
+]

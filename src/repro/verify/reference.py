@@ -1,0 +1,219 @@
+"""Reference executor: ground-truth outputs and work bounds from the plain CSR graph.
+
+Runs each application's algorithm directly on the graph -- no machine model,
+no placement, no engines -- and derives two things the conformance oracles
+need:
+
+* the **expected output array** (levels, distances, ranks, labels, y), shared
+  with the sequential references in :mod:`repro.graph.reference`;
+* **work-count bounds** on ``edges_processed``: a lower bound every correct
+  schedule must reach, and -- for the order-dependent relaxation kernels -- a
+  worst-case upper bound no schedule may exceed.
+
+The bound structure mirrors how the kernels count work: every exploration of a
+vertex ``v`` (task T1 followed by T2 chunks) processes exactly ``degree(v)``
+edges, so bounding explorations per vertex bounds ``edges_processed``.
+
+Lower bounds (all kernels): each seeded/reachable vertex is explored at least
+once, so ``sum(degree(v))`` over those vertices is a floor.
+
+Upper bounds (order-dependent kernels) count how often a vertex can re-enter
+the frontier; every re-exploration requires a prior strict improvement of the
+vertex's value, and improvements along any causal chain are strictly monotone,
+which makes the chain a simple path:
+
+* BFS: assigned levels are simple-path lengths, i.e. strictly decreasing
+  integers in ``[final_level(v), V-1]`` -- at most ``V - final_level(v)``
+  explorations;
+* SSSP (integral weights): assigned distances are simple-path weights,
+  strictly decreasing integers in ``[final_dist(v), (V-1) * max_weight]``;
+  with non-integral weights the bound falls back to the Bellman-Ford-style
+  ``V`` explorations per vertex;
+* WCC: adopted labels are vertex IDs inside the component, strictly
+  decreasing -- at most ``1 + |{u in component(v): u < v}|`` explorations.
+
+PageRank and SPMV are order-independent: the bounds collapse to an exact count
+(``E * iterations`` and ``E``), and :attr:`WorkBounds.exact` tells the oracle
+to demand equality instead of an interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.reference import (
+    UNREACHED,
+    bfs_levels,
+    pagerank,
+    spmv,
+    sssp_distances,
+    wcc_labels,
+)
+
+
+@dataclass(frozen=True)
+class WorkBounds:
+    """Bounds on the counted work of one (app, graph, parameters) workload."""
+
+    edges_lower: int
+    edges_upper: int
+    epochs_exact: Optional[int] = None
+
+    @property
+    def exact(self) -> bool:
+        """True when the work count is schedule-independent (equality oracle)."""
+        return self.edges_lower == self.edges_upper
+
+    def admits_edges(self, edges: int) -> bool:
+        return self.edges_lower <= edges <= self.edges_upper
+
+    def to_dict(self) -> dict:
+        return {
+            "edges_lower": self.edges_lower,
+            "edges_upper": self.edges_upper,
+            "epochs_exact": self.epochs_exact,
+            "exact": self.exact,
+        }
+
+
+@dataclass(frozen=True)
+class ReferenceRun:
+    """Ground truth for one workload: expected output plus work bounds."""
+
+    app: str
+    output_name: str
+    expected: np.ndarray
+    bounds: WorkBounds
+
+
+def _bfs_reference(graph: CSRGraph, root: int) -> ReferenceRun:
+    levels = bfs_levels(graph, root)
+    degrees = graph.degrees().astype(np.int64)
+    reachable = levels != UNREACHED
+    lower = int(degrees[reachable].sum())
+    num_vertices = graph.num_vertices
+    # Explorations of v are bounded by the count of strictly decreasing
+    # integer levels in [final_level(v), V-1]; the root is explored once.
+    explorations = np.maximum(1, num_vertices - levels[reachable])
+    upper = int((degrees[reachable] * explorations).sum())
+    return ReferenceRun(
+        "bfs", "level", levels, WorkBounds(edges_lower=lower, edges_upper=upper)
+    )
+
+
+def _sssp_reference(graph: CSRGraph, root: int) -> ReferenceRun:
+    dist = sssp_distances(graph, root)
+    degrees = graph.degrees().astype(np.int64)
+    reachable = np.isfinite(dist)
+    lower = int(degrees[reachable].sum())
+    num_vertices = graph.num_vertices
+    values = graph.values
+    integral = bool(
+        graph.num_edges == 0
+        or (np.all(values == np.floor(values)) and values.min() >= 1.0)
+    )
+    if integral:
+        # Assigned distances are simple-path weights: strictly decreasing
+        # integers in [final_dist(v), (V-1) * max_weight].
+        max_weight = int(values.max()) if graph.num_edges else 0
+        ceiling = (num_vertices - 1) * max_weight
+        explorations = np.maximum(
+            1, ceiling - np.round(dist[reachable]).astype(np.int64) + 1
+        )
+    else:
+        # Non-integral weights: Bellman-Ford-style V explorations per vertex.
+        explorations = np.full(int(reachable.sum()), num_vertices, dtype=np.int64)
+    explorations = np.where(dist[reachable] == 0.0, 1, explorations)
+    upper = int((degrees[reachable] * explorations).sum())
+    return ReferenceRun(
+        "sssp", "dist", dist, WorkBounds(edges_lower=lower, edges_upper=upper)
+    )
+
+
+def _wcc_reference(graph: CSRGraph) -> ReferenceRun:
+    # The kernel symmetrizes its input, so the bounds use the prepared graph.
+    undirected = graph if graph.is_symmetric() else graph.to_undirected()
+    labels = wcc_labels(graph)
+    degrees = undirected.degrees().astype(np.int64)
+    num_vertices = graph.num_vertices
+    lower = int(degrees.sum())  # every vertex is seeded once
+    # Label improvements adopt strictly smaller vertex IDs within the
+    # component: v's rank among its component's sorted IDs bounds them.
+    order = np.lexsort((np.arange(num_vertices), labels))
+    sorted_labels = labels[order]
+    component_start = np.concatenate(
+        ([0], np.nonzero(np.diff(sorted_labels))[0] + 1)
+    ) if num_vertices else np.zeros(0, dtype=np.int64)
+    within = np.arange(num_vertices)
+    if num_vertices:
+        starts = np.zeros(num_vertices, dtype=np.int64)
+        starts[component_start] = component_start
+        starts = np.maximum.accumulate(starts)
+        within = within - starts
+    ranks = np.empty(num_vertices, dtype=np.int64)
+    ranks[order] = within
+    upper = int((degrees * (1 + ranks)).sum())
+    return ReferenceRun(
+        "wcc", "label", labels, WorkBounds(edges_lower=lower, edges_upper=upper)
+    )
+
+
+def _pagerank_reference(
+    graph: CSRGraph, num_iterations: int, damping: float
+) -> ReferenceRun:
+    expected = pagerank(graph, damping=damping, num_iterations=num_iterations)
+    edges = graph.num_edges * num_iterations
+    return ReferenceRun(
+        "pagerank",
+        "rank",
+        expected,
+        WorkBounds(edges_lower=edges, edges_upper=edges, epochs_exact=num_iterations),
+    )
+
+
+def _spmv_reference(graph: CSRGraph, spmv_seed: int) -> ReferenceRun:
+    # The kernel generates its dense input from this seed; reuse its generator
+    # so the expected output matches the simulated one bit-for-bit on input.
+    from repro.apps.spmv import SPMVKernel
+
+    x = SPMVKernel(seed=spmv_seed).vector(graph)
+    expected = spmv(graph, x)
+    edges = graph.num_edges
+    return ReferenceRun(
+        "spmv",
+        "y",
+        expected,
+        WorkBounds(edges_lower=edges, edges_upper=edges, epochs_exact=1),
+    )
+
+
+def reference_run(
+    app: str,
+    graph: CSRGraph,
+    root: Optional[int] = None,
+    pagerank_iterations: int = 5,
+    damping: float = 0.85,
+    spmv_seed: int = 3,
+) -> ReferenceRun:
+    """Ground-truth outputs and work bounds for one application on one graph.
+
+    ``root`` defaults to the highest-degree vertex, matching
+    :func:`repro.experiments.common.build_kernel`.
+    """
+    key = app.strip().lower()
+    if key in ("bfs", "sssp"):
+        resolved_root = root if root is not None else graph.highest_degree_vertex()
+        if key == "bfs":
+            return _bfs_reference(graph, resolved_root)
+        return _sssp_reference(graph, resolved_root)
+    if key == "wcc":
+        return _wcc_reference(graph)
+    if key == "pagerank":
+        return _pagerank_reference(graph, pagerank_iterations, damping)
+    if key == "spmv":
+        return _spmv_reference(graph, spmv_seed)
+    raise KeyError(f"unknown application {app!r}")

@@ -138,7 +138,9 @@ class TestCache:
             app="bfs",
             dataset="rmat16",
             config=MachineConfig(
-                width=4, height=4, engine="analytic", barrier=True, max_epochs=1
+                # A single tile makes this the predicted-cheapest spec, so
+                # adaptive ordering runs it after the good ones.
+                width=1, height=1, engine="analytic", barrier=True, max_epochs=1
             ),
             scale=SCALE,
             seed=999,  # distinct key; barrier + max_epochs=1 makes the run abort
@@ -259,6 +261,134 @@ class TestCache:
         wrapper = json.loads(cache.path_for(spec.key()).read_text())
         assert wrapper["key"] == spec.key()
         assert {"key", "sha256", "payload"} <= set(wrapper)
+
+
+class TestAdaptiveOrdering:
+    """Pending batches execute predicted-slowest first (tiles x edges), so
+    the big point never straggles behind the cheap ones in a parallel sweep;
+    results still return in input order."""
+
+    def test_predicted_cost_scales_with_tiles_and_edges(self):
+        small = RunSpec(app="bfs", dataset="rmat16",
+                        config=MachineConfig(width=2, height=2), scale=SCALE)
+        more_tiles = RunSpec(app="bfs", dataset="rmat16",
+                             config=MachineConfig(width=4, height=4), scale=SCALE)
+        more_edges = RunSpec(app="bfs", dataset="rmat16",
+                             config=MachineConfig(width=2, height=2), scale=4 * SCALE)
+        assert more_tiles.predicted_cost() == 4 * small.predicted_cost()
+        assert more_edges.predicted_cost() > small.predicted_cost()
+
+    def test_pending_specs_execute_costliest_first(self, monkeypatch):
+        import repro.runtime.runner as runner_module
+
+        executed_widths = []
+        original = runner_module._execute_to_payload
+
+        def spying(spec):
+            executed_widths.append(spec.config.width)
+            return original(spec)
+
+        monkeypatch.setattr(runner_module, "_execute_to_payload", spying)
+        specs = [
+            RunSpec(app="spmv", dataset="rmat16",
+                    config=MachineConfig(width=width, height=width, engine="analytic"),
+                    scale=SCALE)
+            for width in (1, 4, 2)  # deliberately not cost-ordered
+        ]
+        results = ExperimentRunner(jobs=1).run_batch(specs)
+        assert executed_widths == [4, 2, 1]
+        # Output order still matches input order.
+        assert [result.num_tiles for result in results] == [1, 16, 4]
+
+    def test_ordering_does_not_change_results(self, serial_results):
+        # make_specs() is not cost-sorted, so this batch exercised reordering;
+        # byte-stability vs the module fixture pins output invariance.
+        reordered = ExperimentRunner(jobs=1).run_batch(make_specs())
+        assert summaries(reordered) == summaries(serial_results)
+
+
+class TestCacheManagement:
+    def populate(self, tmp_path, count=3):
+        cache = ResultCache(tmp_path / "cache")
+        runner = ExperimentRunner(cache=cache)
+        for spec in make_specs()[:count]:
+            runner.run(spec)
+        return cache
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = self.populate(tmp_path)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        sizes = sum(path.stat().st_size for path in (tmp_path / "cache").glob("*.json"))
+        assert stats["total_bytes"] == sizes > 0
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
+
+    def test_empty_cache_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["total_bytes"] == 0
+        assert stats["oldest_mtime"] is None
+
+    def test_prune_evicts_oldest_first_until_under_budget(self, tmp_path):
+        cache = self.populate(tmp_path)
+        entries = sorted(cache._entries())
+        oldest_key = entries[0][2].stem
+        keep_bytes = sum(size for _mtime, size, _path in entries[1:])
+        evicted = cache.prune(keep_bytes)
+        assert evicted == [oldest_key]
+        assert cache.stats()["total_bytes"] <= keep_bytes
+        assert oldest_key not in cache
+
+    def test_prune_to_zero_clears_the_cache(self, tmp_path):
+        cache = self.populate(tmp_path)
+        evicted = cache.prune(0)
+        assert len(evicted) == 3
+        assert len(cache) == 0
+
+    def test_prune_dry_run_deletes_nothing(self, tmp_path):
+        cache = self.populate(tmp_path)
+        evicted = cache.prune(0, dry_run=True)
+        assert len(evicted) == 3
+        assert len(cache) == 3
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        cache = self.populate(tmp_path)
+        assert cache.prune(cache.stats()["total_bytes"]) == []
+        assert len(cache) == 3
+
+    def test_prune_does_not_report_undeletable_entries_as_evicted(
+        self, tmp_path, monkeypatch
+    ):
+        import pathlib
+
+        cache = self.populate(tmp_path)
+        protected = sorted(cache._entries())[0][2]
+        original = pathlib.Path.unlink
+
+        def flaky_unlink(self, *args, **kwargs):
+            if self == protected:
+                raise OSError("permission denied")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "unlink", flaky_unlink)
+        evicted = cache.prune(0)
+        assert protected.stem not in evicted
+        assert len(evicted) == 2
+        assert protected.exists()
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            cache.prune(-1)
+
+    def test_pruned_entries_are_recomputed_on_demand(self, tmp_path):
+        cache = self.populate(tmp_path, count=2)
+        cache.prune(0)
+        runner = ExperimentRunner(cache=cache)
+        runner.run_batch(make_specs()[:2])
+        assert runner.stats.executed == 2
+        assert len(cache) == 2
 
 
 class TestValidation:

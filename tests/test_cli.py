@@ -114,6 +114,189 @@ class TestRuntimeFlags:
         assert len(list(cache_dir.glob("*.json"))) == 1
 
 
+class TestDalorexDispatch:
+    """The unified `dalorex` entry point routes subcommands (and keeps the
+    historical flags-only invocation as an alias for `run`)."""
+
+    def test_run_subcommand(self, capsys):
+        assert cli.dalorex_command(
+            ["run", "--app", "bfs", "--dataset", "rmat16", "--width", "4",
+             "--scale", "0.1", "--engine", "analytic", "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["app"] == "bfs"
+
+    def test_bare_flags_alias_run(self, capsys):
+        assert cli.dalorex_command(
+            ["--app", "spmv", "--dataset", "rmat16", "--width", "4",
+             "--scale", "0.1", "--engine", "analytic", "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["app"] == "spmv"
+
+    def test_unknown_subcommand_rejected(self, capsys):
+        assert cli.dalorex_command(["frobnicate"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_help_lists_subcommands(self, capsys):
+        assert cli.dalorex_command([]) == 0
+        out = capsys.readouterr().out
+        for name in ("run", "experiments", "verify", "cache"):
+            assert name in out
+
+
+class TestVerifyCommand:
+    def test_inline_spec_conforms(self, capsys):
+        exit_code = cli.dalorex_command(
+            ["verify", "--app", "sssp", "--dataset", "rmat16", "--width", "2",
+             "--scale", "0.02", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.startswith("[OK]")
+        assert "oracle=bounds" in out
+
+    def test_json_report_shape(self, capsys):
+        exit_code = cli.dalorex_command(
+            ["verify", "--app", "pagerank", "--width", "2", "--scale", "0.02",
+             "--json"]
+        )
+        assert exit_code == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1
+        assert reports[0]["ok"] is True
+        assert reports[0]["oracle"] == "equality"
+        assert reports[0]["counters"]["cycle"]["edges_processed"] == \
+            reports[0]["counters"]["analytic"]["edges_processed"]
+
+    def test_replays_a_repro_spec_file(self, capsys, tmp_path):
+        from repro.core.config import MachineConfig
+        from repro.runtime import RunSpec
+        from repro.verify import write_repro_spec
+
+        spec = RunSpec(
+            app="wcc", dataset="rmat16",
+            config=MachineConfig(width=2, height=2, noc="mesh"),
+            scale=0.02, seed=5,
+        )
+        path = write_repro_spec(spec, tmp_path)
+        assert cli.dalorex_command(["verify", "--spec", str(path)]) == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_malformed_spec_file_raises(self, tmp_path):
+        from repro.errors import ReproError
+
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(ReproError):
+            cli.verify_command(["--spec", str(path)])
+
+
+class TestCacheCommand:
+    def populate(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        for seed in (7, 8):
+            assert cli.run_command(
+                ["--app", "spmv", "--dataset", "rmat16", "--width", "4",
+                 "--scale", "0.1", "--engine", "analytic", "--seed", str(seed),
+                 "--cache-dir", str(cache_dir), "--json"]
+            ) == 0
+        return cache_dir
+
+    def test_stats_reports_entries_and_bytes(self, capsys, tmp_path):
+        cache_dir = self.populate(tmp_path)
+        capsys.readouterr()
+        assert cli.dalorex_command(
+            ["cache", "stats", "--cache-dir", str(cache_dir), "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+
+    def test_prune_dry_run_then_real(self, capsys, tmp_path):
+        cache_dir = self.populate(tmp_path)
+        capsys.readouterr()
+        assert cli.dalorex_command(
+            ["cache", "prune", "--cache-dir", str(cache_dir),
+             "--max-size", "0", "--dry-run", "--json"]
+        ) == 0
+        dry = json.loads(capsys.readouterr().out)
+        assert len(dry["evicted"]) == 2 and dry["entries"] == 2
+        assert cli.dalorex_command(
+            ["cache", "prune", "--cache-dir", str(cache_dir),
+             "--max-size", "0", "--json"]
+        ) == 0
+        real = json.loads(capsys.readouterr().out)
+        assert real["entries"] == 0
+        assert not list(cache_dir.glob("*.json"))
+
+    def test_missing_cache_dir_is_an_error_not_an_empty_cache(self, capsys, tmp_path):
+        missing = tmp_path / "no-such-cache"
+        for action in (["stats"], ["prune", "--max-size", "0"]):
+            assert cli.dalorex_command(
+                ["cache", *action, "--cache-dir", str(missing)]
+            ) == 2
+            assert "does not exist" in capsys.readouterr().err
+            assert not missing.exists()  # inspection must not mkdir
+
+    def test_max_size_suffixes(self):
+        assert cli._parse_size("1024") == 1024
+        assert cli._parse_size("4K") == 4096
+        assert cli._parse_size("2m") == 2 << 20
+        assert cli._parse_size("1G") == 1 << 30
+        assert cli._parse_size("512MB") == 512 << 20
+        for bogus in ("x", "-1", "4T"):
+            with pytest.raises(cli.argparse.ArgumentTypeError):
+                cli._parse_size(bogus)
+
+
+class TestRuntimeFlagRoundTrip:
+    """Acceptance: --jobs/--cache-dir/--no-cache round-trip through both
+    entry points and produce byte-identical outputs vs serial/no-cache runs."""
+
+    EXPERIMENT_ARGS = ["textstats", "--scale", "0.05"]
+
+    def run_experiments(self, capsys, extra):
+        assert cli.experiments_command(self.EXPERIMENT_ARGS + extra) == 0
+        return capsys.readouterr().out.encode()
+
+    def test_experiments_output_identical_across_flag_combinations(
+        self, capsys, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        serial = self.run_experiments(capsys, [])
+        parallel = self.run_experiments(capsys, ["--jobs", "2"])
+        cold_cache = self.run_experiments(
+            capsys, ["--jobs", "2", "--cache-dir", str(cache_dir)]
+        )
+        assert len(list(cache_dir.glob("*.json"))) > 0
+        warm_cache = self.run_experiments(
+            capsys, ["--cache-dir", str(cache_dir)]
+        )
+        no_cache = self.run_experiments(
+            capsys, ["--cache-dir", str(cache_dir), "--no-cache"]
+        )
+        assert serial == parallel == cold_cache == warm_cache == no_cache
+
+    def test_run_output_identical_across_flag_combinations(self, capsys, tmp_path):
+        base = ["--app", "bfs", "--dataset", "rmat16", "--width", "4",
+                "--scale", "0.1", "--engine", "analytic", "--json"]
+        cache_dir = tmp_path / "cache"
+
+        def run(extra):
+            assert cli.run_command(base + extra) == 0
+            return capsys.readouterr().out.encode()
+
+        serial = run([])
+        combos = [
+            ["--jobs", "2"],
+            ["--cache-dir", str(cache_dir)],          # cold cache
+            ["--cache-dir", str(cache_dir)],          # warm cache
+            ["--cache-dir", str(cache_dir), "--no-cache"],
+            ["--jobs", "2", "--cache-dir", str(cache_dir)],
+        ]
+        for extra in combos:
+            assert run(extra) == serial, f"output diverged for {extra}"
+
+
 class TestExperimentsCommand:
     def test_textstats_only(self, capsys, tmp_path):
         output = tmp_path / "report.txt"

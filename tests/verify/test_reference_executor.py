@@ -1,0 +1,111 @@
+"""Reference executor: ground-truth outputs and sound work bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.experiments.common import build_kernel
+from repro.graph.generators import chain_graph, rmat_graph, star_graph
+from repro.graph.reference import (
+    UNREACHED,
+    bfs_levels,
+    pagerank,
+    sssp_distances,
+    wcc_labels,
+)
+from repro.verify.reference import reference_run
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(6, edge_factor=5, seed=11)
+
+
+class TestExpectedOutputs:
+    def test_bfs_matches_sequential_reference(self, graph):
+        root = graph.highest_degree_vertex()
+        ref = reference_run("bfs", graph, root=root)
+        np.testing.assert_array_equal(ref.expected, bfs_levels(graph, root))
+        assert ref.output_name == "level"
+
+    def test_sssp_matches_sequential_reference(self, graph):
+        root = graph.highest_degree_vertex()
+        ref = reference_run("sssp", graph, root=root)
+        np.testing.assert_allclose(ref.expected, sssp_distances(graph, root))
+
+    def test_pagerank_matches_sequential_reference(self, graph):
+        ref = reference_run("pagerank", graph, pagerank_iterations=4)
+        np.testing.assert_allclose(ref.expected, pagerank(graph, num_iterations=4))
+
+    def test_wcc_matches_sequential_reference(self, graph):
+        ref = reference_run("wcc", graph)
+        np.testing.assert_array_equal(ref.expected, wcc_labels(graph))
+
+    def test_unknown_app_rejected(self, graph):
+        with pytest.raises(KeyError):
+            reference_run("bellman_ford", graph)
+
+
+class TestBoundsShape:
+    def test_order_independent_kernels_have_exact_bounds(self, graph):
+        pr = reference_run("pagerank", graph, pagerank_iterations=3)
+        assert pr.bounds.exact
+        assert pr.bounds.edges_lower == graph.num_edges * 3
+        assert pr.bounds.epochs_exact == 3
+        sp = reference_run("spmv", graph)
+        assert sp.bounds.exact
+        assert sp.bounds.edges_lower == graph.num_edges
+        assert sp.bounds.epochs_exact == 1
+
+    def test_relaxation_kernels_have_interval_bounds(self, graph):
+        for app in ("bfs", "sssp", "wcc"):
+            bounds = reference_run(app, graph).bounds
+            assert 0 < bounds.edges_lower <= bounds.edges_upper
+            assert not bounds.exact
+
+    def test_bfs_lower_bound_counts_reachable_degrees(self, graph):
+        root = graph.highest_degree_vertex()
+        ref = reference_run("bfs", graph, root=root)
+        levels = bfs_levels(graph, root)
+        expected = int(graph.degrees()[levels != UNREACHED].sum())
+        assert ref.bounds.edges_lower == expected
+
+    def test_wcc_bounds_use_symmetrized_degrees(self):
+        chain = chain_graph(12)  # already symmetric: degree sum == num_edges
+        ref = reference_run("wcc", chain)
+        assert ref.bounds.edges_lower == chain.num_edges
+        # On a chain the per-vertex smaller-id rank is its position.
+        assert ref.bounds.edges_upper > ref.bounds.edges_lower
+
+    def test_admits_edges(self, graph):
+        bounds = reference_run("sssp", graph).bounds
+        assert bounds.admits_edges(bounds.edges_lower)
+        assert bounds.admits_edges(bounds.edges_upper)
+        assert not bounds.admits_edges(bounds.edges_lower - 1)
+        assert not bounds.admits_edges(bounds.edges_upper + 1)
+
+
+class TestBoundsHoldForSimulatedWork:
+    """Both engines' counted work must land inside the reference bounds --
+    the property the bounds oracle enforces at fuzz time, pinned here on
+    hand-picked structures (hub-heavy, path, skewed)."""
+
+    @pytest.mark.parametrize("engine", ["cycle", "analytic"])
+    @pytest.mark.parametrize("app", ["bfs", "sssp", "wcc"])
+    @pytest.mark.parametrize("make_graph", [
+        lambda: star_graph(16),
+        lambda: chain_graph(16, weighted=True, seed=1),
+        lambda: rmat_graph(5, edge_factor=4, seed=2),
+    ])
+    def test_edges_processed_within_bounds(self, engine, app, make_graph):
+        graph = make_graph()
+        kernel = build_kernel(app, graph)
+        config = MachineConfig(width=2, height=2, engine=engine)
+        result = DalorexMachine(config, kernel, graph).run(compute_energy=False)
+        ref = reference_run(app, graph, root=graph.highest_degree_vertex())
+        edges = int(result.counters.edges_processed)
+        assert ref.bounds.admits_edges(edges), (
+            f"{app}/{engine}: {edges} outside "
+            f"[{ref.bounds.edges_lower}, {ref.bounds.edges_upper}]"
+        )
