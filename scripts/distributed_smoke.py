@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Localhost smoke test of the distributed execution backend.
+
+Starts a real ``dalorex broker`` and N ``dalorex worker`` subprocesses, runs
+a figure sweep through ``run_all_experiments.py --backend distributed``, and
+asserts the JSON output is byte-identical to the same sweep executed on the
+local process-pool backend.  With ``--kill-one-worker`` an extra worker is
+started and SIGKILLed mid-sweep, proving that lease expiry + requeue finish
+the batch anyway (the byte-equality assertion is unchanged).
+
+This is the CI job behind the subsystem's acceptance criterion; run it
+locally with::
+
+    PYTHONPATH=src python scripts/distributed_smoke.py --scale 0.05 --figures 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+RUN_ALL = REPO / "scripts" / "run_all_experiments.py"
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _start_broker(work_dir: Path, lease_timeout: float) -> tuple:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "broker",
+         "--port", "0",
+         "--cache-dir", str(work_dir / "broker-cache"),
+         "--state-file", str(work_dir / "broker-state.json"),
+         "--lease-timeout", str(lease_timeout),
+         "--verify-ingest"],
+        env=_env(), stdout=subprocess.PIPE, text=True,
+    )
+    line = process.stdout.readline().strip()
+    prefix = "broker listening on "
+    if not line.startswith(prefix):
+        process.kill()
+        raise RuntimeError(f"unexpected broker banner: {line!r}")
+    return process, line[len(prefix):]
+
+
+def _start_worker(address: str, tag: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker",
+         "--connect", address, "--worker-id", tag,
+         "--poll-interval", "0.1", "--patience", "60"],
+        env=_env(), stdout=subprocess.DEVNULL,
+    )
+
+
+def _run_sweep(args, tag: str, work_dir: Path, extra: list) -> bytes:
+    json_path = work_dir / f"{tag}.json"
+    subprocess.run(
+        [sys.executable, str(RUN_ALL),
+         "--scale", str(args.scale), "--figures", *args.figures,
+         "--json", str(json_path), "--output", str(work_dir / f"{tag}.txt")]
+        + extra,
+        env=_env(), check=True, stdout=subprocess.DEVNULL,
+    )
+    return json_path.read_bytes()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--figures", nargs="+", default=["6"])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--lease-timeout", type=float, default=10.0,
+                        help="short lease so a killed worker's spec requeues fast")
+    parser.add_argument("--kill-one-worker", action="store_true",
+                        help="SIGKILL one extra worker mid-sweep")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="dalorex-smoke-") as tmp:
+        work_dir = Path(tmp)
+        print(f"[smoke] reference sweep on the process-pool backend", flush=True)
+        reference = _run_sweep(args, "process-pool", work_dir, ["--jobs", "2"])
+
+        broker, address = _start_broker(work_dir, args.lease_timeout)
+        print(f"[smoke] broker up at {address}", flush=True)
+        workers = [_start_worker(address, f"smoke-{i}") for i in range(args.workers)]
+        victim = _start_worker(address, "smoke-victim") if args.kill_one_worker else None
+
+        try:
+            if victim is not None:
+                # Let the victim lease something, then kill it mid-run.
+                def _assassinate():
+                    time.sleep(2.0)
+                    victim.kill()
+                    print("[smoke] killed one worker mid-sweep", flush=True)
+
+                import threading
+                threading.Thread(target=_assassinate, daemon=True).start()
+
+            print(f"[smoke] distributed sweep via {args.workers} worker(s)", flush=True)
+            distributed = _run_sweep(
+                args, "distributed", work_dir,
+                ["--backend", "distributed", "--connect", address],
+            )
+        finally:
+            from repro.runtime.distributed.protocol import parse_address, request
+
+            try:
+                request(parse_address(address), {"op": "shutdown"})
+            except Exception:
+                broker.send_signal(signal.SIGINT)
+            for process in workers + ([victim] if victim else []):
+                try:
+                    process.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+            try:
+                broker.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                broker.kill()
+
+        if distributed != reference:
+            print("[smoke] FAIL: distributed output differs from process pool")
+            return 1
+        print(f"[smoke] OK: {len(reference)} JSON bytes identical across backends")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO / "src"))
+    sys.exit(main())

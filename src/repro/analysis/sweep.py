@@ -5,7 +5,9 @@ Sweep points are executed through the shared :mod:`repro.runtime` substrate:
 :class:`~repro.runtime.spec.RunSpec` values and
 :func:`strong_scaling_sweep` hands them to an
 :class:`~repro.runtime.runner.ExperimentRunner`, so sweeps parallelize over
-worker processes and replay from the on-disk result cache.  The legacy
+worker processes -- or an entire broker/worker fleet, when the runner was
+built with a distributed backend (``--backend distributed``); the sweep code
+is identical either way -- and replay from the on-disk result cache.  The legacy
 entry style (an ad-hoc kernel factory plus an in-memory graph) still works,
 but bypasses the runner: an anonymous graph cannot be rebuilt inside a
 worker or keyed into the cache, so those points run inline and serially.

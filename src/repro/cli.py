@@ -10,18 +10,25 @@
   engines, check the equality/bounds oracles against the reference executor,
   and replay shrunk fuzzer failures via ``--spec FILE``.
 * ``dalorex cache stats`` / ``dalorex cache prune`` -- inspect and bound the
-  content-addressed result cache.
+  content-addressed result cache (``prune --policy fifo|lru``).
+* ``dalorex broker`` / ``dalorex worker`` -- the distributed execution
+  backend: a broker queues specs costliest-first and verifies uploaded
+  results; pull-based workers on any number of hosts execute them (see
+  ``docs/DISTRIBUTED.md``).
 
 ``run`` and ``experiments`` route their simulations through
-:mod:`repro.runtime` and share three execution flags:
+:mod:`repro.runtime` and share the execution flags:
 
 * ``--jobs N`` fans independent simulations out over N worker processes;
+* ``--backend auto|inline|process|distributed`` picks the execution
+  backend explicitly; ``distributed`` ships specs to the broker named by
+  ``--connect HOST:PORT``;
 * ``--cache-dir PATH`` replays previously computed runs from a
   content-addressed on-disk cache (one JSON blob per run, keyed by the
   SHA-256 of the run's spec) and stores new ones;
 * ``--no-cache`` disables the cache even when ``--cache-dir`` is given.
 
-Results are bit-identical whatever the jobs/cache settings.
+Results are bit-identical whatever the backend/jobs/cache settings.
 """
 
 from __future__ import annotations
@@ -35,7 +42,14 @@ from typing import List, Optional
 from repro.apps import KERNELS
 from repro.baselines.ladder import LADDER_ORDER, dalorex_config, ladder_configs
 from repro.graph.datasets import list_datasets
-from repro.runtime import ExperimentRunner, ResultCache, RunSpec
+from repro.runtime import (
+    BACKEND_CHOICES,
+    ExperimentRunner,
+    ResultCache,
+    RunSpec,
+    resolve_backend,
+)
+from repro.runtime.cache import PRUNE_POLICIES
 
 
 def _positive_int(text: str) -> int:
@@ -61,6 +75,16 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="do not read or write the result cache even if --cache-dir is set",
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="execution backend for cache misses (default: auto = inline for "
+             "--jobs 1, a local process pool otherwise; 'distributed' ships "
+             "specs to the broker named by --connect)",
+    )
+    parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="broker address for --backend distributed",
+    )
 
 
 def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
@@ -68,7 +92,15 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ResultCache(args.cache_dir)
-    return ExperimentRunner(jobs=args.jobs, cache=cache)
+    try:
+        backend = resolve_backend(
+            getattr(args, "backend", None),
+            jobs=args.jobs,
+            connect=getattr(args, "connect", None),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return ExperimentRunner(jobs=args.jobs, cache=cache, backend=backend)
 
 
 def add_workload_arguments(
@@ -287,6 +319,11 @@ def cache_command(argv: Optional[List[str]] = None) -> int:
         help="target cache size in bytes (K/M/G suffixes accepted, e.g. 512M)",
     )
     prune.add_argument(
+        "--policy", choices=PRUNE_POLICIES, default="fifo",
+        help="eviction order: fifo = oldest store time first (default); "
+             "lru = least recently loaded first (loads bump access time)",
+    )
+    prune.add_argument(
         "--dry-run", action="store_true", help="report evictions without deleting"
     )
     args = parser.parse_args(argv)
@@ -305,10 +342,11 @@ def cache_command(argv: Optional[List[str]] = None) -> int:
             print(f"cache {summary['root']}: {summary['entries']} entries, "
                   f"{summary['total_bytes']} bytes")
         return 0
-    evicted = cache.prune(args.max_size, dry_run=args.dry_run)
+    evicted = cache.prune(args.max_size, dry_run=args.dry_run, policy=args.policy)
     summary = cache.stats()
     summary["evicted"] = evicted
     summary["dry_run"] = args.dry_run
+    summary["policy"] = args.policy
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -318,12 +356,106 @@ def cache_command(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def broker_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``dalorex broker``: serve the distributed spec queue."""
+    from repro.runtime.distributed import DEFAULT_PORT, Broker, BrokerServer
+
+    parser = argparse.ArgumentParser(
+        prog="dalorex broker",
+        description="Queue RunSpecs costliest-first for pull-based workers, "
+        "with leases, crash requeue and verified result ingest.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback only)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"TCP port (default: {DEFAULT_PORT}; 0 = ephemeral)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="shared result cache; accepted uploads are stored "
+                             "here and survive broker restarts")
+    parser.add_argument("--state-file", default=None, metavar="PATH",
+                        help="journal pending work here so a restarted broker "
+                             "resumes the queue")
+    parser.add_argument("--lease-timeout", type=float, default=60.0, metavar="SECONDS",
+                        help="requeue a spec when its worker stops heartbeating "
+                             "for this long (default: 60)")
+    parser.add_argument("--max-attempts", type=int, default=5, metavar="N",
+                        help="leases per spec before giving up on it (default: 5)")
+    parser.add_argument("--verify-ingest", action="store_true",
+                        help="re-check every uploaded result against the "
+                             "conformance reference executor (bounds + output "
+                             "oracles), not just its content digest")
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    broker = Broker(
+        cache=cache,
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts,
+        verify_ingest=args.verify_ingest,
+        state_path=args.state_file,
+    )
+    server = BrokerServer(broker, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"broker listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    status = broker.status()
+    print(f"broker exiting: {status['completed']} completed, "
+          f"{status['failed']} failed, {status['pending']} still pending")
+    return 0
+
+
+def worker_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``dalorex worker``: pull and execute specs from a broker."""
+    from repro.runtime.distributed import Worker, parse_address
+
+    parser = argparse.ArgumentParser(
+        prog="dalorex worker",
+        description="Execute RunSpecs leased from a dalorex broker.",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="broker address")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable identity in leases/logs (default: host-pid)")
+    parser.add_argument("--poll-interval", type=float, default=0.5, metavar="SECONDS",
+                        help="sleep between polls of an empty queue (default: 0.5)")
+    parser.add_argument("--max-runs", type=int, default=None, metavar="N",
+                        help="exit after N accepted results (default: unbounded)")
+    parser.add_argument("--patience", type=float, default=30.0, metavar="SECONDS",
+                        help="exit after this long without reaching the broker "
+                             "(default: 30)")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    args = parser.parse_args(argv)
+
+    worker = Worker(
+        parse_address(args.connect),
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        max_runs=args.max_runs,
+        connect_patience=args.patience,
+        log=None if args.quiet else lambda line: print(line, flush=True),
+    )
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    print(f"worker {worker.worker_id} exiting: {worker.completed} completed, "
+          f"{worker.rejected} rejected, {worker.errors} errors", flush=True)
+    return 0
+
+
 #: Subcommands of the unified ``dalorex`` entry point.
 SUBCOMMANDS = {
     "run": run_command,
     "experiments": experiments_command,
     "verify": verify_command,
     "cache": cache_command,
+    "broker": broker_command,
+    "worker": worker_command,
 }
 
 
@@ -341,7 +473,7 @@ def dalorex_command(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     if argv in ([], ["-h"], ["--help"]):
-        print("usage: dalorex {run,experiments,verify,cache} ...\n"
+        print("usage: dalorex {run,experiments,verify,cache,broker,worker} ...\n"
               "       dalorex --app ... (alias for 'dalorex run')")
         return 0
     return run_command(argv)

@@ -53,6 +53,41 @@ DATASET_LABELS = {
 #: PageRank iterations used by the experiment runners (kept small for runtime).
 PAGERANK_ITERATIONS = 5
 
+#: Relative wall-clock cost of simulating one edge on each engine, measured
+#: against the analytic engine.  The cycle engine walks every queue and router
+#: every cycle, so it is more than an order of magnitude slower per edge.
+ENGINE_COST_FACTORS: Dict[str, float] = {
+    "analytic": 1.0,
+    "cycle": 12.0,
+}
+
+#: Relative per-edge work of each kernel (single-sweep kernels are 1.0).
+#: PageRank is handled separately: it sweeps the edge list once per
+#: iteration, so its factor is the iteration count.
+APP_COST_FACTORS: Dict[str, float] = {
+    "bfs": 1.0,
+    "spmv": 1.0,
+    "wcc": 1.6,   # symmetrized edges + repeated label relaxations
+    "sssp": 2.2,  # weighted relaxations revisit edges across epochs
+}
+
+
+def engine_cost_factor(engine: str) -> float:
+    """Predicted-cost multiplier for a simulation engine (arithmetic only)."""
+    return ENGINE_COST_FACTORS.get(engine.strip().lower(), 1.0)
+
+
+def app_cost_factor(app: str, pagerank_iterations: int = PAGERANK_ITERATIONS) -> float:
+    """Predicted-cost multiplier for an application kernel (arithmetic only).
+
+    PageRank scales linearly with its iteration count (one full edge sweep
+    per iteration); every other kernel uses a fixed per-edge factor.
+    """
+    key = app.strip().lower()
+    if key == "pagerank":
+        return float(max(1, pagerank_iterations))
+    return APP_COST_FACTORS.get(key, 1.0)
+
 
 def experiment_scale_divisor(name: str, scale: float = 1.0) -> int:
     """Effective shrink divisor for a dataset at an experiment ``scale``."""

@@ -10,22 +10,50 @@ Loads verify both the filename key and the payload digest; any mismatch,
 truncation or parse error is treated as a cache miss (the entry is evicted so
 the runner recomputes it) rather than returning corrupted data.  Writes are
 atomic (temp file + ``os.replace``), so a crashed sweep never leaves a
-half-written entry that poisons the next one.
+half-written entry that poisons the next one.  Because entries are
+content-addressed and every writer stores byte-identical wrappers for the
+same key, many concurrent writers (parallel runners, distributed workers, a
+broker -- all sharing one cache root on a common filesystem) can race on one
+entry safely: whichever rename lands last wins with the same bytes, and a
+rename that fails because a twin got there first is a cache hit, not an
+error.
+
+Eviction bookkeeping uses file timestamps only: ``mtime`` is the store time
+(FIFO pruning), and ``load`` bumps ``atime`` so LRU pruning can evict the
+least-recently-*used* entry instead of the oldest-written one.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+#: Eviction orders understood by :meth:`ResultCache.prune`.
+PRUNE_POLICIES = ("fifo", "lru")
 
-def _payload_digest(payload: Dict[str, Any]) -> str:
+
+def payload_digest(payload: Dict[str, Any]) -> str:
+    """SHA-256 of a payload's canonical JSON form.
+
+    The single digest definition shared by the on-disk wrapper and the
+    distributed result upload (workers digest what they send; the broker
+    recomputes before trusting it).
+    """
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# Backwards-compatible private alias (pre-distributed callers).
+_payload_digest = payload_digest
+
+#: Distinguishes temp files of concurrent writers within one process.
+_TMP_SEQUENCE = itertools.count()
 
 
 class ResultCache:
@@ -57,7 +85,12 @@ class ResultCache:
         return self.root / f"{key}.json"
 
     def load(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the cached payload for ``key``, or ``None`` on miss/corruption."""
+        """Return the cached payload for ``key``, or ``None`` on miss/corruption.
+
+        A successful load bumps the entry's access time (``atime``; the store
+        time in ``mtime`` is untouched), which is what the LRU prune policy
+        orders by.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -78,20 +111,50 @@ class ResultCache:
         if (
             wrapper.get("key") != key
             or not isinstance(payload, dict)
-            or wrapper.get("sha256") != _payload_digest(payload)
+            or wrapper.get("sha256") != payload_digest(payload)
         ):
             self._evict(path)
             return None
+        self._bump_access_time(path)
         return payload
 
+    def _bump_access_time(self, path: Path) -> None:
+        """Record a use: ``atime`` = now, ``mtime`` (store time) unchanged.
+
+        Best-effort -- a read-only or concurrently-pruned cache must not turn
+        a successful load into an error."""
+        try:
+            stat = path.stat()
+            os.utime(path, ns=(time.time_ns(), stat.st_mtime_ns))
+        except OSError:
+            pass
+
     def store(self, key: str, payload: Dict[str, Any]) -> Path:
-        """Atomically persist one payload under ``key``; returns its path."""
-        wrapper = {"key": key, "sha256": _payload_digest(payload), "payload": payload}
+        """Atomically persist one payload under ``key``; returns its path.
+
+        Safe under concurrent writers sharing the cache root (including over
+        NFS-style filesystems where a rename onto a just-renamed entry can
+        fail): losing the rename race to a twin entry is treated as a cache
+        hit, since entries are content-addressed and both writers carry the
+        same bytes.
+        """
+        wrapper = {"key": key, "sha256": payload_digest(payload), "payload": payload}
         path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}-{threading.get_ident()}-{next(_TMP_SEQUENCE)}"
+        )
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(wrapper, handle, sort_keys=True)
-        os.replace(tmp, path)
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            if self.load(key) is not None:
+                return path  # a concurrent writer won the race with a valid twin
+            raise
         return path
 
     def _evict(self, path: Path) -> None:
@@ -113,13 +176,27 @@ class ResultCache:
     def _entries(self) -> List[tuple]:
         """``(mtime, size_bytes, path)`` per entry; unstatable files skipped
         (a concurrent prune/evict may remove files mid-scan)."""
+        return [
+            (mtime, size, path) for mtime, _atime, size, path in self._timed_entries()
+        ]
+
+    def _timed_entries(self) -> List[tuple]:
+        """``(mtime, atime, size_bytes, path)`` per entry.
+
+        ``mtime`` is the store time; ``atime`` is the last explicit use
+        recorded by :meth:`load` (equal to ``mtime`` for never-loaded
+        entries, whatever the filesystem's own atime policy, because prune
+        clamps it below)."""
         entries = []
         for path in self.root.glob("*.json"):
             try:
                 stat = path.stat()
             except OSError:
                 continue
-            entries.append((stat.st_mtime, stat.st_size, path))
+            # relatime/noatime mounts may leave st_atime behind st_mtime;
+            # an entry is never "used before it was stored".
+            atime = max(stat.st_atime, stat.st_mtime)
+            entries.append((stat.st_mtime, atime, stat.st_size, path))
         return entries
 
     def stats(self) -> Dict[str, Any]:
@@ -135,22 +212,38 @@ class ResultCache:
             "newest_mtime": max(mtimes) if mtimes else None,
         }
 
-    def prune(self, max_size_bytes: int, dry_run: bool = False) -> List[str]:
-        """Evict oldest entries (by mtime) until the cache fits ``max_size_bytes``.
+    def prune(
+        self, max_size_bytes: int, dry_run: bool = False, policy: str = "fifo"
+    ) -> List[str]:
+        """Evict entries until the cache fits ``max_size_bytes``.
 
-        Returns the evicted keys, oldest first.  ``dry_run`` reports what
-        would be evicted without deleting anything.  A loaded entry's mtime is
-        its store time, so this is FIFO by write -- re-storing (refresh) makes
-        an entry young again.  An entry that cannot be deleted (permissions,
-        concurrent access) is not reported as evicted and does not count
-        towards the freed budget.
+        ``policy`` picks the eviction order:
+
+        * ``"fifo"`` (default) -- oldest *store* time first (``mtime``); a
+          loaded entry's store time never changes, so re-storing (refresh) is
+          the only way to make an entry young again.
+        * ``"lru"`` -- least recently *used* first: :meth:`load` bumps the
+          access time, so hot entries survive even when they were written
+          first.
+
+        Returns the evicted keys, first-evicted first.  ``dry_run`` reports
+        what would be evicted without deleting anything.  An entry that
+        cannot be deleted (permissions, concurrent access) is not reported as
+        evicted and does not count towards the freed budget.
         """
         if max_size_bytes < 0:
             raise ValueError(f"max_size_bytes must be >= 0, got {max_size_bytes}")
-        entries = sorted(self._entries())
-        total = sum(size for _mtime, size, _path in entries)
+        if policy not in PRUNE_POLICIES:
+            raise ValueError(
+                f"unknown prune policy {policy!r}; choose from {PRUNE_POLICIES}"
+            )
+        entries = sorted(
+            (mtime if policy == "fifo" else atime, size, path)
+            for mtime, atime, size, path in self._timed_entries()
+        )
+        total = sum(size for _order, size, _path in entries)
         evicted = []
-        for _mtime, size, path in entries:
+        for _order, size, path in entries:
             if total <= max_size_bytes:
                 break
             if not dry_run:

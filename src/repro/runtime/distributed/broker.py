@@ -1,0 +1,599 @@
+"""The broker: a costliest-first RunSpec queue with leases and verified ingest.
+
+One broker serves a whole fleet: clients ``submit`` batches of canonical
+specs and ``fetch`` completed payloads; workers ``lease`` one spec at a time
+(pull-based, so a slow worker never blocks a fast one), ``heartbeat`` while
+simulating, and upload a ``result`` with a content digest.  All state
+transitions live in :class:`Broker` behind one lock; :class:`BrokerServer`
+is a thin threaded TCP front end.
+
+Failure semantics (see ``docs/DISTRIBUTED.md``):
+
+* a worker that stops heartbeating loses its lease after ``lease_timeout``
+  seconds and the spec is requeued;
+* every lease counts against ``max_attempts``; a spec that keeps crashing
+  workers (or keeps failing ingest) is marked failed with a reason instead
+  of looping forever;
+* an uploaded payload is accepted only if its digest matches and the
+  :mod:`repro.verify.ingest` checks pass (structural always; full
+  reference-executor conformance with ``verify_ingest=True``) -- rejected
+  uploads requeue the spec;
+* with a ``state_path``, the queue journal survives broker restarts:
+  pending and in-flight specs resume, completed keys are served from the
+  shared :class:`~repro.runtime.cache.ResultCache` when one is configured
+  and re-executed otherwise.
+
+Results are served "first valid upload wins": duplicates (a worker whose
+lease expired but whose upload still arrives) are acknowledged and
+discarded, which is safe because every simulation is deterministic and every
+upload is digest- and oracle-checked.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.cache import ResultCache, payload_digest
+from repro.runtime.distributed.protocol import (
+    PROTOCOL,
+    encode_message,
+    read_message,
+)
+from repro.runtime.spec import RunSpec
+
+#: Format tag of the on-disk queue journal (bump on incompatible changes).
+STATE_FORMAT = "dalorex-broker-state/1"
+
+
+@dataclass
+class _Task:
+    """One incomplete spec: queued, or leased to a worker."""
+
+    key: str
+    canonical: Dict[str, Any]
+    cost: float
+    seq: int
+    attempts: int = 0
+    worker: Optional[str] = None
+    deadline: Optional[float] = None
+
+    @property
+    def leased(self) -> bool:
+        return self.worker is not None
+
+
+@dataclass
+class _Completed:
+    """One finished spec; the payload lives here or in the shared cache.
+
+    ``canonical`` is kept only when it is still needed to requeue the spec
+    should the cached payload vanish; entries recovered from the journal
+    carry ``None`` (a client that still wants the result resubmits it).
+    """
+
+    canonical: Optional[Dict[str, Any]]
+    payload: Optional[Dict[str, Any]] = None  # None -> look in the cache
+
+
+@dataclass
+class BrokerStats:
+    """Counters exposed by the ``status`` op (monitoring / tests)."""
+
+    submitted: int = 0
+    duplicates: int = 0
+    leases: int = 0
+    completed: int = 0
+    rejected: int = 0
+    requeues: int = 0
+    expired_leases: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class Broker:
+    """Queue, lease and ingest logic (transport-free; see BrokerServer).
+
+    Args:
+        cache: shared result cache; accepted payloads are stored here, and
+            completed work is served from here across restarts.
+        lease_timeout: seconds a worker may go without a heartbeat before
+            its spec is requeued.
+        max_attempts: leases granted per spec before it is marked failed.
+        verify_ingest: run the reference-executor conformance oracles on
+            every upload (structural checks always run).
+        state_path: JSON journal for restart-safe queueing (optional).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        lease_timeout: float = 60.0,
+        max_attempts: int = 5,
+        verify_ingest: bool = False,
+        state_path: Optional[os.PathLike] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.cache = cache
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self.verify_ingest = bool(verify_ingest)
+        self.state_path = Path(state_path) if state_path else None
+        self.stats = BrokerStats()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tasks: Dict[str, _Task] = {}
+        self._queue: List[Tuple[float, int, str]] = []  # (-cost, seq, key)
+        self._completed: Dict[str, _Completed] = {}
+        self._failed: Dict[str, str] = {}
+        # Canonical specs of failed keys (in-memory only): lets a late but
+        # valid upload for a given-up spec still be verified and accepted.
+        self._failed_specs: Dict[str, Dict[str, Any]] = {}
+        self._seq = 0
+        self._shutdown = False
+        if self.state_path is not None:
+            self._load_state()
+
+    # ----------------------------------------------------------------- ops
+    def submit(self, canonicals: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Queue new specs (deduplicated against everything already known).
+
+        All-or-nothing: every spec is validated before any is queued, so a
+        malformed batch (version skew, unknown dataset) rejects cleanly --
+        the client gets the validation error, and the journal never holds a
+        half-accepted batch.
+        """
+        queued = duplicates = 0
+        specs = [RunSpec.from_canonical(canonical) for canonical in canonicals]
+        with self._lock:
+            for spec in specs:
+                key = spec.key()
+                if (
+                    key in self._tasks
+                    or key in self._completed
+                    or (self.cache is not None and key in self.cache)
+                ):
+                    duplicates += 1
+                    continue
+                # A resubmitted failure gets a fresh set of attempts.
+                self._failed.pop(key, None)
+                self._failed_specs.pop(key, None)
+                self._enqueue_locked(key, spec.canonical(), _safe_cost(spec))
+                queued += 1
+            self.stats.submitted += queued
+            self.stats.duplicates += duplicates
+            if queued:
+                self._save_state_locked()
+        return {"queued": queued, "duplicates": duplicates}
+
+    def lease(self, worker: str) -> Dict[str, Any]:
+        """Hand the predicted-costliest queued spec to a pulling worker."""
+        with self._lock:
+            if self._shutdown:
+                return {"key": None, "shutdown": True}
+            self._requeue_expired_locked()
+            while self._queue:
+                _neg_cost, _seq, key = heapq.heappop(self._queue)
+                task = self._tasks.get(key)
+                if task is None or task.leased:
+                    continue  # completed/failed/re-leased since queueing
+                task.attempts += 1
+                task.worker = worker
+                task.deadline = self._clock() + self.lease_timeout
+                self.stats.leases += 1
+                return {
+                    "key": key,
+                    "spec": task.canonical,
+                    "attempt": task.attempts,
+                    "lease_timeout": self.lease_timeout,
+                }
+            return {"key": None, "shutdown": False}
+
+    def heartbeat(self, worker: str, key: str) -> Dict[str, Any]:
+        """Extend a lease; ``active: False`` tells the worker it lost it."""
+        with self._lock:
+            task = self._tasks.get(key)
+            if task is None or task.worker != worker:
+                return {"active": False}
+            task.deadline = self._clock() + self.lease_timeout
+            return {"active": True}
+
+    def release(self, worker: str, key: str, error: str = "") -> Dict[str, Any]:
+        """A worker gives a spec back (its executor raised): requeue now
+        instead of waiting for the lease to expire."""
+        with self._lock:
+            task = self._tasks.get(key)
+            if task is None or task.worker != worker:
+                return {"requeued": False}
+            requeued = self._requeue_locked(
+                task, error or f"released by worker {worker}"
+            )
+            self._save_state_locked()
+            return {"requeued": requeued}
+
+    def ingest(
+        self, worker: str, key: str, digest: str, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Verify and accept one uploaded result (first valid upload wins)."""
+        with self._lock:
+            if key in self._completed or (
+                self.cache is not None and key in self.cache
+            ):
+                return {"accepted": True, "duplicate": True}
+            task = self._tasks.get(key)
+            if task is not None:
+                canonical = task.canonical
+                if task.leased:
+                    # A fresh full lease window for the verification below:
+                    # the worker stops heartbeating once it starts uploading,
+                    # and an expiry mid-verify would hand the spec to another
+                    # worker even though a valid result is seconds away.
+                    task.deadline = self._clock() + self.lease_timeout
+            elif key in self._failed_specs:
+                # Given up on, but a worker is still uploading: verify it
+                # like any other -- a valid late result beats a failure.
+                canonical = self._failed_specs[key]
+            else:
+                return {"accepted": False, "reason": f"unknown spec key {key}"}
+        # Verification and cache writes happen outside the lock: digesting a
+        # multi-megabyte payload (and possibly running the reference
+        # executor, or writing to a slow shared filesystem) must not stall
+        # every other worker's lease or heartbeat.
+        reason = self._verify_upload(canonical, digest, payload)
+        stored = None
+        if reason is None and self.cache is not None:
+            # Content-addressed and digest-checked: storing before taking
+            # the final decision is idempotent even if a twin upload races.
+            stored = self.cache.store(key, payload)
+        with self._lock:
+            task = self._tasks.get(key)
+            if reason is not None:
+                self.stats.rejected += 1
+                # Requeue only if the uploader still owns the lease: a stale
+                # rejected upload (expired lease, spec re-leased or already
+                # requeued) must not strip another worker's active lease or
+                # double-queue the key.
+                if task is not None and task.worker == worker:
+                    self._requeue_locked(task, reason)
+                    self._save_state_locked()
+                return {"accepted": False, "reason": reason}
+            if task is None and key in self._completed:
+                return {"accepted": True, "duplicate": True}
+            # A verified-valid result is accepted even when the task is no
+            # longer live -- including a spec the broker gave up on while
+            # the (slow) verification ran: first valid upload wins.
+            if task is not None:
+                del self._tasks[key]
+            self._failed.pop(key, None)
+            self._failed_specs.pop(key, None)
+            self._completed[key] = _Completed(
+                canonical, None if stored is not None else payload
+            )
+            self.stats.completed += 1
+            self._save_state_locked()
+            return {"accepted": True, "duplicate": False}
+
+    def fetch(self, keys: List[str]) -> Dict[str, Any]:
+        """Completed payloads (and failures) among ``keys``.
+
+        Keys this broker has never seen are still looked up in the shared
+        cache, so a client can harvest results across a broker restart.
+        Cache reads (full payload parse + digest) happen outside the broker
+        lock so slow shared filesystems never stall leases and heartbeats.
+        """
+        results: Dict[str, Dict[str, Any]] = {}
+        failed: Dict[str, str] = {}
+        disk_lookups: List[str] = []
+        pending = 0
+        with self._lock:
+            self._requeue_expired_locked()
+            for key in keys:
+                done = self._completed.get(key)
+                if done is not None and done.payload is not None:
+                    results[key] = done.payload
+                elif key in self._failed:
+                    failed[key] = self._failed[key]
+                elif done is None and key in self._tasks:
+                    pending += 1
+                elif done is not None or self.cache is not None:
+                    disk_lookups.append(key)  # completed-in-cache or unknown
+                else:
+                    failed[key] = "never submitted to this broker"
+        for key in disk_lookups:
+            payload = self.cache.load(key) if self.cache is not None else None
+            if payload is not None:
+                results[key] = payload
+                continue
+            with self._lock:
+                done = self._completed.pop(key, None)
+                if done is not None and done.payload is not None:
+                    # A twin ingest landed between the two phases.
+                    self._completed[key] = done
+                    results[key] = done.payload
+                elif done is not None and done.canonical is not None:
+                    # Completed, but the cached payload vanished (pruned?):
+                    # silently re-execute rather than hang the client.
+                    spec = RunSpec.from_canonical(done.canonical)
+                    self._enqueue_locked(key, done.canonical, _safe_cost(spec))
+                    pending += 1
+                elif key in self._tasks:
+                    pending += 1  # requeued by a concurrent fetch
+                else:
+                    # Unknown here and not in the cache (including journal
+                    # recoveries without a spec): the client resubmits.
+                    failed[key] = "never submitted to this broker"
+        return {"results": results, "failed": failed, "pending": pending}
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            self._requeue_expired_locked()
+            leased = sum(1 for task in self._tasks.values() if task.leased)
+            return {
+                "pending": len(self._tasks) - leased,
+                "leased": leased,
+                "completed": len(self._completed),
+                "failed": len(self._failed),
+                "shutdown": self._shutdown,
+                "stats": self.stats.to_dict(),
+            }
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Stop handing out work; subsequent leases tell workers to exit."""
+        with self._lock:
+            self._shutdown = True
+            return {"shutdown": True}
+
+    # ------------------------------------------------------------ internals
+    def _verify_upload(
+        self, canonical: Dict[str, Any], digest: str, payload: Dict[str, Any]
+    ) -> Optional[str]:
+        """None if the upload is trustworthy, else the rejection reason."""
+        if not isinstance(payload, dict):
+            return f"payload is not an object: {type(payload).__name__}"
+        actual = payload_digest(payload)
+        if actual != digest:
+            return f"payload digest mismatch: claimed {digest[:12]}, got {actual[:12]}"
+        from repro.verify.ingest import ingest_violations
+
+        spec = RunSpec.from_canonical(canonical)
+        violations = ingest_violations(spec, payload, conformance=self.verify_ingest)
+        if violations:
+            return "; ".join(violations)
+        return None
+
+    def _enqueue_locked(
+        self, key: str, canonical: Dict[str, Any], cost: float, attempts: int = 0
+    ) -> None:
+        self._seq += 1
+        self._tasks[key] = _Task(key, canonical, cost, self._seq, attempts)
+        heapq.heappush(self._queue, (-cost, self._seq, key))
+
+    def _requeue_locked(self, task: _Task, reason: str) -> bool:
+        """Give a leased task back to the queue, or fail it at the cap."""
+        task.worker = None
+        task.deadline = None
+        if task.attempts >= self.max_attempts:
+            del self._tasks[task.key]
+            self._failed[task.key] = (
+                f"gave up after {task.attempts} attempts (last: {reason})"
+            )
+            self._failed_specs[task.key] = task.canonical
+            return False
+        self.stats.requeues += 1
+        heapq.heappush(self._queue, (-task.cost, task.seq, task.key))
+        return True
+
+    def _requeue_expired_locked(self) -> None:
+        now = self._clock()
+        expired = [
+            task
+            for task in self._tasks.values()
+            if task.leased and task.deadline is not None and task.deadline < now
+        ]
+        for task in expired:
+            self.stats.expired_leases += 1
+            worker = task.worker
+            self._requeue_locked(
+                task, f"lease expired (worker {worker} stopped heartbeating)"
+            )
+        if expired:
+            # Expiry changes what a restarted broker must re-run; journal it.
+            self._save_state_locked()
+
+    # ---------------------------------------------------------- persistence
+    def _save_state_locked(self) -> None:
+        if self.state_path is None:
+            return
+        # Completed entries journal as bare keys: their payloads live in the
+        # shared cache (or die with this process), and a restarted broker
+        # can always fall back to "never submitted" -- the client resubmits.
+        # This keeps the journal proportional to *incomplete* work instead
+        # of growing with everything ever finished.
+        state = {
+            "format": STATE_FORMAT,
+            "tasks": [
+                {"spec": task.canonical, "attempts": task.attempts}
+                for task in self._tasks.values()
+            ],
+            "completed": sorted(self._completed),
+            "failed": dict(self._failed),
+        }
+        tmp = self.state_path.with_suffix(f".tmp.{os.getpid()}")
+        self.state_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(state, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self.state_path)
+
+    def _load_state(self) -> None:
+        try:
+            state = json.loads(self.state_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return  # first boot: nothing to resume
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"broker state {self.state_path} is unreadable: {exc}")
+        if state.get("format") != STATE_FORMAT:
+            raise ValueError(
+                f"broker state {self.state_path} has format "
+                f"{state.get('format')!r}, expected {STATE_FORMAT!r}"
+            )
+        with self._lock:
+            for entry in state.get("tasks", []):
+                spec = RunSpec.from_canonical(entry["spec"])
+                key = spec.key()
+                if self.cache is not None and key in self.cache:
+                    # Finished (by a twin, or journaled just before the
+                    # accept was recorded): serve from the cache, don't
+                    # re-simulate.
+                    self._completed[key] = _Completed(spec.canonical())
+                    continue
+                # In-flight leases died with the previous broker process:
+                # everything incomplete restarts as queued.  Attempt counts
+                # survive so a crash-looping spec still hits the cap.
+                self._enqueue_locked(
+                    key,
+                    spec.canonical(),
+                    _safe_cost(spec),
+                    attempts=int(entry.get("attempts", 0)),
+                )
+            for key in state.get("completed", []):
+                if self.cache is not None and str(key) in self.cache:
+                    # Payload lives in the shared cache; serve it from
+                    # there.  No canonical spec survives the journal: if the
+                    # cache entry later vanishes too, fetch reports "never
+                    # submitted" and the client resubmits.
+                    self._completed[str(key)] = _Completed(None)
+                # Otherwise the payload died with the old broker's memory:
+                # drop the key; the owning client resubmits the spec.
+            self._failed.update(
+                {str(k): str(v) for k, v in state.get("failed", {}).items()}
+            )
+
+
+def _safe_cost(spec: RunSpec) -> float:
+    """Queue priority; unknown datasets sort as free rather than erroring."""
+    try:
+        return spec.predicted_cost()
+    except Exception:
+        return 0.0
+
+
+# ------------------------------------------------------------------ server
+class _BrokerHandler(socketserver.StreamRequestHandler):
+    """One connection: serve requests until the peer disconnects."""
+
+    def handle(self) -> None:
+        broker: Broker = self.server.broker  # type: ignore[attr-defined]
+        while True:
+            try:
+                message = read_message(self.rfile)
+            except Exception:
+                return  # malformed framing: drop the connection
+            if message is None:
+                return
+            response = self._dispatch(broker, message)
+            response["protocol"] = PROTOCOL
+            try:
+                self.wfile.write(encode_message(response))
+            except OSError:
+                return
+            if message.get("op") == "shutdown":
+                # Stop accepting connections once the response is flushed.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+    @staticmethod
+    def _dispatch(broker: Broker, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        try:
+            if op == "submit":
+                body = broker.submit(message.get("specs", []))
+            elif op == "lease":
+                body = broker.lease(str(message.get("worker", "?")))
+            elif op == "heartbeat":
+                body = broker.heartbeat(
+                    str(message.get("worker", "?")), str(message.get("key", ""))
+                )
+            elif op == "release":
+                body = broker.release(
+                    str(message.get("worker", "?")),
+                    str(message.get("key", "")),
+                    str(message.get("error", "")),
+                )
+            elif op == "result":
+                body = broker.ingest(
+                    str(message.get("worker", "?")),
+                    str(message.get("key", "")),
+                    str(message.get("sha256", "")),
+                    message.get("payload"),
+                )
+            elif op == "fetch":
+                body = broker.fetch([str(key) for key in message.get("keys", [])])
+            elif op == "status":
+                body = broker.status()
+            elif op == "shutdown":
+                body = broker.shutdown()
+            else:
+                return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:
+            return {"ok": False, "error": f"{op}: {exc}"}
+        return dict(body, ok=True)
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class BrokerServer:
+    """Threaded TCP front end for one :class:`Broker`.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` afterwards.
+    Use as a context manager in tests, or :meth:`serve_forever` in the CLI.
+    """
+
+    def __init__(self, broker: Broker, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.broker = broker
+        self._server = _Server((host, port), _BrokerHandler)
+        self._server.broker = broker  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`stop` or a ``shutdown`` op (CLI entry point)."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "BrokerServer":
+        """Serve on a background thread (test/fixture entry point)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,168 @@
+"""DistributedBackend: the ExperimentRunner backend that talks to a broker.
+
+The client never simulates: it submits the batch's canonical specs, then
+polls ``fetch`` and streams payloads back to the runner as workers complete
+them -- the same completion-order contract as the process-pool backend, so
+the runner caches remote results incrementally and sweeps stay resumable.
+
+Resilience: transport errors retry with the submit/fetch loop (riding out
+broker restarts up to ``patience`` seconds of no contact), and specs a
+restarted stateless broker no longer knows are transparently resubmitted.
+A spec the broker gave up on (attempt cap) surfaces as a
+:class:`~repro.errors.SimulationError` carrying the broker's reason.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime.backends import RunnerBackend
+from repro.runtime.distributed.protocol import (
+    BrokerError,
+    ProtocolError,
+    format_address,
+    request,
+)
+from repro.runtime.spec import RunSpec
+
+#: The broker's fetch-time marker for keys it has no record of.
+_NEVER_SUBMITTED = "never submitted"
+
+
+class DistributedBackend(RunnerBackend):
+    """Execute specs on a broker/worker fleet (``--backend distributed``).
+
+    Args:
+        address: broker ``(host, port)``.
+        poll_interval: delay between fetch polls while work is outstanding.
+        timeout: overall wall-clock budget for one batch (None = wait
+            forever -- workers may legitimately take hours on big sweeps).
+        patience: seconds of consecutive transport failures tolerated
+            before declaring the broker lost.
+        submit_chunk: specs per submit message (bounds message size).
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = None,
+        patience: float = 60.0,
+        submit_chunk: int = 64,
+    ) -> None:
+        self.address = address
+        self.poll_interval = max(0.01, float(poll_interval))
+        self.timeout = timeout
+        self.patience = float(patience)
+        self.submit_chunk = max(1, int(submit_chunk))
+
+    # ------------------------------------------------------------------ api
+    def execute(
+        self, pending: Sequence[RunSpec]
+    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        if not pending:
+            return
+        outstanding: Dict[str, Dict[str, Any]] = {
+            spec.key(): spec.canonical() for spec in pending
+        }
+        started = time.monotonic()
+        last_contact = started
+        self._submit(list(outstanding.values()))
+        # Specs the broker gave up on: collected, not raised, until every
+        # other spec has drained -- the RunnerBackend contract is that
+        # completed work keeps streaming (and gets cached) before the first
+        # failure propagates, same as the process-pool backend.
+        fatal: Dict[str, str] = {}
+        while outstanding:
+            try:
+                response = request(
+                    self.address, {"op": "fetch", "keys": sorted(outstanding)}
+                )
+                last_contact = time.monotonic()
+            except BrokerError:
+                raise  # semantic rejection: retrying cannot help
+            except (OSError, ProtocolError) as exc:
+                self._check_patience(last_contact, exc)
+                self._sleep(started)
+                continue
+            for key, payload in response.get("results", {}).items():
+                if key in outstanding:
+                    del outstanding[key]
+                    yield key, payload
+            self._handle_failures(response.get("failed", {}), outstanding, fatal)
+            if outstanding:
+                self._sleep(started)
+        if fatal:
+            raise SimulationError(
+                f"broker gave up on {len(fatal)} spec(s): "
+                + "; ".join(f"{key[:12]}: {reason}" for key, reason in sorted(fatal.items()))
+            )
+
+    # ------------------------------------------------------------ internals
+    def _submit(self, canonicals: List[Dict[str, Any]]) -> None:
+        for start in range(0, len(canonicals), self.submit_chunk):
+            chunk = canonicals[start : start + self.submit_chunk]
+            deadline = time.monotonic() + self.patience
+            while True:
+                try:
+                    request(self.address, {"op": "submit", "specs": chunk})
+                    break
+                except BrokerError as exc:
+                    # The broker *rejected* the batch (bad spec version,
+                    # unknown dataset...): deterministic, surface it now
+                    # instead of burning the patience window.
+                    raise SimulationError(
+                        f"broker at {format_address(self.address)} rejected "
+                        f"the submitted specs: {exc}"
+                    ) from exc
+                except (OSError, ProtocolError) as exc:
+                    if time.monotonic() > deadline:
+                        raise SimulationError(
+                            f"cannot submit specs to broker at "
+                            f"{format_address(self.address)}: {exc}"
+                        ) from exc
+                    time.sleep(self.poll_interval)
+
+    def _handle_failures(
+        self,
+        failed: Dict[str, str],
+        outstanding: Dict[str, Dict[str, Any]],
+        fatal: Dict[str, str],
+    ) -> None:
+        """Resubmit amnesiac-broker keys; record genuine give-ups as fatal
+        (raised by the caller once everything else has drained)."""
+        lost: List[Dict[str, Any]] = []
+        for key, reason in failed.items():
+            if key not in outstanding:
+                continue
+            if _NEVER_SUBMITTED in reason:
+                # The broker restarted without its journal and forgot the
+                # spec; it is still ours to finish, so hand it back.
+                lost.append(outstanding[key])
+            else:
+                fatal[key] = reason
+                del outstanding[key]
+        if lost:
+            self._submit(lost)
+
+    def _check_patience(self, last_contact: float, exc: Exception) -> None:
+        if time.monotonic() - last_contact > self.patience:
+            raise SimulationError(
+                f"lost contact with broker at {format_address(self.address)} "
+                f"for over {self.patience:.0f}s: {exc}"
+            ) from exc
+
+    def _sleep(self, started: float) -> None:
+        if (
+            self.timeout is not None
+            and time.monotonic() - started > self.timeout
+        ):
+            raise SimulationError(
+                f"distributed batch exceeded its {self.timeout:.0f}s budget "
+                f"(broker {format_address(self.address)})"
+            )
+        time.sleep(self.poll_interval)

@@ -1,0 +1,118 @@
+"""Wire protocol shared by the broker, the workers and the client backend.
+
+Messages are newline-delimited canonical JSON objects over TCP ("JSON
+lines").  Every request carries an ``op`` field; every response carries
+``ok`` (``True``/``False``) plus op-specific fields, with ``error`` set when
+``ok`` is false.  The payloads that cross the wire are exactly the payloads
+the :class:`~repro.runtime.cache.ResultCache` stores -- canonical spec dicts
+upward (:meth:`RunSpec.canonical`), serialized result payloads downward
+(:mod:`repro.runtime.serialize`) -- so the transport adds no serialization
+format of its own, and a result is byte-identical whether it came from a
+local process pool, a remote worker or the cache.
+
+Connections are short-lived (one or a few requests each); idempotent
+server-side semantics make blind reconnects safe, which is what lets workers
+and clients ride out a broker restart.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Bump on incompatible message-shape changes; mismatches are hard errors
+#: (a fleet must not mix protocol generations silently).
+PROTOCOL = "dalorex-dist/1"
+
+#: Default TCP port of ``dalorex broker`` (chosen out of the ephemeral range).
+DEFAULT_PORT = 4573
+
+
+class ProtocolError(ReproError):
+    """A distributed-protocol exchange failed (transport or framing)."""
+
+
+class BrokerError(ProtocolError):
+    """The broker answered ``ok: false`` -- a semantic rejection.
+
+    Unlike transport-level :class:`ProtocolError`/``OSError``, retrying the
+    same request will deterministically fail again (bad spec version,
+    unknown op, ...), so callers should surface it instead of backing off.
+    """
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``:PORT`` / ``PORT``) into an address."""
+    raw = text.strip()
+    host, sep, port_text = raw.rpartition(":")
+    if not sep:
+        host, port_text = "", raw
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ProtocolError(f"cannot parse broker address {text!r}") from None
+    if not 0 < port < 65536:
+        raise ProtocolError(f"broker port out of range in {text!r}")
+    return host, port
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One message as its canonical wire form (sorted keys, one line)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def read_message(rfile) -> Optional[Dict[str, Any]]:
+    """Read one message from a file-like byte stream; ``None`` on EOF."""
+    line = rfile.readline()
+    if not line:
+        return None
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed protocol message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"protocol message is not an object: {message!r}")
+    return message
+
+
+def request(
+    address: Tuple[str, int],
+    message: Dict[str, Any],
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    """One request/response round-trip on a fresh connection.
+
+    Raises :class:`ProtocolError` on transport failure, a closed connection,
+    or an ``ok: false`` response (the server-side error message is
+    preserved).  Connection-level ``OSError`` propagates so callers can
+    distinguish "broker unreachable" (retryable) from "broker said no".
+    """
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(encode_message(dict(message, protocol=PROTOCOL)))
+        with sock.makefile("rb") as rfile:
+            response = read_message(rfile)
+    if response is None:
+        raise ProtocolError(
+            f"broker at {format_address(address)} closed the connection "
+            f"before responding to {message.get('op')!r}"
+        )
+    if response.get("protocol") not in (None, PROTOCOL):
+        raise ProtocolError(
+            f"protocol mismatch: broker speaks {response.get('protocol')!r}, "
+            f"this client speaks {PROTOCOL!r}"
+        )
+    if not response.get("ok"):
+        raise BrokerError(
+            response.get("error") or f"request {message.get('op')!r} failed"
+        )
+    return response

@@ -1,0 +1,165 @@
+"""Pull-based worker: lease a spec, simulate it, upload the digested result.
+
+A worker is stateless and interchangeable: it rebuilds graph and machine
+from the canonical spec (exactly like a process-pool worker), so any worker
+can run any spec, and killing one mid-run only costs the lease timeout.
+While simulating, a background thread heartbeats the broker so long runs
+keep their lease; if the executor raises, the worker *releases* the spec so
+the broker requeues it immediately instead of waiting for expiry.
+
+Workers ride out broker restarts: transport errors back off and retry until
+``connect_patience`` seconds pass without reaching a broker, then the worker
+exits cleanly (a supervisor -- or the CI smoke script -- restarts it).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.runtime.backends import execute_to_payload
+from repro.runtime.cache import payload_digest
+from repro.runtime.distributed.protocol import ProtocolError, request
+from repro.runtime.spec import RunSpec
+
+
+def execute_canonical(canonical: Dict[str, Any]) -> Dict[str, Any]:
+    """Default executor: canonical spec dict -> result payload."""
+    _key, payload = execute_to_payload(RunSpec.from_canonical(canonical))
+    return payload
+
+
+class Worker:
+    """One pull-based execution loop against a broker.
+
+    Args:
+        address: broker ``(host, port)``.
+        worker_id: stable identity in leases and logs (default: host+pid).
+        poll_interval: sleep between polls of an empty queue.
+        max_runs: exit after this many accepted results (None = unbounded).
+        connect_patience: seconds of consecutive connection failures
+            tolerated before giving up (rides out broker restarts).
+        executor: canonical-spec -> payload function (tests inject crashy or
+            poisoned ones).
+        log: progress sink, e.g. ``print`` (default: silent).
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        worker_id: Optional[str] = None,
+        poll_interval: float = 0.5,
+        max_runs: Optional[int] = None,
+        connect_patience: float = 30.0,
+        executor: Callable[[Dict[str, Any]], Dict[str, Any]] = execute_canonical,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.address = address
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.poll_interval = max(0.01, float(poll_interval))
+        self.max_runs = max_runs
+        self.connect_patience = float(connect_patience)
+        self.executor = executor
+        self.completed = 0
+        self.rejected = 0
+        self.errors = 0
+        self._log = log or (lambda message: None)
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current spec (thread-safe)."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------ loop
+    def run(self) -> int:
+        """Pull work until shutdown/stop/max_runs; returns accepted count."""
+        last_contact = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                lease = request(self.address, {"op": "lease", "worker": self.worker_id})
+            except (OSError, ProtocolError) as exc:
+                if time.monotonic() - last_contact > self.connect_patience:
+                    self._log(f"[{self.worker_id}] giving up on broker: {exc}")
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            last_contact = time.monotonic()
+            if lease.get("shutdown"):
+                self._log(f"[{self.worker_id}] broker shut down; exiting")
+                break
+            key = lease.get("key")
+            if key is None:
+                time.sleep(self.poll_interval)
+                continue
+            self._run_one(key, lease["spec"], float(lease.get("lease_timeout", 60.0)))
+            if self.max_runs is not None and self.completed >= self.max_runs:
+                break
+        return self.completed
+
+    def _run_one(
+        self, key: str, canonical: Dict[str, Any], lease_timeout: float
+    ) -> None:
+        stop_beat = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(key, lease_timeout, stop_beat),
+            daemon=True,
+        )
+        beat.start()
+        try:
+            payload = self.executor(canonical)
+        except Exception as exc:
+            self.errors += 1
+            self._log(f"[{self.worker_id}] {key[:12]} failed: {exc}")
+            self._send_quietly(
+                {"op": "release", "worker": self.worker_id, "key": key,
+                 "error": f"worker executor raised: {exc}"}
+            )
+            return
+        finally:
+            stop_beat.set()
+            beat.join(timeout=5.0)
+        upload = {
+            "op": "result",
+            "worker": self.worker_id,
+            "key": key,
+            "sha256": payload_digest(payload),
+            "payload": payload,
+        }
+        response = self._send_quietly(upload)
+        if response is None:
+            # The upload never reached the broker; the lease will expire and
+            # another worker (or this one, next lease) re-runs the spec.
+            self.errors += 1
+            return
+        if response.get("accepted"):
+            self.completed += 1
+            self._log(f"[{self.worker_id}] completed {key[:12]}")
+        else:
+            self.rejected += 1
+            self._log(
+                f"[{self.worker_id}] upload rejected for {key[:12]}: "
+                f"{response.get('reason')}"
+            )
+
+    def _heartbeat_loop(
+        self, key: str, lease_timeout: float, stop: threading.Event
+    ) -> None:
+        """Renew the lease at 3x the rate it expires; stop if it was lost."""
+        interval = max(0.05, lease_timeout / 3.0)
+        while not stop.wait(interval):
+            response = self._send_quietly(
+                {"op": "heartbeat", "worker": self.worker_id, "key": key}
+            )
+            if response is not None and not response.get("active", False):
+                return  # lease reassigned; the eventual upload still counts once
+
+    def _send_quietly(self, message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Best-effort request: None instead of raising on transport errors."""
+        try:
+            return request(self.address, message)
+        except (OSError, ProtocolError):
+            return None

@@ -8,43 +8,29 @@ of :class:`~repro.runtime.spec.RunSpec` values is
    spec this runner already ran (an in-memory payload memo), so identical
    points simulate once per runner even without an on-disk cache,
 2. checked against the :class:`~repro.runtime.cache.ResultCache` (if any),
-3. executed -- serially for ``jobs <= 1``, otherwise fanned out over a
-   persistent ``ProcessPoolExecutor``; workers rebuild graph and machine from
-   the spec so only the (picklable) spec and the JSON payload cross process
-   boundaries, and each result streams into the cache as it lands,
+3. executed through a :class:`~repro.runtime.backends.RunnerBackend` --
+   inline for ``jobs <= 1``, a persistent ``ProcessPoolExecutor`` otherwise,
+   or a broker/worker fleet when a distributed backend is supplied; each
+   result streams into the cache as it lands,
 4. stored back into the cache.
 
 Every result, whatever its provenance, passes through the same serialization
-round-trip, so ``run_batch`` output is bit-identical across ``jobs`` settings
-and cache states.  :attr:`ExperimentRunner.stats` counts executed / cached /
-deduplicated specs, which is how sweeps verify that a warm cache re-runs
-nothing.
+round-trip, so ``run_batch`` output is bit-identical across backends, ``jobs``
+settings and cache states.  :attr:`ExperimentRunner.stats` counts executed /
+cached / deduplicated specs, which is how sweeps verify that a warm cache
+re-runs nothing.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import (
-    BrokenExecutor,
-    CancelledError,
-    ProcessPoolExecutor,
-    as_completed,
-)
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.results import SimulationResult
+from repro.runtime.backends import RunnerBackend, resolve_backend
 from repro.runtime.cache import ResultCache
-from repro.runtime.serialize import (
-    PAYLOAD_FORMAT,
-    result_from_payload,
-    result_to_payload,
-)
-from repro.runtime.spec import RunSpec, execute_spec
-
-
-def _execute_to_payload(spec: RunSpec) -> Tuple[str, Dict[str, Any]]:
-    """Worker entry point: run one spec and return ``(key, payload)``."""
-    return spec.key(), result_to_payload(execute_spec(spec))
+from repro.runtime.serialize import PAYLOAD_FORMAT, result_from_payload
+from repro.runtime.spec import RunSpec
 
 
 def _predicted_cost(spec: RunSpec) -> float:
@@ -89,8 +75,11 @@ class ExperimentRunner:
 
     Args:
         jobs: worker processes for cache misses; ``1`` executes in-process.
+            Ignored when an explicit ``backend`` is supplied.
         cache: optional on-disk result cache shared across invocations.
         refresh: ignore (but still refill) existing cache entries.
+        backend: execution strategy for cache misses; defaults to the
+            inline/process-pool choice ``jobs`` implies.
     """
 
     def __init__(
@@ -98,6 +87,7 @@ class ExperimentRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         refresh: bool = False,
+        backend: Optional[RunnerBackend] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -105,7 +95,7 @@ class ExperimentRunner:
         self.cache = cache
         self.refresh = refresh
         self.stats = RunnerStats()
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.backend = backend if backend is not None else resolve_backend(None, jobs)
         # Payloads of recent specs, so a spec repeated across *batches*
         # (e.g. fig9 and textstats sharing a design point in one sweep)
         # simulates once even without an on-disk cache.  Only used when no
@@ -119,26 +109,15 @@ class ExperimentRunner:
         self._memo_weight_max = 2_000_000  # array elements, ~tens of MB
 
     # -------------------------------------------------------------- lifecycle
-    def close(self) -> None:
-        """Shut down the worker pool (idempotent; the runner stays usable --
-        the next parallel batch starts a fresh pool)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+    @property
+    def _pool(self):
+        """The process-pool backend's executor (compatibility accessor)."""
+        return getattr(self.backend, "_pool", None)
 
-    def _terminate_pool(self) -> None:
-        """Tear the pool down without waiting for in-flight simulations."""
-        pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        # Snapshot before shutdown(): the executor nulls _processes there.
-        processes = list((getattr(pool, "_processes", None) or {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for process in processes:
-            try:
-                process.terminate()
-            except OSError:
-                pass
+    def close(self) -> None:
+        """Release backend resources (idempotent; the runner stays usable --
+        a process-pool backend re-pools on its next parallel batch)."""
+        self.backend.close()
 
     def clear_memo(self) -> None:
         """Forget in-memory payloads (benchmarks use this between timings so
@@ -201,11 +180,11 @@ class ExperimentRunner:
         # so output bytes are unaffected.  Stable sort keeps equal-cost specs
         # in batch order, which keeps serial execution order deterministic.
         pending.sort(key=_predicted_cost, reverse=True)
-        # Results stream out of _execute as each simulation lands and are
+        # Results stream out of the backend as each simulation lands and are
         # cached immediately, so a crash (or a failing spec) mid-batch keeps
         # every simulation completed before it -- that is what makes long
         # sweeps resumable.
-        for key, payload in self._execute(pending):
+        for key, payload in self.backend.execute(pending):
             payloads[key] = payload
             self._remember(key, payload)
             self.stats.executed += 1
@@ -229,53 +208,3 @@ class ExperimentRunner:
             oldest = next(iter(self._memo))
             del self._memo[oldest]
             self._memo_weight -= self._memo_weights.pop(oldest)
-
-    def _execute(
-        self, pending: Sequence[RunSpec]
-    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
-        if not pending:
-            return
-        if self.jobs > 1 and len(pending) > 1:
-            # One lazily-created pool serves every batch of this runner, so
-            # worker-process graph memos survive across figures of a sweep.
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-            # as_completed (not pool.map) so a finished simulation reaches the
-            # caller -- and the cache -- even while an earlier, slower
-            # submission is still running.  On a failure, queued work is
-            # cancelled but already-running simulations are still drained into
-            # the cache before the first error propagates, so one bad point
-            # never throws away its siblings' completed work.
-            futures = [self._pool.submit(_execute_to_payload, spec) for spec in pending]
-            failure: Optional[Exception] = None
-            try:
-                for future in as_completed(futures):
-                    try:
-                        yield future.result()
-                    except CancelledError:
-                        continue  # queued work cancelled after the first failure
-                    except Exception as exc:
-                        if failure is None:
-                            failure = exc
-                            for other in futures:
-                                other.cancel()
-            except BaseException:
-                # KeyboardInterrupt (typically raised inside as_completed's
-                # wait) and friends: stop immediately instead of draining
-                # in-flight work -- resumability is for spec failures, not
-                # for the operator's Ctrl-C.  Workers are terminated
-                # outright; otherwise the executor's atexit hook would block
-                # process exit until every in-flight simulation finished.
-                for other in futures:
-                    other.cancel()
-                self._terminate_pool()
-                raise
-            if failure is not None:
-                if isinstance(failure, BrokenExecutor):
-                    # A dead worker poisons the whole pool; drop it so the
-                    # runner stays usable (the next batch re-pools).
-                    self._terminate_pool()
-                raise failure
-        else:
-            for spec in pending:
-                yield _execute_to_payload(spec)

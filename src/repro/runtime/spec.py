@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -106,18 +107,31 @@ class RunSpec:
         )
 
     def predicted_cost(self) -> float:
-        """Estimated simulation cost (tiles x edges), computed arithmetically.
+        """Estimated simulation cost, computed arithmetically (no graph build).
 
-        Uses the dataset registry's stand-in sizing, so no graph is built;
-        the runner sorts pending batches by this so the slowest points start
-        first and parallel tail latency shrinks.
+        ``tiles x edges`` scaled by the engine kind (the cycle engine
+        simulates every queue and router per cycle, the analytic engine does
+        not) and the application (PageRank sweeps the edge list once per
+        iteration; relaxation kernels revisit edges).  Uses the dataset
+        registry's stand-in sizing, so no graph is built; the runner -- and
+        the distributed broker -- sort pending work by this so the slowest
+        points start first and parallel tail latency shrinks.
         """
-        from repro.experiments.common import experiment_scale_divisor
+        from repro.experiments.common import (
+            app_cost_factor,
+            engine_cost_factor,
+            experiment_scale_divisor,
+        )
         from repro.graph.datasets import dataset_spec
 
         divisor = experiment_scale_divisor(self.dataset, self.scale)
         edges = dataset_spec(self.dataset).stand_in_edges(divisor)
-        return float(self.config.num_tiles) * float(edges)
+        return (
+            float(self.config.num_tiles)
+            * float(edges)
+            * engine_cost_factor(self.config.engine)
+            * app_cost_factor(self.app, self.pagerank_iterations)
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RunSpec):
@@ -144,12 +158,19 @@ def build_graph(spec: RunSpec) -> CSRGraph:
 
 _GRAPH_MEMO: dict = {}
 _GRAPH_MEMO_MAX = 8
+# The memo is shared by every thread of a process: the broker's connection
+# handlers (verified ingest builds graphs concurrently) as well as plain
+# single-threaded runners.  Only bookkeeping is locked; graph construction
+# itself runs unlocked, so two threads may build the same graph once each --
+# wasteful but correct, since generation is deterministic.
+_GRAPH_MEMO_LOCK = threading.Lock()
 
 
 def reset_graph_memo() -> None:
     """Drop all memoized graphs (benchmarks use this to keep timings
     independent of which graphs previous benchmarks already built)."""
-    _GRAPH_MEMO.clear()
+    with _GRAPH_MEMO_LOCK:
+        _GRAPH_MEMO.clear()
 
 
 def load_graph(dataset: str, scale: float = 1.0, seed: int = 7) -> CSRGraph:
@@ -164,12 +185,17 @@ def load_graph(dataset: str, scale: float = 1.0, seed: int = 7) -> CSRGraph:
     from repro.experiments.common import load_experiment_dataset
 
     key = (resolve_dataset_name(dataset), float(scale), int(seed))
-    graph = _GRAPH_MEMO.get(key)
+    with _GRAPH_MEMO_LOCK:
+        graph = _GRAPH_MEMO.get(key)
     if graph is None:
         graph = load_experiment_dataset(key[0], scale=key[1], seed=key[2])
-        if len(_GRAPH_MEMO) >= _GRAPH_MEMO_MAX:
-            _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
-        _GRAPH_MEMO[key] = graph
+        with _GRAPH_MEMO_LOCK:
+            existing = _GRAPH_MEMO.get(key)
+            if existing is not None:
+                return existing  # a racing builder won; share its instance
+            while len(_GRAPH_MEMO) >= _GRAPH_MEMO_MAX:
+                _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)), None)
+            _GRAPH_MEMO[key] = graph
     return graph
 
 

@@ -25,6 +25,7 @@ from repro.verify.harness import (
     run_conformance,
     write_repro_spec,
 )
+from repro.verify.ingest import ingest_violations
 from repro.verify.oracles import EQUALITY_COUNTERS, oracle_kind
 from repro.verify.reference import ReferenceRun, WorkBounds, reference_run
 from repro.verify.tracing import InvariantTracer
@@ -35,6 +36,7 @@ __all__ = [
     "InvariantTracer",
     "ReferenceRun",
     "WorkBounds",
+    "ingest_violations",
     "load_repro_spec",
     "oracle_kind",
     "reference_run",

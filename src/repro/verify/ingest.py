@@ -1,0 +1,84 @@
+"""Trust-but-verify checks for result payloads produced by remote workers.
+
+The broker never trusts an uploaded payload just because its content digest
+matches -- a digest proves transport integrity, not that the *right
+simulation* produced the bytes.  :func:`ingest_violations` layers two checks
+on every upload:
+
+* **structural** (always on): the payload decodes through the normal
+  serialization round-trip and describes the workload the spec describes
+  (app, dataset, grid shape, PageRank iteration count where applicable);
+* **conformance** (``--verify-ingest``): the decoded result is checked
+  against the PR 2 reference executor -- ground-truth outputs for the
+  order-independent kernels, work-count bounds for the relaxation kernels --
+  exactly the oracles ``dalorex verify`` applies.  The reference executor
+  runs on the plain CSR graph, so the broker re-derives the truth without
+  re-simulating the machine.
+
+A violated ingest is rejected and the spec requeued (counting against the
+attempt cap), so a single malicious or broken worker degrades throughput but
+never corrupts the result cache.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.datasets import resolve_dataset_name
+from repro.runtime.serialize import PAYLOAD_FORMAT, result_from_payload
+from repro.runtime.spec import RunSpec, build_graph
+from repro.verify.oracles import check_outputs, check_work_bounds
+from repro.verify.reference import reference_run
+
+
+def ingest_violations(
+    spec: RunSpec, payload: dict, conformance: bool = False
+) -> List[str]:
+    """Why this payload must not be accepted for this spec ([] = accept).
+
+    Structural checks always run; the reference-executor oracles only when
+    ``conformance`` is set (they cost one plain-graph execution per upload).
+    """
+    if not isinstance(payload, dict):
+        return [f"payload is not an object: {type(payload).__name__}"]
+    if payload.get("format") != PAYLOAD_FORMAT:
+        return [
+            f"payload format {payload.get('format')!r} is not {PAYLOAD_FORMAT!r}"
+        ]
+    try:
+        result = result_from_payload(payload)
+    except Exception as exc:  # malformed fields, bad dtypes, missing keys...
+        return [f"payload does not decode: {exc}"]
+
+    violations: List[str] = []
+    expected = {
+        "app": spec.app.strip().lower(),
+        "dataset": resolve_dataset_name(spec.dataset),
+        "width": spec.config.width,
+        "height": spec.config.height,
+    }
+    observed = {
+        "app": str(result.app_name).strip().lower(),
+        "dataset": str(result.dataset_name).strip().lower(),
+        "width": int(result.width),
+        "height": int(result.height),
+    }
+    for field, want in expected.items():
+        got = observed[field]
+        if got != want:
+            violations.append(
+                f"payload describes {field}={got!r}, spec says {want!r}"
+            )
+    if violations or not conformance:
+        return violations
+
+    graph = build_graph(spec)
+    reference = reference_run(
+        spec.app,
+        graph,
+        root=graph.highest_degree_vertex(),
+        pagerank_iterations=spec.pagerank_iterations,
+    )
+    violations.extend(check_work_bounds(result, reference, "ingest"))
+    violations.extend(check_outputs(result, reference, "ingest"))
+    return violations

@@ -1,0 +1,13 @@
+"""Fixtures for the distributed-backend suite (helpers in distributed_helpers)."""
+
+import pytest
+
+from repro.runtime import execute_to_payload
+
+from distributed_helpers import make_spec
+
+
+@pytest.fixture(scope="session")
+def real_payload():
+    """One genuine (key, payload) pair for ingest tests (simulated once)."""
+    return execute_to_payload(make_spec())

@@ -1,0 +1,56 @@
+"""Shared helpers for the distributed-backend suite.
+
+Everything runs on loopback with ephemeral ports; workers are threads (not
+processes) so tests stay fast and a "crashed" worker is just a thread whose
+executor stopped -- the broker cannot tell the difference, which is the
+point.
+"""
+
+import threading
+from contextlib import contextmanager
+
+from repro.core.config import MachineConfig
+from repro.runtime import RunSpec
+from repro.runtime.distributed import Broker, BrokerServer, Worker
+
+SCALE = 0.1
+
+
+def make_spec(app="bfs", width=2, seed=7, engine="analytic"):
+    return RunSpec(
+        app=app,
+        dataset="rmat16",
+        config=MachineConfig(width=width, height=width, engine=engine),
+        scale=SCALE,
+        seed=seed,
+        verify=True,
+    )
+
+
+def make_specs():
+    """A small mixed batch (two apps x two grids)."""
+    return [make_spec(app, width) for app in ("bfs", "spmv") for width in (2, 4)]
+
+
+@contextmanager
+def fleet(broker: Broker, num_workers: int = 2, **worker_kwargs):
+    """A served broker plus worker threads; joins everything on exit."""
+    with BrokerServer(broker) as server:
+        worker_kwargs.setdefault("poll_interval", 0.02)
+        workers = [
+            Worker(server.address, worker_id=f"w{index}", **worker_kwargs)
+            for index in range(num_workers)
+        ]
+        threads = [
+            threading.Thread(target=worker.run, daemon=True) for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            yield server, workers
+        finally:
+            for worker in workers:
+                worker.stop()
+            broker.shutdown()  # lease responses now tell workers to exit
+            for thread in threads:
+                thread.join(timeout=10.0)

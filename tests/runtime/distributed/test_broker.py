@@ -1,0 +1,329 @@
+"""Queue, lease, ingest and persistence semantics of the Broker (no TCP)."""
+
+import json
+
+import pytest
+
+from repro.runtime import ResultCache, payload_digest
+from repro.runtime.distributed import Broker
+
+from distributed_helpers import make_spec, make_specs
+
+
+def submit_all(broker, specs):
+    return broker.submit([spec.canonical() for spec in specs])
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestQueue:
+    def test_submit_queues_and_deduplicates(self):
+        broker = Broker()
+        specs = make_specs()
+        first = submit_all(broker, specs)
+        assert first == {"queued": len(specs), "duplicates": 0}
+        again = submit_all(broker, specs)
+        assert again == {"queued": 0, "duplicates": len(specs)}
+        assert broker.status()["pending"] == len(specs)
+
+    def test_malformed_batch_rejects_atomically(self):
+        broker = Broker()
+        good = make_spec().canonical()
+        with pytest.raises(Exception):
+            broker.submit([good, {"version": 999}])
+        # The valid prefix was not half-queued before the rejection.
+        assert broker.status()["pending"] == 0
+
+    def test_leases_hand_out_costliest_first(self):
+        broker = Broker()
+        # Same app/engine: predicted cost is proportional to tiles.
+        widths = (2, 8, 4)
+        submit_all(broker, [make_spec(width=width) for width in widths])
+        leased_widths = [
+            broker.lease("w0")["spec"]["config"]["width"] for _ in widths
+        ]
+        assert leased_widths == [8, 4, 2]
+        assert broker.lease("w0")["key"] is None  # queue drained
+
+    def test_cycle_engine_outranks_analytic_at_equal_size(self):
+        broker = Broker()
+        submit_all(
+            broker,
+            [make_spec(engine="analytic", seed=1), make_spec(engine="cycle", seed=2)],
+        )
+        assert broker.lease("w0")["spec"]["config"]["engine"] == "cycle"
+
+    def test_leased_spec_is_not_handed_out_twice(self):
+        broker = Broker()
+        submit_all(broker, [make_spec()])
+        assert broker.lease("w0")["key"] is not None
+        assert broker.lease("w1")["key"] is None
+
+    def test_heartbeat_keeps_a_lease_alive(self):
+        clock = FakeClock()
+        broker = Broker(lease_timeout=10.0, clock=clock)
+        submit_all(broker, [make_spec()])
+        lease = broker.lease("w0")
+        for _ in range(5):
+            clock.advance(6.0)
+            assert broker.heartbeat("w0", lease["key"])["active"] is True
+        # 30 simulated seconds without expiry; now stop heartbeating.
+        clock.advance(11.0)
+        assert broker.lease("w1")["key"] == lease["key"]  # expired and requeued
+        assert broker.heartbeat("w0", lease["key"])["active"] is False
+
+    def test_expired_lease_requeues_with_attempt_counted(self):
+        clock = FakeClock()
+        broker = Broker(lease_timeout=5.0, max_attempts=2, clock=clock)
+        submit_all(broker, [make_spec()])
+        first = broker.lease("w0")
+        assert first["attempt"] == 1
+        clock.advance(6.0)
+        second = broker.lease("w1")
+        assert second["key"] == first["key"]
+        assert second["attempt"] == 2
+        clock.advance(6.0)
+        # Attempt cap reached: the spec fails instead of looping forever.
+        assert broker.lease("w2")["key"] is None
+        fetched = broker.fetch([first["key"]])
+        assert "gave up after 2 attempts" in fetched["failed"][first["key"]]
+
+    def test_release_requeues_immediately(self):
+        broker = Broker(lease_timeout=3600.0)
+        submit_all(broker, [make_spec()])
+        lease = broker.lease("w0")
+        assert broker.release("w0", lease["key"], "executor raised")["requeued"]
+        assert broker.lease("w1")["key"] == lease["key"]  # no timeout wait
+
+    def test_resubmitting_a_failed_spec_resets_attempts(self):
+        clock = FakeClock()
+        broker = Broker(lease_timeout=5.0, max_attempts=1, clock=clock)
+        spec = make_spec()
+        submit_all(broker, [spec])
+        broker.lease("w0")
+        clock.advance(6.0)
+        assert broker.fetch([spec.key()])["failed"]  # cap hit
+        assert submit_all(broker, [spec])["queued"] == 1
+        assert broker.lease("w0")["attempt"] == 1
+
+
+class TestIngest:
+    def test_valid_upload_accepted_and_fetchable(self, real_payload):
+        key, payload = real_payload
+        broker = Broker()
+        submit_all(broker, [make_spec()])
+        lease = broker.lease("w0")
+        assert lease["key"] == key
+        outcome = broker.ingest("w0", key, payload_digest(payload), payload)
+        assert outcome == {"accepted": True, "duplicate": False}
+        fetched = broker.fetch([key])
+        assert fetched["results"][key] == payload
+        assert fetched["pending"] == 0
+
+    def test_digest_mismatch_rejected_and_requeued(self, real_payload):
+        key, payload = real_payload
+        broker = Broker()
+        submit_all(broker, [make_spec()])
+        broker.lease("w0")
+        outcome = broker.ingest("w0", key, "0" * 64, payload)
+        assert outcome["accepted"] is False
+        assert "digest mismatch" in outcome["reason"]
+        assert broker.lease("w1")["key"] == key  # requeued for a retry
+
+    def test_tampered_payload_rejected_by_digest(self, real_payload):
+        key, payload = real_payload
+        tampered = json.loads(json.dumps(payload))
+        tampered["cycles"] = tampered["cycles"] + 1.0
+        broker = Broker()
+        submit_all(broker, [make_spec()])
+        broker.lease("w0")
+        outcome = broker.ingest("w0", key, payload_digest(payload), tampered)
+        assert outcome["accepted"] is False
+
+    def test_wrong_workload_rejected_structurally(self, real_payload):
+        # Digest-valid payload, but for a different spec: the structural
+        # ingest check (not the digest) must catch it.
+        key_other = make_spec(app="spmv", width=4)
+        broker = Broker()
+        submit_all(broker, [key_other])
+        broker.lease("w0")
+        _key, payload = real_payload  # a bfs/2x2 payload
+        outcome = broker.ingest(
+            "w0", key_other.key(), payload_digest(payload), payload
+        )
+        assert outcome["accepted"] is False
+        assert "spec says" in outcome["reason"]
+
+    def test_unknown_key_rejected(self, real_payload):
+        key, payload = real_payload
+        broker = Broker()
+        outcome = broker.ingest("w0", key, payload_digest(payload), payload)
+        assert outcome["accepted"] is False
+        assert "unknown spec key" in outcome["reason"]
+
+    def test_duplicate_upload_acknowledged_not_double_counted(self, real_payload):
+        key, payload = real_payload
+        broker = Broker()
+        submit_all(broker, [make_spec()])
+        broker.lease("w0")
+        assert broker.ingest("w0", key, payload_digest(payload), payload)["accepted"]
+        again = broker.ingest("w1", key, payload_digest(payload), payload)
+        assert again == {"accepted": True, "duplicate": True}
+        assert broker.stats.completed == 1
+
+    def test_verify_ingest_runs_the_conformance_oracles(self, real_payload):
+        key, payload = real_payload
+        broker = Broker(verify_ingest=True)
+        submit_all(broker, [make_spec()])
+        broker.lease("w0")
+        assert broker.ingest("w0", key, payload_digest(payload), payload)["accepted"]
+
+        # A forged payload that is structurally consistent (right app/shape)
+        # but reports impossibly little work: only the oracles catch it.
+        forged = json.loads(json.dumps(payload))
+        forged["counters"]["edges_processed"] = 0
+        forged["counters"]["tasks_executed"] = 0
+        broker2 = Broker(verify_ingest=True)
+        spec = make_spec()
+        broker2.submit([spec.canonical()])
+        broker2.lease("w0")
+        outcome = broker2.ingest(
+            "w0", spec.key(), payload_digest(forged), forged
+        )
+        assert outcome["accepted"] is False
+
+    def test_valid_upload_after_give_up_is_still_accepted(self, real_payload):
+        # The broker hit the attempt cap while the (slow) upload was in
+        # flight: a digest-valid, oracle-valid result must win anyway.
+        key, payload = real_payload
+        clock = FakeClock()
+        broker = Broker(lease_timeout=5.0, max_attempts=1, clock=clock)
+        submit_all(broker, [make_spec()])
+        broker.lease("w0")
+        clock.advance(6.0)
+        broker.status()  # expiry sweep: attempt cap -> failed
+        assert broker.fetch([key])["failed"]
+        outcome = broker.ingest("w0", key, payload_digest(payload), payload)
+        assert outcome["accepted"] is True
+        fetched = broker.fetch([key])
+        assert fetched["results"][key] == payload
+        assert not fetched["failed"]
+
+    def test_stale_rejection_does_not_strip_another_workers_lease(
+        self, real_payload
+    ):
+        # Worker A's lease expired and the spec was re-leased to B; A's
+        # (invalid) upload must not requeue the spec under B's feet.
+        key, payload = real_payload
+        clock = FakeClock()
+        broker = Broker(lease_timeout=5.0, max_attempts=10, clock=clock)
+        submit_all(broker, [make_spec()])
+        broker.lease("workerA")
+        clock.advance(6.0)
+        assert broker.lease("workerB")["key"] == key  # re-leased after expiry
+        outcome = broker.ingest("workerA", key, "0" * 64, payload)
+        assert outcome["accepted"] is False
+        assert broker.heartbeat("workerB", key)["active"] is True  # B unharmed
+        assert broker.lease("workerC")["key"] is None  # not double-queued
+
+    def test_accepted_payload_lands_in_the_shared_cache(self, tmp_path, real_payload):
+        key, payload = real_payload
+        cache = ResultCache(tmp_path / "cache")
+        broker = Broker(cache=cache)
+        submit_all(broker, [make_spec()])
+        broker.lease("w0")
+        broker.ingest("w0", key, payload_digest(payload), payload)
+        assert cache.load(key) == payload
+
+    def test_cached_key_is_a_submit_duplicate(self, tmp_path, real_payload):
+        key, payload = real_payload
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(key, payload)
+        broker = Broker(cache=cache)
+        assert submit_all(broker, [make_spec()])["duplicates"] == 1
+        assert broker.fetch([key])["results"][key] == payload
+
+
+class TestPersistence:
+    def test_restart_resumes_pending_and_inflight_specs(self, tmp_path):
+        state = tmp_path / "state.json"
+        specs = make_specs()
+        broker = Broker(state_path=state)
+        submit_all(broker, specs)
+        broker.lease("w0")  # one in flight; its lease dies with the broker
+
+        resumed = Broker(state_path=state)
+        status = resumed.status()
+        assert status["pending"] == len(specs)  # leased spec is queued again
+        # Everything leases back out, costliest first, with attempts kept.
+        keys = set()
+        while True:
+            lease = resumed.lease("w0")
+            if lease["key"] is None:
+                break
+            keys.add(lease["key"])
+        assert keys == {spec.key() for spec in specs}
+
+    def test_restart_serves_completed_results_from_the_cache(
+        self, tmp_path, real_payload
+    ):
+        key, payload = real_payload
+        state = tmp_path / "state.json"
+        cache = ResultCache(tmp_path / "cache")
+        broker = Broker(cache=cache, state_path=state)
+        submit_all(broker, [make_spec()])
+        broker.lease("w0")
+        broker.ingest("w0", key, payload_digest(payload), payload)
+
+        resumed = Broker(cache=ResultCache(tmp_path / "cache"), state_path=state)
+        fetched = resumed.fetch([key])
+        assert fetched["results"][key] == payload
+        assert resumed.status()["pending"] == 0
+
+    def test_restart_without_cache_forgets_completed_work_recoverably(
+        self, tmp_path, real_payload
+    ):
+        # Completed payloads lived only in the dead broker's memory.  The
+        # key must not hang the client: fetch reports it unknown, which
+        # makes the client resubmit the spec (exercised end-to-end in
+        # test_faults).
+        key, payload = real_payload
+        state = tmp_path / "state.json"
+        spec = make_spec()
+        broker = Broker(state_path=state)  # completed payloads in memory only
+        submit_all(broker, [spec])
+        broker.lease("w0")
+        broker.ingest("w0", key, payload_digest(payload), payload)
+
+        resumed = Broker(state_path=state)
+        assert "never submitted" in resumed.fetch([key])["failed"][key]
+        assert submit_all(resumed, [spec])["queued"] == 1  # re-runs cleanly
+        assert resumed.lease("w0")["key"] == key
+
+    def test_unreadable_state_is_a_hard_error(self, tmp_path):
+        state = tmp_path / "state.json"
+        state.write_text("{broken")
+        with pytest.raises(ValueError):
+            Broker(state_path=state)
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            Broker(lease_timeout=0)
+        with pytest.raises(ValueError):
+            Broker(max_attempts=0)
+
+    def test_fetch_of_never_submitted_key_fails_fast(self):
+        broker = Broker()
+        fetched = broker.fetch(["f" * 64])
+        assert "never submitted" in fetched["failed"]["f" * 64]

@@ -1,0 +1,72 @@
+"""Framing, addressing and request/response semantics of the wire protocol."""
+
+import io
+
+import pytest
+
+from repro.runtime.distributed import Broker, BrokerServer
+from repro.runtime.distributed.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    encode_message,
+    format_address,
+    parse_address,
+    read_message,
+    request,
+)
+
+
+class TestAddresses:
+    def test_host_port_round_trip(self):
+        assert parse_address("example.com:4573") == ("example.com", 4573)
+        assert format_address(("example.com", 4573)) == "example.com:4573"
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_address("4573") == ("127.0.0.1", 4573)
+        assert parse_address(":4573") == ("127.0.0.1", 4573)
+
+    @pytest.mark.parametrize("bogus", ["", "host:", "host:notaport", "host:0", "host:70000"])
+    def test_malformed_addresses_rejected(self, bogus):
+        with pytest.raises(ProtocolError):
+            parse_address(bogus)
+
+
+class TestFraming:
+    def test_encode_read_round_trip(self):
+        message = {"op": "lease", "worker": "w0", "nested": {"a": [1, 2]}}
+        stream = io.BytesIO(encode_message(message) + encode_message({"op": "x"}))
+        assert read_message(stream) == message
+        assert read_message(stream) == {"op": "x"}
+        assert read_message(stream) is None  # EOF
+
+    def test_messages_are_single_lines(self):
+        assert encode_message({"a": 1}).count(b"\n") == 1
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(ProtocolError):
+            read_message(io.BytesIO(b"not json\n"))
+
+    def test_non_object_message_raises(self):
+        with pytest.raises(ProtocolError):
+            read_message(io.BytesIO(b"[1,2,3]\n"))
+
+
+class TestRequest:
+    def test_status_round_trip_against_live_server(self):
+        with BrokerServer(Broker()) as server:
+            response = request(server.address, {"op": "status"})
+        assert response["ok"] is True
+        assert response["protocol"] == PROTOCOL
+        assert response["pending"] == 0
+
+    def test_unknown_op_is_a_protocol_error(self):
+        with BrokerServer(Broker()) as server:
+            with pytest.raises(ProtocolError, match="unknown op"):
+                request(server.address, {"op": "frobnicate"})
+
+    def test_unreachable_broker_raises_oserror(self):
+        with BrokerServer(Broker()) as server:
+            address = server.address
+        # Server stopped: the port is closed again.
+        with pytest.raises(OSError):
+            request(address, {"op": "status"}, timeout=2.0)

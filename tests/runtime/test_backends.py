@@ -1,0 +1,96 @@
+"""The RunnerBackend abstraction: selection, equivalence, lifecycle."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.runtime import (
+    BACKEND_CHOICES,
+    ExperimentRunner,
+    InlineBackend,
+    ProcessPoolBackend,
+    RunSpec,
+    RunnerBackend,
+    resolve_backend,
+)
+
+SCALE = 0.1
+
+
+def make_specs(count=3):
+    return [
+        RunSpec(
+            app="spmv",
+            dataset="rmat16",
+            config=MachineConfig(width=width, height=width, engine="analytic"),
+            scale=SCALE,
+        )
+        for width in (2, 4, 8)[:count]
+    ]
+
+
+class TestResolution:
+    def test_auto_maps_jobs_to_inline_or_process(self):
+        assert isinstance(resolve_backend(None, jobs=1), InlineBackend)
+        assert isinstance(resolve_backend("auto", jobs=1), InlineBackend)
+        pool = resolve_backend("auto", jobs=4)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.jobs == 4
+
+    def test_explicit_names(self):
+        assert isinstance(resolve_backend("inline", jobs=8), InlineBackend)
+        assert isinstance(resolve_backend("process", jobs=2), ProcessPoolBackend)
+
+    def test_distributed_requires_an_address(self):
+        with pytest.raises(ValueError, match="--connect"):
+            resolve_backend("distributed")
+
+    def test_distributed_resolves_with_an_address(self):
+        backend = resolve_backend("distributed", connect="localhost:4573")
+        assert backend.name == "distributed"
+        assert backend.address == ("localhost", 4573)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("carrier-pigeon")
+
+    def test_choices_cover_every_resolvable_name(self):
+        for name in BACKEND_CHOICES:
+            backend = resolve_backend(name, jobs=2, connect="localhost:4573")
+            assert isinstance(backend, RunnerBackend)
+
+
+class TestRunnerIntegration:
+    def test_runner_default_backend_follows_jobs(self):
+        assert ExperimentRunner(jobs=1).backend.name == "inline"
+        assert ExperimentRunner(jobs=2).backend.name == "process"
+
+    def test_explicit_backend_is_used_verbatim(self):
+        backend = InlineBackend()
+        runner = ExperimentRunner(jobs=8, backend=backend)
+        assert runner.backend is backend
+
+    def test_backends_produce_identical_results(self):
+        specs = make_specs()
+        inline = ExperimentRunner(backend=InlineBackend()).run_batch(specs)
+        with ExperimentRunner(backend=ProcessPoolBackend(2)) as runner:
+            pooled = runner.run_batch(specs)
+        assert [r.to_dict() for r in inline] == [r.to_dict() for r in pooled]
+
+    def test_single_spec_batches_run_inline_even_on_the_pool_backend(self):
+        backend = ProcessPoolBackend(2)
+        results = list(backend.execute(make_specs(1)))
+        assert len(results) == 1
+        assert backend._pool is None  # no pool was ever created
+
+    def test_pool_persists_across_batches_and_close_is_idempotent(self):
+        with ExperimentRunner(jobs=2) as runner:
+            runner.run_batch(make_specs(2))
+            pool = runner._pool
+            assert pool is not None
+            runner.run_batch(make_specs(3))
+            assert runner._pool is pool  # reused, not rebuilt per batch
+        assert runner._pool is None
+        runner.close()  # idempotent
+        # A closed runner stays usable: the next parallel batch re-pools.
+        follow_up = runner.run_batch(make_specs(2))
+        assert len(follow_up) == 2

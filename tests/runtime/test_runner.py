@@ -278,17 +278,51 @@ class TestAdaptiveOrdering:
         assert more_tiles.predicted_cost() == 4 * small.predicted_cost()
         assert more_edges.predicted_cost() > small.predicted_cost()
 
+    def test_predicted_cost_knows_the_cycle_engine_is_slower(self):
+        analytic = RunSpec(app="bfs", dataset="rmat16",
+                           config=MachineConfig(width=2, height=2, engine="analytic"),
+                           scale=SCALE)
+        cycle = RunSpec(app="bfs", dataset="rmat16",
+                        config=MachineConfig(width=2, height=2, engine="cycle"),
+                        scale=SCALE)
+        assert cycle.predicted_cost() > 4 * analytic.predicted_cost()
+
+    def test_predicted_cost_scales_with_pagerank_iterations(self):
+        def pr(iterations):
+            return RunSpec(app="pagerank", dataset="rmat16",
+                           config=MachineConfig(width=2, height=2), scale=SCALE,
+                           pagerank_iterations=iterations)
+
+        assert pr(10).predicted_cost() == 2 * pr(5).predicted_cost()
+
+    def test_predicted_cost_ranks_relaxation_kernels_above_single_sweeps(self):
+        def for_app(app):
+            return RunSpec(app=app, dataset="rmat16",
+                           config=MachineConfig(width=2, height=2),
+                           scale=SCALE).predicted_cost()
+
+        assert for_app("sssp") > for_app("wcc") > for_app("bfs") == for_app("spmv")
+
+    def test_predicted_cost_needs_no_graph_build(self):
+        from repro.runtime.spec import _GRAPH_MEMO
+
+        before = dict(_GRAPH_MEMO)
+        RunSpec(app="sssp", dataset="rmat26",
+                config=MachineConfig(width=64, height=64, engine="cycle"),
+                scale=1.0).predicted_cost()
+        assert _GRAPH_MEMO == before  # arithmetic only, even for huge specs
+
     def test_pending_specs_execute_costliest_first(self, monkeypatch):
-        import repro.runtime.runner as runner_module
+        import repro.runtime.backends as backends_module
 
         executed_widths = []
-        original = runner_module._execute_to_payload
+        original = backends_module.execute_to_payload
 
         def spying(spec):
             executed_widths.append(spec.config.width)
             return original(spec)
 
-        monkeypatch.setattr(runner_module, "_execute_to_payload", spying)
+        monkeypatch.setattr(backends_module, "execute_to_payload", spying)
         specs = [
             RunSpec(app="spmv", dataset="rmat16",
                     config=MachineConfig(width=width, height=width, engine="analytic"),
@@ -389,6 +423,99 @@ class TestCacheManagement:
         runner.run_batch(make_specs()[:2])
         assert runner.stats.executed == 2
         assert len(cache) == 2
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError, match="policy"):
+            cache.prune(0, policy="mru")
+
+    def test_lru_prune_keeps_the_recently_loaded_entry(self, tmp_path):
+        # Store three entries oldest-first, then load the *oldest* one: FIFO
+        # would evict it first, LRU must keep it and evict the middle one.
+        cache = self.populate(tmp_path)
+        ordered = [path.stem for _mtime, _size, path in sorted(cache._entries())]
+        oldest = ordered[0]
+        self._age_entries(cache, ordered)
+        assert cache.load(oldest) is not None  # bumps its access time
+        keep_bytes = cache.stats()["total_bytes"] - 1  # force exactly one out
+        evicted = cache.prune(keep_bytes, policy="lru")
+        assert evicted == [ordered[1]]
+        assert oldest in cache
+
+    def test_fifo_prune_ignores_loads(self, tmp_path):
+        cache = self.populate(tmp_path)
+        ordered = [path.stem for _mtime, _size, path in sorted(cache._entries())]
+        self._age_entries(cache, ordered)
+        assert cache.load(ordered[0]) is not None
+        evicted = cache.prune(cache.stats()["total_bytes"] - 1, policy="fifo")
+        assert evicted == [ordered[0]]  # store order, not use order
+
+    @staticmethod
+    def _age_entries(cache, ordered_keys):
+        """Spread store/access stamps seconds apart (test runs are too fast
+        for mtime resolution otherwise)."""
+        for index, key in enumerate(ordered_keys):
+            stamp = 1_000_000_000 + index * 10
+            os.utime(cache.path_for(key), (stamp, stamp))
+
+
+class TestConcurrentStore:
+    def test_parallel_writers_on_one_entry_all_succeed(self, tmp_path):
+        # Many workers sharing one --cache-dir race on the same key; every
+        # store must succeed and the entry must stay valid.
+        import threading
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_specs()[0]
+        payload = result_to_payload(ExperimentRunner().run(spec))
+        errors = []
+
+        def write():
+            try:
+                for _ in range(10):
+                    cache.store(spec.key(), payload)
+            except Exception as exc:  # pragma: no cover - the failure case
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.load(spec.key()) == payload
+        assert not list((tmp_path / "cache").glob("*.tmp.*"))  # no litter
+
+    def test_losing_the_rename_race_is_a_hit_not_an_error(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_specs()[0]
+        payload = result_to_payload(ExperimentRunner().run(spec))
+        cache.store(spec.key(), payload)  # the twin that "won"
+
+        def refusing_replace(src, dst):
+            raise OSError("rename collision (network filesystem)")
+
+        monkeypatch.setattr(os, "replace", refusing_replace)
+        path = cache.store(spec.key(), payload)  # must not raise
+        assert path == cache.path_for(spec.key())
+        monkeypatch.undo()
+        assert cache.load(spec.key()) == payload
+
+    def test_losing_the_race_without_a_valid_twin_still_raises(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_specs()[0]
+        payload = result_to_payload(ExperimentRunner().run(spec))
+
+        def refusing_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", refusing_replace)
+        with pytest.raises(OSError, match="disk full"):
+            cache.store(spec.key(), payload)
 
 
 class TestValidation:

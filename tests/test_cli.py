@@ -104,6 +104,31 @@ class TestRuntimeFlags:
         args = cli.argparse.Namespace(jobs=1, cache_dir=None, no_cache=False)
         assert cli.runner_from_args(args).cache is None
 
+    def test_backend_flag_selects_the_backend(self):
+        def runner_for(**kwargs):
+            defaults = dict(jobs=1, cache_dir=None, no_cache=False,
+                            backend="auto", connect=None)
+            defaults.update(kwargs)
+            return cli.runner_from_args(cli.argparse.Namespace(**defaults))
+
+        assert runner_for().backend.name == "inline"
+        assert runner_for(jobs=4).backend.name == "process"
+        assert runner_for(backend="inline", jobs=4).backend.name == "inline"
+        assert runner_for(backend="process").backend.name == "process"
+        distributed = runner_for(backend="distributed", connect="localhost:4573")
+        assert distributed.backend.name == "distributed"
+        assert distributed.backend.address == ("localhost", 4573)
+
+    def test_distributed_backend_without_connect_is_an_argument_error(self):
+        with pytest.raises(SystemExit):
+            cli.run_command(self.RUN_ARGS + ["--backend", "distributed"])
+
+    def test_backend_inline_output_identical(self, capsys):
+        assert cli.run_command(self.RUN_ARGS) == 0
+        default = capsys.readouterr().out
+        assert cli.run_command(self.RUN_ARGS + ["--backend", "inline"]) == 0
+        assert capsys.readouterr().out == default
+
     def test_experiments_command_accepts_runtime_flags(self, capsys, tmp_path):
         cache_dir = tmp_path / "cache"
         exit_code = cli.experiments_command(
@@ -139,7 +164,7 @@ class TestDalorexDispatch:
     def test_help_lists_subcommands(self, capsys):
         assert cli.dalorex_command([]) == 0
         out = capsys.readouterr().out
-        for name in ("run", "experiments", "verify", "cache"):
+        for name in ("run", "experiments", "verify", "cache", "broker", "worker"):
             assert name in out
 
 
@@ -237,6 +262,27 @@ class TestCacheCommand:
             assert "does not exist" in capsys.readouterr().err
             assert not missing.exists()  # inspection must not mkdir
 
+    def test_prune_policy_lru_keeps_loaded_entries(self, capsys, tmp_path):
+        cache_dir = self.populate(tmp_path)
+        capsys.readouterr()
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(cache_dir)
+        first, second = [path.stem for _m, _s, path in sorted(cache._entries())]
+        # Age the stamps apart, then touch the older entry via load().
+        for index, key in enumerate((first, second)):
+            stamp = 1_000_000_000 + index * 10
+            os.utime(cache.path_for(key), (stamp, stamp))
+        assert cache.load(first) is not None
+        budget = cache.stats()["total_bytes"] - 1  # forces exactly one eviction
+        assert cli.dalorex_command(
+            ["cache", "prune", "--cache-dir", str(cache_dir),
+             "--max-size", str(budget), "--policy", "lru", "--json"]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["policy"] == "lru"
+        assert summary["evicted"] == [second]  # the unloaded one went first
+
     def test_max_size_suffixes(self):
         assert cli._parse_size("1024") == 1024
         assert cli._parse_size("4K") == 4096
@@ -295,6 +341,59 @@ class TestRuntimeFlagRoundTrip:
         ]
         for extra in combos:
             assert run(extra) == serial, f"output diverged for {extra}"
+
+
+class TestBrokerWorkerCommands:
+    """CLI-level round trip: `dalorex broker` + `dalorex worker` subprocesses
+    serve a `dalorex run --backend distributed` client byte-identically."""
+
+    def _spawn(self, *args, **kwargs):
+        env = dict(os.environ)
+        src = str(Path(cli.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *args],
+            env=env, text=True, **kwargs,
+        )
+
+    def test_distributed_run_matches_inline_run(self, capsys, tmp_path):
+        run_args = ["run", "--app", "bfs", "--dataset", "rmat16", "--width", "4",
+                    "--scale", "0.1", "--engine", "analytic", "--json"]
+        assert cli.dalorex_command(run_args) == 0
+        inline_out = capsys.readouterr().out
+
+        broker = self._spawn(
+            "broker", "--port", "0",
+            "--state-file", str(tmp_path / "state.json"),
+            stdout=subprocess.PIPE,
+        )
+        worker = None
+        try:
+            banner = broker.stdout.readline().strip()
+            address = banner.removeprefix("broker listening on ")
+            assert ":" in address, banner
+            worker = self._spawn("worker", "--connect", address,
+                                 "--poll-interval", "0.05", "--quiet",
+                                 stdout=subprocess.DEVNULL)
+            assert cli.dalorex_command(
+                run_args + ["--backend", "distributed", "--connect", address]
+            ) == 0
+            distributed_out = capsys.readouterr().out
+        finally:
+            from repro.runtime.distributed.protocol import parse_address, request
+
+            try:
+                request(parse_address(address), {"op": "shutdown"})
+            except Exception:
+                broker.kill()
+            for process in (worker, broker):
+                if process is None:
+                    continue
+                try:
+                    process.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+        assert distributed_out == inline_out
 
 
 class TestExperimentsCommand:
