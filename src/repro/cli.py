@@ -10,11 +10,18 @@
   engines, check the equality/bounds oracles against the reference executor,
   and replay shrunk fuzzer failures via ``--spec FILE``.
 * ``dalorex cache stats`` / ``dalorex cache prune`` -- inspect and bound the
-  content-addressed result cache (``prune --policy fifo|lru``).
+  content-addressed result cache (``prune --policy fifo|lru``, size caps via
+  ``--max-size``, per-dataset entry quotas via ``--per-dataset N``).
 * ``dalorex broker`` / ``dalorex worker`` -- the distributed execution
   backend: a broker queues specs costliest-first and verifies uploaded
   results; pull-based workers on any number of hosts execute them (see
   ``docs/DISTRIBUTED.md``).
+* ``dalorex fleet stats`` -- queue depth, active leases, attempts and
+  per-worker completion counts of a running broker.
+
+``run`` and ``verify`` additionally accept the NoC-simulation knobs
+(``--network analytical|simulated``, ``--routing``, ``--queue-depth``,
+``--noc mesh3d|torus3d`` with ``--grid-depth``); see ``docs/NOC.md``.
 
 ``run`` and ``experiments`` route their simulations through
 :mod:`repro.runtime` and share the execution flags:
@@ -41,6 +48,8 @@ from typing import List, Optional
 
 from repro.apps import KERNELS
 from repro.baselines.ladder import LADDER_ORDER, dalorex_config, ladder_configs
+from repro.core.config import NETWORK_KINDS, NOC_KINDS, ROUTING_KINDS
+from repro.errors import ConfigurationError
 from repro.graph.datasets import list_datasets
 from repro.runtime import (
     BACKEND_CHOICES,
@@ -120,19 +129,49 @@ def add_workload_arguments(
     )
     parser.add_argument("--width", type=int, default=width_default, help="grid width in tiles")
     parser.add_argument("--height", type=int, default=None, help="grid height (default: square)")
-    parser.add_argument("--noc", default=None, choices=["mesh", "torus", "torus_ruche"])
+    parser.add_argument("--noc", default=None, choices=list(NOC_KINDS))
+    parser.add_argument(
+        "--grid-depth", type=int, default=None, metavar="LAYERS",
+        help="silicon layers of the grid (requires a 3D NoC kind; default: 1)",
+    )
     parser.add_argument("--scale", type=float, default=scale_default, help="dataset scale factor")
     parser.add_argument("--seed", type=int, default=7, help="dataset generator seed")
+    parser.add_argument(
+        "--network", default=None, choices=list(NETWORK_KINDS),
+        help="message timing model for the cycle engine: 'analytical' "
+             "(zero-contention link serialization, the default) or "
+             "'simulated' (flit-level queues and credit backpressure)",
+    )
+    parser.add_argument(
+        "--routing", default=None, choices=list(ROUTING_KINDS),
+        help="routing policy of the simulated network (default: "
+             "dimension_ordered)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=_positive_int, default=None, metavar="FLITS",
+        help="router input-queue capacity of the simulated network "
+             "(default: 4)",
+    )
 
 
 def resolve_workload_shape(args: argparse.Namespace):
     """Interpret the shared workload flags: ``(width, height, config overrides)``.
 
-    Owns the square-by-default grid rule and the optional NoC override, so
-    ``run`` and ``verify`` cannot drift on how the same flags are read.
+    Owns the square-by-default grid rule and the optional NoC/network
+    overrides, so ``run`` and ``verify`` cannot drift on how the same flags
+    are read.
     """
     height = args.height if args.height is not None else args.width
     overrides = {"noc": args.noc} if args.noc else {}
+    for flag, field in (
+        ("grid_depth", "depth"),
+        ("network", "network"),
+        ("routing", "routing"),
+        ("queue_depth", "queue_depth"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
     return args.width, height, overrides
 
 
@@ -166,7 +205,10 @@ def run_command(argv: Optional[List[str]] = None) -> int:
     elif config.num_tiles > 1024:
         overrides["engine"] = "analytic"
     if overrides:
-        config = config.with_overrides(**overrides)
+        try:
+            config = config.with_overrides(**overrides)
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}")
 
     spec = RunSpec(
         app=args.app,
@@ -197,7 +239,16 @@ def run_command(argv: Optional[List[str]] = None) -> int:
 
 def experiments_command(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``dalorex-experiments``."""
-    from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, textstats
+    from repro.experiments import (
+        contention,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        textstats,
+    )
 
     runners = {
         "fig5": lambda scale, runner: fig5.report(fig5.run_fig5(scale=scale, runner=runner)),
@@ -208,6 +259,9 @@ def experiments_command(argv: Optional[List[str]] = None) -> int:
         "fig10": lambda scale, runner: fig10.report(fig10.run_fig10(scale=scale, runner=runner)),
         "textstats": lambda scale, runner: textstats.report(
             textstats.run_textstats(scale=scale, runner=runner)
+        ),
+        "contention": lambda scale, runner: contention.report(
+            contention.run_contention(scale=scale, runner=runner)
         ),
     }
     parser = argparse.ArgumentParser(
@@ -267,9 +321,12 @@ def verify_command(argv: Optional[List[str]] = None) -> int:
         specs = [load_repro_spec(path) for path in args.spec]
     else:
         width, height, overrides = resolve_workload_shape(args)
-        config = MachineConfig(
-            width=width, height=height, barrier=args.barrier, **overrides
-        )
+        try:
+            config = MachineConfig(
+                width=width, height=height, barrier=args.barrier, **overrides
+            ).validate()
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}")
         specs = [
             RunSpec(app=args.app, dataset=args.dataset, config=config,
                     scale=args.scale, seed=args.seed)
@@ -309,14 +366,20 @@ def cache_command(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="action", required=True)
     stats = subparsers.add_parser("stats", help="summarize cache size and age")
     prune = subparsers.add_parser(
-        "prune", help="evict oldest entries until the cache fits --max-size"
+        "prune", help="evict entries until the cache fits --max-size and/or "
+                      "--per-dataset quotas"
     )
     for sub in (stats, prune):
         sub.add_argument("--cache-dir", required=True, metavar="PATH")
         sub.add_argument("--json", action="store_true", help="print the summary as JSON")
     prune.add_argument(
-        "--max-size", type=_parse_size, required=True, metavar="SIZE",
+        "--max-size", type=_parse_size, default=None, metavar="SIZE",
         help="target cache size in bytes (K/M/G suffixes accepted, e.g. 512M)",
+    )
+    prune.add_argument(
+        "--per-dataset", type=int, default=None, metavar="N",
+        help="keep at most N entries per dataset (applied before --max-size, "
+             "using the same --policy ordering)",
     )
     prune.add_argument(
         "--policy", choices=PRUNE_POLICIES, default="fifo",
@@ -342,7 +405,19 @@ def cache_command(argv: Optional[List[str]] = None) -> int:
             print(f"cache {summary['root']}: {summary['entries']} entries, "
                   f"{summary['total_bytes']} bytes")
         return 0
-    evicted = cache.prune(args.max_size, dry_run=args.dry_run, policy=args.policy)
+    if args.max_size is None and args.per_dataset is None:
+        parser.error("prune needs --max-size and/or --per-dataset")
+    evicted = []
+    if args.per_dataset is not None:
+        evicted.extend(
+            cache.prune_per_dataset(
+                args.per_dataset, dry_run=args.dry_run, policy=args.policy
+            )
+        )
+    if args.max_size is not None:
+        evicted.extend(
+            cache.prune(args.max_size, dry_run=args.dry_run, policy=args.policy)
+        )
     summary = cache.stats()
     summary["evicted"] = evicted
     summary["dry_run"] = args.dry_run
@@ -409,6 +484,59 @@ def broker_command(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def fleet_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``dalorex fleet``: inspect a running broker's fleet.
+
+    ``dalorex fleet stats --connect HOST:PORT`` asks the broker for its
+    queue depth, active leases (with per-spec attempt counts) and per-worker
+    completion counts -- the feed for fleet dashboards.
+    """
+    from repro.runtime.distributed import ProtocolError, parse_address, request
+
+    parser = argparse.ArgumentParser(
+        prog="dalorex fleet",
+        description="Inspect a running dalorex broker's fleet state.",
+    )
+    subparsers = parser.add_subparsers(dest="action", required=True)
+    stats = subparsers.add_parser(
+        "stats", help="queue depth, active leases, attempts, per-worker counts"
+    )
+    stats.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="broker address")
+    stats.add_argument("--json", action="store_true", help="print the raw JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        response = request(parse_address(args.connect), {"op": "stats"})
+    except (OSError, ProtocolError) as exc:
+        # ProtocolError also covers BrokerError: an old (pre-stats) broker
+        # answers ok=false for the unknown op, and a non-dalorex endpoint
+        # fails framing -- both deserve a clean message, not a traceback.
+        print(f"cannot read fleet stats from {args.connect}: {exc}", file=sys.stderr)
+        return 2
+    response.pop("ok", None)
+    response.pop("protocol", None)
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    print(f"queue depth:    {response.get('queue_depth', 0)}")
+    print(f"completed:      {response.get('completed', 0)}")
+    print(f"failed:         {response.get('failed', 0)}")
+    leases = response.get("active_leases", [])
+    print(f"active leases:  {len(leases)}")
+    for lease in leases:
+        print(f"  {lease['key'][:12]}  worker={lease['worker']}  "
+              f"attempt={lease['attempt']}")
+    per_worker = response.get("per_worker", {})
+    print(f"workers:        {len(per_worker)}")
+    for worker, ledger in per_worker.items():
+        print(f"  {worker}: completed={ledger.get('completed', 0)} "
+              f"leases={ledger.get('leases', 0)} "
+              f"rejected={ledger.get('rejected', 0)} "
+              f"released={ledger.get('released', 0)}")
+    return 0
+
+
 def worker_command(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``dalorex worker``: pull and execute specs from a broker."""
     from repro.runtime.distributed import Worker, parse_address
@@ -456,6 +584,7 @@ SUBCOMMANDS = {
     "cache": cache_command,
     "broker": broker_command,
     "worker": worker_command,
+    "fleet": fleet_command,
 }
 
 
@@ -473,7 +602,7 @@ def dalorex_command(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     if argv in ([], ["-h"], ["--help"]):
-        print("usage: dalorex {run,experiments,verify,cache,broker,worker} ...\n"
+        print("usage: dalorex {run,experiments,verify,cache,broker,worker,fleet} ...\n"
               "       dalorex --app ... (alias for 'dalorex run')")
         return 0
     return run_command(argv)

@@ -13,12 +13,15 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 
-NOC_KINDS = ("mesh", "torus", "torus_ruche")
+NOC_KINDS = ("mesh", "torus", "torus_ruche", "mesh3d", "torus3d")
+NOC_3D_KINDS = ("mesh3d", "torus3d")
 SCHEDULING_KINDS = ("round_robin", "occupancy")
 PLACEMENT_KINDS = ("block", "interleave", "row")
 INVOCATION_KINDS = ("tsu", "interrupting")
 MEMORY_KINDS = ("sram", "dram", "dram_cache")
 ENGINE_KINDS = ("analytic", "cycle")
+NETWORK_KINDS = ("analytical", "simulated")
+ROUTING_KINDS = ("dimension_ordered", "xy_yx", "adaptive")
 
 
 @dataclass
@@ -42,8 +45,17 @@ class MachineConfig:
     # Grid / NoC
     width: int = 16
     height: int = 16
+    depth: int = 1
     noc: str = "torus"
     ruche_factor: int = 2
+    # Network timing model: "analytical" charges zero-contention hop latency
+    # through the LinkLoadModel serialization state (the seed behaviour);
+    # "simulated" routes every message through the flit-level NoC simulator
+    # (finite input queues, credit backpressure) -- cycle engine only, the
+    # analytic engine is itself a closed-form bound and ignores it.
+    network: str = "analytical"
+    routing: str = "dimension_ordered"
+    queue_depth: int = 4
     # Scheduling and invocation
     scheduling: str = "occupancy"
     remote_invocation: str = "tsu"
@@ -79,7 +91,7 @@ class MachineConfig:
     # ------------------------------------------------------------- derived
     @property
     def num_tiles(self) -> int:
-        return self.width * self.height
+        return self.width * self.height * self.depth
 
     @property
     def clock_period_ns(self) -> float:
@@ -104,10 +116,27 @@ class MachineConfig:
     # ----------------------------------------------------------- validation
     def validate(self) -> "MachineConfig":
         """Check field values; returns ``self`` so it can be chained."""
-        if self.width < 1 or self.height < 1:
+        if self.width < 1 or self.height < 1 or self.depth < 1:
             raise ConfigurationError("grid dimensions must be positive")
         if self.noc not in NOC_KINDS:
             raise ConfigurationError(f"noc must be one of {NOC_KINDS}, got {self.noc!r}")
+        if self.depth > 1 and self.noc not in NOC_3D_KINDS:
+            raise ConfigurationError(
+                f"depth={self.depth} requires a 3D NoC kind ({NOC_3D_KINDS}), "
+                f"got {self.noc!r}"
+            )
+        if self.network not in NETWORK_KINDS:
+            raise ConfigurationError(
+                f"network must be one of {NETWORK_KINDS}, got {self.network!r}"
+            )
+        if self.routing not in ROUTING_KINDS:
+            raise ConfigurationError(
+                f"routing must be one of {ROUTING_KINDS}, got {self.routing!r}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be positive, got {self.queue_depth}"
+            )
         if self.scheduling not in SCHEDULING_KINDS:
             raise ConfigurationError(
                 f"scheduling must be one of {SCHEDULING_KINDS}, got {self.scheduling!r}"
@@ -151,9 +180,18 @@ class MachineConfig:
 
     def describe(self) -> str:
         """One-line summary used in reports."""
-        return (
-            f"{self.name}: {self.width}x{self.height} {self.noc}, "
+        grid = f"{self.width}x{self.height}"
+        if self.depth > 1:
+            grid += f"x{self.depth}"
+        summary = (
+            f"{self.name}: {grid} {self.noc}, "
             f"sched={self.scheduling}, placement=v:{self.vertex_placement}/e:{self.edge_placement}, "
             f"invoke={self.remote_invocation}, barrier={self.barrier}, mem={self.memory}, "
             f"engine={self.engine}"
         )
+        if self.network != "analytical":
+            summary += (
+                f", network={self.network}(routing={self.routing}, "
+                f"queue_depth={self.queue_depth})"
+            )
+        return summary

@@ -47,6 +47,10 @@ class BaseEngine:
         # reference so callers can inspect the trace after run() returns.
         self.tracer = InvariantTracer(detailed=getattr(machine, "detailed_trace", False))
         machine.tracer = self.tracer
+        # The link-load model is likewise published so the network
+        # conformance oracle can compare it against the simulated network's
+        # per-link accounting after run() returns.
+        machine.link_model = self.link_model
 
     # -------------------------------------------------------------- execution
     def execute_invocation(
@@ -174,6 +178,8 @@ class BaseEngine:
             outputs={name: array.copy() for name, array in self.machine.arrays.items()},
             num_edges=self.machine.graph.num_edges,
             num_vertices=self.machine.graph.num_vertices,
+            depth=self.config.depth,
+            network_bound_cycles=self.link_model.network_bound_cycles(),
         )
         return result
 

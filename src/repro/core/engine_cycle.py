@@ -3,10 +3,13 @@
 The engine keeps an event heap of task completions and message deliveries.
 A tile's TSU picks the next ready task (round-robin or occupancy priority) only
 when the PU is idle; a task executes from beginning to end (tasks never block),
-then its outgoing messages traverse the NoC hop by hop, each link serializing
-one flit per cycle with persistent per-link busy times (so congestion builds up
-exactly where traffic concentrates -- the effect visible in the paper's
-Fig. 10 heatmaps).
+then its outgoing messages traverse the NoC through the configured
+:mod:`~repro.core.network` model: the analytical model charges per-link
+serialization with persistent busy times (so congestion builds up exactly
+where traffic concentrates -- the effect visible in the paper's Fig. 10
+heatmaps), while ``network="simulated"`` adds finite router input queues,
+credit backpressure and pluggable routing via the flit-level
+:class:`~repro.noc.sim.simulator.NocSimulator`.
 
 Remote invocations are non-interrupting when the TSU is present and add the
 configured interrupt penalty in the Tesseract-style baseline.  Barriered
@@ -17,9 +20,10 @@ re-seed the next epoch from the kernel (the paper's per-epoch frontier swap).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.engine_base import BaseEngine, Seed
+from repro.core.network import make_network_model
 from repro.core.results import SimulationResult
 from repro.core.task import Task, TaskInvocation
 from repro.errors import SimulationError
@@ -37,8 +41,12 @@ class CycleEngine(BaseEngine):
         super().__init__(machine)
         self._heap: List[Tuple[float, int, int, tuple]] = []
         self._sequence = 0
-        self._link_free: Dict[Tuple[int, int], float] = {}
-        self._route_cache: Dict[Tuple[int, int], list] = {}
+        # Message timing is delegated to the configured network model
+        # (analytical link serialization, or the flit-level simulator with
+        # finite queues).  Published on the machine -- like the tracer -- so
+        # the conformance network oracle can inspect it after run().
+        self.network = make_network_model(self.config, self.topology)
+        machine.network = self.network
         self._tile_busy = [False] * self.config.num_tiles
         self._refill_pending = [False] * self.config.num_tiles
         self._last_event_time = 0.0
@@ -176,17 +184,5 @@ class CycleEngine(BaseEngine):
 
     # ---------------------------------------------------------------- network
     def _network_delay(self, src: int, dst: int, task: Task, now: float) -> float:
-        """Walk the route charging per-link serialization with persistent state."""
-        key = (src, dst)
-        links = self._route_cache.get(key)
-        if links is None:
-            links = self.topology.links_on_route(src, dst)
-            self._route_cache[key] = links
-        flits = task.flits_per_invocation
-        time = now
-        for link in links:
-            start = max(time, self._link_free.get(link, 0.0))
-            finish = start + flits
-            self._link_free[link] = finish
-            time = finish
-        return time
+        """Delivery time of one message, per the configured network model."""
+        return self.network.send(src, dst, task.flits_per_invocation, now)

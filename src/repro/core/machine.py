@@ -52,13 +52,18 @@ class DalorexMachine:
         self.tile_state = [dict() for _ in range(config.num_tiles)]
         # Invariant tracing: set detailed_trace=True before run() for the
         # opt-in per-epoch trace; the engine publishes its tracer here so
-        # callers can inspect the traced task flow after the run.
+        # callers can inspect the traced task flow after the run.  The cycle
+        # engine likewise publishes its network model and link-load model so
+        # the network conformance oracle can inspect them after run().
         self.detailed_trace = False
         self.tracer = None
+        self.network = None
+        self.link_model = None
         self.barrier_effective = config.barrier or kernel.requires_barrier
 
         self.topology = make_topology(
-            config.noc, config.width, config.height, config.ruche_factor
+            config.noc, config.width, config.height, config.ruche_factor,
+            depth=config.depth,
         )
         self.program = kernel.build_program()
         self.placement = self._build_placement()

@@ -1,0 +1,76 @@
+"""NetworkModel seam: how the cycle engine turns one message into a latency.
+
+Two implementations sit behind one ``send(src, dst, flits, now) -> arrival``
+interface, selected by the ``network`` field of
+:class:`~repro.core.config.MachineConfig`:
+
+* :class:`AnalyticalNetwork` (``network="analytical"``, the default): the
+  seed behaviour, byte-identical to the original engine code -- messages
+  traverse their dimension-ordered route charging per-link serialization
+  with persistent busy times, but routers have infinite buffers and flits
+  never pipeline (a message holds each link for its full length).
+* :class:`~repro.noc.sim.simulator.NocSimulator` (``network="simulated"``):
+  the flit-level model -- finite input queues, credit backpressure,
+  injection/ejection port serialization and pluggable routing, so messages
+  experience real queueing delay where traffic concentrates.
+
+Both are deterministic and both are driven by the cycle engine's event loop
+in nondecreasing time order, so either choice keeps simulation results
+replayable, cacheable and distributable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.noc.sim.simulator import NocSimulator
+from repro.noc.topology import Topology
+
+
+class AnalyticalNetwork:
+    """Zero-buffer link-serialization model (the seed cycle-engine network).
+
+    Each directed link has a persistent busy-until time; a message charges
+    ``flits`` cycles to every link on its dimension-ordered route in
+    sequence.  No queues, no credits, no pipelining -- exactly the original
+    :meth:`CycleEngine._network_delay` arithmetic, kept bit-identical so
+    ``network="analytical"`` reproduces historical results byte for byte.
+    """
+
+    kind = "analytical"
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._link_free: Dict[Tuple[int, int], float] = {}
+        self._route_cache: Dict[Tuple[int, int], list] = {}
+
+    def send(self, src: int, dst: int, flits: int, now: float) -> float:
+        """Walk the route charging per-link serialization with persistent state."""
+        key = (src, dst)
+        links = self._route_cache.get(key)
+        if links is None:
+            links = self.topology.links_on_route(src, dst)
+            self._route_cache[key] = links
+        time = now
+        for link in links:
+            start = max(time, self._link_free.get(link, 0.0))
+            finish = start + flits
+            self._link_free[link] = finish
+            time = finish
+        return time
+
+
+def make_network_model(config, topology: Topology):
+    """Build the network model a machine configuration selects.
+
+    ``network="analytical"`` returns :class:`AnalyticalNetwork`;
+    ``network="simulated"`` returns a
+    :class:`~repro.noc.sim.simulator.NocSimulator` honouring the config's
+    ``routing`` and ``queue_depth`` knobs.  Both expose ``send`` and
+    ``kind``.
+    """
+    if config.network == "simulated":
+        return NocSimulator(
+            topology, routing=config.routing, queue_depth=config.queue_depth
+        )
+    return AnalyticalNetwork(topology)

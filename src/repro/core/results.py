@@ -116,11 +116,18 @@ class SimulationResult:
     num_edges: int = 0
     num_vertices: int = 0
     chip_area_mm2: float = 0.0
+    #: Silicon layers of the grid (1 for the 2D topologies).
+    depth: int = 1
+    #: The analytical link-load model's lower bound on cycles for this run's
+    #: traffic (hottest link / endpoint / bisection at one flit per cycle).
+    #: Deliberately absent from :meth:`to_dict`: it feeds the contention
+    #: experiment and the network oracle, not the figure reports.
+    network_bound_cycles: float = 0.0
 
     # ------------------------------------------------------------- derived
     @property
     def num_tiles(self) -> int:
-        return self.width * self.height
+        return self.width * self.height * self.depth
 
     @property
     def runtime_seconds(self) -> float:

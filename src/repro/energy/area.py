@@ -13,7 +13,13 @@ import math
 from repro.energy.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 
 #: Router+wiring area relative to a mesh, by NoC kind (matches Topology.area_factor).
-_NOC_AREA_FACTORS = {"mesh": 1.0, "torus": 1.5, "torus_ruche": 4.5}
+_NOC_AREA_FACTORS = {
+    "mesh": 1.0,
+    "torus": 1.5,
+    "torus_ruche": 4.5,
+    "mesh3d": 1.2,
+    "torus3d": 1.7,
+}
 
 
 class AreaModel:

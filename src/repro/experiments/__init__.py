@@ -1,9 +1,11 @@
-"""Experiment runners: one module per figure of the paper's evaluation."""
+"""Experiment runners: one module per figure of the paper's evaluation,
+plus the contention sweep probing the NoC simulation subsystem."""
 
-from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, textstats
+from repro.experiments import contention, fig5, fig6, fig7, fig8, fig9, fig10, textstats
 from repro.experiments.common import build_kernel, load_experiment_dataset
 
 __all__ = [
+    "contention",
     "fig5",
     "fig6",
     "fig7",

@@ -72,9 +72,28 @@ APP_COST_FACTORS: Dict[str, float] = {
 }
 
 
+#: Extra wall-clock cost of routing every cycle-engine message through the
+#: flit-level NoC simulator instead of the bare-link analytical model.
+NETWORK_COST_FACTORS: Dict[str, float] = {
+    "analytical": 1.0,
+    "simulated": 3.0,
+}
+
+
 def engine_cost_factor(engine: str) -> float:
     """Predicted-cost multiplier for a simulation engine (arithmetic only)."""
     return ENGINE_COST_FACTORS.get(engine.strip().lower(), 1.0)
+
+
+def network_cost_factor(network: str, engine: str = "cycle") -> float:
+    """Predicted-cost multiplier for the network timing model.
+
+    Only the cycle engine routes messages through the network model, so the
+    knob cannot slow an analytic-engine run whatever its value.
+    """
+    if engine.strip().lower() != "cycle":
+        return 1.0
+    return NETWORK_COST_FACTORS.get(network.strip().lower(), 1.0)
 
 
 def app_cost_factor(app: str, pagerank_iterations: int = PAGERANK_ITERATIONS) -> float:

@@ -101,8 +101,10 @@ class LinkLoadModel:
         middle = self.topology.width // 2
         total = 0
         for (src, dst), flits in self.link_flits.items():
-            sx, _ = self.topology.coords(src)
-            dx, _ = self.topology.coords(dst)
+            # coords() yields (x, y) on 2D topologies and (x, y, z) on 3D
+            # stacks; the vertical middle cut only cares about x.
+            sx = self.topology.coords(src)[0]
+            dx = self.topology.coords(dst)[0]
             if (sx < middle) != (dx < middle):
                 total += flits
         return total

@@ -1,0 +1,39 @@
+"""Contention-aware NoC simulation: flit-level routers, queues and routing.
+
+The :mod:`repro.noc.analytical` link-load model is a *zero-contention lower
+bound*: it charges every flit to every link on its route but never makes one
+message wait for another's buffers.  This package adds the other half of the
+story:
+
+* :mod:`repro.noc.sim.routing` -- pluggable routing policies (dimension-
+  ordered, oblivious XY/YX, minimal-adaptive) built on the topology's
+  ``minimal_next_hops`` decomposition, so every policy works on every
+  topology including the 3D stacks;
+* :mod:`repro.noc.sim.simulator` -- :class:`NocSimulator`, a deterministic
+  flit-level virtual-cut-through model with finite per-router input queues,
+  credit backpressure, link serialization and injection/ejection port
+  serialization.
+
+The cycle engine selects between the two through the ``network`` knob of
+:class:`~repro.core.config.MachineConfig` (see :mod:`repro.core.network`).
+"""
+
+from repro.noc.sim.routing import (
+    ROUTING_KINDS,
+    AdaptiveMinimalRouting,
+    DimensionOrderedRouting,
+    RoutingPolicy,
+    XYYXObliviousRouting,
+    make_routing,
+)
+from repro.noc.sim.simulator import NocSimulator
+
+__all__ = [
+    "ROUTING_KINDS",
+    "AdaptiveMinimalRouting",
+    "DimensionOrderedRouting",
+    "NocSimulator",
+    "RoutingPolicy",
+    "XYYXObliviousRouting",
+    "make_routing",
+]

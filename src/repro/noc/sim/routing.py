@@ -1,0 +1,148 @@
+"""Pluggable routing policies for the flit-level NoC simulator.
+
+A policy maps one message to the ordered list of tiles it traverses.  All
+policies are *minimal* (they only take hops that reduce the remaining
+distance, honouring torus shortest-direction wraps and ruche express
+channels via :meth:`~repro.noc.topology.Topology.minimal_next_hops`), and all
+are deterministic: given the same topology, message sequence and link state
+they produce the same routes, which is what keeps simulated runs replayable
+and cacheable.
+
+* :class:`DimensionOrderedRouting` -- X then Y (then Z): the paper's wormhole
+  network, and the route set the analytical
+  :class:`~repro.noc.analytical.LinkLoadModel` charges.  Per-link flit totals
+  under this policy must match the analytical model *exactly* (the network
+  conformance oracle pins this).
+* :class:`XYYXObliviousRouting` -- O1TURN-style oblivious: alternate messages
+  route X-first and reverse-dimension-first, halving worst-case dimension
+  load without consulting network state.
+* :class:`AdaptiveMinimalRouting` -- at every hop, pick the minimal-direction
+  output whose link frees earliest (least congested), tie-broken in dimension
+  order; needs the simulator's live link state.
+
+Deadlock freedom is structural here: the simulator resolves each message to
+completion in injection order (see :mod:`repro.noc.sim.simulator`), so
+cyclic buffer wait-for graphs cannot form and no virtual channels are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.noc.topology import Topology
+
+#: Link availability lookup the adaptive policy consults: ``(src, dst) -> time``.
+LinkState = Callable[[Tuple[int, int]], float]
+
+#: Policy names understood by :func:`make_routing` (mirrored by
+#: :data:`repro.core.config.ROUTING_KINDS`).
+ROUTING_KINDS = ("dimension_ordered", "xy_yx", "adaptive")
+
+
+class RoutingPolicy:
+    """Base class: compute one message's route over a topology."""
+
+    kind = "abstract"
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    def route(self, src: int, dst: int, message_index: int, link_state: LinkState) -> List[int]:
+        """Ordered tile list from ``src`` to ``dst`` inclusive.
+
+        ``message_index`` is the injection sequence number (the oblivious
+        policy's only source of variety); ``link_state`` reports when a
+        directed link is next free (the adaptive policy's congestion signal).
+        """
+        raise NotImplementedError
+
+
+class DimensionOrderedRouting(RoutingPolicy):
+    """X-then-Y(-then-Z) routing: identical to ``Topology.route``.
+
+    Routes are independent of message index and network state, so they are
+    cached per (src, dst) pair -- the same memoization the analytical model
+    uses.
+    """
+
+    kind = "dimension_ordered"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        self._cache: Dict[Tuple[int, int], List[int]] = {}
+
+    def route(self, src: int, dst: int, message_index: int, link_state: LinkState) -> List[int]:
+        key = (src, dst)
+        path = self._cache.get(key)
+        if path is None:
+            path = self.topology.route(src, dst)
+            self._cache[key] = path
+        return path
+
+
+class XYYXObliviousRouting(RoutingPolicy):
+    """Oblivious O1TURN-style routing: alternate dimension orders per message.
+
+    Even-indexed messages route in dimension order (X first), odd-indexed
+    messages in reverse dimension order (Y -- or Z on 3D stacks -- first).
+    This needs no network state yet spreads the dimension-turn hotspot over
+    both orders, which is the classic near-optimal oblivious scheme for
+    meshes and tori.
+    """
+
+    kind = "xy_yx"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        dims = tuple(range(len(topology.dimension_sizes())))
+        self._orders = (dims, tuple(reversed(dims)))
+
+    def route(self, src: int, dst: int, message_index: int, link_state: LinkState) -> List[int]:
+        order = self._orders[message_index % 2]
+        return self.topology.route_dims(src, dst, order)
+
+
+class AdaptiveMinimalRouting(RoutingPolicy):
+    """Minimal-adaptive routing: steer each hop toward the least-busy link.
+
+    At every router the candidate set is the per-dimension minimal next hops;
+    the policy picks the candidate whose outgoing link is free earliest
+    according to the simulator's live link state.  Ties (equally free links)
+    resolve in dimension order, so the policy degenerates to
+    dimension-ordered routing on an idle network and the choice is fully
+    deterministic.
+    """
+
+    kind = "adaptive"
+
+    def route(self, src: int, dst: int, message_index: int, link_state: LinkState) -> List[int]:
+        path = [src]
+        cur = src
+        while cur != dst:
+            candidates = self.topology.minimal_next_hops(cur, dst)
+            if not candidates:  # pragma: no cover - minimal hops always progress
+                raise ConfigurationError(
+                    f"routing stalled at tile {cur} toward {dst} on "
+                    f"{self.topology.describe()}"
+                )
+            best = min(candidates, key=lambda cand: (link_state((cur, cand[1])), cand[0]))
+            cur = best[1]
+            path.append(cur)
+        return path
+
+
+_ROUTING_CLASSES = {
+    policy.kind: policy
+    for policy in (DimensionOrderedRouting, XYYXObliviousRouting, AdaptiveMinimalRouting)
+}
+
+
+def make_routing(kind: str, topology: Topology) -> RoutingPolicy:
+    """Factory for routing policies by name (see :data:`ROUTING_KINDS`)."""
+    key = kind.strip().lower()
+    if key not in _ROUTING_CLASSES:
+        raise ConfigurationError(
+            f"unknown routing policy {kind!r}; expected one of {sorted(_ROUTING_CLASSES)}"
+        )
+    return _ROUTING_CLASSES[key](topology)

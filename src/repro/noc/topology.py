@@ -1,13 +1,21 @@
-"""NoC topologies: 2D mesh, 2D torus, and torus with ruche (express) channels.
+"""NoC topologies: 2D mesh/torus (plus ruche channels) and stacked 3D variants.
 
-Routing is dimension-ordered (X then Y), matching the paper's wormhole network.
-A route is the ordered list of tiles a message traverses, including source and
-destination; the directed links used are the consecutive pairs of that list.
+Routing is dimension-ordered (X then Y, then Z on 3D stacks), matching the
+paper's wormhole network.  A route is the ordered list of tiles a message
+traverses, including source and destination; the directed links used are the
+consecutive pairs of that list.  :meth:`Topology.route_dims` generalizes the
+same per-dimension decomposition to arbitrary dimension orders, and
+:meth:`Topology.minimal_next_hops` exposes the per-dimension minimal next-hop
+candidates -- the API the :mod:`repro.noc.sim` routing policies (oblivious
+XY/YX, minimal-adaptive) are built on.
 
 The torus models the paper's folded layout ("consecutive logical tiles at a
 distance of two in the silicon"): link length is twice the tile pitch, which the
 energy model uses.  Ruche channels are long physical wires that skip
 ``ruche_factor - 1`` routers in one dimension, increasing bisection bandwidth.
+3D stacks (``mesh3d``/``torus3d``) connect ``depth`` silicon layers through
+short TSV pillars; vertical hops cost a full router traversal but only a
+fraction of a tile pitch in wire length.
 """
 
 from __future__ import annotations
@@ -51,6 +59,19 @@ class Topology(ABC):
             raise ConfigurationError(f"coordinates ({x}, {y}) out of range")
         return y * self.width + x
 
+    # -------------------------------------------------------- n-d addressing
+    def dimension_sizes(self) -> Tuple[int, ...]:
+        """Extent of every dimension, in routing (dimension-order) order."""
+        return (self.width, self.height)
+
+    def coords_nd(self, tile: int) -> Tuple[int, ...]:
+        """Tile coordinates as a tuple with one entry per dimension."""
+        return self.coords(tile)
+
+    def tile_from_nd(self, coords: Tuple[int, ...]) -> int:
+        """Inverse of :meth:`coords_nd`."""
+        return self.tile_at(*coords)
+
     # ----------------------------------------------------------------- routing
     @abstractmethod
     def next_hop_offsets(self, delta: int, size: int) -> List[int]:
@@ -69,6 +90,46 @@ class Topology(ABC):
             y = (y + step) % self.height
             path.append(self.tile_at(x, y))
         return path
+
+    def route_dims(self, src: int, dst: int, dim_order: Tuple[int, ...]) -> List[int]:
+        """Minimal route visiting dimensions in ``dim_order`` (e.g. Y before X).
+
+        ``route_dims(src, dst, (0, 1))`` reproduces :meth:`route` exactly; a
+        permuted order is what the oblivious XY/YX routing policy uses to
+        spread traffic over both dimension orders.
+        """
+        sizes = self.dimension_sizes()
+        cur = list(self.coords_nd(src))
+        target = self.coords_nd(dst)
+        path = [src]
+        for dim in dim_order:
+            for step in self.next_hop_offsets(target[dim] - cur[dim], sizes[dim]):
+                cur[dim] = (cur[dim] + step) % sizes[dim]
+                path.append(self.tile_from_nd(tuple(cur)))
+        return path
+
+    def minimal_next_hops(self, cur: int, dst: int) -> List[Tuple[int, int]]:
+        """Minimal next-hop candidates from ``cur`` toward ``dst``.
+
+        Returns ``(dimension, next_tile)`` pairs, one per dimension that still
+        has displacement to cover, in dimension order (so taking the first
+        candidate at every step reproduces dimension-ordered routing).  The
+        per-dimension step is the same greedy first hop :meth:`route` takes,
+        so express (ruche) channels and shortest-direction torus wraps are
+        honoured by every policy built on this.
+        """
+        sizes = self.dimension_sizes()
+        cur_c = self.coords_nd(cur)
+        dst_c = self.coords_nd(dst)
+        candidates: List[Tuple[int, int]] = []
+        for dim, size in enumerate(sizes):
+            offsets = self.next_hop_offsets(dst_c[dim] - cur_c[dim], size)
+            if not offsets:
+                continue
+            nxt = list(cur_c)
+            nxt[dim] = (nxt[dim] + offsets[0]) % size
+            candidates.append((dim, self.tile_from_nd(tuple(nxt))))
+        return candidates
 
     def hop_distance(self, src: int, dst: int) -> int:
         """Number of router-to-router hops between two tiles (O(1) arithmetic)."""
@@ -346,19 +407,216 @@ class RucheTorus2D(Torus2D):
         return 2.0 * span
 
 
+class Topology3D(Topology):
+    """Base for stacked topologies addressed as ``tile = (z * height + y) * width + x``.
+
+    Each of the ``depth`` silicon layers is a ``width x height`` grid;
+    vertical links are through-silicon-via (TSV) pillars between vertically
+    adjacent routers.  Routing is dimension-ordered X, then Y, then Z.
+    Vertical hops cost a full router traversal (they go through the same
+    switch) but only :attr:`via_length_tiles` of a tile pitch in wire length
+    -- TSVs are far shorter than in-plane links.
+    """
+
+    #: Physical length of one vertical (TSV) hop, in tile pitches.
+    via_length_tiles = 0.25
+
+    def __init__(self, width: int, height: int, depth: int) -> None:
+        super().__init__(width, height)
+        if depth < 1:
+            raise ConfigurationError("topology depth must be positive")
+        self.depth = depth
+
+    # -------------------------------------------------------------- addressing
+    @property
+    def num_tiles(self) -> int:
+        return self.width * self.height * self.depth
+
+    def coords(self, tile: int) -> Tuple[int, int, int]:
+        """Return ``(x, y, z)`` coordinates of a tile ID."""
+        if tile < 0 or tile >= self.num_tiles:
+            raise ConfigurationError(f"tile {tile} out of range")
+        layer = self.width * self.height
+        z, rest = divmod(tile, layer)
+        return rest % self.width, rest // self.width, z
+
+    def tile_at(self, x: int, y: int, z: int = 0) -> int:
+        """Return the tile ID at coordinates ``(x, y, z)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height and 0 <= z < self.depth):
+            raise ConfigurationError(f"coordinates ({x}, {y}, {z}) out of range")
+        return (z * self.height + y) * self.width + x
+
+    def dimension_sizes(self) -> Tuple[int, ...]:
+        return (self.width, self.height, self.depth)
+
+    # ----------------------------------------------------------------- routing
+    def route(self, src: int, dst: int) -> List[int]:
+        """Dimension-ordered (X, then Y, then Z) route, inclusive."""
+        return self.route_dims(src, dst, (0, 1, 2))
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        src_c = self.coords(src)
+        dst_c = self.coords(dst)
+        return sum(
+            self._dimension_hops(dst_c[dim] - src_c[dim], size)
+            for dim, size in enumerate(self.dimension_sizes())
+        )
+
+    def route_span_tiles(self, src: int, dst: int) -> float:
+        src_c = self.coords(src)
+        dst_c = self.coords(dst)
+        horizontal = sum(
+            self._dimension_span(dst_c[dim] - src_c[dim], size)
+            for dim, size in ((0, self.width), (1, self.height))
+        )
+        vertical = self._dimension_span(dst_c[2] - src_c[2], self.depth)
+        return horizontal * self.physical_length_factor + vertical * self.via_length_tiles
+
+    def neighbors(self, tile: int) -> List[int]:
+        x, y, z = self.coords(tile)
+        result = set()
+        for step in self._unit_steps(self.width):
+            result.add(self.tile_at((x + step) % self.width, y, z))
+        for step in self._unit_steps(self.height):
+            result.add(self.tile_at(x, (y + step) % self.height, z))
+        for step in self._unit_steps(self.depth):
+            result.add(self.tile_at(x, y, (z + step) % self.depth))
+        return sorted(result - {tile})
+
+    def diameter(self) -> int:
+        return sum(
+            max(len(self.next_hop_offsets(d, size)) for d in range(size))
+            for size in self.dimension_sizes()
+        )
+
+    # -------------------------------------------------------------- properties
+    def bisection_links(self) -> int:
+        # The vertical middle cut through X is crossed once per (row, layer)
+        # pair per direction; wraparound (torus) doubles it.
+        per_row = 4 if self.wraps else 2
+        return per_row * self.height * self.depth
+
+    #: True when dimensions have wraparound links (set by subclasses).
+    wraps = False
+
+    def link_length_tiles(self, src: int, dst: int) -> float:
+        if self.coords(src)[2] != self.coords(dst)[2]:
+            return self.via_length_tiles
+        return self.physical_length_factor
+
+    # --------------------------------------------------------------- identity
+    def signature(self) -> Tuple:
+        return (self.kind, self.width, self.height, self.depth, self.ruche_factor)
+
+    def describe(self) -> str:
+        return f"{self.kind} {self.width}x{self.height}x{self.depth}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.width}x{self.height}x{self.depth})"
+
+
+class Mesh3D(Topology3D):
+    """Stacked 3D mesh: nearest-neighbour links, no wraparound in any dimension."""
+
+    kind = "mesh3d"
+    physical_length_factor = 1.0
+    # One extra router port pair for the vertical dimension.
+    area_factor = 1.2
+    congestion_factor = 2.0
+    wraps = False
+
+    def next_hop_offsets(self, delta: int, size: int) -> List[int]:
+        step = 1 if delta > 0 else -1
+        return [step] * abs(delta)
+
+    def _dimension_hops(self, delta: int, size: int) -> int:
+        return abs(delta)
+
+    def _unit_steps(self, size: int) -> List[int]:
+        return [-1, 1] if size > 1 else []
+
+    def neighbors(self, tile: int) -> List[int]:
+        x, y, z = self.coords(tile)
+        result = []
+        if x > 0:
+            result.append(self.tile_at(x - 1, y, z))
+        if x + 1 < self.width:
+            result.append(self.tile_at(x + 1, y, z))
+        if y > 0:
+            result.append(self.tile_at(x, y - 1, z))
+        if y + 1 < self.height:
+            result.append(self.tile_at(x, y + 1, z))
+        if z > 0:
+            result.append(self.tile_at(x, y, z - 1))
+        if z + 1 < self.depth:
+            result.append(self.tile_at(x, y, z + 1))
+        return result
+
+
+class Torus3D(Topology3D):
+    """Stacked 3D torus: shortest-direction wraparound in all three dimensions.
+
+    In-plane links follow the folded-torus layout (two tile pitches each);
+    vertical wrap links reuse the TSV pillars, so a Z wrap costs the same via
+    length as a unit Z hop.
+    """
+
+    kind = "torus3d"
+    physical_length_factor = 2.0
+    area_factor = 1.7
+    congestion_factor = 1.25
+    wraps = True
+
+    def next_hop_offsets(self, delta: int, size: int) -> List[int]:
+        if size <= 1 or delta == 0:
+            return []
+        forward = delta % size
+        backward = size - forward
+        if forward <= backward:
+            return [1] * forward
+        return [-1] * backward
+
+    def _dimension_hops(self, delta: int, size: int) -> int:
+        if size <= 1 or delta == 0:
+            return 0
+        forward = delta % size
+        return min(forward, size - forward)
+
+    def _dimension_span(self, delta: int, size: int) -> int:
+        return self._dimension_hops(delta, size)
+
+    def _unit_steps(self, size: int) -> List[int]:
+        return [-1, 1] if size > 1 else []
+
+
 _TOPOLOGY_KINDS = {
     "mesh": Mesh2D,
     "torus": Torus2D,
     "torus_ruche": RucheTorus2D,
+    "mesh3d": Mesh3D,
+    "torus3d": Torus3D,
 }
 
+#: Kinds that accept (and route over) a depth dimension.
+TOPOLOGY_3D_KINDS = ("mesh3d", "torus3d")
 
-def make_topology(kind: str, width: int, height: int, ruche_factor: int = 2) -> Topology:
-    """Factory for topologies by name: ``mesh``, ``torus`` or ``torus_ruche``."""
+
+def make_topology(
+    kind: str, width: int, height: int, ruche_factor: int = 2, depth: int = 1
+) -> Topology:
+    """Factory for topologies by name (``mesh``, ``torus``, ``torus_ruche``,
+    ``mesh3d``, ``torus3d``); ``depth`` only applies to the 3D kinds."""
     key = kind.strip().lower()
     if key not in _TOPOLOGY_KINDS:
         raise ConfigurationError(
             f"unknown NoC kind {kind!r}; expected one of {sorted(_TOPOLOGY_KINDS)}"
+        )
+    if key in TOPOLOGY_3D_KINDS:
+        return _TOPOLOGY_KINDS[key](width, height, depth)
+    if depth != 1:
+        raise ConfigurationError(
+            f"NoC kind {kind!r} is two-dimensional; depth={depth} requires one "
+            f"of {TOPOLOGY_3D_KINDS}"
         )
     if key == "torus_ruche":
         return RucheTorus2D(width, height, ruche_factor=ruche_factor)
@@ -366,6 +624,8 @@ def make_topology(kind: str, width: int, height: int, ruche_factor: int = 2) -> 
 
 
 @lru_cache(maxsize=64)
-def cached_topology(kind: str, width: int, height: int, ruche_factor: int = 2) -> Topology:
+def cached_topology(
+    kind: str, width: int, height: int, ruche_factor: int = 2, depth: int = 1
+) -> Topology:
     """Memoized topology construction (topologies are immutable)."""
-    return make_topology(kind, width, height, ruche_factor)
+    return make_topology(kind, width, height, ruche_factor, depth)

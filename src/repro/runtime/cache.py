@@ -2,9 +2,12 @@
 
 Layout: one JSON file per run under the cache root, named ``<key>.json`` where
 ``key`` is :meth:`RunSpec.key` (SHA-256 of the spec's canonical form).  Each
-file wraps the result payload with an integrity digest::
+file wraps the result payload with an integrity digest (plus the dataset
+name, duplicated at the top level so per-dataset pruning can read it from
+the file prefix)::
 
-    {"key": "<spec key>", "sha256": "<digest of payload JSON>", "payload": {...}}
+    {"dataset": "<name>", "key": "<spec key>",
+     "payload": {...}, "sha256": "<digest of payload JSON>"}
 
 Loads verify both the filename key and the payload digest; any mismatch,
 truncation or parse error is treated as a cache miss (the entry is evicted so
@@ -29,6 +32,7 @@ import hashlib
 import itertools
 import json
 import os
+import re
 import threading
 import time
 from pathlib import Path
@@ -139,6 +143,12 @@ class ResultCache:
         same bytes.
         """
         wrapper = {"key": key, "sha256": payload_digest(payload), "payload": payload}
+        dataset = payload.get("dataset_name")
+        if dataset is not None:
+            # Duplicated at the top level so per-dataset pruning can read it
+            # from the file prefix ("dataset" sorts first) without parsing
+            # the whole payload; load() ignores it.
+            wrapper["dataset"] = str(dataset)
         path = self.path_for(key)
         tmp = path.with_suffix(
             f".tmp.{os.getpid()}-{threading.get_ident()}-{next(_TMP_SEQUENCE)}"
@@ -253,4 +263,69 @@ class ResultCache:
                     continue  # undeletable: still on disk, still counted
             evicted.append(path.stem)
             total -= size
+        return evicted
+
+    #: Matches the top-level ``"dataset"`` field in a wrapper's first bytes
+    #: (it sorts before "key"/"payload"/"sha256" in the canonical form).
+    _DATASET_PREFIX = re.compile(r'\{"dataset":\s*("(?:[^"\\]|\\.)*")')
+
+    def entry_dataset(self, path: Path) -> Optional[str]:
+        """Dataset name recorded in one cache entry, or ``None`` when the
+        entry cannot be read (corrupt entries are left for :meth:`load` to
+        evict on their natural path).
+
+        Entries written since the field was added resolve from the file's
+        first bytes; older entries fall back to a full parse of the payload.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                head = handle.read(4096)
+                match = self._DATASET_PREFIX.match(head)
+                if match:
+                    return str(json.loads(match.group(1)))
+                handle.seek(0)
+                wrapper = json.load(handle)
+            dataset = wrapper["payload"]["dataset_name"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return str(dataset)
+
+    def prune_per_dataset(
+        self, max_entries: int, dry_run: bool = False, policy: str = "fifo"
+    ) -> List[str]:
+        """Keep at most ``max_entries`` cache entries per dataset.
+
+        Within each dataset the same ordering the size-based :meth:`prune`
+        uses applies (``fifo`` = oldest store time first, ``lru`` = least
+        recently loaded first), so the two compose: quota first, then the
+        size cap over what survives.  Entries whose dataset cannot be
+        determined (corrupt or foreign files) are never counted against any
+        quota and never evicted here.
+
+        Returns the evicted keys, first-evicted first.
+        """
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if policy not in PRUNE_POLICIES:
+            raise ValueError(
+                f"unknown prune policy {policy!r}; choose from {PRUNE_POLICIES}"
+            )
+        groups: Dict[str, List[tuple]] = {}
+        for mtime, atime, _size, path in self._timed_entries():
+            dataset = self.entry_dataset(path)
+            if dataset is None:
+                continue
+            order = mtime if policy == "fifo" else atime
+            groups.setdefault(dataset, []).append((order, path))
+        evicted = []
+        for dataset in sorted(groups):
+            entries = sorted(groups[dataset])
+            excess = len(entries) - max_entries
+            for order, path in entries[:max(0, excess)]:
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue  # undeletable: keeps counting against the quota
+                evicted.append(path.stem)
         return evicted

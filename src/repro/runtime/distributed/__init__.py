@@ -26,6 +26,7 @@ from repro.runtime.distributed.protocol import (
     ProtocolError,
     format_address,
     parse_address,
+    request,
 )
 from repro.runtime.distributed.worker import Worker, execute_canonical
 
@@ -41,4 +42,5 @@ __all__ = [
     "execute_canonical",
     "format_address",
     "parse_address",
+    "request",
 ]

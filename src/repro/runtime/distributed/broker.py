@@ -43,7 +43,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.runtime.cache import ResultCache, payload_digest
 from repro.runtime.distributed.protocol import (
+    COMPAT_PROTOCOLS,
     PROTOCOL,
+    ProtocolError,
+    compress_payload,
+    decompress_payload,
     encode_message,
     read_message,
 )
@@ -138,6 +142,10 @@ class Broker:
         self._queue: List[Tuple[float, int, str]] = []  # (-cost, seq, key)
         self._completed: Dict[str, _Completed] = {}
         self._failed: Dict[str, str] = {}
+        # Per-worker activity counters (in-memory only; a restarted broker
+        # starts a fresh ledger): worker id -> leases/completed/rejected/
+        # released counts, surfaced by the ``stats`` op for fleet dashboards.
+        self._workers: Dict[str, Dict[str, int]] = {}
         # Canonical specs of failed keys (in-memory only): lets a late but
         # valid upload for a given-up spec still be verified and accepted.
         self._failed_specs: Dict[str, Dict[str, Any]] = {}
@@ -193,6 +201,7 @@ class Broker:
                 task.worker = worker
                 task.deadline = self._clock() + self.lease_timeout
                 self.stats.leases += 1
+                self._worker_ledger_locked(worker)["leases"] += 1
                 return {
                     "key": key,
                     "spec": task.canonical,
@@ -220,13 +229,26 @@ class Broker:
             requeued = self._requeue_locked(
                 task, error or f"released by worker {worker}"
             )
+            self._worker_ledger_locked(worker)["released"] += 1
             self._save_state_locked()
             return {"requeued": requeued}
 
     def ingest(
-        self, worker: str, key: str, digest: str, payload: Dict[str, Any]
+        self,
+        worker: str,
+        key: str,
+        digest: str,
+        payload: Dict[str, Any],
+        transport_error: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Verify and accept one uploaded result (first valid upload wins)."""
+        """Verify and accept one uploaded result (first valid upload wins).
+
+        ``transport_error`` short-circuits verification with a decoding
+        failure the transport layer already diagnosed (e.g. a corrupt gzip
+        blob) -- the upload is rejected with that exact reason (and the spec
+        requeued), so the uploader can tell a broken blob apart from a
+        broker that does not understand its encoding at all.
+        """
         with self._lock:
             if key in self._completed or (
                 self.cache is not None and key in self.cache
@@ -251,7 +273,10 @@ class Broker:
         # multi-megabyte payload (and possibly running the reference
         # executor, or writing to a slow shared filesystem) must not stall
         # every other worker's lease or heartbeat.
-        reason = self._verify_upload(canonical, digest, payload)
+        if transport_error is not None:
+            reason = transport_error
+        else:
+            reason = self._verify_upload(canonical, digest, payload)
         stored = None
         if reason is None and self.cache is not None:
             # Content-addressed and digest-checked: storing before taking
@@ -261,6 +286,7 @@ class Broker:
             task = self._tasks.get(key)
             if reason is not None:
                 self.stats.rejected += 1
+                self._worker_ledger_locked(worker)["rejected"] += 1
                 # Requeue only if the uploader still owns the lease: a stale
                 # rejected upload (expired lease, spec re-leased or already
                 # requeued) must not strip another worker's active lease or
@@ -282,6 +308,7 @@ class Broker:
                 canonical, None if stored is not None else payload
             )
             self.stats.completed += 1
+            self._worker_ledger_locked(worker)["completed"] += 1
             self._save_state_locked()
             return {"accepted": True, "duplicate": False}
 
@@ -349,6 +376,40 @@ class Broker:
                 "stats": self.stats.to_dict(),
             }
 
+    def fleet_stats(self) -> Dict[str, Any]:
+        """Fleet-dashboard view (the ``stats`` op): queue depth, active
+        leases with per-spec attempt counts, and per-worker activity."""
+        with self._lock:
+            self._requeue_expired_locked()
+            leases = [
+                {
+                    "key": task.key,
+                    "worker": task.worker,
+                    "attempt": task.attempts,
+                    "cost": task.cost,
+                }
+                for task in self._tasks.values()
+                if task.leased
+            ]
+            leases.sort(key=lambda lease: lease["key"])
+            attempts = {
+                task.key: task.attempts
+                for task in self._tasks.values()
+                if task.attempts > 0
+            }
+            return {
+                "queue_depth": len(self._tasks) - len(leases),
+                "active_leases": leases,
+                "attempts": attempts,
+                "per_worker": {
+                    worker: dict(ledger)
+                    for worker, ledger in sorted(self._workers.items())
+                },
+                "completed": len(self._completed),
+                "failed": len(self._failed),
+                "counters": self.stats.to_dict(),
+            }
+
     def shutdown(self) -> Dict[str, Any]:
         """Stop handing out work; subsequent leases tell workers to exit."""
         with self._lock:
@@ -356,6 +417,13 @@ class Broker:
             return {"shutdown": True}
 
     # ------------------------------------------------------------ internals
+    def _worker_ledger_locked(self, worker: str) -> Dict[str, int]:
+        ledger = self._workers.get(worker)
+        if ledger is None:
+            ledger = {"leases": 0, "completed": 0, "rejected": 0, "released": 0}
+            self._workers[worker] = ledger
+        return ledger
+
     def _verify_upload(
         self, canonical: Dict[str, Any], digest: str, payload: Dict[str, Any]
     ) -> Optional[str]:
@@ -502,7 +570,15 @@ class _BrokerHandler(socketserver.StreamRequestHandler):
             if message is None:
                 return
             response = self._dispatch(broker, message)
-            response["protocol"] = PROTOCOL
+            # Echo a compatible requester's protocol generation: a v1 worker
+            # or client rejects responses stamped with a version it does not
+            # know, and every v2 feature is negotiated per message anyway
+            # (payload_gz / accept_gzip), so mixed-generation fleets keep
+            # working without compression on the v1 legs.
+            requested = message.get("protocol")
+            response["protocol"] = (
+                requested if requested in COMPAT_PROTOCOLS else PROTOCOL
+            )
             try:
                 self.wfile.write(encode_message(response))
             except OSError:
@@ -533,16 +609,38 @@ class _BrokerHandler(socketserver.StreamRequestHandler):
                     str(message.get("error", "")),
                 )
             elif op == "result":
+                payload = message.get("payload")
+                transport_error = None
+                if payload is None and message.get("payload_gz") is not None:
+                    # v2 compressed upload: the digest below is computed on
+                    # the decompressed payload, so verification is unchanged.
+                    # A corrupt blob rejects with its own distinct reason so
+                    # the worker does not mistake it for a gzip-less broker.
+                    try:
+                        payload = decompress_payload(str(message["payload_gz"]))
+                    except ProtocolError as exc:
+                        transport_error = str(exc)
                 body = broker.ingest(
                     str(message.get("worker", "?")),
                     str(message.get("key", "")),
                     str(message.get("sha256", "")),
-                    message.get("payload"),
+                    payload,
+                    transport_error=transport_error,
                 )
             elif op == "fetch":
                 body = broker.fetch([str(key) for key in message.get("keys", [])])
+                if message.get("accept_gzip") and body.get("results"):
+                    # v2 client: ship payloads gzipped; a v1 client never
+                    # sets the flag and keeps getting plain JSON.
+                    body["results_gz"] = {
+                        key: compress_payload(payload)
+                        for key, payload in body.pop("results").items()
+                    }
+                    body["results"] = {}
             elif op == "status":
                 body = broker.status()
+            elif op == "stats":
+                body = broker.fleet_stats()
             elif op == "shutdown":
                 body = broker.shutdown()
             else:

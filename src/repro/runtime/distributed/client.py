@@ -22,6 +22,7 @@ from repro.runtime.backends import RunnerBackend
 from repro.runtime.distributed.protocol import (
     BrokerError,
     ProtocolError,
+    decompress_payload,
     format_address,
     request,
 )
@@ -79,8 +80,12 @@ class DistributedBackend(RunnerBackend):
         fatal: Dict[str, str] = {}
         while outstanding:
             try:
+                # accept_gzip: a v2 broker ships payloads compressed (an
+                # order of magnitude smaller over WAN links); a v1 broker
+                # ignores the flag and answers with plain JSON results.
                 response = request(
-                    self.address, {"op": "fetch", "keys": sorted(outstanding)}
+                    self.address,
+                    {"op": "fetch", "keys": sorted(outstanding), "accept_gzip": True},
                 )
                 last_contact = time.monotonic()
             except BrokerError:
@@ -89,7 +94,10 @@ class DistributedBackend(RunnerBackend):
                 self._check_patience(last_contact, exc)
                 self._sleep(started)
                 continue
-            for key, payload in response.get("results", {}).items():
+            fetched: Dict[str, Dict[str, Any]] = dict(response.get("results", {}))
+            for key, blob in response.get("results_gz", {}).items():
+                fetched[key] = decompress_payload(blob)
+            for key, payload in fetched.items():
                 if key in outstanding:
                     del outstanding[key]
                     yield key, payload

@@ -13,10 +13,21 @@ local process pool, a remote worker or the cache.
 Connections are short-lived (one or a few requests each); idempotent
 server-side semantics make blind reconnects safe, which is what lets workers
 and clients ride out a broker restart.
+
+Since ``dalorex-dist/2``, result payloads may additionally travel gzipped
+(base64-wrapped in ``payload_gz`` / ``results_gz`` fields): uploads shrink by
+roughly an order of magnitude for WAN workers, while digests are always
+computed over the *decompressed* payload object, so ingest checking is
+byte-for-byte unchanged.  Compression is negotiated per message with a
+plain-JSON fallback -- a v1 peer simply never sees the gzip fields -- which
+is why the compat set below accepts both generations instead of hard-failing
+the handshake.
 """
 
 from __future__ import annotations
 
+import base64
+import gzip
 import json
 import socket
 from typing import Any, Dict, Optional, Tuple
@@ -25,7 +36,13 @@ from repro.errors import ReproError
 
 #: Bump on incompatible message-shape changes; mismatches are hard errors
 #: (a fleet must not mix protocol generations silently).
-PROTOCOL = "dalorex-dist/1"
+#: v2 adds optional gzip transport for result payloads (``payload_gz`` on
+#: uploads, ``accept_gzip``/``results_gz`` on fetch) -- additive, so v1
+#: remains accepted.
+PROTOCOL = "dalorex-dist/2"
+
+#: Protocol generations this build interoperates with.
+COMPAT_PROTOCOLS = ("dalorex-dist/1", PROTOCOL)
 
 #: Default TCP port of ``dalorex broker`` (chosen out of the ephemeral range).
 DEFAULT_PORT = 4573
@@ -71,6 +88,31 @@ def encode_message(message: Dict[str, Any]) -> bytes:
     ).encode("utf-8")
 
 
+def compress_payload(payload: Dict[str, Any]) -> str:
+    """Gzip a payload's canonical JSON and wrap it base64 for JSON transport.
+
+    The bytes compressed are exactly the canonical form
+    :func:`~repro.runtime.cache.payload_digest` hashes, so digesting the
+    decompressed object is identical to digesting the original.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return base64.b64encode(gzip.compress(blob, mtime=0)).decode("ascii")
+
+
+def decompress_payload(text: str) -> Dict[str, Any]:
+    """Inverse of :func:`compress_payload`; raises ProtocolError on garbage."""
+    try:
+        blob = gzip.decompress(base64.b64decode(text.encode("ascii")))
+        payload = json.loads(blob.decode("utf-8"))
+    except Exception as exc:
+        raise ProtocolError(f"cannot decompress gzip payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"decompressed payload is not an object: {type(payload).__name__}"
+        )
+    return payload
+
+
 def read_message(rfile) -> Optional[Dict[str, Any]]:
     """Read one message from a file-like byte stream; ``None`` on EOF."""
     line = rfile.readline()
@@ -106,10 +148,10 @@ def request(
             f"broker at {format_address(address)} closed the connection "
             f"before responding to {message.get('op')!r}"
         )
-    if response.get("protocol") not in (None, PROTOCOL):
+    if response.get("protocol") not in (None,) + COMPAT_PROTOCOLS:
         raise ProtocolError(
             f"protocol mismatch: broker speaks {response.get('protocol')!r}, "
-            f"this client speaks {PROTOCOL!r}"
+            f"this client speaks {PROTOCOL!r} (compat: {COMPAT_PROTOCOLS})"
         )
     if not response.get("ok"):
         raise BrokerError(

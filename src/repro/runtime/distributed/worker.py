@@ -22,8 +22,19 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.runtime.backends import execute_to_payload
 from repro.runtime.cache import payload_digest
-from repro.runtime.distributed.protocol import ProtocolError, request
+from repro.runtime.distributed.protocol import (
+    ProtocolError,
+    compress_payload,
+    request,
+)
 from repro.runtime.spec import RunSpec
+
+#: How a protocol-v1 broker rejects an upload that carries no ``payload``
+#: field (it never reads ``payload_gz``).  The string is frozen in released
+#: v1 builds, which is what makes it a safe downgrade signal; a v2 broker
+#: rejects a *corrupt* gzip blob with its own distinct "cannot decompress"
+#: reason, so a one-off bad upload never disables compression.
+_V1_EMPTY_PAYLOAD_REASON = "payload is not an object"
 
 
 def execute_canonical(canonical: Dict[str, Any]) -> Dict[str, Any]:
@@ -68,6 +79,10 @@ class Worker:
         self.errors = 0
         self._log = log or (lambda message: None)
         self._stop = threading.Event()
+        # Uploads travel gzipped by default (protocol v2); a v1 broker
+        # rejects the gzip-only upload as an empty payload, which flips this
+        # flag and the worker falls back to plain JSON for its lifetime.
+        self._use_gzip = True
 
     def stop(self) -> None:
         """Ask the loop to exit after the current spec (thread-safe)."""
@@ -122,14 +137,7 @@ class Worker:
         finally:
             stop_beat.set()
             beat.join(timeout=5.0)
-        upload = {
-            "op": "result",
-            "worker": self.worker_id,
-            "key": key,
-            "sha256": payload_digest(payload),
-            "payload": payload,
-        }
-        response = self._send_quietly(upload)
+        response = self._upload(key, payload)
         if response is None:
             # The upload never reached the broker; the lease will expire and
             # another worker (or this one, next lease) re-runs the spec.
@@ -144,6 +152,43 @@ class Worker:
                 f"[{self.worker_id}] upload rejected for {key[:12]}: "
                 f"{response.get('reason')}"
             )
+
+    def _upload(
+        self, key: str, payload: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Send one result, gzipped when the broker understands it.
+
+        The digest always covers the decompressed payload, so the broker's
+        verification is identical for both transports.  A v1 broker sees no
+        ``payload`` field in the gzip upload and rejects it as an empty
+        payload; that rejection switches this worker to plain JSON and the
+        result is resent immediately (the broker requeued the spec on
+        rejection, so the plain upload is accepted as a fresh first-valid
+        result).
+        """
+        upload = {
+            "op": "result",
+            "worker": self.worker_id,
+            "key": key,
+            "sha256": payload_digest(payload),
+        }
+        if self._use_gzip:
+            response = self._send_quietly(
+                dict(upload, payload_gz=compress_payload(payload))
+            )
+            fallback = (
+                response is not None
+                and not response.get("accepted")
+                and _V1_EMPTY_PAYLOAD_REASON in str(response.get("reason", ""))
+            )
+            if not fallback:
+                return response
+            self._use_gzip = False
+            self._log(
+                f"[{self.worker_id}] broker does not speak gzip uploads; "
+                "falling back to plain JSON"
+            )
+        return self._send_quietly(dict(upload, payload=payload))
 
     def _heartbeat_loop(
         self, key: str, lease_timeout: float, stop: threading.Event

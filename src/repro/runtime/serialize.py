@@ -16,7 +16,7 @@ import numpy as np
 from repro.core.results import AggregateCounters, EnergyBreakdown, SimulationResult
 
 #: Bump when the payload layout changes; mismatched payloads are cache misses.
-PAYLOAD_FORMAT = 1
+PAYLOAD_FORMAT = 2
 
 
 def _encode_array(array: np.ndarray) -> Dict[str, Any]:
@@ -68,6 +68,8 @@ def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
         "num_edges": int(result.num_edges),
         "num_vertices": int(result.num_vertices),
         "chip_area_mm2": float(result.chip_area_mm2),
+        "depth": int(result.depth),
+        "network_bound_cycles": float(result.network_bound_cycles),
     }
 
 
@@ -104,4 +106,6 @@ def result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
         num_edges=payload["num_edges"],
         num_vertices=payload["num_vertices"],
         chip_area_mm2=payload["chip_area_mm2"],
+        depth=payload["depth"],
+        network_bound_cycles=payload["network_bound_cycles"],
     )

@@ -25,7 +25,9 @@ from repro.graph.datasets import resolve_dataset_name
 
 #: Bump when the canonical form (or anything influencing simulation output)
 #: changes incompatibly, so stale cache entries never alias new runs.
-SPEC_VERSION = 1
+#: Version 2: MachineConfig grew the depth / network / routing / queue_depth
+#: knobs (3D grids and the contention-aware NoC simulator).
+SPEC_VERSION = 2
 
 
 def _default_pagerank_iterations() -> int:
@@ -121,6 +123,7 @@ class RunSpec:
             app_cost_factor,
             engine_cost_factor,
             experiment_scale_divisor,
+            network_cost_factor,
         )
         from repro.graph.datasets import dataset_spec
 
@@ -131,6 +134,7 @@ class RunSpec:
             * float(edges)
             * engine_cost_factor(self.config.engine)
             * app_cost_factor(self.app, self.pagerank_iterations)
+            * network_cost_factor(self.config.network, self.config.engine)
         )
 
     def __eq__(self, other: object) -> bool:

@@ -31,6 +31,7 @@ from repro.runtime.spec import RunSpec, build_graph
 from repro.verify.oracles import (
     EQUALITY_COUNTERS,
     check_engine_equality,
+    check_network_contention,
     check_outputs,
     check_work_bounds,
     oracle_kind,
@@ -87,6 +88,7 @@ def run_conformance(spec: RunSpec, detailed_trace: bool = False) -> ConformanceR
     )
 
     results = {}
+    machines = {}
     barrier_effective = spec.config.barrier
     for engine in ("cycle", "analytic"):
         kernel = build_kernel(
@@ -98,6 +100,7 @@ def run_conformance(spec: RunSpec, detailed_trace: bool = False) -> ConformanceR
             graph,
             dataset_name=dataset_name,
         )
+        machines[engine] = machine
         machine.detailed_trace = detailed_trace
         barrier_effective = machine.barrier_effective
         try:
@@ -108,6 +111,17 @@ def run_conformance(spec: RunSpec, detailed_trace: bool = False) -> ConformanceR
             report.trace[engine] = machine.tracer.summary()
         if engine in results:
             report.counters[engine] = results[engine].counters.to_dict()
+
+    # Network oracle: a contention-aware cycle run must reconcile with the
+    # zero-contention analytical accounting (never beat the bound, charge
+    # the same flits to the same links under dimension-ordered routing).
+    if spec.config.network == "simulated" and "cycle" in results:
+        cycle_machine = machines["cycle"]
+        report.violations.extend(
+            check_network_contention(
+                results["cycle"], cycle_machine.link_model, cycle_machine.network
+            )
+        )
 
     report.oracle = oracle_kind(spec.app, barrier_effective)
 

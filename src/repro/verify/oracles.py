@@ -19,6 +19,13 @@ work responds to task-execution order:
 
 Outputs must always match the reference executor's ground truth, whatever the
 oracle kind -- order-dependence may change the work, never the answer.
+
+A third oracle family covers the contention-aware network model
+(``network="simulated"``): the flit-level simulator may only ever *add*
+latency relative to the analytical link-load bound, must conserve traffic,
+and -- under dimension-ordered routing -- must charge exactly the flits the
+analytical :class:`~repro.noc.analytical.LinkLoadModel` charges to exactly
+the same links (see :func:`check_network_contention`).
 """
 
 from __future__ import annotations
@@ -100,6 +107,77 @@ def check_work_bounds(result, reference: ReferenceRun, engine_name: str) -> List
             f"{engine_name} engine ran {result.epochs} epochs, "
             f"expected exactly {bounds.epochs_exact}"
         )
+    return violations
+
+
+def check_network_contention(result, link_model, network) -> List[str]:
+    """The simulated network must bound, and reconcile with, the analytical model.
+
+    ``link_model`` is the engine's :class:`~repro.noc.analytical.LinkLoadModel`
+    (always dimension-ordered: the zero-contention reference accounting);
+    ``network`` is the :class:`~repro.noc.sim.simulator.NocSimulator` the
+    cycle engine routed its messages through.  Checks:
+
+    * traffic conservation: both models saw the same messages, and -- since
+      every routing policy is minimal -- the same total flit-hops;
+    * under dimension-ordered routing, per-link flit totals agree *exactly*
+      and the run's cycle count respects the analytical network lower bound;
+    * under adaptive/oblivious routing (which may legitimately spread load
+      off the analytical model's hot links), the cycle count still respects
+      the routing-independent endpoint bound and the simulator's own
+      hottest-link serialization.
+    """
+    violations = []
+    if network is None or getattr(network, "kind", None) != "simulated":
+        return ["cycle engine did not publish a simulated network model"]
+    if network.total_messages != link_model.total_messages:
+        violations.append(
+            f"simulated network routed {network.total_messages} messages, the "
+            f"link-load model accounted {link_model.total_messages}"
+        )
+    if network.total_flit_hops != link_model.total_flit_hops:
+        violations.append(
+            f"simulated network moved {network.total_flit_hops} flit-hops, the "
+            f"link-load model accounted {link_model.total_flit_hops} (minimal "
+            "routing must conserve flit-hops)"
+        )
+    routing = network.policy.kind
+    if routing == "dimension_ordered":
+        if link_model.detailed and network.link_flits != link_model.link_flits:
+            diffs = [
+                link
+                for link in set(network.link_flits) | set(link_model.link_flits)
+                if network.link_flits.get(link, 0) != link_model.link_flits.get(link, 0)
+            ]
+            sample = sorted(diffs)[:3]
+            violations.append(
+                f"per-link flit totals diverge from the analytical model on "
+                f"{len(diffs)} link(s), e.g. "
+                + ", ".join(
+                    f"{link}: sim={network.link_flits.get(link, 0)} "
+                    f"analytical={link_model.link_flits.get(link, 0)}"
+                    for link in sample
+                )
+            )
+        if link_model.detailed:
+            bound = link_model.network_bound_cycles()
+            if result.cycles < bound:
+                violations.append(
+                    f"simulated run finished in {result.cycles} cycles, beating "
+                    f"the analytical network lower bound of {bound}"
+                )
+    else:
+        endpoint_bound = link_model.max_endpoint_load()
+        if result.cycles < endpoint_bound:
+            violations.append(
+                f"simulated run finished in {result.cycles} cycles, beating the "
+                f"endpoint serialization bound of {endpoint_bound}"
+            )
+        if result.cycles < network.max_link_load():
+            violations.append(
+                f"simulated run finished in {result.cycles} cycles, beating its "
+                f"own hottest-link serialization of {network.max_link_load()}"
+            )
     return violations
 
 

@@ -1,0 +1,79 @@
+"""The contention-sweep experiment: shape, bounds and report rendering."""
+
+import pytest
+
+from repro.experiments import contention
+from repro.runtime import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    with ExperimentRunner() as runner:
+        return contention.run_contention(
+            width=4,
+            height=4,
+            queue_depths=(1, 4),
+            loads=(0.5,),
+            scale=0.04,
+            runner=runner,
+        )
+
+
+class TestWorkloadSweep:
+    def test_rows_cover_the_grid(self, sweep):
+        rows = sweep["rows"]
+        assert len(rows) == 3  # analytical + two queue depths, one load
+        assert {row["network"] for row in rows} == {"analytical", "simulated"}
+
+    def test_every_run_respects_its_analytical_bound(self, sweep):
+        for row in sweep["rows"]:
+            assert row["cycles"] >= row["network_bound"] > 0
+            assert row["gap"] >= 1.0
+
+    def test_simulated_runs_carry_their_queue_depth(self, sweep):
+        depths = [
+            row["queue_depth"] for row in sweep["rows"] if row["network"] == "simulated"
+        ]
+        assert depths == [1, 4]
+
+
+class TestSyntheticSaturation:
+    def test_gap_monotone_and_bound_shared_per_rate(self):
+        result = contention.synthetic_saturation(
+            width=4, height=4, queue_depths=(1, 2, 8), messages=150
+        )
+        by_rate = {}
+        for row in result["rows"]:
+            by_rate.setdefault(row["injection_rate"], []).append(row)
+        for rate, rows in by_rate.items():
+            bounds = {row["network_bound"] for row in rows}
+            assert len(bounds) == 1  # same trace, same bound
+            by_depth = {row["queue_depth"]: row["gap"] for row in rows}
+            assert by_depth[1] >= by_depth[2] >= by_depth[8] >= 1.0
+
+    def test_deterministic(self):
+        kwargs = dict(width=4, height=4, queue_depths=(2,), messages=100)
+        assert (
+            contention.synthetic_saturation(**kwargs)
+            == contention.synthetic_saturation(**kwargs)
+        )
+
+
+class TestReport:
+    def test_report_renders_both_sections(self, sweep):
+        synthetic = contention.synthetic_saturation(
+            width=4, height=4, queue_depths=(1, 4), messages=100
+        )
+        text = contention.report(sweep, synthetic)
+        assert "Contention sweep" in text
+        assert "synthetic saturation" in text
+        assert "queue_depth" in text
+
+    def test_registered_with_the_experiments_cli(self, capsys):
+        from repro import cli
+
+        # The runners table is built inside the command; invoking with an
+        # unknown figure names the full catalogue, which must include ours.
+        with pytest.raises(SystemExit):
+            cli.experiments_command(["definitely_not_a_figure"])
+        assert "contention" in capsys.readouterr().err

@@ -1,9 +1,10 @@
 """Hypothesis-driven schedule fuzzer over the differential conformance harness.
 
 Random (app, dataset, seed, placement, scheduling, topology, tile-count,
-barrier) configurations are generated *as RunSpecs* and pushed through
-``repro.verify.run_conformance``: both engines, the reference executor, the
-equality/bounds oracles and the invariant tracer.  On a failure hypothesis
+barrier, network-model) configurations are generated *as RunSpecs* and pushed
+through ``repro.verify.run_conformance``: both engines, the reference
+executor, the equality/bounds oracles, the invariant tracer and -- for
+``network=simulated`` draws -- the network contention oracle.  On a failure hypothesis
 shrinks the spec to a minimal reproduction, which is serialized as a JSON
 repro file; the failure message names the file and the exact
 ``dalorex verify --spec`` command that replays it.
@@ -51,14 +52,24 @@ def conformance_specs(draw) -> RunSpec:
     seed = draw(st.integers(min_value=0, max_value=1023))
     width = draw(st.sampled_from([1, 2, 4]))
     height = draw(st.sampled_from([1, 2, 4]))
+    # Network dimension: simulated runs exercise the flit-level NoC model
+    # and its contention oracle (cycles >= analytical bound, per-link totals
+    # reconciled); 3D NoCs ride the same draw so stacked grids are fuzzed.
+    noc = draw(st.sampled_from(["mesh", "torus", "torus_ruche", "mesh3d", "torus3d"]))
+    depth = draw(st.sampled_from([1, 2])) if noc in ("mesh3d", "torus3d") else 1
+    network = draw(st.sampled_from(["analytical", "simulated"]))
     config = MachineConfig(
         width=width,
         height=height,
-        noc=draw(st.sampled_from(["mesh", "torus", "torus_ruche"])),
+        depth=depth,
+        noc=noc,
         scheduling=draw(st.sampled_from(["round_robin", "occupancy"])),
         vertex_placement=draw(st.sampled_from(["block", "interleave"])),
         edge_placement=draw(st.sampled_from(["block", "interleave", "row"])),
         barrier=draw(st.booleans()),
+        network=network,
+        routing=draw(st.sampled_from(["dimension_ordered", "xy_yx", "adaptive"])),
+        queue_depth=draw(st.sampled_from([1, 2, 4])),
     )
     return RunSpec(
         app=app, dataset=dataset, config=config, scale=scale, seed=seed,

@@ -1,0 +1,115 @@
+"""Routing policies: minimality, determinism and per-topology validity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.sim.routing import ROUTING_KINDS, make_routing
+from repro.noc.topology import make_topology
+
+TOPOLOGIES = [
+    ("mesh", 4, 4, 1),
+    ("torus", 4, 4, 1),
+    ("torus_ruche", 6, 6, 1),
+    ("mesh3d", 3, 3, 2),
+    ("torus3d", 3, 3, 2),
+]
+
+
+def idle_links(link):
+    """Link-state stub for an empty network: every link free at cycle 0."""
+    return 0.0
+
+
+def pairs(topology, stride=3):
+    for src in range(0, topology.num_tiles, stride):
+        for dst in range(0, topology.num_tiles, stride):
+            yield src, dst
+
+
+@pytest.mark.parametrize("kind,width,height,depth", TOPOLOGIES,
+                         ids=[t[0] for t in TOPOLOGIES])
+@pytest.mark.parametrize("routing", ROUTING_KINDS)
+class TestRoutesAreValid:
+    def test_routes_are_minimal_contiguous_and_terminate(
+        self, kind, width, height, depth, routing
+    ):
+        topology = make_topology(kind, width, height, depth=depth)
+        policy = make_routing(routing, topology)
+        for src, dst in pairs(topology):
+            path = policy.route(src, dst, 0, idle_links)
+            assert path[0] == src and path[-1] == dst
+            # Minimal: exactly the dimension-ordered hop count, whatever the
+            # policy (all policies only take distance-reducing steps).
+            assert len(path) - 1 == topology.hop_distance(src, dst)
+            for a, b in zip(path[:-1], path[1:]):
+                assert b in topology.neighbors(a), f"{a}->{b} is not a link"
+
+    def test_routing_is_deterministic(self, kind, width, height, depth, routing):
+        topology = make_topology(kind, width, height, depth=depth)
+        policy_a = make_routing(routing, topology)
+        policy_b = make_routing(routing, topology)
+        for index, (src, dst) in enumerate(pairs(topology)):
+            assert policy_a.route(src, dst, index, idle_links) == policy_b.route(
+                src, dst, index, idle_links
+            )
+
+
+class TestDimensionOrdered:
+    def test_matches_topology_route_exactly(self):
+        topology = make_topology("torus", 4, 4)
+        policy = make_routing("dimension_ordered", topology)
+        for src in range(topology.num_tiles):
+            for dst in range(topology.num_tiles):
+                assert policy.route(src, dst, 0, idle_links) == topology.route(src, dst)
+
+
+class TestXYYX:
+    def test_alternates_dimension_order_per_message(self):
+        topology = make_topology("mesh", 4, 4)
+        policy = make_routing("xy_yx", topology)
+        src, dst = 0, topology.tile_at(3, 3)
+        x_first = policy.route(src, dst, 0, idle_links)
+        y_first = policy.route(src, dst, 1, idle_links)
+        assert x_first == topology.route(src, dst)
+        assert y_first == topology.route_dims(src, dst, (1, 0))
+        assert x_first != y_first  # corner-to-corner: the orders must differ
+
+    def test_even_messages_reproduce_dimension_order(self):
+        topology = make_topology("torus", 4, 4)
+        policy = make_routing("xy_yx", topology)
+        for src, dst in pairs(topology, stride=2):
+            assert policy.route(src, dst, 2, idle_links) == topology.route(src, dst)
+
+
+class TestAdaptive:
+    def test_idle_network_degenerates_to_dimension_order(self):
+        topology = make_topology("mesh", 4, 4)
+        policy = make_routing("adaptive", topology)
+        for src, dst in pairs(topology, stride=2):
+            assert policy.route(src, dst, 0, idle_links) == topology.route(src, dst)
+
+    def test_steers_around_a_busy_link(self):
+        topology = make_topology("mesh", 4, 4)
+        policy = make_routing("adaptive", topology)
+        src = topology.tile_at(0, 0)
+        dst = topology.tile_at(1, 1)
+        hot = (src, topology.tile_at(1, 0))  # the X-first first hop
+
+        def congested(link):
+            return 100.0 if link == hot else 0.0
+
+        path = policy.route(src, dst, 0, congested)
+        assert path[1] == topology.tile_at(0, 1), "should take the free Y hop first"
+        assert len(path) - 1 == topology.hop_distance(src, dst)
+
+
+class TestFactory:
+    def test_unknown_policy_rejected(self):
+        topology = make_topology("mesh", 2, 2)
+        with pytest.raises(ConfigurationError, match="unknown routing"):
+            make_routing("hot_potato", topology)
+
+    def test_kinds_match_config_constants(self):
+        from repro.core.config import ROUTING_KINDS as CONFIG_ROUTING_KINDS
+
+        assert tuple(ROUTING_KINDS) == tuple(CONFIG_ROUTING_KINDS)

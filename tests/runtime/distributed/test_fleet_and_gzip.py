@@ -1,0 +1,216 @@
+"""PR 4 satellites: the ``stats`` fleet op and gzip payload transport."""
+
+import time
+
+from repro.runtime.cache import ResultCache, payload_digest
+from repro.runtime.distributed import Broker, BrokerServer, Worker, request
+from repro.runtime.distributed.protocol import (
+    COMPAT_PROTOCOLS,
+    PROTOCOL,
+    compress_payload,
+    decompress_payload,
+)
+
+from distributed_helpers import fleet, make_spec, make_specs
+
+
+def wait_until(predicate, timeout=20.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestFleetStats:
+    def test_stats_reports_queue_leases_attempts_and_workers(self):
+        broker = Broker()
+        specs = make_specs()
+        broker.submit([spec.canonical() for spec in specs])
+        stats = broker.fleet_stats()
+        assert stats["queue_depth"] == len(specs)
+        assert stats["active_leases"] == []
+        assert stats["per_worker"] == {}
+
+        lease = broker.lease("w0")
+        stats = broker.fleet_stats()
+        assert stats["queue_depth"] == len(specs) - 1
+        assert len(stats["active_leases"]) == 1
+        active = stats["active_leases"][0]
+        assert active["worker"] == "w0"
+        assert active["attempt"] == 1
+        assert stats["attempts"][lease["key"]] == 1
+        assert stats["per_worker"]["w0"]["leases"] == 1
+
+    def test_per_worker_completions_accumulate_over_a_real_fleet(self):
+        broker = Broker()
+        specs = make_specs()
+        with fleet(broker, num_workers=2) as (server, workers):
+            broker.submit([spec.canonical() for spec in specs])
+            assert wait_until(
+                lambda: broker.fleet_stats()["completed"] == len(specs)
+            )
+            stats = request(server.address, {"op": "stats"})
+        per_worker = stats["per_worker"]
+        assert sum(w["completed"] for w in per_worker.values()) == len(specs)
+        assert stats["queue_depth"] == 0
+        assert stats["active_leases"] == []
+
+    def test_rejected_uploads_are_ledgered(self, real_payload):
+        key, payload = real_payload
+        broker = Broker()
+        broker.submit([make_spec().canonical()])
+        broker.lease("evil")
+        response = broker.ingest("evil", key, "0" * 64, payload)
+        assert not response["accepted"]
+        assert broker.fleet_stats()["per_worker"]["evil"]["rejected"] == 1
+
+
+class TestGzipTransport:
+    def test_compress_round_trips_and_preserves_digest(self, real_payload):
+        _key, payload = real_payload
+        blob = compress_payload(payload)
+        assert isinstance(blob, str)
+        restored = decompress_payload(blob)
+        assert restored == payload
+        assert payload_digest(restored) == payload_digest(payload)
+        # And it actually compresses (the point of the satellite).
+        import json
+
+        plain = len(json.dumps(payload, separators=(",", ":")))
+        assert len(blob) < plain
+
+    def test_protocol_v2_remains_compatible_with_v1(self):
+        assert PROTOCOL == "dalorex-dist/2"
+        assert "dalorex-dist/1" in COMPAT_PROTOCOLS
+
+    def test_gzip_upload_is_verified_and_accepted(self, real_payload):
+        key, payload = real_payload
+        broker = Broker()
+        with BrokerServer(broker) as server:
+            broker.submit([make_spec().canonical()])
+            lease = broker.lease("w0")
+            assert lease["key"] == key
+            response = request(
+                server.address,
+                {
+                    "op": "result",
+                    "worker": "w0",
+                    "key": key,
+                    "sha256": payload_digest(payload),
+                    "payload_gz": compress_payload(payload),
+                },
+            )
+            assert response["accepted"]
+            fetched = request(server.address, {"op": "fetch", "keys": [key]})
+            assert fetched["results"][key] == payload
+
+    def test_corrupt_gzip_upload_is_rejected_not_fatal(self, real_payload):
+        key, payload = real_payload
+        broker = Broker()
+        with BrokerServer(broker) as server:
+            broker.submit([make_spec().canonical()])
+            broker.lease("w0")
+            response = request(
+                server.address,
+                {
+                    "op": "result",
+                    "worker": "w0",
+                    "key": key,
+                    "sha256": payload_digest(payload),
+                    "payload_gz": "!!! not base64 gzip !!!",
+                },
+            )
+            assert not response["accepted"]
+            # The reason is the transport diagnosis, distinct from a v1
+            # broker's empty-payload rejection -- a worker seeing it must
+            # NOT turn gzip off.
+            assert "decompress" in response["reason"]
+            # The spec is requeued, not lost.
+            assert broker.status()["pending"] == 1
+
+    def test_broker_echoes_a_v1_requesters_protocol(self):
+        """A v1 worker only accepts responses stamped dalorex-dist/1; the
+        broker must echo the requester's generation, not its own."""
+        import socket
+
+        from repro.runtime.distributed.protocol import encode_message, read_message
+
+        broker = Broker()
+        with BrokerServer(broker) as server:
+            for sent, expected in (
+                ("dalorex-dist/1", "dalorex-dist/1"),
+                ("dalorex-dist/2", "dalorex-dist/2"),
+                (None, PROTOCOL),
+                ("dalorex-dist/99", PROTOCOL),
+            ):
+                message = {"op": "status"}
+                if sent is not None:
+                    message["protocol"] = sent
+                with socket.create_connection(server.address, timeout=5) as sock:
+                    sock.sendall(encode_message(message))
+                    with sock.makefile("rb") as rfile:
+                        response = read_message(rfile)
+                assert response["protocol"] == expected, (sent, response)
+
+    def test_fetch_accept_gzip_ships_compressed_results(self, real_payload):
+        key, payload = real_payload
+        cache = None
+        broker = Broker(cache=cache)
+        with BrokerServer(broker) as server:
+            broker.submit([make_spec().canonical()])
+            broker.lease("w0")
+            broker.ingest("w0", key, payload_digest(payload), payload)
+            plain = request(server.address, {"op": "fetch", "keys": [key]})
+            assert plain["results"][key] == payload
+            assert "results_gz" not in plain
+            gz = request(
+                server.address, {"op": "fetch", "keys": [key], "accept_gzip": True}
+            )
+            assert gz["results"] == {}
+            assert decompress_payload(gz["results_gz"][key]) == payload
+
+    def test_worker_falls_back_to_plain_json_on_a_v1_broker(self, real_payload):
+        """A v1 broker never reads payload_gz, so it rejects the gzip-only
+        upload as an empty payload; that must flip the worker to plain JSON
+        (for its lifetime) and resend immediately."""
+        key, payload = real_payload
+        worker = Worker(("127.0.0.1", 1), worker_id="w0")
+        sent = []
+
+        def v1_broker(message):
+            sent.append(message)
+            if "payload" not in message:  # v1 dispatch: payload field or bust
+                return {"accepted": False,
+                        "reason": "payload is not an object: NoneType"}
+            return {"accepted": True, "duplicate": False}
+
+        worker._send_quietly = v1_broker
+        response = worker._upload(key, payload)
+        assert response is not None and response["accepted"]
+        assert worker._use_gzip is False
+        assert "payload_gz" in sent[0] and "payload" not in sent[0]
+        assert "payload" in sent[1] and "payload_gz" not in sent[1]
+        # Later uploads skip the gzip attempt entirely.
+        worker._upload(key, payload)
+        assert "payload" in sent[2] and "payload_gz" not in sent[2]
+
+    def test_end_to_end_fleet_uses_gzip_by_default(self):
+        """Full fleet run on the v2 protocol: results land through gzip
+        uploads and gzip fetches, byte-identical to local execution."""
+        from repro.runtime import ExperimentRunner
+        from repro.runtime.backends import execute_to_payload
+        from repro.runtime.distributed.client import DistributedBackend
+
+        broker = Broker()
+        specs = make_specs()
+        expected = {spec.key(): execute_to_payload(spec)[1] for spec in specs}
+        with fleet(broker, num_workers=2) as (server, workers):
+            backend = DistributedBackend(server.address, poll_interval=0.02)
+            with ExperimentRunner(backend=backend) as runner:
+                results = runner.run_batch(specs)
+        assert len(results) == len(specs)
+        for spec, result in zip(specs, results):
+            assert result.cycles == expected[spec.key()]["cycles"]
+        assert all(worker._use_gzip for worker in workers)

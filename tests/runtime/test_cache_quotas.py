@@ -1,0 +1,119 @@
+"""ResultCache per-dataset quotas (``cache prune --per-dataset N``)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runtime.cache import ResultCache
+
+
+def store_entry(cache, key, dataset, mtime=None):
+    payload = {"format": 2, "dataset_name": dataset, "cycles": 1.0}
+    cache.store(key, payload)
+    if mtime is not None:
+        os.utime(cache.path_for(key), (mtime, mtime))
+    return key
+
+
+class TestPruneRerDataset:
+    def test_keeps_at_most_n_entries_per_dataset(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = time.time() - 1000
+        for index in range(4):
+            store_entry(cache, f"a{index:03d}" * 16, "rmat16", base + index)
+        for index in range(2):
+            store_entry(cache, f"b{index:03d}" * 16, "amazon", base + index)
+        evicted = cache.prune_per_dataset(2)
+        # rmat16 loses its two oldest; amazon is within quota.
+        assert sorted(evicted) == ["a000" * 16, "a001" * 16]
+        assert len(cache) == 4
+
+    def test_fifo_evicts_oldest_stored_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = time.time() - 1000
+        oldest = store_entry(cache, "c" * 64, "rmat16", base)
+        store_entry(cache, "d" * 64, "rmat16", base + 10)
+        store_entry(cache, "e" * 64, "rmat16", base + 20)
+        assert cache.prune_per_dataset(2) == [oldest]
+
+    def test_lru_keeps_recently_loaded_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = time.time() - 1000
+        old_but_hot = store_entry(cache, "f" * 64, "rmat16", base)
+        store_entry(cache, "0" * 64, "rmat16", base + 10)
+        store_entry(cache, "1" * 64, "rmat16", base + 20)
+        assert cache.load(old_but_hot) is not None  # bumps access time
+        evicted = cache.prune_per_dataset(2, policy="lru")
+        assert evicted == ["0" * 64]
+        assert old_but_hot in cache
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = time.time() - 1000
+        for index in range(3):
+            store_entry(cache, f"g{index:03d}" * 16, "rmat16", base + index)
+        evicted = cache.prune_per_dataset(1, dry_run=True)
+        assert len(evicted) == 2
+        assert len(cache) == 3
+
+    def test_unreadable_entries_are_left_alone(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        store_entry(cache, "h" * 64, "rmat16")
+        rogue = cache.path_for("i" * 64)
+        rogue.write_text("not json at all", encoding="utf-8")
+        assert cache.prune_per_dataset(0) == ["h" * 64]
+        assert rogue.exists()  # load()'s corruption path owns its eviction
+
+    def test_composes_with_size_prune(self, tmp_path):
+        """The CLI applies the quota first, then the size cap: both must
+        operate on the same on-disk state without interfering."""
+        cache = ResultCache(tmp_path)
+        base = time.time() - 1000
+        for index in range(4):
+            store_entry(cache, f"j{index:03d}" * 16, "rmat16", base + index)
+        for index in range(4):
+            store_entry(cache, f"k{index:03d}" * 16, "amazon", base + index)
+        quota_evicted = cache.prune_per_dataset(3)
+        size_evicted = cache.prune(0)
+        assert len(quota_evicted) == 2
+        assert len(size_evicted) == 6
+        assert len(cache) == 0
+
+    def test_validation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError, match="max_entries"):
+            cache.prune_per_dataset(-1)
+        with pytest.raises(ValueError, match="prune policy"):
+            cache.prune_per_dataset(1, policy="random")
+
+    def test_entry_dataset_reads_payload_metadata(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = store_entry(cache, "l" * 64, "wikipedia")
+        assert cache.entry_dataset(cache.path_for(key)) == "wikipedia"
+        assert cache.entry_dataset(tmp_path / "missing.json") is None
+
+
+class TestCliPrunePerDataset:
+    def test_cli_applies_quota_and_reports(self, tmp_path, capsys):
+        from repro import cli
+
+        cache = ResultCache(tmp_path)
+        base = time.time() - 1000
+        for index in range(3):
+            store_entry(cache, f"m{index:03d}" * 16, "rmat16", base + index)
+        exit_code = cli.cache_command(
+            ["prune", "--cache-dir", str(tmp_path), "--per-dataset", "1", "--json"]
+        )
+        assert exit_code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert len(summary["evicted"]) == 2
+        assert summary["entries"] == 1
+
+    def test_cli_requires_some_prune_criterion(self, tmp_path):
+        from repro import cli
+
+        ResultCache(tmp_path)  # the directory must exist
+        with pytest.raises(SystemExit):
+            cli.cache_command(["prune", "--cache-dir", str(tmp_path)])

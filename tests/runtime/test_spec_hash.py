@@ -78,11 +78,17 @@ class TestPerturbation:
 
     def test_every_config_field_perturbation_changes_the_key(self):
         base = make_spec()
+        # Values are either a bare replacement or a full override dict for
+        # fields that cannot legally change alone (depth needs a 3D NoC).
         perturbations = {
             "name": "other",
             "width": 8,
             "height": 8,
+            "depth": {"depth": 2, "noc": "torus3d"},
             "noc": "mesh",
+            "network": "simulated",
+            "routing": "adaptive",
+            "queue_depth": 8,
             "ruche_factor": 3,
             "scheduling": "round_robin",
             "remote_invocation": "interrupting",
@@ -116,7 +122,8 @@ class TestPerturbation:
         assert set(perturbations) == set(MachineConfig.__dataclass_fields__)
         seen = {base.key()}
         for field, value in perturbations.items():
-            key = make_spec(config=base.config.with_overrides(**{field: value})).key()
+            overrides = value if isinstance(value, dict) else {field: value}
+            key = make_spec(config=base.config.with_overrides(**overrides)).key()
             assert key not in seen, f"perturbing {field!r} did not change the key"
             seen.add(key)
 

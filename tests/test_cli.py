@@ -54,6 +54,33 @@ class TestRunCommand:
         with pytest.raises(SystemExit):
             cli.run_command(["--app", "bellman_ford"])
 
+    def test_network_knobs_select_the_simulated_model(self, capsys):
+        exit_code = cli.run_command(
+            ["--app", "bfs", "--dataset", "rmat16", "--width", "4", "--scale", "0.1",
+             "--engine", "cycle", "--network", "simulated", "--routing", "adaptive",
+             "--queue-depth", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "network=simulated(routing=adaptive, queue_depth=2)" in captured
+
+    def test_3d_noc_with_grid_depth(self, capsys):
+        exit_code = cli.run_command(
+            ["--app", "bfs", "--dataset", "rmat16", "--width", "2", "--scale", "0.1",
+             "--engine", "cycle", "--noc", "torus3d", "--grid-depth", "2", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["noc"] == "torus3d"
+        assert payload["tiles"] == 8
+
+    def test_grid_depth_requires_a_3d_noc(self):
+        with pytest.raises(SystemExit):
+            cli.run_command(
+                ["--app", "bfs", "--width", "2", "--scale", "0.1",
+                 "--noc", "torus", "--grid-depth", "2"]
+            )
+
 
 class TestRuntimeFlags:
     """Smoke tests for the shared --jobs / --cache-dir / --no-cache flags."""
