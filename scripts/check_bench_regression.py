@@ -1,0 +1,128 @@
+"""Gate simulator-performance benchmarks against a committed baseline.
+
+CI runs ``pytest benchmarks/bench_simulator_performance.py --benchmark-json
+BENCH_simulator.json``, uploads the JSON as an artifact, and then runs this
+script to compare the measured means against the committed baseline
+(``benchmarks/BENCH_simulator_baseline.json``).  The job fails when any
+benchmark slowed down by more than ``--threshold`` (default 1.25 = 25%).
+
+Raw wall-clock means are not comparable across machines, so both the
+baseline and every check normalize by a *calibration* measurement: a fixed
+pure-Python workload timed on the spot.  The gate compares
+``(mean / calibration_now)`` against ``(baseline_mean / baseline_calibration)``
+-- i.e. "how many calibration units does this benchmark cost", which tracks
+interpreter speed instead of absolute CPU speed.  The simulator benchmarks
+are interpreter-bound, so this is a stable unit for them.
+
+Refresh the baseline after an intentional performance change::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_simulator_performance.py \
+        --benchmark-json BENCH_simulator.json -q
+    python scripts/check_bench_regression.py --bench-json BENCH_simulator.json \
+        --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / (
+    "BENCH_simulator_baseline.json"
+)
+
+
+def calibrate(repeats: int = 5) -> float:
+    """Seconds of a fixed pure-Python workload (best of ``repeats``).
+
+    The workload mixes dict/list traffic and integer arithmetic -- the same
+    operations the simulator hot paths spend their time on.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        total = 0
+        table = {}
+        values = list(range(2000))
+        for round_index in range(50):
+            for value in values:
+                key = (value * 31 + round_index) % 997
+                table[key] = table.get(key, 0) + value
+                total += value
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def benchmark_means(bench_json: dict) -> dict:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON blob."""
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in bench_json.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-json", required=True, metavar="FILE",
+                        help="pytest-benchmark JSON output to check")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE), metavar="FILE",
+                        help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="maximum allowed normalized slowdown (default: 1.25)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from --bench-json instead of "
+                             "checking against it")
+    args = parser.parse_args(argv)
+
+    with open(args.bench_json, "r", encoding="utf-8") as handle:
+        means = benchmark_means(json.load(handle))
+    if not means:
+        print("no benchmarks found in", args.bench_json, file=sys.stderr)
+        return 2
+    calibration = calibrate()
+
+    if args.update_baseline:
+        baseline = {
+            "calibration_seconds": calibration,
+            "benchmarks": means,
+        }
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(means)} benchmarks, calibration {calibration:.4f}s)")
+        return 0
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base_calibration = float(baseline["calibration_seconds"])
+    base_means = baseline["benchmarks"]
+
+    failures = []
+    print(f"calibration: now {calibration:.4f}s, baseline {base_calibration:.4f}s")
+    print(f"{'benchmark':58s} {'base':>8s} {'now':>8s} {'ratio':>6s}")
+    for name, base_mean in sorted(base_means.items()):
+        mean = means.get(name)
+        if mean is None:
+            failures.append(f"benchmark {name!r} missing from {args.bench_json}")
+            continue
+        normalized_base = base_mean / base_calibration
+        normalized_now = mean / calibration
+        ratio = normalized_now / normalized_base
+        flag = " SLOW" if ratio > args.threshold else ""
+        print(f"{name:58s} {base_mean:8.3f} {mean:8.3f} {ratio:6.2f}{flag}")
+        if ratio > args.threshold:
+            failures.append(
+                f"{name}: normalized slowdown {ratio:.2f}x exceeds "
+                f"{args.threshold:.2f}x"
+            )
+    for failure in failures:
+        print("FAIL:", failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,14 +122,19 @@ class FrontierGraphKernel(Kernel):
             return
         ctx.write(self.frontier_array, vertex, 1)
         if not ctx.barrier:
-            ctx.tile_state.setdefault("frontier", []).append(int(vertex))
+            # The bucket list lives in the machine's columnar CoreState
+            # (state.frontier[tile]); the context publishes it under
+            # tile_state["frontier"] on first use so inspection keeps working.
+            ctx.frontier_bucket().append(int(vertex))
 
     def refill_tile(self, machine, tile_id: int, budget: int) -> List[Seed]:
         queue = machine.tile_state[tile_id].get("frontier")
         if not queue:
             return []
         take = min(budget, len(queue))
-        vertices, machine.tile_state[tile_id]["frontier"] = queue[:take], queue[take:]
+        vertices = queue[:take]
+        # Drain in place: the list is aliased by the columnar frontier state.
+        del queue[:take]
         return [(self.refrontier_task, (vertex,)) for vertex in vertices]
 
     def next_epoch(self, machine, epoch_index: int) -> Optional[List[Seed]]:

@@ -14,7 +14,8 @@
   ``--max-size``, per-dataset entry quotas via ``--per-dataset N``).
 * ``dalorex broker`` / ``dalorex worker`` -- the distributed execution
   backend: a broker queues specs costliest-first and verifies uploaded
-  results; pull-based workers on any number of hosts execute them (see
+  results; pull-based workers on any number of hosts execute them, each
+  holding up to ``--capacity N`` concurrent leases (see
   ``docs/DISTRIBUTED.md``).
 * ``dalorex fleet stats`` -- queue depth, active leases, attempts and
   per-worker completion counts of a running broker.
@@ -241,6 +242,7 @@ def experiments_command(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``dalorex-experiments``."""
     from repro.experiments import (
         contention,
+        depth3d,
         fig5,
         fig6,
         fig7,
@@ -262,6 +264,9 @@ def experiments_command(argv: Optional[List[str]] = None) -> int:
         ),
         "contention": lambda scale, runner: contention.report(
             contention.run_contention(scale=scale, runner=runner)
+        ),
+        "depth3d": lambda scale, runner: depth3d.report(
+            depth3d.run_depth3d(scale=scale, runner=runner)
         ),
     }
     parser = argparse.ArgumentParser(
@@ -556,6 +561,9 @@ def worker_command(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--patience", type=float, default=30.0, metavar="SECONDS",
                         help="exit after this long without reaching the broker "
                              "(default: 30)")
+    parser.add_argument("--capacity", type=_positive_int, default=1, metavar="N",
+                        help="lease and execute up to N specs concurrently "
+                             "(default: 1)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     args = parser.parse_args(argv)
 
@@ -565,6 +573,7 @@ def worker_command(argv: Optional[List[str]] = None) -> int:
         poll_interval=args.poll_interval,
         max_runs=args.max_runs,
         connect_patience=args.patience,
+        capacity=args.capacity,
         log=None if args.quiet else lambda line: print(line, flush=True),
     )
     try:

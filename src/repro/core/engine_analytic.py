@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.engine_base import BaseEngine, Seed
+from repro.core.registry import register_engine
 from repro.core.results import SimulationResult
 from repro.errors import SimulationError
 from repro.noc.analytical import LinkLoadModel
@@ -68,6 +69,8 @@ class AnalyticalEngine(BaseEngine):
         if epoch_index > 0:
             epoch_busy += self.charge_epoch_seeding(resolved)
 
+        state = self.state
+        counters = self.counters
         worklist = deque(
             (tile_id, task, params, 0, False) for tile_id, task, params in resolved
         )
@@ -75,29 +78,34 @@ class AnalyticalEngine(BaseEngine):
             tile_id, task, params, generation, remote = worklist.popleft()
             ctx, cost = self.execute_invocation(tile_id, task, params, remote)
             self.account_context(tile_id, ctx)
-            self.tiles[tile_id].pu.account_busy(cost, ctx.instructions)
+            # ProcessingUnit.account_busy over the columnar arrays.
+            state.pu_busy_cycles[tile_id] += cost
+            state.pu_instructions[tile_id] += ctx.instructions
+            state.pu_tasks_executed[tile_id] += 1
             epoch_busy[tile_id] += cost
             tasks_this_epoch += 1
             for out_task, out_params, destination in ctx.outgoing:
                 flits = out_task.flits_per_invocation
-                self.counters.messages += 1
-                self.counters.flits += flits
+                counters.messages += 1
+                counters.flits += flits
                 if destination == tile_id:
-                    self.counters.local_messages += 1
+                    counters.local_messages += 1
                 else:
                     hops = epoch_link.record_message(
                         tile_id, destination, flits, self.tile_pitch_mm
                     )
-                    self.counters.flit_hops += flits * hops
-                    self.counters.router_traversals += flits * (hops + 1)
-                    self.tiles[tile_id].record_send(flits)
-                    self.tiles[destination].record_receive_flits(flits)
+                    counters.flit_hops += flits * hops
+                    counters.router_traversals += flits * (hops + 1)
+                    state.messages_sent[tile_id] += 1
+                    state.flits_sent[tile_id] += flits
+                    state.flits_received[destination] += flits
                 next_generation = generation + 1
                 if next_generation > max_generation:
                     max_generation = next_generation
                 worklist.append(
                     (destination, out_task, out_params, next_generation, destination != tile_id)
                 )
+            self.release_context(ctx)
 
         self.link_model.merge(epoch_link)
         compute_bound = float(epoch_busy.max()) if len(epoch_busy) else 0.0
@@ -130,3 +138,6 @@ class AnalyticalEngine(BaseEngine):
         )
         critical_path = max_generation * (average_task_cost + average_hops)
         return max(compute_bound, network_bound, critical_path, 1.0)
+
+
+register_engine("analytic", AnalyticalEngine)

@@ -5,6 +5,11 @@ are identical and can be validated against the sequential references); they
 differ only in how cycles are attributed.  This base class owns the functional
 execution of one task, the traffic/energy accounting, epoch seeding and the
 assembly of the :class:`~repro.core.results.SimulationResult`.
+
+All per-tile accounting goes through the machine's columnar
+:class:`~repro.core.state.CoreState` (flat arrays indexed by tile id) rather
+than per-tile objects, and task contexts are pooled: one execution costs one
+:meth:`~repro.core.context.TaskContext.reset`, not an allocation.
 """
 
 from __future__ import annotations
@@ -37,11 +42,17 @@ class BaseEngine:
         self.placement = machine.placement
         self.topology = machine.topology
         self.tiles = machine.tiles
+        self.state = machine.state
         self.kernel = machine.kernel
         self.counters = AggregateCounters()
+        # Kernel dispatch table: task_id -> Task, indexed on every dispatch.
+        self.task_table = self.program.dispatch_table()
         detailed = machine.config.num_tiles <= DETAILED_LINK_MODEL_MAX_TILES
         self.link_model = LinkLoadModel(self.topology, detailed=detailed)
         self.tile_pitch_mm = machine.tile_pitch_mm
+        # Pool of reusable task contexts (one live context per in-flight
+        # task execution; the cycle engine holds one per busy tile).
+        self._context_pool: List[TaskContext] = []
         # Conservation tracing: both engines feed the same spawn/consume hooks,
         # and build_result() runs the always-on checks.  The machine keeps a
         # reference so callers can inspect the trace after run() returns.
@@ -56,45 +67,64 @@ class BaseEngine:
     def execute_invocation(
         self, tile_id: int, task: Task, params: tuple, remote: bool
     ) -> Tuple[TaskContext, float]:
-        """Run one task handler functionally and return its context and cost."""
-        ctx = TaskContext(self.machine, tile_id, task)
+        """Run one task handler functionally and return its context and cost.
+
+        The returned context comes from the engine's pool; pass it back to
+        :meth:`release_context` once its ``outgoing`` list has been consumed.
+        """
+        pool = self._context_pool
+        ctx = pool.pop().reset(tile_id, task) if pool else TaskContext(
+            self.machine, tile_id, task
+        )
         task.handler(ctx, *params)
         self.tracer.record_execution(task, ctx.outgoing)
         cost = ctx.cycles
         if remote and self.config.remote_invocation == "interrupting":
             cost += self.config.interrupt_penalty_cycles
             self.counters.remote_interrupts += 1
-            self.tiles[tile_id].interrupt_cycles += self.config.interrupt_penalty_cycles
+            self.state.interrupt_cycles[tile_id] += self.config.interrupt_penalty_cycles
         return ctx, cost
+
+    def release_context(self, ctx: TaskContext) -> None:
+        """Return a context to the pool for reuse by the next execution."""
+        self._context_pool.append(ctx)
 
     def account_context(self, tile_id: int, ctx: TaskContext) -> None:
         """Fold one task execution's counters into the machine-wide totals."""
-        tile = self.tiles[tile_id]
-        self.counters.instructions += ctx.instructions
-        self.counters.tasks_executed += 1
-        self.counters.sram_reads += ctx.sram_reads
-        self.counters.sram_writes += ctx.sram_writes
-        self.counters.dram_accesses += ctx.dram_accesses
-        self.counters.cache_hits += ctx.cache_hits
-        self.counters.edges_processed += ctx.edges
-        tile.edges_processed += ctx.edges
-        tile.scratchpad.record_read(ctx.sram_reads)
-        tile.scratchpad.record_write(ctx.sram_writes)
-        tile.dram_accesses += ctx.dram_accesses
+        state = self.state
+        counters = self.counters
+        counters.instructions += ctx.instructions
+        counters.tasks_executed += 1
+        counters.sram_reads += ctx.sram_reads
+        counters.sram_writes += ctx.sram_writes
+        counters.dram_accesses += ctx.dram_accesses
+        counters.cache_hits += ctx.cache_hits
+        counters.edges_processed += ctx.edges
+        state.edges_processed[tile_id] += ctx.edges
+        # Scratchpad access accounting (Scratchpad.record_read/record_write
+        # over the columnar arrays: 4 bytes per entry).
+        state.sram_reads[tile_id] += ctx.sram_reads
+        state.sram_bytes_read[tile_id] += ctx.sram_reads * 4
+        state.sram_writes[tile_id] += ctx.sram_writes
+        state.sram_bytes_written[tile_id] += ctx.sram_writes * 4
+        state.dram_accesses[tile_id] += ctx.dram_accesses
 
     def record_message_traffic(self, src: int, dst: int, task: Task) -> int:
         """Account one task-invocation message; returns its hop count."""
         flits = task.flits_per_invocation
-        self.counters.messages += 1
-        self.counters.flits += flits
+        counters = self.counters
+        counters.messages += 1
+        counters.flits += flits
         if src == dst:
-            self.counters.local_messages += 1
+            counters.local_messages += 1
             return 0
         hops = self.link_model.record_message(src, dst, flits, self.tile_pitch_mm)
-        self.counters.flit_hops += flits * hops
-        self.counters.router_traversals += flits * (hops + 1)
-        self.tiles[src].record_send(flits)
-        self.tiles[dst].record_receive_flits(flits)
+        counters.flit_hops += flits * hops
+        counters.router_traversals += flits * (hops + 1)
+        state = self.state
+        state.messages_sent[src] += 1
+        state.flits_sent[src] += flits
+        state.flits_received[dst] += flits
         return hops
 
     # ------------------------------------------------------------------ seeds
@@ -138,10 +168,11 @@ class BaseEngine:
         """
         per_tile = np.zeros(self.config.num_tiles, dtype=np.float64)
         cost = self.config.epoch_seed_instructions
+        pu_instructions = self.state.pu_instructions
         for tile_id, _task, _params in resolved_seeds:
             per_tile[tile_id] += cost
             self.counters.instructions += cost
-            self.tiles[tile_id].pu.instructions += cost
+            pu_instructions[tile_id] += cost
         return per_tile
 
     def next_epoch_seeds(self, epoch_index: int) -> Optional[List[Seed]]:
@@ -153,10 +184,11 @@ class BaseEngine:
 
     # ----------------------------------------------------------------- result
     def build_result(self, cycles: float, epochs: int) -> SimulationResult:
-        self.tracer.record_queue_stats(self.tiles)
-        self.tracer.verify(self.counters, self.tiles)
-        per_tile_busy = np.array([tile.pu.busy_cycles for tile in self.tiles])
-        per_tile_instructions = np.array([tile.pu.instructions for tile in self.tiles])
+        state = self.state
+        self.tracer.record_queue_stats(self.tiles, state=state)
+        self.tracer.verify(self.counters, self.tiles, state=state)
+        per_tile_busy = np.array(state.pu_busy_cycles, dtype=np.float64)
+        per_tile_instructions = np.array(state.pu_instructions)
         per_router_flits = self.link_model.router_traffic().astype(np.float64)
         self.counters.flit_millimeters = self.link_model.total_flit_millimeters
         self.counters.epochs = epochs

@@ -15,6 +15,16 @@ Remote invocations are non-interrupting when the TSU is present and add the
 configured interrupt penalty in the Tesseract-style baseline.  Barriered
 executions wait for global idle, add the idle-detection/broadcast latency, and
 re-seed the next epoch from the kernel (the paper's per-epoch frontier swap).
+
+Hot-path representation (the columnar-core refactor): pending invocations are
+integer handles into the machine state's :class:`~repro.core.state.RecordPool`
+(destination tile, task id, params, remote flag in parallel arrays); tile
+queues are deques of those handles inside :class:`~repro.core.state.CoreState`;
+and heap entries are ``(time, key, payload)`` tuples where ``key`` packs the
+event kind and a monotonically increasing sequence number into one integer
+(``kind << 60 | seq``), preserving the historical (time, kind, seq) ordering
+-- deliveries before completions before refills at equal timestamps -- while
+keeping comparisons cheap and payloads unallocated.
 """
 
 from __future__ import annotations
@@ -24,8 +34,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.engine_base import BaseEngine, Seed
 from repro.core.network import make_network_model
+from repro.core.registry import register_engine
 from repro.core.results import SimulationResult
-from repro.core.task import Task, TaskInvocation
 from repro.errors import SimulationError
 
 # Event kinds, ordered so deliveries at a timestamp happen before completions.
@@ -33,28 +43,30 @@ _DELIVER = 0
 _COMPLETE = 1
 _REFILL = 2
 
+#: Bit position of the event kind inside a heap key (seq stays below 2**60).
+_KIND_SHIFT = 60
+
 
 class CycleEngine(BaseEngine):
     """Event-driven engine for detailed runs on small and medium grids."""
 
     def __init__(self, machine) -> None:
         super().__init__(machine)
-        self._heap: List[Tuple[float, int, int, tuple]] = []
+        self._heap: List[Tuple[float, int, object]] = []
         self._sequence = 0
         # Message timing is delegated to the configured network model
         # (analytical link serialization, or the flit-level simulator with
         # finite queues).  Published on the machine -- like the tracer -- so
-        # the conformance network oracle can inspect it after run().
-        self.network = make_network_model(self.config, self.topology)
+        # the conformance network oracle can inspect it after run().  The
+        # model shares the machine's columnar state (NoC port arrays).
+        self.network = make_network_model(self.config, self.topology, state=self.state)
         machine.network = self.network
-        self._tile_busy = [False] * self.config.num_tiles
-        self._refill_pending = [False] * self.config.num_tiles
         self._last_event_time = 0.0
 
     # ------------------------------------------------------------------- heap
-    def _push(self, time: float, kind: int, payload: tuple) -> None:
+    def _push(self, time: float, kind: int, payload) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (time, kind, self._sequence, payload))
+        heapq.heappush(self._heap, (time, (kind << _KIND_SHIFT) | self._sequence, payload))
 
     # ------------------------------------------------------------------ run
     def run(self) -> SimulationResult:
@@ -95,37 +107,55 @@ class CycleEngine(BaseEngine):
         resolved = self.resolve_seeds(seeds)
         if charge:
             self.charge_epoch_seeding(resolved)
+        records = self.state.records
         for tile_id, task, params in resolved:
-            invocation = TaskInvocation(task.task_id, params, generation=0, remote=False)
-            self._push(time_base, _DELIVER, (tile_id, invocation))
+            handle = records.alloc(tile_id, task.task_id, params, False)
+            self._push(time_base, _DELIVER, handle)
 
     # ----------------------------------------------------------------- events
+    def _enqueue_record(self, tile_id: int, task_id: int, handle: int) -> None:
+        """Push a pooled record handle into the tile's task input queue,
+        bumping the messages_received counter ``Tile.enqueue_task``
+        historically maintained."""
+        state = self.state
+        state.push_invocation(tile_id, task_id, handle)
+        state.messages_received[tile_id] += 1
+
     def _drain_events(self) -> None:
-        while self._heap:
-            time, kind, _seq, payload = heapq.heappop(self._heap)
-            if time > self._last_event_time:
-                self._last_event_time = time
+        heap = self._heap
+        state = self.state
+        records = state.records
+        busy = state.busy
+        last = self._last_event_time
+        while heap:
+            time, key, payload = heapq.heappop(heap)
+            if time > last:
+                last = time
+            kind = key >> _KIND_SHIFT
             if kind == _DELIVER:
-                tile_id, invocation = payload
-                self.tiles[tile_id].enqueue_task(invocation.task_id, invocation)
-                self._try_dispatch(tile_id, time)
+                tile_id = records.tile[payload]
+                self._enqueue_record(tile_id, records.task[payload], payload)
+                if not busy[tile_id]:
+                    self._try_dispatch(tile_id, time)
             elif kind == _COMPLETE:
                 tile_id, ctx = payload
-                self._tile_busy[tile_id] = False
+                busy[tile_id] = False
                 self._emit_outputs(tile_id, ctx, time)
                 self._try_dispatch(tile_id, time)
             else:  # _REFILL: low-priority local frontier drain (paper's T4)
-                (tile_id,) = payload
-                self._refill_pending[tile_id] = False
-                if not self._tile_busy[tile_id] and self.tiles[tile_id].is_idle():
+                tile_id = payload
+                state.refill_pending[tile_id] = False
+                if not busy[tile_id] and state.tile_is_idle(tile_id):
                     if self._refill_tile(tile_id, time):
                         self._try_dispatch(tile_id, time)
+        self._last_event_time = last
 
     def _refill_idle_tiles(self, now: float) -> bool:
         """Give every idle tile work from its local frontier; True if any refilled."""
         refilled = False
+        state = self.state
         for tile_id in range(self.config.num_tiles):
-            if not self._tile_busy[tile_id] and self.tiles[tile_id].is_idle():
+            if not state.busy[tile_id] and state.tile_is_idle(tile_id):
                 if self._refill_tile(tile_id, now):
                     refilled = True
                     self._try_dispatch(tile_id, now)
@@ -135,54 +165,66 @@ class CycleEngine(BaseEngine):
         resolved = self.resolve_refill(tile_id)
         if not resolved:
             return False
+        records = self.state.records
         for task, params in resolved:
-            invocation = TaskInvocation(task.task_id, params, generation=0, remote=False)
-            self.tiles[tile_id].enqueue_task(task.task_id, invocation)
+            handle = records.alloc(tile_id, task.task_id, params, False)
+            self._enqueue_record(tile_id, task.task_id, handle)
         return True
 
     def _try_dispatch(self, tile_id: int, now: float) -> None:
-        if self._tile_busy[tile_id]:
+        state = self.state
+        if state.busy[tile_id]:
             return
-        tile = self.tiles[tile_id]
-        task_id = tile.select_next_task()
+        task_id = state.select_task(tile_id)
         if task_id is None and not self.machine.barrier_effective:
             # The tile is idle: schedule a low-priority pull from its local
             # frontier (the paper's T4 draining the bitmap under TSU control).
             # The delay models T4's low priority: in-flight updates get a chance
             # to land before the vertex is re-explored, preserving work efficiency.
-            if not self._refill_pending[tile_id]:
-                self._refill_pending[tile_id] = True
+            if not state.refill_pending[tile_id]:
+                state.refill_pending[tile_id] = True
                 self._push(
-                    now + self.config.frontier_refill_delay_cycles, _REFILL, (tile_id,)
+                    now + self.config.frontier_refill_delay_cycles, _REFILL, tile_id
                 )
             return
         if task_id is None:
             return
-        invocation: TaskInvocation = tile.input_queues[task_id].pop()
-        task = self.program.task_by_id(task_id)
-        ctx, cost = self.execute_invocation(tile_id, task, invocation.params, invocation.remote)
+        records = state.records
+        handle = state.pop_invocation(tile_id, task_id)
+        params = records.params[handle]
+        remote = records.remote[handle]
+        records.release(handle)
+        task = self.task_table[task_id]
+        ctx, cost = self.execute_invocation(tile_id, task, params, remote)
         self.account_context(tile_id, ctx)
-        completion = tile.pu.start_task(now, cost, ctx.instructions)
-        self._tile_busy[tile_id] = True
+        # ProcessingUnit.start_task over the columnar arrays.
+        busy_until = state.pu_busy_until[tile_id]
+        start = busy_until if busy_until > now else now
+        state.pu_stall_cycles[tile_id] += max(0.0, start - now)
+        completion = start + cost
+        state.pu_busy_until[tile_id] = completion
+        state.pu_busy_cycles[tile_id] += cost
+        state.pu_instructions[tile_id] += ctx.instructions
+        state.pu_tasks_executed[tile_id] += 1
+        state.busy[tile_id] = True
         self._push(completion, _COMPLETE, (tile_id, ctx))
 
     def _emit_outputs(self, tile_id: int, ctx, now: float) -> None:
+        records = self.state.records
+        network_send = self.network.send
         for task, params, destination in ctx.outgoing:
             self.record_message_traffic(tile_id, destination, task)
-            invocation = TaskInvocation(
-                task.task_id,
-                params,
-                generation=0,
-                remote=destination != tile_id,
-                src_tile=tile_id,
-            )
             if destination == tile_id:
-                self.tiles[tile_id].enqueue_task(task.task_id, invocation)
+                handle = records.alloc(tile_id, task.task_id, params, False)
+                self._enqueue_record(tile_id, task.task_id, handle)
             else:
-                arrival = self._network_delay(tile_id, destination, task, now)
-                self._push(arrival, _DELIVER, (destination, invocation))
+                # Delivery time of one message, per the configured network model.
+                arrival = network_send(
+                    tile_id, destination, task.flits_per_invocation, now
+                )
+                handle = records.alloc(destination, task.task_id, params, True)
+                self._push(arrival, _DELIVER, handle)
+        self.release_context(ctx)
 
-    # ---------------------------------------------------------------- network
-    def _network_delay(self, src: int, dst: int, task: Task, now: float) -> float:
-        """Delivery time of one message, per the configured network model."""
-        return self.network.send(src, dst, task.flits_per_invocation, now)
+
+register_engine("cycle", CycleEngine)

@@ -20,13 +20,15 @@ import numpy as np
 from repro.core.config import MachineConfig
 from repro.core.placement import DataPlacement
 from repro.core.program import EDGE_SPACE, VERTEX_SPACE
+from repro.core.registry import make_engine
 from repro.core.results import SimulationResult
+from repro.core.state import CoreState
 from repro.energy.area import AreaModel
 from repro.energy.model import EnergyModel
 from repro.energy.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 from repro.errors import ConfigurationError, ProgramError
 from repro.graph.csr import CSRGraph
-from repro.noc.topology import make_topology
+from repro.noc.topology import cached_topology
 from repro.tile.tile import Tile
 
 
@@ -61,7 +63,10 @@ class DalorexMachine:
         self.link_model = None
         self.barrier_effective = config.barrier or kernel.requires_barrier
 
-        self.topology = make_topology(
+        # Topologies are immutable (they only grow memoized route profiles),
+        # so machines share one instance per shape -- every run after the
+        # first in a process reuses the accumulated route caches.
+        self.topology = cached_topology(
             config.noc, config.width, config.height, config.ruche_factor,
             depth=config.depth,
         )
@@ -132,8 +137,17 @@ class DalorexMachine:
         return arrays
 
     def _build_tiles(self) -> list:
+        """Build the columnar core state plus one thin Tile view per tile.
+
+        All mutable per-tile state (queues, PU/TSU state, counters, frontier
+        buckets, NoC port times) lives in ``self.state``; the Tile objects
+        are views over its rows (see :mod:`repro.core.state`).
+        """
         iq_capacities = self.program.iq_capacities()
         task_ids = [task.task_id for task in self.program.tasks]
+        self.state = CoreState(
+            self.config.num_tiles, task_ids, iq_capacities, self.config.scheduling
+        )
         return [
             Tile(
                 tile_id,
@@ -142,6 +156,8 @@ class DalorexMachine:
                 iq_capacities,
                 self.config.scheduling,
                 self.config.scratchpad_bytes_per_tile,
+                state=self.state,
+                slot=tile_id,
             )
             for tile_id in range(self.config.num_tiles)
         ]
@@ -203,13 +219,7 @@ class DalorexMachine:
         return result
 
     def _make_engine(self):
-        # Imported here to avoid a circular import at module load time.
-        from repro.core.engine_analytic import AnalyticalEngine
-        from repro.core.engine_cycle import CycleEngine
-
-        if self.config.engine == "cycle":
-            return CycleEngine(self)
-        return AnalyticalEngine(self)
+        return make_engine(self.config.engine, self)
 
 
 def run_kernel(

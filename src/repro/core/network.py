@@ -35,42 +35,54 @@ class AnalyticalNetwork:
     sequence.  No queues, no credits, no pipelining -- exactly the original
     :meth:`CycleEngine._network_delay` arithmetic, kept bit-identical so
     ``network="analytical"`` reproduces historical results byte for byte.
+
+    Routes come memoized from :meth:`Topology.route_profile`, shared with
+    the link-load accounting on the same topology instance.
     """
 
     kind = "analytical"
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(self, topology: Topology, state=None) -> None:
         self.topology = topology
         self._link_free: Dict[Tuple[int, int], float] = {}
-        self._route_cache: Dict[Tuple[int, int], list] = {}
+        if state is not None:
+            # Publish the persistent link state on the machine's columnar
+            # state so diagnostics read network occupancy where everything
+            # else lives.
+            state.noc_link_free = self._link_free
 
     def send(self, src: int, dst: int, flits: int, now: float) -> float:
         """Walk the route charging per-link serialization with persistent state."""
-        key = (src, dst)
-        links = self._route_cache.get(key)
-        if links is None:
-            links = self.topology.links_on_route(src, dst)
-            self._route_cache[key] = links
+        links, _lengths = self.topology.route_profile(src, dst)
+        link_free = self._link_free
+        get = link_free.get
         time = now
         for link in links:
-            start = max(time, self._link_free.get(link, 0.0))
-            finish = start + flits
-            self._link_free[link] = finish
-            time = finish
+            busy = get(link, 0.0)
+            time = (busy if busy > time else time) + flits
+            link_free[link] = time
         return time
 
 
-def make_network_model(config, topology: Topology):
+def make_network_model(config, topology: Topology, state=None):
     """Build the network model a machine configuration selects.
 
     ``network="analytical"`` returns :class:`AnalyticalNetwork`;
     ``network="simulated"`` returns a
     :class:`~repro.noc.sim.simulator.NocSimulator` honouring the config's
     ``routing`` and ``queue_depth`` knobs.  Both expose ``send`` and
-    ``kind``.
+    ``kind``.  When given the machine's columnar
+    :class:`~repro.core.state.CoreState`, the simulator keeps its per-tile
+    injection/ejection port times in the state's ``noc_inject_free`` /
+    ``noc_eject_free`` arrays, and both models publish their persistent
+    link-busy map as ``state.noc_link_free`` -- network occupancy lives
+    where the rest of the machine state does.
     """
     if config.network == "simulated":
         return NocSimulator(
-            topology, routing=config.routing, queue_depth=config.queue_depth
+            topology,
+            routing=config.routing,
+            queue_depth=config.queue_depth,
+            state=state,
         )
-    return AnalyticalNetwork(topology)
+    return AnalyticalNetwork(topology, state=state)

@@ -121,6 +121,12 @@ class DalorexProgram:
         """Input-queue capacity per task ID (used to build tiles)."""
         return {task.task_id: task.iq_capacity for task in self.tasks}
 
+    def dispatch_table(self) -> tuple:
+        """Kernel dispatch table: the program's tasks as a flat tuple indexed
+        by ``task_id`` (ids are dense by construction).  The engines index
+        this on every dispatch instead of calling :meth:`task_by_id`."""
+        return tuple(self.tasks)
+
     # ------------------------------------------------------------- validation
     def validate(self, known_spaces: Optional[List[str]] = None) -> None:
         """Check internal consistency (and optionally that spaces are bound)."""

@@ -1,0 +1,90 @@
+"""Unified registry of simulation engines and application kernels.
+
+Engine selection used to be an ``if config.engine == ...`` chain inside
+``DalorexMachine`` and kernel dispatch a dict private to :mod:`repro.apps`;
+both now live here behind one explicit registration API, so alternative
+engines or kernels (experimental timing models, new applications) plug in
+without editing the core:
+
+* :func:`register_engine` / :func:`make_engine` -- map the ``engine`` field
+  of a :class:`~repro.core.config.MachineConfig` to an engine class taking
+  the machine as its only constructor argument;
+* :func:`register_kernel` / :func:`make_kernel` -- map application names to
+  kernel factories (``repro.apps`` registers the paper's five kernels on
+  import);
+* per-program *kernel dispatch tables* come from
+  :meth:`repro.core.program.DalorexProgram.dispatch_table`: a flat
+  ``task_id -> Task`` tuple the engines index instead of going through the
+  per-call ``task_by_id`` lookup.
+
+The built-in engines and kernels are imported lazily on first lookup, which
+keeps this module import-cycle-free (engines import nothing from here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+
+#: Engine name -> class/factory called as ``factory(machine)``.
+ENGINES: Dict[str, Callable] = {}
+
+#: Application name -> kernel factory called as ``factory(**kwargs)``.
+KERNELS: Dict[str, Callable] = {}
+
+
+def register_engine(name: str, factory: Callable) -> Callable:
+    """Register (or replace) an engine factory under ``name``."""
+    ENGINES[name.strip().lower()] = factory
+    return factory
+
+
+def register_kernel(name: str, factory: Callable) -> Callable:
+    """Register (or replace) a kernel factory under ``name``."""
+    KERNELS[name.strip().lower()] = factory
+    return factory
+
+
+def _load_builtin_engines() -> None:
+    # Importing the engine modules registers them (see the module bottoms).
+    import repro.core.engine_analytic  # noqa: F401
+    import repro.core.engine_cycle  # noqa: F401
+
+
+def _load_builtin_kernels() -> None:
+    import repro.apps  # noqa: F401  (registers the five paper kernels)
+
+
+def engine_names() -> List[str]:
+    """Registered engine names (built-ins loaded first)."""
+    _load_builtin_engines()
+    return sorted(ENGINES)
+
+
+def kernel_names() -> List[str]:
+    """Registered application names (built-ins loaded first)."""
+    _load_builtin_kernels()
+    return sorted(KERNELS)
+
+
+def make_engine(name: str, machine):
+    """Build the engine ``name`` for ``machine`` (e.g. from ``config.engine``)."""
+    key = name.strip().lower()
+    if key not in ENGINES:
+        _load_builtin_engines()
+    if key not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; registered: {sorted(ENGINES)}"
+        )
+    return ENGINES[key](machine)
+
+
+def make_kernel(name: str, **kwargs):
+    """Instantiate the kernel registered under ``name`` (``"bfs"``, ...)."""
+    key = name.strip().lower()
+    if key not in KERNELS:
+        _load_builtin_kernels()
+    if key not in KERNELS:
+        raise KeyError(f"unknown application {name!r}; known: {sorted(KERNELS)}")
+    return KERNELS[key](**kwargs)

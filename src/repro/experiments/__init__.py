@@ -1,11 +1,23 @@
 """Experiment runners: one module per figure of the paper's evaluation,
-plus the contention sweep probing the NoC simulation subsystem."""
+plus the contention sweep probing the NoC simulation subsystem and the
+depth3d sweep over the stacked (mesh3d / torus3d) design space."""
 
-from repro.experiments import contention, fig5, fig6, fig7, fig8, fig9, fig10, textstats
+from repro.experiments import (
+    contention,
+    depth3d,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    textstats,
+)
 from repro.experiments.common import build_kernel, load_experiment_dataset
 
 __all__ = [
     "contention",
+    "depth3d",
     "fig5",
     "fig6",
     "fig7",

@@ -1,0 +1,117 @@
+"""Depth sweep: 3D-stacked grids (mesh3d / torus3d) vs their 2D footprint.
+
+The 3D topologies landed with the NoC work (``MachineConfig.depth``, TSV
+vertical links) but no experiment exercised the design space.  This sweep
+holds the *tile budget* fixed and trades footprint for stacking: a budget of
+``B`` tiles is arranged as ``(width, height, depth)`` with
+``width * height * depth == B`` and increasing depth, and each arrangement
+runs the same workload on the cycle engine.  Stacking shrinks the horizontal
+diameter (and with it the network lower bound) at the cost of TSV hops, which
+is exactly the latency/wiring trade-off 3D integration buys.
+
+Each arrangement runs on both stacked NoC kinds (``mesh3d`` / ``torus3d``);
+``depth=1`` degenerates to the plain 2D mesh/torus behaviour and anchors the
+comparison.  All points go through the shared
+:class:`~repro.runtime.ExperimentRunner` as one batch, so the sweep caches,
+parallelizes and distributes like every other experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.baselines.ladder import dalorex_full_config
+from repro.noc.topology import make_topology
+from repro.runtime import ExperimentRunner, RunSpec
+
+#: (width, height, depth) arrangements of the default 64-tile budget.
+DEFAULT_ARRANGEMENTS: Tuple[Tuple[int, int, int], ...] = (
+    (8, 8, 1),
+    (8, 4, 2),
+    (4, 4, 4),
+)
+
+#: Stacked NoC kinds swept per arrangement.
+DEFAULT_NOCS = ("mesh3d", "torus3d")
+
+
+def run_depth3d(
+    dataset: str = "rmat16",
+    app: str = "bfs",
+    arrangements: Sequence[Tuple[int, int, int]] = DEFAULT_ARRANGEMENTS,
+    nocs: Sequence[str] = DEFAULT_NOCS,
+    scale: float = 1.0,
+    verify: bool = False,
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict:
+    """Run the depth sweep; returns ``{"rows": [...], "results": [...]}``.
+
+    Every point is a cycle-engine run of ``app`` on ``dataset`` with the
+    tile budget ``width*height*depth`` kept constant across arrangements.
+    """
+    runner = ExperimentRunner.ensure(runner)
+    points = []
+    specs = []
+    for noc in nocs:
+        for width, height, depth in arrangements:
+            config = dalorex_full_config(width, height, engine="cycle").with_overrides(
+                name=f"Dalorex-{noc}-d{depth}",
+                noc=noc,
+                depth=depth,
+            )
+            points.append({"noc": noc, "width": width, "height": height, "depth": depth})
+            specs.append(RunSpec(app, dataset, config, scale=scale, verify=verify))
+    results = runner.run_batch(specs)
+
+    rows = []
+    for point, result in zip(points, results):
+        topology = make_topology(
+            point["noc"], point["width"], point["height"], depth=point["depth"]
+        )
+        rows.append(
+            {
+                "noc": point["noc"],
+                "grid": f"{point['width']}x{point['height']}x{point['depth']}",
+                "tiles": point["width"] * point["height"] * point["depth"],
+                "diameter": topology.diameter(),
+                "cycles": result.cycles,
+                "network_bound": result.network_bound_cycles,
+                "flit_hops": result.counters.flit_hops,
+                "energy_j": result.energy.total_j if result.energy else None,
+            }
+        )
+    return {"app": app, "dataset": dataset, "rows": rows,
+            "results": list(zip(points, results))}
+
+
+def summarize(sweep: Dict) -> List[dict]:
+    """Best arrangement per NoC kind (min cycles; the depth/footprint knee)."""
+    best: Dict[str, dict] = {}
+    for row in sweep["rows"]:
+        current = best.get(row["noc"])
+        if current is None or row["cycles"] < current["cycles"]:
+            best[row["noc"]] = row
+    return [
+        {"noc": noc, "best_grid": row["grid"], "best_cycles": row["cycles"]}
+        for noc, row in sorted(best.items())
+    ]
+
+
+def report(sweep: Dict) -> str:
+    sections = [
+        "== Depth sweep (3D stacking vs footprint, fixed tile budget) ==",
+        f"-- {sweep['app']} on {sweep['dataset']} --",
+        format_table(sweep["rows"]),
+        "-- best arrangement per NoC --",
+        format_table(summarize(sweep)),
+    ]
+    return "\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(report(run_depth3d()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -36,14 +36,16 @@ class LinkLoadModel:
         self.topology = topology
         self.detailed = detailed
         self.link_flits: Dict[Link, int] = {}
-        self.router_flits = np.zeros(topology.num_tiles, dtype=np.int64)
-        self.injected_flits = np.zeros(topology.num_tiles, dtype=np.int64)
-        self.ejected_flits = np.zeros(topology.num_tiles, dtype=np.int64)
+        # Per-tile counters are plain Python lists: the hot path increments
+        # single elements, where numpy scalar indexing costs ~10x more.
+        # router_traffic() materializes the numpy view on demand.
+        self.router_flits = [0] * topology.num_tiles
+        self.injected_flits = [0] * topology.num_tiles
+        self.ejected_flits = [0] * topology.num_tiles
         self.total_flit_hops = 0
         self.total_flit_millimeters = 0.0
         self.total_messages = 0
         self._bisection_flits = 0
-        self._route_cache: Dict[Link, list] = {}
 
     def record_message(self, src: int, dst: int, flits: int, tile_pitch_mm: float = 1.0) -> int:
         """Charge one ``flits``-long message from ``src`` to ``dst``.
@@ -65,18 +67,18 @@ class LinkLoadModel:
             if (self.topology.coords(src)[0] < middle) != (self.topology.coords(dst)[0] < middle):
                 self._bisection_flits += flits
             return hops
-        key = (src, dst)
-        links = self._route_cache.get(key)
-        if links is None:
-            links = self.topology.links_on_route(src, dst)
-            self._route_cache[key] = links
-        for link in links:
-            self.link_flits[link] = self.link_flits.get(link, 0) + flits
-            self.router_flits[link[0]] += flits
-            self.total_flit_millimeters += (
-                flits * self.topology.link_length_tiles(*link) * tile_pitch_mm
-            )
-        self.router_flits[dst] += flits
+        # Route and per-link lengths come memoized from the topology, shared
+        # with every other model on the same instance.
+        links, lengths = self.topology.route_profile(src, dst)
+        link_flits = self.link_flits
+        router_flits = self.router_flits
+        millimeters = self.total_flit_millimeters
+        for link, length in zip(links, lengths):
+            link_flits[link] = link_flits.get(link, 0) + flits
+            router_flits[link[0]] += flits
+            millimeters += flits * length * tile_pitch_mm
+        self.total_flit_millimeters = millimeters
+        router_flits[dst] += flits
         self.total_flit_hops += flits * len(links)
         return len(links)
 
@@ -90,9 +92,9 @@ class LinkLoadModel:
 
     def max_endpoint_load(self) -> int:
         """Heaviest injection/ejection flit count over all tiles."""
-        inject = int(self.injected_flits.max()) if len(self.injected_flits) else 0
-        eject = int(self.ejected_flits.max()) if len(self.ejected_flits) else 0
-        return max(inject, eject)
+        inject = max(self.injected_flits, default=0)
+        eject = max(self.ejected_flits, default=0)
+        return int(max(inject, eject))
 
     def bisection_load(self) -> int:
         """Flits crossing the vertical middle cut (both directions)."""
@@ -125,7 +127,7 @@ class LinkLoadModel:
     # ------------------------------------------------------------------- stats
     def router_traffic(self) -> np.ndarray:
         """Flits traversing each router (for utilization heatmaps)."""
-        return self.router_flits.copy()
+        return np.array(self.router_flits, dtype=np.int64)
 
     def link_load_matrix(self) -> np.ndarray:
         """Dense (num_tiles x num_tiles) matrix of link loads (0 where no link)."""
@@ -155,20 +157,24 @@ class LinkLoadModel:
             )
         for link, flits in other.link_flits.items():
             self.link_flits[link] = self.link_flits.get(link, 0) + flits
-        self.router_flits += other.router_flits
-        self.injected_flits += other.injected_flits
-        self.ejected_flits += other.ejected_flits
+        for tile, flits in enumerate(other.router_flits):
+            self.router_flits[tile] += flits
+        for tile, flits in enumerate(other.injected_flits):
+            self.injected_flits[tile] += flits
+        for tile, flits in enumerate(other.ejected_flits):
+            self.ejected_flits[tile] += flits
         self.total_flit_hops += other.total_flit_hops
         self.total_flit_millimeters += other.total_flit_millimeters
         self.total_messages += other.total_messages
         self._bisection_flits += other._bisection_flits
 
     def reset(self) -> None:
-        """Clear all accumulated traffic (route cache is kept)."""
+        """Clear all accumulated traffic (the topology keeps its route cache)."""
         self.link_flits.clear()
-        self.router_flits[:] = 0
-        self.injected_flits[:] = 0
-        self.ejected_flits[:] = 0
+        num_tiles = self.topology.num_tiles
+        self.router_flits = [0] * num_tiles
+        self.injected_flits = [0] * num_tiles
+        self.ejected_flits = [0] * num_tiles
         self.total_flit_hops = 0
         self.total_flit_millimeters = 0.0
         self.total_messages = 0

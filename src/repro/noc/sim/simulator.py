@@ -65,6 +65,7 @@ class NocSimulator:
         topology: Topology,
         routing: str | RoutingPolicy = "dimension_ordered",
         queue_depth: int = 4,
+        state=None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -79,9 +80,19 @@ class NocSimulator:
         #: Release times of the flits currently charged to each link's
         #: downstream input-buffer slots (at most ``queue_depth`` entries).
         self._credits: Dict[Link, Deque[float]] = {}
-        #: Next cycle each tile's injection / ejection port is free.
-        self._inject_free: Dict[int, float] = {}
-        self._eject_free: Dict[int, float] = {}
+        #: Next cycle each tile's injection / ejection port is free -- flat
+        #: arrays indexed by tile id.  When the simulator is built for a
+        #: machine, these are the *same* lists as the columnar
+        #: :class:`~repro.core.state.CoreState` ``noc_inject_free`` /
+        #: ``noc_eject_free`` columns, so the engine and the network model
+        #: read identical port occupancy instead of mirroring it.
+        if state is not None:
+            self._inject_free = state.noc_inject_free
+            self._eject_free = state.noc_eject_free
+            state.noc_link_free = self._link_free
+        else:
+            self._inject_free = [0.0] * topology.num_tiles
+            self._eject_free = [0.0] * topology.num_tiles
         # Accounting --------------------------------------------------------
         self.link_flits: Dict[Link, int] = {}
         self.total_messages = 0
@@ -112,7 +123,7 @@ class NocSimulator:
         arrival = now
         for _flit in range(flits):
             # The tile's injection port releases one flit per cycle.
-            t = max(now, self._inject_free.get(src, 0.0))
+            t = max(now, self._inject_free[src])
             departures: List[float] = []
             for link in links:
                 dep = max(t, self._link_free.get(link, 0.0))
@@ -126,7 +137,7 @@ class NocSimulator:
                 t = dep + 1.0  # flit lands in the downstream buffer
             self._inject_free[src] = departures[0] + 1.0
             # The destination's ejection port drains one flit per cycle.
-            eject = max(t, self._eject_free.get(dst, 0.0))
+            eject = max(t, self._eject_free[dst])
             self._eject_free[dst] = eject + 1.0
             arrival = eject
             # Charge the buffer slots this flit occupied: the slot behind
@@ -169,11 +180,15 @@ class NocSimulator:
         }
 
     def reset(self) -> None:
-        """Clear all network state and accounting (topology/policy kept)."""
+        """Clear all network state and accounting (topology/policy kept).
+
+        Port arrays are zeroed in place: they may be shared with a machine's
+        columnar state."""
         self._link_free.clear()
         self._credits.clear()
-        self._inject_free.clear()
-        self._eject_free.clear()
+        for tile in range(len(self._inject_free)):
+            self._inject_free[tile] = 0.0
+            self._eject_free[tile] = 0.0
         self.link_flits.clear()
         self.total_messages = 0
         self.total_flits = 0

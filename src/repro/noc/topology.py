@@ -177,6 +177,35 @@ class Topology(ABC):
         path = self.route(src, dst)
         return list(zip(path[:-1], path[1:]))
 
+    #: Per-topology cap on memoized route profiles.  Topology instances are
+    #: process-lived (``cached_topology``), so an uncapped cache would grow
+    #: toward num_tiles^2 entries on a long-running worker; 16x16 and 32x32
+    #: grids stay fully cached, larger grids cache their hottest pairs.
+    ROUTE_PROFILE_CACHE_LIMIT = 1 << 17
+
+    def route_profile(self, src: int, dst: int) -> tuple:
+        """Memoized ``(links, lengths)`` of the dimension-ordered route.
+
+        ``links`` is :meth:`links_on_route`; ``lengths`` the matching
+        per-link physical lengths in tile pitches.  Routes are pure functions
+        of (src, dst), and the cache lives on the topology instance, so every
+        consumer sharing one topology -- the link-load models of both
+        engines, the analytical network, per-epoch accounting -- shares one
+        route computation per pair.
+        """
+        cache = getattr(self, "_route_profiles", None)
+        if cache is None:
+            cache = self._route_profiles = {}
+        key = (src, dst)
+        profile = cache.get(key)
+        if profile is None:
+            links = self.links_on_route(src, dst)
+            lengths = [self.link_length_tiles(*link) for link in links]
+            profile = (links, lengths)
+            if len(cache) < self.ROUTE_PROFILE_CACHE_LIMIT:
+                cache[key] = profile
+        return profile
+
     def links(self) -> Iterator[Link]:
         """All directed links of the topology."""
         seen = set()

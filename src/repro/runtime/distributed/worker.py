@@ -10,6 +10,12 @@ the broker requeues it immediately instead of waiting for expiry.
 Workers ride out broker restarts: transport errors back off and retry until
 ``connect_patience`` seconds pass without reaching a broker, then the worker
 exits cleanly (a supervisor -- or the CI smoke script -- restarts it).
+
+``capacity > 1`` runs that many lease/execute/upload loops concurrently in
+one process (``dalorex worker --capacity N``): each loop holds its own lease
+and heartbeat, simulations share the per-process graph memo, and the broker
+sees N independent leases from one ``worker_id``.  ``stop()``, ``max_runs``
+and the shared counters apply across all loops.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ class Worker:
         executor: canonical-spec -> payload function (tests inject crashy or
             poisoned ones).
         log: progress sink, e.g. ``print`` (default: silent).
+        capacity: concurrent leases this worker holds and executes (>= 1).
     """
 
     def __init__(
@@ -67,35 +74,102 @@ class Worker:
         connect_patience: float = 30.0,
         executor: Callable[[Dict[str, Any]], Dict[str, Any]] = execute_canonical,
         log: Optional[Callable[[str], None]] = None,
+        capacity: int = 1,
     ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.address = address
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.poll_interval = max(0.01, float(poll_interval))
         self.max_runs = max_runs
         self.connect_patience = float(connect_patience)
         self.executor = executor
+        self.capacity = int(capacity)
         self.completed = 0
         self.rejected = 0
         self.errors = 0
         self._log = log or (lambda message: None)
         self._stop = threading.Event()
+        # Counter updates come from multiple lease loops when capacity > 1.
+        self._counter_lock = threading.Lock()
+        # Run slots claimed toward max_runs (a loop claims before leasing and
+        # releases on a non-accepted outcome, so concurrent loops never
+        # overshoot the accepted-results budget).
+        self._claimed_runs = 0
         # Uploads travel gzipped by default (protocol v2); a v1 broker
         # rejects the gzip-only upload as an empty payload, which flips this
         # flag and the worker falls back to plain JSON for its lifetime.
         self._use_gzip = True
 
     def stop(self) -> None:
-        """Ask the loop to exit after the current spec (thread-safe)."""
+        """Ask the loop(s) to exit after the current spec (thread-safe)."""
         self._stop.set()
+
+    def _count(self, field: str) -> int:
+        """Increment one shared counter; returns the new value."""
+        with self._counter_lock:
+            value = getattr(self, field) + 1
+            setattr(self, field, value)
+            return value
+
+    def _claim_run_slot(self) -> bool:
+        """Reserve one accepted-result slot toward ``max_runs``.
+
+        False means the budget is exhausted (counting runs in flight on
+        other loops) and the calling loop should exit.
+        """
+        if self.max_runs is None:
+            return True
+        with self._counter_lock:
+            if self._claimed_runs >= self.max_runs:
+                return False
+            self._claimed_runs += 1
+            return True
+
+    def _release_run_slot(self) -> None:
+        """Return a claimed slot (lease yielded no work, or not accepted)."""
+        if self.max_runs is None:
+            return
+        with self._counter_lock:
+            self._claimed_runs -= 1
 
     # ------------------------------------------------------------------ loop
     def run(self) -> int:
-        """Pull work until shutdown/stop/max_runs; returns accepted count."""
+        """Pull work until shutdown/stop/max_runs; returns accepted count.
+
+        With ``capacity > 1``, runs that many lease loops on daemon threads
+        and joins them; each loop leases, executes and uploads independently.
+        """
+        if self.capacity == 1:
+            self._lease_loop()
+            return self.completed
+        loops = [
+            threading.Thread(target=self._lease_loop, name=f"lease-{i}", daemon=True)
+            for i in range(self.capacity)
+        ]
+        for loop in loops:
+            loop.start()
+        for loop in loops:
+            loop.join()
+        return self.completed
+
+    def _lease_loop(self) -> None:
+        """One lease/execute/upload loop (a worker runs ``capacity`` of these)."""
         last_contact = time.monotonic()
         while not self._stop.is_set():
+            if not self._claim_run_slot():
+                # Budget fully claimed.  Runs still in flight on other loops
+                # may yet fail and release their slot, so wait rather than
+                # exit; the loop that lands the final accept sets _stop.
+                if self.max_runs is not None and self.completed >= self.max_runs:
+                    self._stop.set()
+                    break
+                time.sleep(self.poll_interval)
+                continue
             try:
                 lease = request(self.address, {"op": "lease", "worker": self.worker_id})
             except (OSError, ProtocolError) as exc:
+                self._release_run_slot()
                 if time.monotonic() - last_contact > self.connect_patience:
                     self._log(f"[{self.worker_id}] giving up on broker: {exc}")
                     break
@@ -103,20 +177,28 @@ class Worker:
                 continue
             last_contact = time.monotonic()
             if lease.get("shutdown"):
+                self._release_run_slot()
                 self._log(f"[{self.worker_id}] broker shut down; exiting")
+                self._stop.set()
                 break
             key = lease.get("key")
             if key is None:
+                self._release_run_slot()
                 time.sleep(self.poll_interval)
                 continue
-            self._run_one(key, lease["spec"], float(lease.get("lease_timeout", 60.0)))
+            accepted = self._run_one(
+                key, lease["spec"], float(lease.get("lease_timeout", 60.0))
+            )
+            if not accepted:
+                self._release_run_slot()
             if self.max_runs is not None and self.completed >= self.max_runs:
+                self._stop.set()
                 break
-        return self.completed
 
     def _run_one(
         self, key: str, canonical: Dict[str, Any], lease_timeout: float
-    ) -> None:
+    ) -> bool:
+        """Execute one leased spec; True when the upload was accepted."""
         stop_beat = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop,
@@ -127,13 +209,13 @@ class Worker:
         try:
             payload = self.executor(canonical)
         except Exception as exc:
-            self.errors += 1
+            self._count("errors")
             self._log(f"[{self.worker_id}] {key[:12]} failed: {exc}")
             self._send_quietly(
                 {"op": "release", "worker": self.worker_id, "key": key,
                  "error": f"worker executor raised: {exc}"}
             )
-            return
+            return False
         finally:
             stop_beat.set()
             beat.join(timeout=5.0)
@@ -141,17 +223,18 @@ class Worker:
         if response is None:
             # The upload never reached the broker; the lease will expire and
             # another worker (or this one, next lease) re-runs the spec.
-            self.errors += 1
-            return
+            self._count("errors")
+            return False
         if response.get("accepted"):
-            self.completed += 1
+            self._count("completed")
             self._log(f"[{self.worker_id}] completed {key[:12]}")
-        else:
-            self.rejected += 1
-            self._log(
-                f"[{self.worker_id}] upload rejected for {key[:12]}: "
-                f"{response.get('reason')}"
-            )
+            return True
+        self._count("rejected")
+        self._log(
+            f"[{self.worker_id}] upload rejected for {key[:12]}: "
+            f"{response.get('reason')}"
+        )
+        return False
 
     def _upload(
         self, key: str, payload: Dict[str, Any]

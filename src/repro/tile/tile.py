@@ -1,96 +1,124 @@
-"""Composition of one processing tile: scratchpad, PU, TSU and task queues."""
+"""Composition of one processing tile: scratchpad, PU, TSU and task queues.
+
+Since the columnar-core refactor a tile no longer owns its mutable state:
+everything lives in flat per-tile arrays inside
+:class:`~repro.core.state.CoreState` (see ``core/state.py``), and ``Tile``
+is a thin view bound to one row of those arrays.  The public API -- the
+``pu`` / ``tsu`` / ``scratchpad`` / ``input_queues`` members and the counter
+attributes -- is unchanged, so the energy model, the invariant tracer and
+the unit tests keep working, while the simulation engines bypass the views
+and operate on the arrays directly.
+
+A ``Tile`` built without an explicit ``state`` (as the unit tests do)
+creates a private single-tile :class:`CoreState` and behaves exactly like
+the historical object implementation.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.tile.pu import ProcessingUnit
-from repro.tile.queues import CircularQueue
-from repro.tile.scratchpad import Scratchpad
-from repro.tile.tsu import TaskSchedulingUnit
+from repro.core.state import CoreState
+from repro.tile.pu import PUView
+from repro.tile.queues import QueueView
+from repro.tile.scratchpad import ScratchpadView
+from repro.tile.tsu import TSUView
+
+
+def _columnar_counter(array_name: str):
+    """Property accessor for one per-tile counter column."""
+
+    def fget(self):
+        return getattr(self.state, array_name)[self.slot]
+
+    def fset(self, value):
+        getattr(self.state, array_name)[self.slot] = value
+
+    return property(fget, fset)
 
 
 class Tile:
-    """One Dalorex processing tile.
+    """One Dalorex processing tile, viewed over the columnar core state.
 
-    The simulation engines own the timing; the tile object holds the structural
-    state (queues, scratchpad regions) and the per-tile counters used by the
-    energy model and the utilization heatmaps.
+    The simulation engines own the timing; the tile object exposes the
+    structural state (queues, scratchpad regions) and the per-tile counters
+    used by the energy model and the utilization heatmaps.
     """
 
     def __init__(
         self,
         tile_id: int,
-        coords: Tuple[int, int],
+        coords: Tuple[int, ...],
         task_ids: Iterable[int],
         iq_capacities: Dict[int, int],
         scheduling_policy: str,
         scratchpad_bytes: Optional[int] = None,
+        state: Optional[CoreState] = None,
+        slot: Optional[int] = None,
     ) -> None:
+        task_id_list = list(task_ids)
+        if state is None:
+            state = CoreState(1, task_id_list, iq_capacities, scheduling_policy)
+            slot = 0
+        self.state = state
+        self.slot = tile_id if slot is None else slot
         self.tile_id = tile_id
         self.coords = coords
-        self.scratchpad = Scratchpad(scratchpad_bytes, strict=False)
-        self.pu = ProcessingUnit(tile_id)
-        task_id_list = list(task_ids)
-        self.input_queues: Dict[int, CircularQueue] = {
-            task_id: CircularQueue(
-                iq_capacities[task_id],
-                name=f"tile{tile_id}.iq{task_id}",
-                allow_overflow=True,
+        self.scratchpad = ScratchpadView(state, self.slot, scratchpad_bytes, strict=False)
+        self.pu = PUView(state, self.slot, tile_id)
+        self.input_queues: Dict[int, QueueView] = {
+            task_id: QueueView(
+                state, self.slot, task_id, name=f"tile{tile_id}.iq{task_id}"
             )
             for task_id in task_id_list
         }
-        self.tsu = TaskSchedulingUnit(task_id_list, policy=scheduling_policy)
-        # Counters consumed by the energy model and the result object.
-        self.messages_sent = 0
-        self.messages_received = 0
-        self.flits_sent = 0
-        self.flits_received = 0
-        self.dram_accesses = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.interrupt_cycles = 0.0
-        self.edges_processed = 0
+        self.tsu = TSUView(state, self.slot, task_id_list, scheduling_policy)
+
+    # Counters consumed by the energy model and the result object; each is a
+    # view over the matching CoreState column.
+    messages_sent = _columnar_counter("messages_sent")
+    messages_received = _columnar_counter("messages_received")
+    flits_sent = _columnar_counter("flits_sent")
+    flits_received = _columnar_counter("flits_received")
+    dram_accesses = _columnar_counter("dram_accesses")
+    cache_hits = _columnar_counter("cache_hits")
+    cache_misses = _columnar_counter("cache_misses")
+    interrupt_cycles = _columnar_counter("interrupt_cycles")
+    edges_processed = _columnar_counter("edges_processed")
 
     # ------------------------------------------------------------------ queues
-    def enqueue_task(self, task_id: int, params: tuple) -> None:
+    def enqueue_task(self, task_id: int, params) -> None:
         """Push one task invocation's parameters into the task's input queue."""
-        self.input_queues[task_id].push(params)
-        self.messages_received += 1
+        self.state.push_invocation(self.slot, task_id, params)
+        self.state.messages_received[self.slot] += 1
 
     def pending_invocations(self) -> int:
         """Total entries across all input queues."""
-        return sum(len(queue) for queue in self.input_queues.values())
+        return self.state.tile_pending(self.slot)
 
     def is_idle(self) -> bool:
         """True when no task invocation is pending on this tile."""
-        return self.pending_invocations() == 0
+        return self.state.tile_is_idle(self.slot)
 
     def select_next_task(
         self, output_occupancy: Optional[Dict[int, float]] = None
     ) -> Optional[int]:
         """Ask the TSU which task to run next (``None`` when nothing is ready)."""
+        if output_occupancy is None:
+            return self.state.select_task(self.slot)
         return self.tsu.select_task(self.input_queues, output_occupancy)
 
     # ---------------------------------------------------------------- counters
     def record_send(self, flits: int) -> None:
-        self.messages_sent += 1
-        self.flits_sent += flits
+        self.state.messages_sent[self.slot] += 1
+        self.state.flits_sent[self.slot] += flits
 
     def record_receive_flits(self, flits: int) -> None:
-        self.flits_received += flits
+        self.state.flits_received[self.slot] += flits
 
     def queue_statistics(self) -> Dict[int, dict]:
         """Per-task queue statistics (occupancy peaks, throughput, overflows)."""
-        return {
-            task_id: {
-                "capacity": queue.capacity,
-                "max_occupancy": queue.max_occupancy,
-                "total_pushed": queue.total_pushed,
-                "overflow_events": queue.overflow_events,
-            }
-            for task_id, queue in self.input_queues.items()
-        }
+        return self.state.queue_statistics(self.slot)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Tile(id={self.tile_id}, coords={self.coords}, pending={self.pending_invocations()})"

@@ -25,10 +25,15 @@ which makes the chain a simple path:
 * BFS: assigned levels are simple-path lengths, i.e. strictly decreasing
   integers in ``[final_level(v), V-1]`` -- at most ``V - final_level(v)``
   explorations;
-* SSSP (integral weights): assigned distances are simple-path weights,
-  strictly decreasing integers in ``[final_dist(v), (V-1) * max_weight]``;
-  with non-integral weights the bound falls back to the Bellman-Ford-style
-  ``V`` explorations per vertex;
+* SSSP (integral weights): assigned distances are simple-path weights, and
+  the count of *distinct* simple-path lengths bounds the re-explorations.  A
+  simple path uses at most ``V-1`` distinct edges, so its weight is at most
+  the sum of the ``V-1`` heaviest edge weights (not ``(V-1) * max_weight``),
+  and every path weight is a sum of edge weights, hence a multiple of their
+  gcd -- so the achievable lengths are the multiples of ``gcd`` in
+  ``[final_dist(v), top_sum]``, a strictly smaller lattice than the naive
+  per-unit one.  With non-integral weights the bound falls back to the
+  Bellman-Ford-style ``V`` explorations per vertex;
 * WCC: adopted labels are vertex IDs inside the component, strictly
   decreasing -- at most ``1 + |{u in component(v): u < v}|`` explorations.
 
@@ -117,13 +122,27 @@ def _sssp_reference(graph: CSRGraph, root: int) -> ReferenceRun:
         or (np.all(values == np.floor(values)) and values.min() >= 1.0)
     )
     if integral:
-        # Assigned distances are simple-path weights: strictly decreasing
-        # integers in [final_dist(v), (V-1) * max_weight].
-        max_weight = int(values.max()) if graph.num_edges else 0
-        ceiling = (num_vertices - 1) * max_weight
-        explorations = np.maximum(
-            1, ceiling - np.round(dist[reachable]).astype(np.int64) + 1
-        )
+        # Assigned distances are simple-path weights; count the distinct
+        # integer lengths a simple path ending at v can take.  A simple path
+        # has at most V-1 (distinct) edges, so its weight never exceeds the
+        # sum of the V-1 heaviest weights; and every path weight is a sum of
+        # edge weights, hence a multiple of their gcd.  The improvements of
+        # v are strictly decreasing members of that lattice down to
+        # final_dist(v) (itself a path weight, so on the lattice too).
+        int_weights = np.round(values).astype(np.int64)
+        top_k = min(num_vertices - 1, graph.num_edges)
+        if top_k <= 0:
+            ceiling = 0
+        elif top_k >= graph.num_edges:
+            ceiling = int(int_weights.sum())
+        else:
+            ceiling = int(
+                np.partition(int_weights, graph.num_edges - top_k)[-top_k:].sum()
+            )
+        gcd = int(np.gcd.reduce(int_weights)) if graph.num_edges else 1
+        gcd = max(1, gcd)
+        final = np.round(dist[reachable]).astype(np.int64)
+        explorations = np.maximum(1, (ceiling - final) // gcd + 1)
     else:
         # Non-integral weights: Bellman-Ford-style V explorations per vertex.
         explorations = np.full(int(reachable.sum()), num_vertices, dtype=np.int64)

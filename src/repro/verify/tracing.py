@@ -113,8 +113,21 @@ class InvariantTracer:
         self.epochs_traced = epoch_index + 1
 
     # ----------------------------------------------------------------- verify
-    def record_queue_stats(self, tiles: Sequence) -> None:
-        """Per-tile input-queue occupancy high-water marks (max over tasks)."""
+    def record_queue_stats(self, tiles: Sequence, state=None) -> None:
+        """Per-tile input-queue occupancy high-water marks (max over tasks).
+
+        With a columnar :class:`~repro.core.state.CoreState` the marks are
+        read straight from the flat queue arrays; the per-tile-object path
+        remains for standalone tiles and tests.
+        """
+        if state is not None:
+            num_tasks = state.num_tasks
+            marks = state.queue_max_occupancy
+            self.queue_high_water = {
+                tile: max(marks[tile * num_tasks : (tile + 1) * num_tasks], default=0)
+                for tile in range(state.num_tiles)
+            }
+            return
         self.queue_high_water = {
             tile.tile_id: max(
                 (queue.max_occupancy for queue in tile.input_queues.values()), default=0
@@ -122,10 +135,12 @@ class InvariantTracer:
             for tile in tiles
         }
 
-    def verify(self, counters, tiles: Sequence) -> None:
+    def verify(self, counters, tiles: Sequence, state=None) -> None:
         """Run the always-on conservation checks; raises :class:`InvariantViolation`.
 
-        Idempotent per run: engines call this once from ``build_result``.
+        Idempotent per run: engines call this once from ``build_result`` and
+        pass the columnar state so the queue-balance checks are flat array
+        sums instead of per-object walks.
         """
         total = self.total_spawned
         if self.consumed != total:
@@ -148,16 +163,21 @@ class InvariantTracer:
                 f"local_messages={counters.local_messages} exceeds "
                 f"messages={counters.messages}"
             )
-        pending = sum(tile.pending_invocations() for tile in tiles)
+        if state is not None:
+            pending = sum(len(queue) for queue in state.queues)
+            pushed = sum(state.queue_pushed)
+            popped = sum(state.queue_popped)
+        else:
+            pending = sum(tile.pending_invocations() for tile in tiles)
+            pushed = popped = 0
+            for tile in tiles:
+                for queue in tile.input_queues.values():
+                    pushed += queue.total_pushed
+                    popped += queue.total_popped
         if pending:
             raise InvariantViolation(
                 f"{pending} invocations still parked in tile queues at run end"
             )
-        pushed = popped = 0
-        for tile in tiles:
-            for queue in tile.input_queues.values():
-                pushed += queue.total_pushed
-                popped += queue.total_popped
         if pushed != popped:
             raise InvariantViolation(
                 f"queue push/pop imbalance at run end: {pushed} pushed, {popped} popped"

@@ -1,0 +1,56 @@
+"""The depth3d experiment: fixed tile budget, 3D stacking design space."""
+
+import pytest
+
+from repro.experiments import depth3d
+from repro.runtime import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    with ExperimentRunner() as runner:
+        return depth3d.run_depth3d(
+            arrangements=((4, 4, 1), (4, 2, 2)),
+            nocs=("mesh3d", "torus3d"),
+            scale=0.04,
+            runner=runner,
+        )
+
+
+class TestDepthSweep:
+    def test_rows_cover_the_design_space(self, sweep):
+        rows = sweep["rows"]
+        assert len(rows) == 4  # two arrangements x two NoC kinds
+        assert {row["noc"] for row in rows} == {"mesh3d", "torus3d"}
+        assert {row["grid"] for row in rows} == {"4x4x1", "4x2x2"}
+
+    def test_tile_budget_is_constant(self, sweep):
+        assert {row["tiles"] for row in sweep["rows"]} == {16}
+
+    def test_stacking_shrinks_the_diameter(self, sweep):
+        for noc in ("mesh3d", "torus3d"):
+            by_grid = {
+                row["grid"]: row["diameter"]
+                for row in sweep["rows"]
+                if row["noc"] == noc
+            }
+            assert by_grid["4x2x2"] <= by_grid["4x4x1"]
+
+    def test_every_run_simulated_and_bounded(self, sweep):
+        for row in sweep["rows"]:
+            assert row["cycles"] >= 1.0
+            assert row["cycles"] >= row["network_bound"]
+            assert row["flit_hops"] >= 0
+            assert row["energy_j"] is None or row["energy_j"] > 0
+
+    def test_summary_picks_minimum_cycles(self, sweep):
+        best = {entry["noc"]: entry for entry in depth3d.summarize(sweep)}
+        for noc in ("mesh3d", "torus3d"):
+            cycles = [row["cycles"] for row in sweep["rows"] if row["noc"] == noc]
+            assert best[noc]["best_cycles"] == min(cycles)
+
+    def test_report_renders(self, sweep):
+        text = depth3d.report(sweep)
+        assert "Depth sweep" in text
+        assert "best arrangement" in text
+        assert "4x2x2" in text

@@ -1,0 +1,159 @@
+"""Worker capacity > 1: concurrent leases in one process, and fault behaviour.
+
+``dalorex worker --capacity N`` runs N lease/execute/upload loops in one
+worker process.  The suite pins:
+
+* genuine concurrency -- with capacity 2, two specs are simultaneously *in
+  execution* inside one worker (a barrier in the executor proves overlap);
+* counters aggregate across loops and the batch completes byte-identically
+  to a serial run;
+* an executor crash in one loop releases only that lease (the broker
+  requeues it) while the other loop keeps completing work, so the batch
+  still finishes with one capacity-2 worker.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.runtime import ExperimentRunner, execute_to_payload
+from repro.runtime.distributed import Broker, BrokerServer, Worker
+from repro.runtime.distributed.worker import execute_canonical
+
+from distributed_helpers import make_spec, make_specs
+
+
+def summaries(results):
+    return [json.dumps(result.to_dict(), sort_keys=True, default=str)
+            for result in results]
+
+
+class TestCapacityValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Worker(("127.0.0.1", 1), capacity=0)
+
+
+class TestConcurrentLeases:
+    def test_two_specs_execute_simultaneously_in_one_worker(self):
+        """A Barrier(2) inside the executor only passes if both lease loops
+        are inside executions at the same time."""
+        specs = make_specs()[:2]
+        rendezvous = threading.Barrier(2, timeout=30.0)
+        overlapped = threading.Event()
+
+        def overlapping_executor(canonical):
+            try:
+                rendezvous.wait()
+                overlapped.set()
+            except threading.BrokenBarrierError:
+                # Tolerated for re-leases after the first overlap is proven.
+                pass
+            return execute_canonical(canonical)
+
+        broker = Broker(lease_timeout=60.0)
+        broker.submit([spec.canonical() for spec in specs])
+        with BrokerServer(broker) as server:
+            worker = Worker(
+                server.address,
+                worker_id="wide",
+                poll_interval=0.02,
+                capacity=2,
+                max_runs=2,
+                executor=overlapping_executor,
+            )
+            completed = worker.run()
+        assert overlapped.is_set()
+        assert completed == 2
+        assert worker.completed == 2
+        status = broker.status()
+        assert status["completed"] == 2
+        assert status["pending"] == 0
+
+    def test_capacity_batch_matches_serial_results(self):
+        specs = make_specs()
+        serial = ExperimentRunner().run_batch(specs)
+
+        broker = Broker(lease_timeout=60.0)
+        broker.submit([spec.canonical() for spec in specs])
+        with BrokerServer(broker) as server:
+            worker = Worker(
+                server.address,
+                worker_id="wide",
+                poll_interval=0.02,
+                capacity=3,
+                max_runs=len(specs),
+            )
+            worker.run()
+        assert broker.status()["completed"] == len(specs)
+        fetched = broker.fetch([spec.key() for spec in specs])
+        assert not fetched["failed"] and fetched["pending"] == 0
+        for spec in specs:
+            _key, expected = execute_to_payload(spec)
+            assert json.dumps(fetched["results"][spec.key()], sort_keys=True) == \
+                json.dumps(expected, sort_keys=True)
+        assert serial  # serial run sanity: the batch itself simulates fine
+
+
+class TestMaxRunsBudget:
+    def test_concurrent_loops_never_overshoot_max_runs(self):
+        """capacity 2 with max_runs below the queue depth: exactly max_runs
+        specs are accepted, never max_runs + capacity - 1."""
+        specs = make_specs()  # 4 specs queued
+        assert len(specs) == 4
+        broker = Broker(lease_timeout=60.0)
+        broker.submit([spec.canonical() for spec in specs])
+        with BrokerServer(broker) as server:
+            worker = Worker(
+                server.address,
+                worker_id="wide",
+                poll_interval=0.02,
+                capacity=2,
+                max_runs=3,
+            )
+            completed = worker.run()
+        assert completed == 3
+        assert worker.completed == 3
+        status = broker.status()
+        assert status["completed"] == 3
+
+
+class TestCapacityFaults:
+    def test_crash_in_one_loop_releases_and_batch_completes(self):
+        """One loop's executor dies on its first spec; the lease is released,
+        the broker requeues, and the same capacity-2 worker finishes the
+        whole batch anyway."""
+        specs = make_specs()
+        keys = {spec.key() for spec in specs}
+        crashed = threading.Event()
+        lock = threading.Lock()
+
+        def crash_once_executor(canonical):
+            with lock:
+                first = not crashed.is_set()
+                crashed.set()
+            if first:
+                raise RuntimeError("injected executor crash")
+            return execute_canonical(canonical)
+
+        broker = Broker(lease_timeout=60.0, max_attempts=5)
+        broker.submit([spec.canonical() for spec in specs])
+        with BrokerServer(broker) as server:
+            worker = Worker(
+                server.address,
+                worker_id="wide",
+                poll_interval=0.02,
+                capacity=2,
+                max_runs=len(specs),
+                executor=crash_once_executor,
+            )
+            worker.run()
+        assert crashed.is_set()
+        assert worker.errors == 1
+        assert worker.completed == len(specs)
+        status = broker.status()
+        assert status["completed"] == len(specs)
+        assert status["failed"] == 0
+        fetched = broker.fetch(sorted(keys))
+        assert set(fetched["results"]) == keys

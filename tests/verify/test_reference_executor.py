@@ -86,6 +86,62 @@ class TestBoundsShape:
         assert not bounds.admits_edges(bounds.edges_upper + 1)
 
 
+class TestSSSPBoundTightness:
+    """The distinct-simple-path-length SSSP bound shrinks the lattice bound."""
+
+    @staticmethod
+    def lattice_upper(graph, root):
+        """The historical bound: strictly decreasing integers per unit step in
+        [final_dist(v), (V-1) * max_weight]."""
+        dist = sssp_distances(graph, root)
+        degrees = graph.degrees().astype(np.int64)
+        reachable = np.isfinite(dist)
+        max_weight = int(graph.values.max()) if graph.num_edges else 0
+        ceiling = (graph.num_vertices - 1) * max_weight
+        explorations = np.maximum(
+            1, ceiling - np.round(dist[reachable]).astype(np.int64) + 1
+        )
+        explorations = np.where(dist[reachable] == 0.0, 1, explorations)
+        return int((degrees[reachable] * explorations).sum())
+
+    def test_bound_shrinks_on_heterogeneous_integer_weights(self):
+        # High max weight + many light edges: the top-(V-1) sum is far below
+        # (V-1) * max_weight, so the new ceiling is strictly tighter.
+        graph = chain_graph(12, weighted=True, seed=5)
+        graph.values[:] = 1.0
+        graph.values[0] = 50.0  # one heavy edge dominates max_weight
+        root = 0
+        ref = reference_run("sssp", graph, root=root)
+        old_upper = self.lattice_upper(graph, root)
+        assert ref.bounds.edges_upper < old_upper
+        assert ref.bounds.edges_lower <= ref.bounds.edges_upper
+
+    def test_gcd_shrinks_uniform_weight_bound(self):
+        # All weights equal w: path lengths are multiples of w, so the bound
+        # shrinks by ~w versus counting every integer in the interval.
+        graph = chain_graph(10, weighted=True, seed=3)
+        graph.values[:] = 4.0
+        ref = reference_run("sssp", graph, root=0)
+        old_upper = self.lattice_upper(graph, 0)
+        assert ref.bounds.edges_upper < old_upper
+        # The gcd divides the interval: the tight bound is at most a quarter
+        # of the per-unit lattice one (plus the per-vertex floor of 1).
+        assert ref.bounds.edges_upper <= old_upper // 2
+
+    def test_bound_still_sound_for_simulated_runs(self):
+        graph = rmat_graph(6, edge_factor=5, seed=11)
+        root = graph.highest_degree_vertex()
+        ref = reference_run("sssp", graph, root=root)
+        for engine in ("cycle", "analytic"):
+            config = MachineConfig(width=4, height=4, engine=engine)
+            machine = DalorexMachine(
+                config, build_kernel("sssp", graph), graph
+            )
+            result = machine.run(verify=True)
+            assert result.verified
+            assert ref.bounds.admits_edges(int(result.counters.edges_processed))
+
+
 class TestBoundsHoldForSimulatedWork:
     """Both engines' counted work must land inside the reference bounds --
     the property the bounds oracle enforces at fuzz time, pinned here on
