@@ -14,6 +14,13 @@ pure-Python workload timed on the spot.  The gate compares
 interpreter speed instead of absolute CPU speed.  The simulator benchmarks
 are interpreter-bound, so this is a stable unit for them.
 
+Calibration is deliberately noise-robust: rather than one best-of-5
+measurement per invocation (where a single lucky sample -- a quiet scheduler
+window, a turbo burst -- inflates every normalized cost and fails the gate
+spuriously), samples are *interleaved* with the comparisons.  Each benchmark
+check draws fresh samples into a growing pool and normalizes by the pool's
+median, so transient jitter in any one window is voted down by the rest.
+
 Refresh the baseline after an intentional performance change::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_simulator_performance.py \
@@ -26,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -35,25 +43,71 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / (
 )
 
 
-def calibrate(repeats: int = 5) -> float:
-    """Seconds of a fixed pure-Python workload (best of ``repeats``).
+def _calibration_workload() -> int:
+    """Fixed pure-Python workload: dict/list traffic and integer arithmetic,
+    the same operations the simulator hot paths spend their time on."""
+    total = 0
+    table = {}
+    values = list(range(2000))
+    for round_index in range(50):
+        for value in values:
+            key = (value * 31 + round_index) % 997
+            table[key] = table.get(key, 0) + value
+            total += value
+    return total
 
-    The workload mixes dict/list traffic and integer arithmetic -- the same
-    operations the simulator hot paths spend their time on.
+
+def calibrate_once(timer=time.perf_counter, workload=_calibration_workload) -> float:
+    """Seconds of one run of the calibration workload."""
+    start = timer()
+    workload()
+    return timer() - start
+
+
+class CalibrationPool:
+    """Median-of-pool calibration, interleaved with the comparisons.
+
+    ``value()`` draws ``samples_per_check`` fresh samples (topping up to
+    ``min_samples`` on first use) and returns the median of everything
+    collected so far.  Call it once per benchmark check: every check then
+    re-calibrates against its own time window, and the median across all
+    windows makes a single lucky (or unlucky) sample irrelevant -- unlike a
+    best-of-N taken once up front, whose minimum is exactly the lucky sample.
+
+    ``timer`` and ``workload`` are injectable so tests can feed synthetic
+    jitter without depending on real clock behaviour.
     """
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        total = 0
-        table = {}
-        values = list(range(2000))
-        for round_index in range(50):
-            for value in values:
-                key = (value * 31 + round_index) % 997
-                table[key] = table.get(key, 0) + value
-                total += value
-        best = min(best, time.perf_counter() - start)
-    return best
+
+    def __init__(
+        self,
+        samples_per_check: int = 3,
+        min_samples: int = 9,
+        timer=time.perf_counter,
+        workload=_calibration_workload,
+    ) -> None:
+        self.samples: list = []
+        self.samples_per_check = samples_per_check
+        self.min_samples = min_samples
+        self._timer = timer
+        self._workload = workload
+
+    def value(self) -> float:
+        fresh = max(
+            self.samples_per_check, self.min_samples - len(self.samples)
+        )
+        for _ in range(fresh):
+            self.samples.append(
+                calibrate_once(timer=self._timer, workload=self._workload)
+            )
+        return statistics.median(self.samples)
+
+
+def calibrate(repeats: int = 9, timer=time.perf_counter,
+              workload=_calibration_workload) -> float:
+    """Median of ``repeats`` calibration samples (baseline refresh path)."""
+    return statistics.median(
+        calibrate_once(timer=timer, workload=workload) for _ in range(repeats)
+    )
 
 
 def benchmark_means(bench_json: dict) -> dict:
@@ -64,7 +118,7 @@ def benchmark_means(bench_json: dict) -> dict:
     }
 
 
-def main(argv=None) -> int:
+def main(argv=None, timer=time.perf_counter, workload=_calibration_workload) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench-json", required=True, metavar="FILE",
                         help="pytest-benchmark JSON output to check")
@@ -82,9 +136,10 @@ def main(argv=None) -> int:
     if not means:
         print("no benchmarks found in", args.bench_json, file=sys.stderr)
         return 2
-    calibration = calibrate()
+    pool = CalibrationPool(timer=timer, workload=workload)
 
     if args.update_baseline:
+        calibration = pool.value()
         baseline = {
             "calibration_seconds": calibration,
             "benchmarks": means,
@@ -102,13 +157,15 @@ def main(argv=None) -> int:
     base_means = baseline["benchmarks"]
 
     failures = []
-    print(f"calibration: now {calibration:.4f}s, baseline {base_calibration:.4f}s")
     print(f"{'benchmark':58s} {'base':>8s} {'now':>8s} {'ratio':>6s}")
     for name, base_mean in sorted(base_means.items()):
         mean = means.get(name)
         if mean is None:
             failures.append(f"benchmark {name!r} missing from {args.bench_json}")
             continue
+        # Re-calibrate per check: fresh samples join the pool, the median of
+        # the whole pool normalizes this comparison.
+        calibration = pool.value()
         normalized_base = base_mean / base_calibration
         normalized_now = mean / calibration
         ratio = normalized_now / normalized_base
@@ -119,6 +176,8 @@ def main(argv=None) -> int:
                 f"{name}: normalized slowdown {ratio:.2f}x exceeds "
                 f"{args.threshold:.2f}x"
             )
+    print(f"calibration: median {statistics.median(pool.samples):.4f}s over "
+          f"{len(pool.samples)} samples, baseline {base_calibration:.4f}s")
     for failure in failures:
         print("FAIL:", failure, file=sys.stderr)
     return 1 if failures else 0

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Freeze the golden result payloads under tests/golden/payloads/.
+
+Run with the engines in a known-good state; the tier-1 golden test then pins
+every later change to these results bit-for-bit.  Regenerating goldens is a
+deliberate act (simulation semantics changed on purpose) and should be called
+out in the commit that does it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests" / "golden"))
+
+from golden_cases import GOLDEN_CASES, run_case  # noqa: E402
+
+from repro.runtime.serialize import result_to_payload  # noqa: E402
+
+
+def main() -> int:
+    out_dir = REPO / "tests" / "golden" / "payloads"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for case in GOLDEN_CASES:
+        result = run_case(case)
+        payload = result_to_payload(result)
+        path = out_dir / f"{case.name}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+        print(f"froze {case.name}: cycles={result.cycles} "
+              f"tasks={result.counters.tasks_executed}")
+    print(f"{len(GOLDEN_CASES)} golden payloads written to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

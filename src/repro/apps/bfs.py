@@ -22,9 +22,13 @@ class BFSKernel(FrontierGraphKernel):
     """Number of hops from a root vertex to every reachable vertex."""
 
     name = "bfs"
+    batch_value_array = "level"
 
     def __init__(self, root: int = 0) -> None:
         self.root = root
+
+    def batch_t1_values(self, values: np.ndarray) -> np.ndarray:
+        return values + 1
 
     # ----------------------------------------------------------------- program
     def build_program(self) -> DalorexProgram:

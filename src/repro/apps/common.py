@@ -17,6 +17,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import (
+    BatchResult,
+    concat_ranges,
+    first_occurrences,
+    relax_min,
+    split_ranges,
+)
 from repro.core.program import DalorexProgram
 from repro.graph.csr import CSRGraph
 
@@ -69,6 +76,21 @@ class Kernel(ABC):
         """
         return []
 
+    def batch_handlers(self, machine) -> Dict[str, object]:
+        """Vectorized batch handlers, keyed by task name (``{}`` = scalar only).
+
+        A handler receives a :class:`~repro.core.batch.Segment` of same-task
+        invocations and returns a :class:`~repro.core.batch.BatchResult` whose
+        array mutations and per-item accounting are bit-equal to running the
+        scalar task handler once per item, in item order.  Handlers assume the
+        data-local invariant the scalar path enforces (every built-in kernel
+        routes accesses to the owning tile by construction) and may raise
+        :class:`~repro.core.batch.BatchFallback` -- before mutating anything --
+        to punt a segment back to the scalar path.  The analytical engine only
+        batches when every program task has a handler.
+        """
+        return {}
+
     # ------------------------------------------------------------ validation
     @abstractmethod
     def result(self, machine) -> np.ndarray:
@@ -107,10 +129,21 @@ class FrontierGraphKernel(Kernel):
 
     #: Name of the exploration task that re-processes a frontier vertex.
     explore_task: str = "T1_explore"
+    #: Name of the edge-chunk expansion task.
+    expand_task: str = "T2_expand"
+    #: Name of the relaxation task that updates the per-vertex value.
+    relax_task: str = "T3_relax"
     #: Name of the task that pops a vertex from the local frontier.
     refrontier_task: str = "T4_refrontier"
     #: Name of the per-vertex frontier flag array.
     frontier_array: str = "in_frontier"
+    #: Name of the per-vertex value array T3 relaxes (set by subclasses to
+    #: enable batched execution; ``None`` keeps the kernel scalar-only).
+    batch_value_array: Optional[str] = None
+    #: Scratchpad reads T2 performs per edge (SSSP also reads the weight).
+    batch_t2_edge_reads: int = 1
+    #: Compute instructions T2 charges per edge.
+    batch_t2_edge_compute: int = 0
 
     def frontier_vertices(self, machine) -> np.ndarray:
         """Vertices currently flagged in the local frontiers."""
@@ -144,6 +177,118 @@ class FrontierGraphKernel(Kernel):
             return None
         frontier[vertices] = 0
         return [(self.explore_task, (int(vertex),)) for vertex in vertices]
+
+    # ------------------------------------------------------------- batch mode
+    def batch_t1_values(self, values: np.ndarray) -> np.ndarray:
+        """Value each T1 item carries to its edge chunks (BFS sends level+1)."""
+        return values
+
+    def batch_t2_values(self, machine, flat_edges: np.ndarray, carried: np.ndarray) -> np.ndarray:
+        """Per-edge value T2 emits to T3 (SSSP adds the edge weight)."""
+        return carried
+
+    def batch_handlers(self, machine) -> Dict[str, object]:
+        if self.batch_value_array is None:
+            return {}
+        arrays = machine.arrays
+        program = machine.program
+        t1 = program.task(self.explore_task)
+        t2 = program.task(self.expand_task)
+        t3 = program.task(self.relax_task)
+        values = arrays[self.batch_value_array]
+        row_begin = arrays["row_begin"]
+        row_degree = arrays["row_degree"]
+        edge_dst = arrays["edge_dst"]
+        flags = arrays[self.frontier_array]
+        edge_space = machine.placement.space(t2.route_space)
+        vertex_space = machine.placement.space(t3.route_space)
+        max_range = machine.config.max_range_per_message
+        edge_reads = self.batch_t2_edge_reads
+        edge_compute = self.batch_t2_edge_compute
+
+        def run_t1(segment) -> BatchResult:
+            verts = np.asarray(segment.params[0], dtype=np.int64)
+            carried = self.batch_t1_values(values[verts])
+            begins = row_begin[verts]
+            ends = begins + row_degree[verts]
+            dests, piece_begin, piece_end, pieces = split_ranges(
+                edge_space, begins, ends, max_range
+            )
+            reads = np.full(segment.n, 3, dtype=np.int64)
+            writes = np.zeros(segment.n, dtype=np.int64)
+            extra = 1 + t2.flits_per_invocation * pieces
+            emits = None
+            if len(dests):
+                emits = (
+                    t2,
+                    dests,
+                    (piece_begin, piece_end, np.repeat(carried, pieces)),
+                    pieces,
+                )
+            return BatchResult(reads, writes, extra, emits=emits)
+
+        def run_t2(segment) -> BatchResult:
+            begins, ends, carried = segment.params
+            flat, counts = concat_ranges(begins, ends)
+            neighbors = edge_dst[flat]
+            out_values = self.batch_t2_values(machine, flat, np.repeat(carried, counts))
+            reads = edge_reads * counts
+            writes = np.zeros(segment.n, dtype=np.int64)
+            extra = (edge_compute + t3.flits_per_invocation) * counts
+            emits = None
+            if len(neighbors):
+                emits = (t3, vertex_space.owners_of(neighbors), (neighbors, out_values), counts)
+            return BatchResult(reads, writes, extra, edges=counts, emits=emits)
+
+        def run_t3(segment) -> BatchResult:
+            verts = np.asarray(segment.params[0], dtype=np.int64)
+            news = segment.params[1]
+            # Pre-segment flag state: the only intra-segment flag write is by
+            # a vertex's first improving item, which itself reads the
+            # pre-segment value -- so one gather up front is exact.
+            was_set = flags[verts] != 0
+            improved, first = relax_min(values, verts, news)
+            marks = first & ~was_set
+            reads = 1 + improved.astype(np.int64)
+            writes = improved.astype(np.int64) + marks
+            extra = np.ones(segment.n, dtype=np.int64)
+            if marks.any():
+                flags[verts[marks]] = 1
+                if not machine.barrier_effective:
+                    tiles = segment.tiles
+                    frontier = machine.state.frontier
+                    tile_state = machine.tile_state
+                    for item in np.flatnonzero(marks).tolist():
+                        tile = int(tiles[item])
+                        per_tile = tile_state[tile]
+                        bucket = per_tile.get("frontier")
+                        if bucket is None:
+                            bucket = frontier[tile]
+                            per_tile["frontier"] = bucket
+                        bucket.append(int(verts[item]))
+            return BatchResult(reads, writes, extra)
+
+        def run_t4(segment) -> BatchResult:
+            verts = np.asarray(segment.params[0], dtype=np.int64)
+            # A duplicate vertex only acts on its first occurrence: that item
+            # clears the flag, so later reads in the segment see 0.
+            act = (flags[verts] != 0) & first_occurrences(verts)
+            reads = np.ones(segment.n, dtype=np.int64)
+            writes = act.astype(np.int64)
+            extra = t1.flits_per_invocation * writes
+            emits = None
+            if act.any():
+                flags[verts[act]] = 0
+                acting = verts[act]
+                emits = (t1, vertex_space.owners_of(acting), (acting,), writes)
+            return BatchResult(reads, writes, extra, emits=emits)
+
+        return {
+            self.explore_task: run_t1,
+            self.expand_task: run_t2,
+            self.relax_task: run_t3,
+            self.refrontier_task: run_t4,
+        }
 
 
 def all_vertex_seeds(task_name: str, graph: CSRGraph) -> List[Seed]:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.apps.common import Kernel, Seed, all_vertex_seeds
+from repro.core.batch import BatchResult, concat_ranges, split_ranges
 from repro.core.program import DalorexProgram, EDGE_SPACE, VERTEX_SPACE
 from repro.graph.csr import CSRGraph
 from repro.graph.reference import pagerank
@@ -85,6 +86,74 @@ class PageRankKernel(Kernel):
         accumulated = ctx.read("next_rank", vertex)
         ctx.compute(1)
         ctx.write("next_rank", vertex, accumulated + contribution)
+
+    # -------------------------------------------------------------- batch mode
+    def batch_handlers(self, machine) -> Dict[str, object]:
+        arrays = machine.arrays
+        program = machine.program
+        t2 = program.task("T2_fan")
+        t3 = program.task("T3_accumulate")
+        rank = arrays["rank"]
+        next_rank = arrays["next_rank"]
+        row_begin = arrays["row_begin"]
+        row_degree = arrays["row_degree"]
+        edge_dst = arrays["edge_dst"]
+        edge_space = machine.placement.space(t2.route_space)
+        vertex_space = machine.placement.space(t3.route_space)
+        max_range = machine.config.max_range_per_message
+        damping = self.damping
+
+        def run_t1(segment) -> BatchResult:
+            verts = np.asarray(segment.params[0], dtype=np.int64)
+            ranks = rank[verts]
+            degrees = row_degree[verts]
+            begins = row_begin[verts]
+            contribution = np.zeros(segment.n, dtype=np.float64)
+            pushing = degrees > 0
+            contribution[pushing] = damping * ranks[pushing] / degrees[pushing]
+            dests, piece_begin, piece_end, pieces = split_ranges(
+                edge_space, begins, begins + degrees, max_range
+            )
+            reads = np.full(segment.n, 3, dtype=np.int64)
+            writes = np.zeros(segment.n, dtype=np.int64)
+            extra = 2 + t2.flits_per_invocation * pieces
+            emits = None
+            if len(dests):
+                emits = (
+                    t2,
+                    dests,
+                    (piece_begin, piece_end, np.repeat(contribution, pieces)),
+                    pieces,
+                )
+            return BatchResult(reads, writes, extra, emits=emits)
+
+        def run_t2(segment) -> BatchResult:
+            begins, ends, carried = segment.params
+            flat, counts = concat_ranges(begins, ends)
+            neighbors = edge_dst[flat]
+            reads = counts.copy()
+            writes = np.zeros(segment.n, dtype=np.int64)
+            extra = t3.flits_per_invocation * counts
+            emits = None
+            if len(neighbors):
+                emits = (
+                    t3,
+                    vertex_space.owners_of(neighbors),
+                    (neighbors, np.repeat(carried, counts)),
+                    counts,
+                )
+            return BatchResult(reads, writes, extra, edges=counts, emits=emits)
+
+        def run_t3(segment) -> BatchResult:
+            verts = np.asarray(segment.params[0], dtype=np.int64)
+            contributions = segment.params[1]
+            # np.add.at applies duplicate indices in element order, matching
+            # the scalar read-add-write chain per vertex exactly.
+            np.add.at(next_rank, verts, contributions)
+            ones = np.ones(segment.n, dtype=np.int64)
+            return BatchResult(ones, ones, ones)
+
+        return {"T1_push": run_t1, "T2_fan": run_t2, "T3_accumulate": run_t3}
 
     # ------------------------------------------------------------------ epochs
     def next_epoch(self, machine, epoch_index: int) -> Optional[List[Seed]]:

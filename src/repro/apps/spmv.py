@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.apps.common import Kernel, Seed, all_vertex_seeds
+from repro.core.batch import BatchResult, concat_ranges, split_ranges
 from repro.core.program import DalorexProgram, EDGE_SPACE, VERTEX_SPACE
 from repro.graph.csr import CSRGraph
 from repro.graph.reference import spmv
@@ -101,6 +102,85 @@ class SPMVKernel(Kernel):
         accumulated = ctx.read("y", row)
         ctx.compute(1)
         ctx.write("y", row, accumulated + product)
+
+    # -------------------------------------------------------------- batch mode
+    def batch_handlers(self, machine) -> Dict[str, object]:
+        arrays = machine.arrays
+        program = machine.program
+        t2 = program.task("T2_nonzeros")
+        t3 = program.task("T3_multiply")
+        t4 = program.task("T4_accumulate")
+        x = arrays["x"]
+        y = arrays["y"]
+        row_begin = arrays["row_begin"]
+        row_degree = arrays["row_degree"]
+        edge_col = arrays["edge_col"]
+        edge_val = arrays["edge_val"]
+        edge_space = machine.placement.space(t2.route_space)
+        vertex_space = machine.placement.space(t3.route_space)
+        max_range = machine.config.max_range_per_message
+
+        def run_t1(segment) -> BatchResult:
+            rows = np.asarray(segment.params[0], dtype=np.int64)
+            begins = row_begin[rows]
+            dests, piece_begin, piece_end, pieces = split_ranges(
+                edge_space, begins, begins + row_degree[rows], max_range
+            )
+            reads = np.full(segment.n, 2, dtype=np.int64)
+            writes = np.zeros(segment.n, dtype=np.int64)
+            extra = 1 + t2.flits_per_invocation * pieces
+            emits = None
+            if len(dests):
+                emits = (
+                    t2,
+                    dests,
+                    (piece_begin, piece_end, np.repeat(rows, pieces)),
+                    pieces,
+                )
+            return BatchResult(reads, writes, extra, emits=emits)
+
+        def run_t2(segment) -> BatchResult:
+            begins, ends, rows = segment.params
+            flat, counts = concat_ranges(begins, ends)
+            columns = edge_col[flat]
+            reads = 2 * counts
+            writes = np.zeros(segment.n, dtype=np.int64)
+            extra = t3.flits_per_invocation * counts
+            emits = None
+            if len(columns):
+                emits = (
+                    t3,
+                    vertex_space.owners_of(columns),
+                    (columns, edge_val[flat], np.repeat(rows, counts)),
+                    counts,
+                )
+            return BatchResult(reads, writes, extra, edges=counts, emits=emits)
+
+        def run_t3(segment) -> BatchResult:
+            columns = np.asarray(segment.params[0], dtype=np.int64)
+            nonzero_values = segment.params[1]
+            rows = segment.params[2]
+            products = nonzero_values * x[columns]
+            ones = np.ones(segment.n, dtype=np.int64)
+            emits = (t4, vertex_space.owners_of(rows), (rows, products), ones)
+            return BatchResult(ones, np.zeros(segment.n, dtype=np.int64),
+                               1 + t4.flits_per_invocation * ones, emits=emits)
+
+        def run_t4(segment) -> BatchResult:
+            rows = np.asarray(segment.params[0], dtype=np.int64)
+            products = segment.params[1]
+            # Element-order duplicate application matches the scalar
+            # read-add-write accumulation into y exactly.
+            np.add.at(y, rows, products)
+            ones = np.ones(segment.n, dtype=np.int64)
+            return BatchResult(ones, ones, ones)
+
+        return {
+            "T1_row": run_t1,
+            "T2_nonzeros": run_t2,
+            "T3_multiply": run_t3,
+            "T4_accumulate": run_t4,
+        }
 
     # ----------------------------------------------------------------- output
     def result(self, machine) -> np.ndarray:

@@ -22,9 +22,15 @@ class SSSPKernel(FrontierGraphKernel):
     """Shortest weighted distance from a root vertex to every reachable vertex."""
 
     name = "sssp"
+    batch_value_array = "dist"
+    batch_t2_edge_reads = 2
+    batch_t2_edge_compute = 1
 
     def __init__(self, root: int = 0) -> None:
         self.root = root
+
+    def batch_t2_values(self, machine, flat_edges: np.ndarray, carried: np.ndarray) -> np.ndarray:
+        return carried + machine.arrays["edge_weight"][flat_edges]
 
     # ----------------------------------------------------------------- program
     def build_program(self) -> DalorexProgram:

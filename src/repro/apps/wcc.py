@@ -24,6 +24,7 @@ class WCCKernel(FrontierGraphKernel):
     """Label of the weakly connected component containing each vertex."""
 
     name = "wcc"
+    batch_value_array = "label"
 
     # ----------------------------------------------------------------- program
     def build_program(self) -> DalorexProgram:

@@ -24,11 +24,64 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.batch import (
+    BatchFallback,
+    Segment,
+    repeated_add_prefix,
+    segments_from_items,
+    sequential_sum,
+)
+from repro.core.context import TaskContext
 from repro.core.engine_base import BaseEngine, Seed
 from repro.core.registry import register_engine
 from repro.core.results import SimulationResult
 from repro.errors import SimulationError
 from repro.noc.analytical import LinkLoadModel
+
+
+class _MemoryTables:
+    """Per-access-count cost tables matching the scalar memory model bit-for-bit.
+
+    :class:`~repro.core.context.TaskContext` accumulates its memory stall (and
+    the dram_cache hit/miss fractions) by repeated per-access addition, which
+    is not ``k * step`` in IEEE arithmetic.  These prefix tables hold the
+    exact repeated-addition values, indexed by access count.
+    """
+
+    def __init__(self, machine) -> None:
+        probe = TaskContext(machine, 0, None)
+        self.memory = machine.config.memory
+        self._stall_step = probe._local_stall
+        self._hit_rate = probe._cache_hit_rate
+        self._miss_rate = probe._cache_miss_rate
+        self._size = 0
+        self.stall = np.zeros(1, dtype=np.float64)
+        self._hit_table = self._miss_table = None
+        self.ensure(64)
+
+    def ensure(self, count: int) -> None:
+        if count <= self._size:
+            return
+        size = max(count, 2 * self._size)
+        self.stall = repeated_add_prefix(self._stall_step, size)
+        if self.memory == "dram_cache":
+            self._hit_table = repeated_add_prefix(self._hit_rate, size)
+            self._miss_table = repeated_add_prefix(self._miss_rate, size)
+        self._size = size
+
+    def dram(self, accesses: np.ndarray) -> Optional[np.ndarray]:
+        """Per-item dram_accesses, or None when the mode never charges DRAM."""
+        if self.memory == "dram":
+            # Repeated addition of 1.0 is exactly the integer count.
+            return accesses.astype(np.float64)
+        if self.memory == "dram_cache":
+            return self._miss_table[accesses]
+        return None
+
+    def hits(self, accesses: np.ndarray) -> Optional[np.ndarray]:
+        if self.memory == "dram_cache":
+            return self._hit_table[accesses]
+        return None
 
 
 class AnalyticalEngine(BaseEngine):
@@ -40,8 +93,14 @@ class AnalyticalEngine(BaseEngine):
         seeds: Optional[List[Seed]] = list(self.kernel.initial_tasks(self.machine.graph))
         average_hops = self.topology.average_hop_distance(sample=64)
 
+        self._batch = self._prepare_batch()
+        if self._batch is not None:
+            self._tables = _MemoryTables(self.machine)
+            self._rebind_state_arrays()
+        run_epoch = self._run_epoch_batched if self._batch is not None else self._run_epoch
+
         while seeds:
-            epoch_cycles = self._run_epoch(seeds, epoch_index, average_hops)
+            epoch_cycles = run_epoch(seeds, epoch_index, average_hops)
             total_cycles += epoch_cycles
             self.tracer.epoch_finished(epoch_index, self.counters)
             epoch_index += 1
@@ -122,6 +181,232 @@ class AnalyticalEngine(BaseEngine):
                 worklist.append((tile_id, task, params, 0, False))
                 refilled = True
         return refilled
+
+    # ------------------------------------------------------------- batch mode
+    #: CoreState per-tile counter lists rebound to numpy arrays in batch mode
+    #: (integer counters scatter through np.add.at; floats stay order-exact
+    #: because np.add.at applies duplicate indices in element order).
+    _BATCH_INT_FIELDS = (
+        "pu_instructions",
+        "pu_tasks_executed",
+        "messages_sent",
+        "flits_sent",
+        "flits_received",
+        "edges_processed",
+        "sram_reads",
+        "sram_writes",
+        "sram_bytes_read",
+        "sram_bytes_written",
+    )
+    _BATCH_FLOAT_FIELDS = ("pu_busy_cycles", "dram_accesses", "interrupt_cycles")
+
+    def _prepare_batch(self) -> Optional[dict]:
+        """Batch handler table when every gate passes, else None (scalar mode).
+
+        Gates: the machine opts in, the topology supports batched routing
+        (uniform link lengths -- ruche and 3D stacks stay scalar), and the
+        kernel provides a batch handler for every program task.
+        """
+        if not getattr(self.machine, "batch_execution", True):
+            return None
+        if self.topology.uniform_link_length_tiles is None:
+            return None
+        if self.config.allow_remote_access:
+            # Remote-access penalties are per-access scalar state the batch
+            # handlers do not model (the built-in kernels never trip them,
+            # but the scalar path is the one that owns that semantics).
+            return None
+        handlers = self.kernel.batch_handlers(self.machine)
+        if not handlers:
+            return None
+        if any(task.name not in handlers for task in self.program.tasks):
+            return None
+        return handlers
+
+    def _rebind_state_arrays(self) -> None:
+        state = self.state
+        for name in self._BATCH_INT_FIELDS:
+            setattr(state, name, np.asarray(getattr(state, name), dtype=np.int64))
+        for name in self._BATCH_FLOAT_FIELDS:
+            setattr(state, name, np.asarray(getattr(state, name), dtype=np.float64))
+
+    def _run_epoch_batched(
+        self, seeds: List[Seed], epoch_index: int, average_hops: float
+    ) -> float:
+        """The batched twin of :meth:`_run_epoch`.
+
+        The scalar worklist always drains in runs of same-task invocations
+        (every task emits exactly one downstream task type), and popping a
+        head run, executing it, and appending its concatenated outputs
+        reproduces the scalar deque evolution exactly -- so the worklist
+        holds :class:`Segment` columns instead of items, and each segment
+        executes as one vectorized batch.
+        """
+        num_tiles = self.config.num_tiles
+        epoch_busy = np.zeros(num_tiles, dtype=np.float64)
+        epoch_link = LinkLoadModel(self.topology, detailed=self.link_model.detailed)
+        tasks_this_epoch = 0
+        max_generation = 0
+
+        resolved = self.resolve_seeds(seeds)
+        if epoch_index > 0:
+            epoch_busy += self.charge_epoch_seeding(resolved)
+
+        worklist = deque(
+            segments_from_items(
+                [(tile, task, params, 0, False) for tile, task, params in resolved]
+            )
+        )
+        while worklist or self._refill_segments(worklist):
+            segment = worklist.popleft()
+            children, executed, child_gen = self._execute_segment(
+                segment, epoch_link, epoch_busy
+            )
+            tasks_this_epoch += executed
+            if child_gen > max_generation:
+                max_generation = child_gen
+            worklist.extend(children)
+
+        self.link_model.merge(epoch_link)
+        compute_bound = float(epoch_busy.max()) if len(epoch_busy) else 0.0
+        return self._epoch_cycles(compute_bound, epoch_link, epoch_busy, tasks_this_epoch,
+                                  max_generation, average_hops)
+
+    def _refill_segments(self, worklist: deque) -> bool:
+        """Batched twin of :meth:`_refill_all_tiles` (same tile order)."""
+        if self.machine.barrier_effective:
+            return False
+        items = []
+        for tile_id in range(self.config.num_tiles):
+            for task, params in self.resolve_refill(tile_id):
+                items.append((tile_id, task, params, 0, False))
+        if not items:
+            return False
+        worklist.extend(segments_from_items(items))
+        return True
+
+    def _execute_segment(self, segment: Segment, epoch_link, epoch_busy):
+        """Execute one same-task run as a batch; returns (children, count, max_gen)."""
+        handler = self._batch[segment.task.name]
+        try:
+            result = handler(segment)
+        except BatchFallback:
+            return self._execute_segment_scalar(segment, epoch_link, epoch_busy)
+        state = self.state
+        counters = self.counters
+        config = self.config
+        n = segment.n
+        tiles = segment.tiles
+        reads = result.reads
+        writes = result.writes
+        accesses = reads + writes
+        instructions = config.task_overhead_instructions + accesses + result.extra
+        tables = self._tables
+        tables.ensure(int(accesses.max()) if n else 0)
+        cost = instructions.astype(np.float64) + tables.stall[accesses]
+        if config.remote_invocation == "interrupting" and segment.remote.any():
+            remote = segment.remote
+            penalty = config.interrupt_penalty_cycles
+            cost = np.where(remote, cost + penalty, cost)
+            counters.remote_interrupts += int(remote.sum())
+            np.add.at(state.interrupt_cycles, tiles[remote], float(penalty))
+
+        # account_context over the whole segment.
+        counters.instructions += int(instructions.sum())
+        counters.tasks_executed += n
+        counters.sram_reads += int(reads.sum())
+        counters.sram_writes += int(writes.sum())
+        np.add.at(state.sram_reads, tiles, reads)
+        np.add.at(state.sram_bytes_read, tiles, reads * 4)
+        np.add.at(state.sram_writes, tiles, writes)
+        np.add.at(state.sram_bytes_written, tiles, writes * 4)
+        dram = tables.dram(accesses)
+        if dram is not None:
+            counters.dram_accesses = sequential_sum(counters.dram_accesses, dram)
+            np.add.at(state.dram_accesses, tiles, dram)
+        hits = tables.hits(accesses)
+        if hits is not None:
+            counters.cache_hits = sequential_sum(counters.cache_hits, hits)
+        if result.edges is not None:
+            counters.edges_processed += int(result.edges.sum())
+            np.add.at(state.edges_processed, tiles, result.edges)
+        np.add.at(state.pu_busy_cycles, tiles, cost)
+        np.add.at(state.pu_instructions, tiles, instructions)
+        np.add.at(state.pu_tasks_executed, tiles, 1)
+        np.add.at(epoch_busy, tiles, cost)
+
+        children: List[Segment] = []
+        max_child_gen = 0
+        out_task = None
+        out_count = 0
+        if result.emits is not None:
+            out_task, dests, out_params, counts_per_item = result.emits
+            out_count = len(dests)
+        self.tracer.record_batch_execution(segment.task, n, out_task, out_count)
+        if out_count:
+            flits = out_task.flits_per_invocation
+            counters.messages += out_count
+            counters.flits += flits * out_count
+            sources = np.repeat(tiles, counts_per_item)
+            remote_out = dests != sources
+            counters.local_messages += int(out_count - remote_out.sum())
+            if remote_out.any():
+                nl_src = sources[remote_out]
+                nl_dst = dests[remote_out]
+                hops = epoch_link.record_batch(
+                    nl_src, nl_dst, flits, self.tile_pitch_mm
+                )
+                counters.flit_hops += int(flits * hops.sum())
+                counters.router_traversals += int(flits * (hops + 1).sum())
+                np.add.at(state.messages_sent, nl_src, 1)
+                np.add.at(state.flits_sent, nl_src, flits)
+                np.add.at(state.flits_received, nl_dst, flits)
+            child_gens = np.repeat(segment.gens + 1, counts_per_item)
+            max_child_gen = int(child_gens.max())
+            children.append(Segment(out_task, dests, out_params, child_gens, remote_out))
+        return children, n, max_child_gen
+
+    def _execute_segment_scalar(self, segment: Segment, epoch_link, epoch_busy):
+        """Per-item fallback: the exact scalar path over one segment's items."""
+        state = self.state
+        counters = self.counters
+        items_out = []
+        max_child_gen = 0
+        for index in range(segment.n):
+            tile_id = int(segment.tiles[index])
+            params = tuple(column[index] for column in segment.params)
+            generation = int(segment.gens[index])
+            remote = bool(segment.remote[index])
+            ctx, cost = self.execute_invocation(tile_id, segment.task, params, remote)
+            self.account_context(tile_id, ctx)
+            state.pu_busy_cycles[tile_id] += cost
+            state.pu_instructions[tile_id] += ctx.instructions
+            state.pu_tasks_executed[tile_id] += 1
+            epoch_busy[tile_id] += cost
+            for out_task, out_params, destination in ctx.outgoing:
+                flits = out_task.flits_per_invocation
+                counters.messages += 1
+                counters.flits += flits
+                if destination == tile_id:
+                    counters.local_messages += 1
+                else:
+                    hops = epoch_link.record_message(
+                        tile_id, destination, flits, self.tile_pitch_mm
+                    )
+                    counters.flit_hops += flits * hops
+                    counters.router_traversals += flits * (hops + 1)
+                    state.messages_sent[tile_id] += 1
+                    state.flits_sent[tile_id] += flits
+                    state.flits_received[destination] += flits
+                next_generation = generation + 1
+                if next_generation > max_child_gen:
+                    max_child_gen = next_generation
+                items_out.append(
+                    (destination, out_task, out_params, next_generation,
+                     destination != tile_id)
+                )
+            self.release_context(ctx)
+        return segments_from_items(items_out), segment.n, max_child_gen
 
     def _epoch_cycles(
         self,

@@ -62,6 +62,10 @@ class DalorexMachine:
         self.network = None
         self.link_model = None
         self.barrier_effective = config.barrier or kernel.requires_barrier
+        # Batched (vectorized) task execution on engines that support it.
+        # Bit-equal to scalar execution by construction; set False to force
+        # the per-invocation path (the equivalence tests exercise both).
+        self.batch_execution = True
 
         # Topologies are immutable (they only grow memoized route profiles),
         # so machines share one instance per shape -- every run after the

@@ -57,6 +57,24 @@ class SpacePlacement(ABC):
         """Owner tile of every element (vectorized helper)."""
         return np.array([self.owner(i) for i in range(self.length)], dtype=np.int64)
 
+    def _check_indices(self, indices: np.ndarray) -> None:
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= self.length
+        ):
+            bad = indices[(indices < 0) | (indices >= self.length)][0]
+            raise PlacementError(f"index {int(bad)} out of range [0, {self.length})")
+
+    def owners_of(self, indices: np.ndarray) -> np.ndarray:
+        """Owner tile of every index in ``indices`` (batched :meth:`owner`).
+
+        Subclasses with regular structure override the per-element fallback
+        with closed-form array arithmetic; all paths bounds-check like the
+        scalar accessor.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        self._check_indices(indices)
+        return np.array([self.owner(int(i)) for i in indices], dtype=np.int64)
+
     def contiguous_ranges(self, begin: int, end: int) -> List[Range]:
         """Split ``[begin, end)`` into maximal sub-ranges owned by a single tile.
 
@@ -129,6 +147,11 @@ class BlockPlacement(SpacePlacement):
             cursor = tile_end
         return ranges
 
+    def owners_of(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        self._check_indices(indices)
+        return np.minimum(indices // self.chunk_size, self.num_tiles - 1)
+
 
 class InterleavedPlacement(SpacePlacement):
     """Low-order-bit placement: element ``i`` lives on tile ``i % num_tiles``."""
@@ -148,6 +171,11 @@ class InterleavedPlacement(SpacePlacement):
             return 0
         base = self.length // self.num_tiles
         return base + (1 if tile < self.length % self.num_tiles else 0)
+
+    def owners_of(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        self._check_indices(indices)
+        return indices % self.num_tiles
 
 
 class OwnerMapPlacement(SpacePlacement):
@@ -179,6 +207,11 @@ class OwnerMapPlacement(SpacePlacement):
         if tile < 0 or tile >= self.num_tiles:
             raise PlacementError(f"tile {tile} out of range")
         return int(self._counts[tile])
+
+    def owners_of(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        self._check_indices(indices)
+        return self.owner_map[indices]
 
 
 POLICY_NAMES = ("block", "interleave", "row")

@@ -276,17 +276,17 @@ class CoreState:
         return self._select_by_occupancy(tile, ready)
 
     def _select_round_robin(self, tile: int, ready: List[int]) -> int:
-        ordered = sorted(ready)
+        ready_set = set(ready)
         task_ids = self.task_ids
         cursor = self.tsu_cursor[tile]
         for _ in range(self.num_tasks):
             candidate = task_ids[cursor % self.num_tasks]
             cursor += 1
-            if candidate in ordered:
+            if candidate in ready_set:
                 self.tsu_cursor[tile] = cursor
                 return candidate
         self.tsu_cursor[tile] = cursor
-        return ordered[0]
+        return min(ready)
 
     def _select_by_occupancy(self, tile: int, ready: List[int]) -> int:
         base = tile * self.num_tasks

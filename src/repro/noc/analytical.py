@@ -12,6 +12,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.core.batch import sequential_sum as _sequential_sum
 from repro.noc.topology import Topology
 
 Link = Tuple[int, int]
@@ -81,6 +82,91 @@ class LinkLoadModel:
         router_flits[dst] += flits
         self.total_flit_hops += flits * len(links)
         return len(links)
+
+    def record_batch(
+        self, srcs: np.ndarray, dsts: np.ndarray, flits: int, tile_pitch_mm: float = 1.0
+    ) -> np.ndarray:
+        """Charge a batch of equal-length messages; returns per-message hops.
+
+        Bit-equal to calling :meth:`record_message` once per ``(src, dst)``
+        pair in order: the integer tallies are order-free scatters, and the
+        only float accumulator (``total_flit_millimeters``) grows by the same
+        constant per-link term on uniform-link topologies -- repeated addition
+        of a constant depends only on the count, so the in-order
+        ``np.add.accumulate`` fold reproduces the scalar sum exactly.  Only
+        valid on topologies advertising ``uniform_link_length_tiles``.
+        """
+        topology = self.topology
+        num = len(srcs)
+        self.total_messages += num
+        if num == 0:
+            return np.zeros(0, dtype=np.int64)
+        num_tiles = topology.num_tiles
+        inject = np.asarray(self.injected_flits, dtype=np.int64)
+        inject += flits * np.bincount(srcs, minlength=num_tiles)
+        self.injected_flits = inject.tolist()
+        eject = np.asarray(self.ejected_flits, dtype=np.int64)
+        eject += flits * np.bincount(dsts, minlength=num_tiles)
+        self.ejected_flits = eject.tolist()
+
+        nonlocal_mask = srcs != dsts
+        hops = np.zeros(num, dtype=np.int64)
+        if not nonlocal_mask.any():
+            return hops
+        nl_src = srcs[nonlocal_mask]
+        nl_dst = dsts[nonlocal_mask]
+        nl_hops = topology.hop_distance_batch(nl_src, nl_dst).astype(np.int64)
+        hops[nonlocal_mask] = nl_hops
+        self.total_flit_hops += int(flits * nl_hops.sum())
+
+        if not self.detailed:
+            spans = nl_hops * topology.physical_length_factor
+            terms = (flits * spans) * tile_pitch_mm
+            self.total_flit_millimeters = _sequential_sum(
+                self.total_flit_millimeters, terms
+            )
+            middle = topology.width // 2
+            crossing = ((nl_src % topology.width) < middle) != (
+                (nl_dst % topology.width) < middle
+            )
+            self._bisection_flits += int(flits * crossing.sum())
+            return hops
+
+        pair_codes, pair_counts = np.unique(
+            nl_src * num_tiles + nl_dst, return_counts=True
+        )
+        # One memoized link-code array per unique (src, dst) pair; everything
+        # downstream is flat integer scatters.  bincount weights go through
+        # float64, which is exact for the < 2^53 flit totals involved.
+        code_arrays = [
+            topology.route_link_codes(code) for code in pair_codes.tolist()
+        ]
+        route_lengths = np.fromiter(
+            (len(codes) for codes in code_arrays),
+            dtype=np.int64,
+            count=len(code_arrays),
+        )
+        all_codes = np.concatenate(code_arrays)
+        charges = np.repeat(flits * pair_counts, route_lengths)
+        unique_links, inverse = np.unique(all_codes, return_inverse=True)
+        link_sums = np.bincount(inverse, weights=charges).astype(np.int64)
+        link_flits = self.link_flits
+        for code, charge in zip(unique_links.tolist(), link_sums.tolist()):
+            link = (code // num_tiles, code % num_tiles)
+            link_flits[link] = link_flits.get(link, 0) + charge
+        router_flits = np.asarray(self.router_flits, dtype=np.int64)
+        router_flits += np.bincount(
+            unique_links // num_tiles, weights=link_sums, minlength=num_tiles
+        ).astype(np.int64)
+        router_flits += flits * np.bincount(nl_dst, minlength=num_tiles)
+        self.router_flits = router_flits.tolist()
+        length = topology.uniform_link_length_tiles
+        term = flits * length * tile_pitch_mm
+        total_links = int(nl_hops.sum())
+        self.total_flit_millimeters = _sequential_sum(
+            self.total_flit_millimeters, np.full(total_links, term)
+        )
+        return hops
 
     # ------------------------------------------------------------------ bounds
     def max_link_load(self) -> float:

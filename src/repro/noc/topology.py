@@ -24,6 +24,8 @@ from abc import ABC, abstractmethod
 from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 Link = Tuple[int, int]
@@ -159,6 +161,20 @@ class Topology(ABC):
     #: Physical wire length per tile of logical displacement (folded torus = 2).
     physical_length_factor = 1.0
 
+    #: Set (per concrete class) when every link has the same physical length in
+    #: tile pitches AND :meth:`hop_distance_batch` is implemented.  ``None``
+    #: means the topology does not support batched message accounting and the
+    #: engines must stay on the per-message path.  Deliberately *not*
+    #: inherited as a capability: subclasses with irregular links (ruche) opt
+    #: back out explicitly.
+    uniform_link_length_tiles: Optional[float] = None
+
+    def hop_distance_batch(self, srcs, dsts):
+        """Vectorized :meth:`hop_distance`; only uniform-link topologies provide it."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batched routing"
+        )
+
     #: Ratio of the hottest link load to the average link load under uniform
     #: random traffic with dimension-ordered routing; used by the sparse
     #: link-load model on very large grids.
@@ -202,9 +218,39 @@ class Topology(ABC):
             links = self.links_on_route(src, dst)
             lengths = [self.link_length_tiles(*link) for link in links]
             profile = (links, lengths)
-            if len(cache) < self.ROUTE_PROFILE_CACHE_LIMIT:
-                cache[key] = profile
+            # Bounded FIFO: evict the oldest-inserted entry once full, so a
+            # process-lived topology serving many traffic patterns keeps a
+            # bounded working set instead of merely refusing to learn new
+            # routes (or, worse, growing toward num_tiles^2 entries).
+            while len(cache) >= self.ROUTE_PROFILE_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[key] = profile
         return profile
+
+    def route_link_codes(self, pair_code: int) -> "np.ndarray":
+        """Memoized route of ``src*num_tiles + dst`` as flat directed-link codes.
+
+        Each entry is ``link_src * num_tiles + link_dst`` for one link of the
+        dimension-ordered route -- the array form the batched link-load
+        accounting scatters through ``np.bincount``.  Bounded like
+        :meth:`route_profile` (same eviction policy, separate cache).
+        """
+        cache = getattr(self, "_route_link_codes", None)
+        if cache is None:
+            cache = self._route_link_codes = {}
+        codes = cache.get(pair_code)
+        if codes is None:
+            num_tiles = self.num_tiles
+            links, _lengths = self.route_profile(
+                pair_code // num_tiles, pair_code % num_tiles
+            )
+            codes = np.fromiter(
+                (a * num_tiles + b for a, b in links), dtype=np.int64, count=len(links)
+            )
+            while len(cache) >= self.ROUTE_PROFILE_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[pair_code] = codes
+        return codes
 
     def links(self) -> Iterator[Link]:
         """All directed links of the topology."""
@@ -323,6 +369,15 @@ class Mesh2D(Topology):
     def link_length_tiles(self, src: int, dst: int) -> float:
         return 1.0
 
+    uniform_link_length_tiles = 1.0
+
+    def hop_distance_batch(self, srcs, dsts):
+        sx = srcs % self.width
+        sy = srcs // self.width
+        dx = dsts % self.width
+        dy = dsts // self.width
+        return np.abs(dx - sx) + np.abs(dy - sy)
+
 
 class Torus2D(Topology):
     """2D torus with wraparound links and shortest-direction dimension routing.
@@ -366,6 +421,13 @@ class Torus2D(Topology):
         # Folded torus layout: every link spans two tile pitches.
         return 2.0
 
+    uniform_link_length_tiles = 2.0
+
+    def hop_distance_batch(self, srcs, dsts):
+        fx = (dsts % self.width - srcs % self.width) % self.width
+        fy = (dsts // self.width - srcs // self.width) % self.height
+        return np.minimum(fx, self.width - fx) + np.minimum(fy, self.height - fy)
+
 
 class RucheTorus2D(Torus2D):
     """Torus augmented with ruche (express) channels of a configurable factor.
@@ -377,6 +439,14 @@ class RucheTorus2D(Torus2D):
     kind = "torus_ruche"
 
     congestion_factor = 1.1
+
+    # Express channels give per-link lengths of 2*span tiles -- not uniform --
+    # and hop counts that mix express and unit hops, so the batched routing
+    # inherited from Torus2D would be wrong here.  Opt out explicitly.
+    uniform_link_length_tiles = None
+
+    def hop_distance_batch(self, srcs, dsts):
+        raise NotImplementedError("ruche channels need per-message routing")
 
     def __init__(self, width: int, height: int, ruche_factor: int = 2) -> None:
         super().__init__(width, height)

@@ -48,8 +48,14 @@ def payload_digest(payload: Dict[str, Any]) -> str:
     The single digest definition shared by the on-disk wrapper and the
     distributed result upload (workers digest what they send; the broker
     recomputes before trusting it).
+
+    ``allow_nan=False`` makes a raw non-finite float a loud ``ValueError``
+    instead of silently emitting the non-standard ``Infinity``/``NaN``
+    tokens, whose parse behaviour differs across JSON implementations and
+    would make the digest implementation-dependent; the serialization layer
+    encodes non-finite values as sentinel strings before they reach here.
     """
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -154,7 +160,9 @@ class ResultCache:
             f".tmp.{os.getpid()}-{threading.get_ident()}-{next(_TMP_SEQUENCE)}"
         )
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(wrapper, handle, sort_keys=True)
+            # allow_nan=False: a non-finite float slipping past the sentinel
+            # encoding must fail the store, not write non-standard JSON.
+            json.dump(wrapper, handle, sort_keys=True, allow_nan=False)
         try:
             os.replace(tmp, path)
         except OSError:

@@ -5,10 +5,19 @@ wrappers) so cached results survive on disk in an inspectable format.  Floats
 round-trip exactly through ``json`` (shortest-repr encoding), which is what
 lets the runner guarantee bit-identical results whether a simulation was
 executed serially, in a worker process, or replayed from the cache.
+
+Non-finite floats (``inf`` distances of unreachable SSSP vertices, ``inf``
+ratios from zero denominators) are encoded as the sentinel strings
+``"Infinity"`` / ``"-Infinity"`` / ``"NaN"`` rather than letting ``json``
+emit its non-standard bare ``Infinity`` token, which strict parsers reject
+and which would poison the content-addressed cache and digest-checked
+ingest.  The sentinels round-trip losslessly (``float()`` and ``np.array``
+both parse them), so bit-identical replay still holds.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict
 
 import numpy as np
@@ -16,21 +25,46 @@ import numpy as np
 from repro.core.results import AggregateCounters, EnergyBreakdown, SimulationResult
 
 #: Bump when the payload layout changes; mismatched payloads are cache misses.
-PAYLOAD_FORMAT = 2
+#: Version 3: non-finite floats are encoded as sentinel strings so payloads
+#: are strictly valid JSON (``json.dumps(..., allow_nan=False)`` safe).
+PAYLOAD_FORMAT = 3
+
+
+def _encode_float(value: float):
+    """JSON-safe form of one float: itself, or a sentinel string if non-finite."""
+    value = float(value)
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return "NaN"
+    return "Infinity" if value > 0 else "-Infinity"
+
+
+def _decode_float(value) -> float:
+    """Inverse of :func:`_encode_float` (``float`` parses the sentinels)."""
+    return float(value)
 
 
 def _encode_array(array: np.ndarray) -> Dict[str, Any]:
-    return {"dtype": str(array.dtype), "data": array.tolist()}
+    data = array.tolist()
+    if np.issubdtype(array.dtype, np.floating) and not np.isfinite(array).all():
+        data = [_encode_float(value) for value in data]
+    return {"dtype": str(array.dtype), "data": data}
 
 
 def _decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    # np.array parses the non-finite sentinel strings directly for float
+    # dtypes, so sentinel-encoded and raw (pre-format-3) data both decode.
     return np.array(payload["data"], dtype=np.dtype(payload["dtype"]))
 
 
 def _plain(value):
-    """Coerce numpy scalars to native Python numbers (JSON-safe)."""
+    """Coerce numpy scalars to native Python numbers (JSON-safe), encoding
+    non-finite floats as sentinel strings."""
     if isinstance(value, np.generic):
-        return value.item()
+        value = value.item()
+    if isinstance(value, float):
+        return _encode_float(value)
     return value
 
 
@@ -44,8 +78,8 @@ def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
         "width": int(result.width),
         "height": int(result.height),
         "noc": result.noc,
-        "cycles": float(result.cycles),
-        "frequency_ghz": float(result.frequency_ghz),
+        "cycles": _encode_float(result.cycles),
+        "frequency_ghz": _encode_float(result.frequency_ghz),
         "counters": {
             name: _plain(value) for name, value in result.counters.to_dict().items()
         },
@@ -55,10 +89,10 @@ def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
         "sram_bytes_per_tile": int(result.sram_bytes_per_tile),
         "epochs": int(result.epochs),
         "energy": {
-            "logic_j": float(result.energy.logic_j),
-            "memory_j": float(result.energy.memory_j),
-            "network_j": float(result.energy.network_j),
-            "static_j": float(result.energy.static_j),
+            "logic_j": _encode_float(result.energy.logic_j),
+            "memory_j": _encode_float(result.energy.memory_j),
+            "network_j": _encode_float(result.energy.network_j),
+            "static_j": _encode_float(result.energy.static_j),
         },
         "outputs": {
             name: _encode_array(np.asarray(array))
@@ -67,9 +101,9 @@ def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
         "verified": result.verified,
         "num_edges": int(result.num_edges),
         "num_vertices": int(result.num_vertices),
-        "chip_area_mm2": float(result.chip_area_mm2),
+        "chip_area_mm2": _encode_float(result.chip_area_mm2),
         "depth": int(result.depth),
-        "network_bound_cycles": float(result.network_bound_cycles),
+        "network_bound_cycles": _encode_float(result.network_bound_cycles),
     }
 
 
@@ -80,8 +114,15 @@ def result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
             f"unsupported result payload format {payload.get('format')!r}; "
             f"expected {PAYLOAD_FORMAT}"
         )
-    energy = EnergyBreakdown(**payload["energy"])
-    counters = AggregateCounters(**payload["counters"])
+    energy = EnergyBreakdown(
+        **{name: _decode_float(value) for name, value in payload["energy"].items()}
+    )
+    counters = AggregateCounters(
+        **{
+            name: _decode_float(value) if isinstance(value, str) else value
+            for name, value in payload["counters"].items()
+        }
+    )
     return SimulationResult(
         config_name=payload["config_name"],
         app_name=payload["app_name"],
@@ -89,8 +130,8 @@ def result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
         width=payload["width"],
         height=payload["height"],
         noc=payload["noc"],
-        cycles=payload["cycles"],
-        frequency_ghz=payload["frequency_ghz"],
+        cycles=_decode_float(payload["cycles"]),
+        frequency_ghz=_decode_float(payload["frequency_ghz"]),
         counters=counters,
         per_tile_busy_cycles=_decode_array(payload["per_tile_busy_cycles"]),
         per_tile_instructions=_decode_array(payload["per_tile_instructions"]),
@@ -105,7 +146,7 @@ def result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
         verified=payload["verified"],
         num_edges=payload["num_edges"],
         num_vertices=payload["num_vertices"],
-        chip_area_mm2=payload["chip_area_mm2"],
+        chip_area_mm2=_decode_float(payload["chip_area_mm2"]),
         depth=payload["depth"],
-        network_bound_cycles=payload["network_bound_cycles"],
+        network_bound_cycles=_decode_float(payload["network_bound_cycles"]),
     )

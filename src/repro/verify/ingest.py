@@ -22,6 +22,7 @@ never corrupts the result cache.
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 from repro.graph.datasets import resolve_dataset_name
@@ -29,6 +30,33 @@ from repro.runtime.serialize import PAYLOAD_FORMAT, result_from_payload
 from repro.runtime.spec import RunSpec, build_graph
 from repro.verify.oracles import check_outputs, check_work_bounds
 from repro.verify.reference import reference_run
+
+
+def _nonfinite_metric_fields(result) -> List[str]:
+    """Scalar metric fields carrying non-finite values, by name.
+
+    Output *arrays* are deliberately exempt: ``inf`` SSSP distances of
+    unreachable vertices are legitimate data.  The metric scalars (cycles,
+    bounds, energy, float counters) are always finite for a real simulation,
+    so a non-finite one marks a broken or forged payload.
+    """
+    scalars = {
+        "cycles": result.cycles,
+        "frequency_ghz": result.frequency_ghz,
+        "chip_area_mm2": result.chip_area_mm2,
+        "network_bound_cycles": result.network_bound_cycles,
+        "energy.logic_j": result.energy.logic_j,
+        "energy.memory_j": result.energy.memory_j,
+        "energy.network_j": result.energy.network_j,
+        "energy.static_j": result.energy.static_j,
+    }
+    for name, value in result.counters.to_dict().items():
+        scalars[f"counters.{name}"] = value
+    return [
+        name
+        for name, value in scalars.items()
+        if isinstance(value, float) and not math.isfinite(value)
+    ]
 
 
 def ingest_violations(
@@ -69,6 +97,8 @@ def ingest_violations(
             violations.append(
                 f"payload describes {field}={got!r}, spec says {want!r}"
             )
+    for field in _nonfinite_metric_fields(result):
+        violations.append(f"payload carries non-finite {field}")
     if violations or not conformance:
         return violations
 

@@ -25,14 +25,20 @@ which makes the chain a simple path:
 * BFS: assigned levels are simple-path lengths, i.e. strictly decreasing
   integers in ``[final_level(v), V-1]`` -- at most ``V - final_level(v)``
   explorations;
-* SSSP (integral weights): assigned distances are simple-path weights, and
-  the count of *distinct* simple-path lengths bounds the re-explorations.  A
-  simple path uses at most ``V-1`` distinct edges, so its weight is at most
-  the sum of the ``V-1`` heaviest edge weights (not ``(V-1) * max_weight``),
-  and every path weight is a sum of edge weights, hence a multiple of their
-  gcd -- so the achievable lengths are the multiples of ``gcd`` in
+* SSSP: assigned distances are simple-path weights, and the count of
+  *distinct* simple-path lengths bounds the re-explorations.  A simple path
+  uses at most ``V-1`` distinct edges, so its weight is at most the sum of
+  the ``V-1`` heaviest edge weights (not ``(V-1) * max_weight``), and every
+  path weight is a sum of edge weights, hence a multiple of their gcd -- so
+  the achievable lengths are the multiples of ``gcd`` in
   ``[final_dist(v), top_sum]``, a strictly smaller lattice than the naive
-  per-unit one.  With non-integral weights the bound falls back to the
+  per-unit one.  Non-integral weights are first rescaled onto an integer
+  lattice: binary rationals (the common case -- quantized weights like
+  ``0.25`` grids) become exact integers under multiplication by ``2**m``,
+  float64 path sums of such weights are exact as long as they stay below
+  ``2**53 / 2**m``, and the gcd argument applies to the scaled weights
+  verbatim.  Only weights with no such representation (or whose scaled
+  magnitudes overflow the exact-float range) fall back to the
   Bellman-Ford-style ``V`` explorations per vertex;
 * WCC: adopted labels are vertex IDs inside the component, strictly
   decreasing -- at most ``1 + |{u in component(v): u < v}|`` explorations.
@@ -110,6 +116,38 @@ def _bfs_reference(graph: CSRGraph, root: int) -> ReferenceRun:
     )
 
 
+#: Largest power-of-two shift tried when rescaling rational weights onto an
+#: integer lattice.  Binary rationals produced by quantized weight grids
+#: (0.5, 0.25, ...) resolve within a few shifts; weights that need more than
+#: this many bits of fraction do not gain a useful lattice anyway.
+_MAX_LATTICE_SHIFT = 40
+
+#: Largest integer range where float64 arithmetic on path sums is exact.
+_EXACT_FLOAT_LIMIT = 1 << 53
+
+
+def _lattice_shift(values: np.ndarray) -> Optional[int]:
+    """Smallest ``m`` such that ``values * 2**m`` are all exact integers.
+
+    Multiplying a float64 by a power of two only changes the exponent, so
+    when every scaled value is integral the scaling is *exact* -- the
+    scaled-integer lattice describes the original weights with no rounding.
+    Returns ``None`` when no shift up to :data:`_MAX_LATTICE_SHIFT` works
+    (non-binary rationals like 1/3, or subnormal-scale weights).
+    """
+    if values.size == 0:
+        return 0
+    if values.min() <= 0.0 or not np.isfinite(values).all():
+        return None
+    for shift in range(_MAX_LATTICE_SHIFT + 1):
+        scaled = values * float(1 << shift)
+        if scaled.max() >= _EXACT_FLOAT_LIMIT:
+            return None  # scaled weights leave the exact-integer float range
+        if np.all(scaled == np.floor(scaled)):
+            return shift
+    return None
+
+
 def _sssp_reference(graph: CSRGraph, root: int) -> ReferenceRun:
     dist = sssp_distances(graph, root)
     degrees = graph.degrees().astype(np.int64)
@@ -117,19 +155,17 @@ def _sssp_reference(graph: CSRGraph, root: int) -> ReferenceRun:
     lower = int(degrees[reachable].sum())
     num_vertices = graph.num_vertices
     values = graph.values
-    integral = bool(
-        graph.num_edges == 0
-        or (np.all(values == np.floor(values)) and values.min() >= 1.0)
-    )
-    if integral:
+    shift = 0 if graph.num_edges == 0 else _lattice_shift(values)
+    ceiling = 0
+    if shift is not None and graph.num_edges:
         # Assigned distances are simple-path weights; count the distinct
-        # integer lengths a simple path ending at v can take.  A simple path
+        # lattice lengths a simple path ending at v can take.  A simple path
         # has at most V-1 (distinct) edges, so its weight never exceeds the
         # sum of the V-1 heaviest weights; and every path weight is a sum of
         # edge weights, hence a multiple of their gcd.  The improvements of
         # v are strictly decreasing members of that lattice down to
         # final_dist(v) (itself a path weight, so on the lattice too).
-        int_weights = np.round(values).astype(np.int64)
+        int_weights = np.round(values * float(1 << shift)).astype(np.int64)
         top_k = min(num_vertices - 1, graph.num_edges)
         if top_k <= 0:
             ceiling = 0
@@ -139,12 +175,27 @@ def _sssp_reference(graph: CSRGraph, root: int) -> ReferenceRun:
             ceiling = int(
                 np.partition(int_weights, graph.num_edges - top_k)[-top_k:].sum()
             )
-        gcd = int(np.gcd.reduce(int_weights)) if graph.num_edges else 1
-        gcd = max(1, gcd)
-        final = np.round(dist[reachable]).astype(np.int64)
-        explorations = np.maximum(1, (ceiling - final) // gcd + 1)
+        if ceiling >= _EXACT_FLOAT_LIMIT:
+            # Path sums may round in float64: the lattice argument no longer
+            # describes the simulated arithmetic exactly.
+            shift = None
+    if shift is not None:
+        if graph.num_edges:
+            gcd = int(np.gcd.reduce(int_weights))
+            gcd = max(1, gcd)
+            # Scaled distances are exact integers below the ceiling, so the
+            # rounding is representation change, not approximation.
+            final = np.round(dist[reachable] * float(1 << shift)).astype(np.int64)
+            explorations = np.maximum(1, (ceiling - final) // gcd + 1)
+            # The Bellman-Ford V-explorations argument holds independently of
+            # the weights, so the two bounds combine by elementwise minimum:
+            # lattice-sparse weights tighten far below V, wide lattices
+            # (heavy tails, gcd 1) never loosen past it.
+            explorations = np.minimum(explorations, num_vertices)
+        else:
+            explorations = np.ones(int(reachable.sum()), dtype=np.int64)
     else:
-        # Non-integral weights: Bellman-Ford-style V explorations per vertex.
+        # No exact lattice: Bellman-Ford-style V explorations per vertex.
         explorations = np.full(int(reachable.sum()), num_vertices, dtype=np.int64)
     explorations = np.where(dist[reachable] == 0.0, 1, explorations)
     upper = int((degrees[reachable] * explorations).sum())

@@ -94,6 +94,27 @@ class InvariantTracer:
                     self.spawned_by_task.get(out_task.name, 0) + 1
                 )
 
+    def record_batch_execution(
+        self, task, count: int, out_task=None, out_count: int = 0
+    ) -> None:
+        """Batched :meth:`record_execution`: ``count`` same-task consumptions
+        spawning ``out_count`` messages, all of task ``out_task``.
+
+        The batched engine path executes whole same-task segments; every
+        kernel task emits exactly one downstream task type, so one
+        (task, out_task) pair per segment preserves the detailed histograms.
+        """
+        self.consumed += count
+        self.spawned[MESSAGE] += out_count
+        if self.detailed:
+            self.consumed_by_task[task.name] = (
+                self.consumed_by_task.get(task.name, 0) + count
+            )
+            if out_task is not None and out_count:
+                self.spawned_by_task[out_task.name] = (
+                    self.spawned_by_task.get(out_task.name, 0) + out_count
+                )
+
     def epoch_finished(self, epoch_index: int, counters) -> None:
         """Check monotonicity against the previous epoch; trace when detailed."""
         snapshot = {name: getattr(counters, name) for name in MONOTONE_COUNTERS}

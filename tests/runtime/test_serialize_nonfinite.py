@@ -1,0 +1,120 @@
+"""Non-finite floats must never reach a payload as raw JSON ``Infinity``.
+
+``core/results.py`` legitimately produces ``inf`` (unreachable SSSP
+distances, ratios over zero denominators); ``json.dumps`` would emit those as
+the non-standard ``Infinity`` token, which strict parsers reject -- poisoning
+the content-addressed cache and the digest-checked ingest.  The serialization
+seam therefore encodes non-finite floats as sentinel strings, the digest and
+cache refuse raw non-finite values outright, and verified ingest rejects
+payloads whose scalar metrics are non-finite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.results import AggregateCounters, EnergyBreakdown, SimulationResult
+from repro.runtime.cache import ResultCache, payload_digest
+from repro.runtime.serialize import (
+    PAYLOAD_FORMAT,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.runtime.spec import RunSpec
+from repro.verify.ingest import ingest_violations
+
+
+def make_result(**overrides) -> SimulationResult:
+    fields = dict(
+        config_name="test",
+        app_name="sssp",
+        dataset_name="rmat16",
+        width=4,
+        height=4,
+        noc="torus",
+        cycles=123.0,
+        frequency_ghz=1.0,
+        counters=AggregateCounters(instructions=10, tasks_executed=2),
+        per_tile_busy_cycles=np.zeros(16, dtype=np.float64),
+        per_tile_instructions=np.zeros(16, dtype=np.int64),
+        per_router_flits=np.zeros(16, dtype=np.int64),
+        sram_bytes_per_tile=1024,
+        epochs=1,
+        energy=EnergyBreakdown(1.0, 2.0, 3.0, 4.0),
+        outputs={"dist": np.array([0.0, np.inf, 3.5, -np.inf, np.nan])},
+        verified=True,
+        num_edges=5,
+        num_vertices=5,
+        chip_area_mm2=1.0,
+        depth=1,
+        network_bound_cycles=7.0,
+    )
+    fields.update(overrides)
+    return SimulationResult(**fields)
+
+
+def test_nonfinite_outputs_round_trip_as_strict_json():
+    result = make_result()
+    payload = result_to_payload(result)
+    # Strictly valid JSON: no bare Infinity/NaN tokens anywhere.
+    blob = json.dumps(payload, allow_nan=False)
+    decoded = result_from_payload(json.loads(blob))
+    assert decoded.outputs["dist"].dtype == np.float64
+    assert np.array_equal(decoded.outputs["dist"], result.outputs["dist"], equal_nan=True)
+
+
+def test_nonfinite_scalars_round_trip_as_strict_json():
+    result = make_result(
+        cycles=float("inf"),
+        network_bound_cycles=float("-inf"),
+        energy=EnergyBreakdown(float("nan"), 2.0, 3.0, 4.0),
+    )
+    payload = result_to_payload(result)
+    assert payload["cycles"] == "Infinity"
+    assert payload["network_bound_cycles"] == "-Infinity"
+    decoded = result_from_payload(json.loads(json.dumps(payload, allow_nan=False)))
+    assert decoded.cycles == float("inf")
+    assert decoded.network_bound_cycles == float("-inf")
+    assert np.isnan(decoded.energy.logic_j)
+
+
+def test_finite_payload_has_no_sentinels():
+    payload = result_to_payload(make_result(outputs={"level": np.arange(4.0)}))
+    blob = json.dumps(payload, sort_keys=True, allow_nan=False)
+    assert "Infinity" not in blob and "NaN" not in blob
+
+
+def test_payload_digest_rejects_raw_nonfinite():
+    with pytest.raises(ValueError):
+        payload_digest({"cycles": float("inf")})
+
+
+def test_cache_store_rejects_raw_nonfinite(tmp_path):
+    cache = ResultCache(tmp_path)
+    good = result_to_payload(make_result())
+    cache.store("k" * 64, good)  # sentinel-encoded non-finite data stores fine
+    assert cache.load("k" * 64) == good
+    with pytest.raises(ValueError):
+        cache.store("b" * 64, {"format": PAYLOAD_FORMAT, "cycles": float("nan")})
+
+
+def _spec() -> RunSpec:
+    return RunSpec(
+        app="sssp", dataset="rmat16", config=MachineConfig(width=4, height=4)
+    )
+
+
+def test_ingest_rejects_nonfinite_scalar_metrics():
+    payload = result_to_payload(make_result(cycles=float("inf")))
+    violations = ingest_violations(_spec(), payload)
+    assert any("non-finite cycles" in v for v in violations)
+
+
+def test_ingest_accepts_nonfinite_output_arrays():
+    # inf distances of unreachable vertices are data, not corruption.
+    payload = result_to_payload(make_result())
+    assert ingest_violations(_spec(), payload) == []

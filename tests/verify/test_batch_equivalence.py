@@ -1,0 +1,132 @@
+"""Property test: batched analytic execution is bit-equal to scalar execution.
+
+The batched engine path (``machine.batch_execution = True``, the default)
+claims exact equivalence with the per-invocation scalar path -- not "close",
+but identical IEEE floats in every counter, per-tile array, link-load
+accumulator and program output.  This property drives both paths over random
+small graphs, kernels and machine configurations and compares everything
+bitwise, so any future vectorization change that perturbs an accumulation
+order fails loudly here.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import BFSKernel, PageRankKernel, SPMVKernel, SSSPKernel, WCCKernel
+from repro.core.config import MachineConfig
+from repro.core.machine import DalorexMachine
+from repro.graph.generators import rmat_graph, uniform_random_graph
+
+COUNTER_FIELDS = (
+    "instructions",
+    "tasks_executed",
+    "messages",
+    "local_messages",
+    "flits",
+    "flit_hops",
+    "router_traversals",
+    "flit_millimeters",
+    "sram_reads",
+    "sram_writes",
+    "dram_accesses",
+    "cache_hits",
+    "edges_processed",
+    "remote_interrupts",
+    "epochs",
+)
+
+
+def _kernel(name, graph):
+    if name == "bfs":
+        return BFSKernel(root=graph.highest_degree_vertex())
+    if name == "sssp":
+        return SSSPKernel(root=graph.highest_degree_vertex())
+    if name == "wcc":
+        return WCCKernel()
+    if name == "pagerank":
+        return PageRankKernel(num_iterations=3)
+    return SPMVKernel(seed=1)
+
+
+@st.composite
+def equivalence_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=40))
+    if draw(st.booleans()):
+        graph = rmat_graph(draw(st.integers(min_value=4, max_value=6)), edge_factor=4, seed=seed)
+    else:
+        vertices = draw(st.integers(min_value=8, max_value=40))
+        graph = uniform_random_graph(vertices, vertices * 3, seed=seed)
+    kernel_name = draw(st.sampled_from(["bfs", "sssp", "wcc", "pagerank", "spmv"]))
+    overrides = {
+        "width": draw(st.sampled_from([2, 3, 4])),
+        "height": draw(st.sampled_from([2, 4])),
+        "engine": "analytic",
+        "noc": draw(st.sampled_from(["mesh", "torus"])),
+        "vertex_placement": draw(st.sampled_from(["block", "interleave"])),
+        "barrier": draw(st.booleans()),
+        "scheduling": draw(st.sampled_from(["occupancy", "round_robin"])),
+        "memory": draw(st.sampled_from(["sram", "dram", "dram_cache"])),
+    }
+    return graph, kernel_name, overrides
+
+
+def _run(graph, kernel_name, overrides, batch):
+    config = MachineConfig(**overrides)
+    machine = DalorexMachine(config, _kernel(kernel_name, graph), graph)
+    machine.batch_execution = batch
+    result = machine.run(compute_energy=False)
+    return machine, result
+
+
+def assert_bit_equal(graph, kernel_name, overrides):
+    machine_b, batched = _run(graph, kernel_name, overrides, batch=True)
+    machine_s, scalar = _run(graph, kernel_name, overrides, batch=False)
+    assert batched.cycles == scalar.cycles
+    assert batched.epochs == scalar.epochs
+    for field in COUNTER_FIELDS:
+        value_b = getattr(batched.counters, field)
+        value_s = getattr(scalar.counters, field)
+        assert value_b == value_s, f"counters.{field}: {value_b!r} != {value_s!r}"
+    assert np.array_equal(batched.per_tile_busy_cycles, scalar.per_tile_busy_cycles)
+    assert np.array_equal(batched.per_tile_instructions, scalar.per_tile_instructions)
+    assert np.array_equal(batched.per_router_flits, scalar.per_router_flits)
+    for name in batched.outputs:
+        assert np.array_equal(batched.outputs[name], scalar.outputs[name]), name
+    assert machine_b.link_model.link_flits == machine_s.link_model.link_flits
+    assert (
+        machine_b.link_model.total_flit_millimeters
+        == machine_s.link_model.total_flit_millimeters
+    )
+    assert machine_b.tracer.summary() == machine_s.tracer.summary()
+
+
+class TestBatchScalarEquivalence:
+    @given(equivalence_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_batched_run_is_bit_equal_to_scalar_run(self, case):
+        graph, kernel_name, overrides = case
+        assert_bit_equal(graph, kernel_name, overrides)
+
+    def test_ruche_topology_stays_on_scalar_path(self, small_rmat):
+        config = MachineConfig(width=8, height=8, engine="analytic", noc="torus_ruche")
+        machine = DalorexMachine(config, BFSKernel(root=0), small_rmat)
+        from repro.core.engine_analytic import AnalyticalEngine
+
+        assert AnalyticalEngine(machine)._prepare_batch() is None
+        assert machine.run(verify=True).verified is True
+
+    def test_batch_mode_engages_on_default_config(self, small_rmat):
+        config = MachineConfig(width=8, height=8, engine="analytic")
+        machine = DalorexMachine(config, BFSKernel(root=0), small_rmat)
+        from repro.core.engine_analytic import AnalyticalEngine
+
+        assert AnalyticalEngine(machine)._prepare_batch() is not None
+
+    def test_opt_out_flag_forces_scalar_path(self, small_rmat):
+        config = MachineConfig(width=8, height=8, engine="analytic")
+        machine = DalorexMachine(config, BFSKernel(root=0), small_rmat)
+        machine.batch_execution = False
+        from repro.core.engine_analytic import AnalyticalEngine
+
+        assert AnalyticalEngine(machine)._prepare_batch() is None

@@ -1,0 +1,102 @@
+"""SSSP work bound: rational weights must rescale onto an integer lattice.
+
+The distinct-path-length argument bounds re-explorations by the count of
+gcd-lattice points between a vertex's final distance and the heaviest
+simple-path weight.  It used to apply only to integral weights; binary
+rationals (quantized 0.25/0.5 weight grids) are *exactly* representable as
+scaled integers, so the same lattice applies after multiplying by ``2**m`` --
+shrinking the bound from the Bellman-Ford ``V`` explorations per vertex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_graph
+from repro.verify.reference import _lattice_shift, reference_run
+
+
+def quarter_weight_graph(seed: int = 3) -> CSRGraph:
+    """Small weighted graph whose weights live on the 0.25 grid."""
+    graph = rmat_graph(scale=7, edge_factor=6, seed=seed, weighted=True)
+    values = (np.maximum(1, np.round(graph.values * 4.0)) / 4.0).astype(np.float64)
+    return CSRGraph(graph.indptr, graph.indices, values, name="quarter")
+
+
+def test_lattice_shift_finds_binary_rationals():
+    assert _lattice_shift(np.array([1.0, 2.0, 3.0])) == 0
+    assert _lattice_shift(np.array([0.5, 1.5])) == 1
+    assert _lattice_shift(np.array([0.25, 3.75, 2.0])) == 2
+    assert _lattice_shift(np.array([], dtype=np.float64)) == 0
+
+
+def test_lattice_shift_rejects_non_dyadic_and_degenerate():
+    assert _lattice_shift(np.array([1.0 / 3.0, 1.0])) is None
+    assert _lattice_shift(np.array([0.0, 1.0])) is None
+    assert _lattice_shift(np.array([-1.0, 1.0])) is None
+    assert _lattice_shift(np.array([np.inf, 1.0])) is None
+    # Scaled weights leaving the exact-float range must not pretend exactness.
+    assert _lattice_shift(np.array([2.0**53, 1.0])) is None
+
+
+def test_quarter_grid_bound_shrinks_below_bellman_ford():
+    graph = quarter_weight_graph()
+    run = reference_run("sssp", graph)
+    # The old fallback: V explorations for every reachable vertex.
+    dist = run.expected
+    reachable = np.isfinite(dist)
+    degrees = graph.degrees().astype(np.int64)
+    bellman_ford_upper = int(
+        (degrees[reachable] * graph.num_vertices).sum()
+    )
+    assert run.bounds.edges_lower <= run.bounds.edges_upper
+    assert run.bounds.edges_upper < bellman_ford_upper
+
+
+def test_quarter_grid_bound_matches_scaled_integer_bound():
+    # Scaling every weight by 4 must not change the bound: the lattice is the
+    # same object in scaled units.
+    graph = quarter_weight_graph()
+    scaled = CSRGraph(graph.indptr, graph.indices, graph.values * 4.0, name="scaled")
+    assert (
+        reference_run("sssp", graph).bounds.edges_upper
+        == reference_run("sssp", scaled).bounds.edges_upper
+    )
+
+
+def test_quarter_grid_simulation_stays_within_bounds():
+    # End to end: a machine run over 0.25-grid weights verifies against the
+    # shrunk bound (the bound must stay sound, not just smaller).
+    from repro.core.config import MachineConfig
+    from repro.experiments.common import run_configuration
+
+    graph = quarter_weight_graph()
+    result = run_configuration(
+        MachineConfig(width=4, height=4), "sssp", graph,
+        dataset_name="quarter", verify=True,
+    )
+    bounds = reference_run("sssp", graph).bounds
+    assert result.verified is True
+    assert bounds.admits_edges(result.counters.edges_processed)
+
+
+def test_integral_weights_bound_formula():
+    # Regression guard: the integral path (shift == 0) follows the documented
+    # formula -- gcd-lattice points capped at the V-explorations argument.
+    graph = rmat_graph(scale=7, edge_factor=6, seed=9, weighted=True)
+    run = reference_run("sssp", graph)
+    values = graph.values
+    int_weights = np.round(values).astype(np.int64)
+    top_k = min(graph.num_vertices - 1, graph.num_edges)
+    ceiling = int(np.partition(int_weights, graph.num_edges - top_k)[-top_k:].sum())
+    gcd = max(1, int(np.gcd.reduce(int_weights)))
+    dist = run.expected
+    reachable = np.isfinite(dist)
+    final = np.round(dist[reachable]).astype(np.int64)
+    explorations = np.maximum(1, (ceiling - final) // gcd + 1)
+    explorations = np.minimum(explorations, graph.num_vertices)
+    explorations = np.where(dist[reachable] == 0.0, 1, explorations)
+    degrees = graph.degrees().astype(np.int64)
+    assert run.bounds.edges_upper == int((degrees[reachable] * explorations).sum())
