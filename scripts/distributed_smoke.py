@@ -53,12 +53,18 @@ def _start_broker(work_dir: Path, lease_timeout: float) -> tuple:
     return process, line[len(prefix):]
 
 
-def _start_worker(address: str, tag: str) -> subprocess.Popen:
+def _start_worker(address: str, tag: str, protocol: str = None) -> subprocess.Popen:
+    env = _env()
+    if protocol is not None:
+        # Stamp this worker's wire messages with an older protocol
+        # generation: the mixed-fleet smoke proves a v2 worker still
+        # completes work against the v3 asyncio broker.
+        env["DALOREX_PROTOCOL"] = protocol
     return subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "worker",
          "--connect", address, "--worker-id", tag,
          "--poll-interval", "0.1", "--patience", "60"],
-        env=_env(), stdout=subprocess.DEVNULL,
+        env=env, stdout=subprocess.DEVNULL,
     )
 
 
@@ -83,6 +89,10 @@ def main(argv=None) -> int:
                         help="short lease so a killed worker's spec requeues fast")
     parser.add_argument("--kill-one-worker", action="store_true",
                         help="SIGKILL one extra worker mid-sweep")
+    parser.add_argument("--v2-worker", action="store_true",
+                        help="run one of the workers with "
+                             "DALOREX_PROTOCOL=dalorex-dist/2: a mixed "
+                             "v2/v3 fleet must stay byte-identical")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="dalorex-smoke-") as tmp:
@@ -92,7 +102,16 @@ def main(argv=None) -> int:
 
         broker, address = _start_broker(work_dir, args.lease_timeout)
         print(f"[smoke] broker up at {address}", flush=True)
-        workers = [_start_worker(address, f"smoke-{i}") for i in range(args.workers)]
+        workers = [
+            _start_worker(
+                address,
+                f"smoke-{i}" + ("-v2" if args.v2_worker and i == 0 else ""),
+                protocol="dalorex-dist/2" if args.v2_worker and i == 0 else None,
+            )
+            for i in range(args.workers)
+        ]
+        if args.v2_worker:
+            print("[smoke] worker smoke-0-v2 speaks dalorex-dist/2", flush=True)
         victim = _start_worker(address, "smoke-victim") if args.kill_one_worker else None
 
         try:

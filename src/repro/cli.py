@@ -95,6 +95,11 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         "--connect", default=None, metavar="HOST:PORT",
         help="broker address for --backend distributed",
     )
+    parser.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="tenant queue to submit under on a multi-tenant broker "
+             "(--backend distributed only; default: the shared queue)",
+    )
 
 
 def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
@@ -107,6 +112,7 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
             getattr(args, "backend", None),
             jobs=args.jobs,
             connect=getattr(args, "connect", None),
+            tenant=getattr(args, "tenant", None),
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -438,7 +444,13 @@ def cache_command(argv: Optional[List[str]] = None) -> int:
 
 def broker_command(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``dalorex broker``: serve the distributed spec queue."""
-    from repro.runtime.distributed import DEFAULT_PORT, Broker, BrokerServer
+    from repro.runtime.distributed import (
+        DEFAULT_PORT,
+        MAX_FRAME_BYTES,
+        Broker,
+        BrokerServer,
+        format_address,
+    )
 
     parser = argparse.ArgumentParser(
         prog="dalorex broker",
@@ -464,6 +476,16 @@ def broker_command(argv: Optional[List[str]] = None) -> int:
                         help="re-check every uploaded result against the "
                              "conformance reference executor (bounds + output "
                              "oracles), not just its content digest")
+    parser.add_argument("--tenant-quota", type=_positive_int, default=None,
+                        metavar="N",
+                        help="admission control: reject a submit that would "
+                             "leave one tenant with more than N incomplete "
+                             "specs (default: unlimited)")
+    parser.add_argument("--max-message-bytes", type=_parse_size,
+                        default=MAX_FRAME_BYTES, metavar="SIZE",
+                        help="cap on one protocol frame; oversized lines are "
+                             "rejected with a typed error (default: 64M; "
+                             "large payloads stream via chunked fetch)")
     args = parser.parse_args(argv)
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -473,10 +495,15 @@ def broker_command(argv: Optional[List[str]] = None) -> int:
         max_attempts=args.max_attempts,
         verify_ingest=args.verify_ingest,
         state_path=args.state_file,
+        tenant_quota=args.tenant_quota,
     )
-    server = BrokerServer(broker, host=args.host, port=args.port)
-    host, port = server.address
-    print(f"broker listening on {host}:{port}", flush=True)
+    server = BrokerServer(
+        broker,
+        host=args.host,
+        port=args.port,
+        max_message_bytes=args.max_message_bytes,
+    )
+    print(f"broker listening on {format_address(server.address)}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -167,12 +167,14 @@ def resolve_backend(
     name: Optional[str],
     jobs: int = 1,
     connect: Optional[str] = None,
+    tenant: Optional[str] = None,
 ) -> RunnerBackend:
     """Build the backend a ``--backend`` flag describes.
 
     ``None`` (or ``"auto"``) keeps the historical behavior: inline for
     ``jobs=1``, a process pool otherwise.  ``"distributed"`` requires a
-    broker address (``host:port``).
+    broker address (``host:port``); ``tenant`` names its fair-share queue
+    on a multi-tenant broker.
     """
     if name in (None, "auto"):
         name = "inline" if jobs <= 1 else "process"
@@ -188,7 +190,7 @@ def resolve_backend(
         from repro.runtime.distributed.client import DistributedBackend
         from repro.runtime.distributed.protocol import parse_address
 
-        return DistributedBackend(parse_address(connect))
+        return DistributedBackend(parse_address(connect), tenant=tenant)
     raise ValueError(
         f"unknown backend {name!r}; choose from auto, inline, process, distributed"
     )

@@ -4,10 +4,12 @@ The spec/payload boundary was process-safe JSON from PR 1 on, so remote
 execution is transport plus trust management:
 
 * :mod:`~repro.runtime.distributed.protocol` -- JSON-lines-over-TCP framing
-  shared by all three roles;
-* :mod:`~repro.runtime.distributed.broker` -- ``dalorex broker``: a
-  costliest-first queue (:meth:`RunSpec.predicted_cost`) with pull leases,
-  heartbeats, crash requeue under an attempt cap, digest- and
+  shared by all three roles (generations v1..v3: gzip transport, structured
+  error/failure codes, bounded frames, chunked fetch, tenancy);
+* :mod:`~repro.runtime.distributed.broker` -- ``dalorex broker``: an asyncio
+  TCP service over a costliest-first, fair-share-per-tenant queue
+  (:meth:`RunSpec.predicted_cost`) with pull leases, heartbeats, crash
+  requeue under an attempt cap, admission control, digest- and
   oracle-checked ingest, and an optional restart-safe journal;
 * :mod:`~repro.runtime.distributed.worker` -- ``dalorex worker``: stateless
   pull loops that rebuild graph and machine from the canonical spec;
@@ -18,11 +20,23 @@ execution is transport plus trust management:
 See ``docs/DISTRIBUTED.md`` for topology and failure semantics.
 """
 
-from repro.runtime.distributed.broker import Broker, BrokerServer, BrokerStats
+from repro.runtime.distributed.broker import (
+    AdmissionError,
+    Broker,
+    BrokerServer,
+    BrokerStats,
+)
 from repro.runtime.distributed.client import DistributedBackend
 from repro.runtime.distributed.protocol import (
+    COMPAT_PROTOCOLS,
     DEFAULT_PORT,
+    DEFAULT_TENANT,
+    MAX_FRAME_BYTES,
     PROTOCOL,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    PROTOCOL_V3,
+    BrokerError,
     ProtocolError,
     format_address,
     parse_address,
@@ -31,12 +45,20 @@ from repro.runtime.distributed.protocol import (
 from repro.runtime.distributed.worker import Worker, execute_canonical
 
 __all__ = [
+    "AdmissionError",
     "Broker",
+    "BrokerError",
     "BrokerServer",
     "BrokerStats",
+    "COMPAT_PROTOCOLS",
     "DEFAULT_PORT",
+    "DEFAULT_TENANT",
     "DistributedBackend",
+    "MAX_FRAME_BYTES",
     "PROTOCOL",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "PROTOCOL_V3",
     "ProtocolError",
     "Worker",
     "execute_canonical",

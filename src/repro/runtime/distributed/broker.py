@@ -1,19 +1,31 @@
-"""The broker: a costliest-first RunSpec queue with leases and verified ingest.
+"""The broker: a fair-share RunSpec queue with leases and verified ingest.
 
 One broker serves a whole fleet: clients ``submit`` batches of canonical
 specs and ``fetch`` completed payloads; workers ``lease`` one spec at a time
 (pull-based, so a slow worker never blocks a fast one), ``heartbeat`` while
 simulating, and upload a ``result`` with a content digest.  All state
 transitions live in :class:`Broker` behind one lock; :class:`BrokerServer`
-is a thin threaded TCP front end.
+is an asyncio TCP front end (``asyncio.start_server``) that keeps hundreds
+of concurrent connections cheap -- one task per connection instead of one
+thread -- while every broker op runs on a worker thread so the lock-guarded
+state machine never stalls the event loop.
+
+Multi-tenancy (protocol v3, see ``docs/DISTRIBUTED.md``): every submit may
+name a ``tenant``.  Each tenant owns its own costliest-first heap, and
+leases round-robin across tenants with queued work -- one greedy tenant can
+no longer starve the rest -- while ``tenant_quota`` bounds how many
+incomplete specs a single tenant may have in flight (rejected with the
+typed ``tenant-quota-exceeded`` code).  Untagged peers (all v1/v2 traffic)
+share the ``default`` tenant, which preserves the historical global
+costliest-first order exactly.
 
 Failure semantics (see ``docs/DISTRIBUTED.md``):
 
 * a worker that stops heartbeating loses its lease after ``lease_timeout``
   seconds and the spec is requeued;
 * every lease counts against ``max_attempts``; a spec that keeps crashing
-  workers (or keeps failing ingest) is marked failed with a reason instead
-  of looping forever;
+  workers (or keeps failing ingest) is marked failed with a reason (and the
+  structured ``gave-up`` code) instead of looping forever;
 * an uploaded payload is accepted only if its digest matches and the
   :mod:`repro.verify.ingest` checks pass (structural always; full
   reference-executor conformance with ``verify_ingest=True``) -- rejected
@@ -31,30 +43,65 @@ upload is digest- and oracle-checked.
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import heapq
 import json
 import os
-import socketserver
+import socket
 import threading
 import time
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.runtime.cache import ResultCache, payload_digest
 from repro.runtime.distributed.protocol import (
     COMPAT_PROTOCOLS,
+    DEFAULT_TENANT,
+    ERR_BAD_REQUEST,
+    ERR_FRAME_TOO_LARGE,
+    ERR_TENANT_QUOTA,
+    ERR_UNKNOWN_KEY,
+    ERR_UNKNOWN_OP,
+    FAIL_GAVE_UP,
+    FAIL_NEVER_SUBMITTED,
+    MAX_FRAME_BYTES,
     PROTOCOL,
     ProtocolError,
+    REJECT_BAD_PAYLOAD,
+    REJECT_DIGEST_MISMATCH,
+    REJECT_INGEST,
+    REJECT_TRANSPORT,
+    REJECT_UNKNOWN_KEY,
     compress_payload,
     decompress_payload,
     encode_message,
-    read_message,
 )
 from repro.runtime.spec import RunSpec
 
 #: Format tag of the on-disk queue journal (bump on incompatible changes).
+#: v3 adds optional per-task ``tenant`` and a ``failed_codes`` map -- both
+#: additive, so journals travel in either direction across the upgrade.
 STATE_FORMAT = "dalorex-broker-state/1"
+
+#: ``fetch_chunk`` slice size when the requester names none.
+DEFAULT_CHUNK_BYTES = 1024 * 1024
+
+
+class AdmissionError(ReproError):
+    """A submit was refused by admission control (per-tenant quota)."""
+
+    code = ERR_TENANT_QUOTA
+
+    def __init__(self, tenant: str, incomplete: int, fresh: int, quota: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} would exceed its quota of {quota} queued "
+            f"specs ({incomplete} incomplete + {fresh} new)"
+        )
+        self.tenant = tenant
 
 
 @dataclass
@@ -68,6 +115,7 @@ class _Task:
     attempts: int = 0
     worker: Optional[str] = None
     deadline: Optional[float] = None
+    tenant: str = DEFAULT_TENANT
 
     @property
     def leased(self) -> bool:
@@ -98,6 +146,7 @@ class BrokerStats:
     rejected: int = 0
     requeues: int = 0
     expired_leases: int = 0
+    admission_rejections: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -115,6 +164,8 @@ class Broker:
         verify_ingest: run the reference-executor conformance oracles on
             every upload (structural checks always run).
         state_path: JSON journal for restart-safe queueing (optional).
+        tenant_quota: max incomplete (queued + leased) specs one tenant may
+            hold; ``None`` disables admission control.
     """
 
     def __init__(
@@ -125,23 +176,32 @@ class Broker:
         verify_ingest: bool = False,
         state_path: Optional[os.PathLike] = None,
         clock=time.monotonic,
+        tenant_quota: Optional[int] = None,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1, got {tenant_quota}")
         self.cache = cache
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = int(max_attempts)
         self.verify_ingest = bool(verify_ingest)
         self.state_path = Path(state_path) if state_path else None
+        self.tenant_quota = tenant_quota
         self.stats = BrokerStats()
         self._clock = clock
         self._lock = threading.Lock()
         self._tasks: Dict[str, _Task] = {}
-        self._queue: List[Tuple[float, int, str]] = []  # (-cost, seq, key)
+        # One costliest-first heap per tenant plus a round-robin rotation of
+        # tenants with queued work; the single-tenant case (all v1/v2
+        # traffic) degenerates to the historical global heap exactly.
+        self._queues: Dict[str, List[Tuple[float, int, str]]] = {}
+        self._rotation: Deque[str] = deque()
         self._completed: Dict[str, _Completed] = {}
         self._failed: Dict[str, str] = {}
+        self._failed_codes: Dict[str, str] = {}
         # Per-worker activity counters (in-memory only; a restarted broker
         # starts a fresh ledger): worker id -> leases/completed/rejected/
         # released counts, surfaced by the ``stats`` op for fleet dashboards.
@@ -155,30 +215,52 @@ class Broker:
             self._load_state()
 
     # ----------------------------------------------------------------- ops
-    def submit(self, canonicals: List[Dict[str, Any]]) -> Dict[str, Any]:
+    def submit(
+        self, canonicals: List[Dict[str, Any]], tenant: str = DEFAULT_TENANT
+    ) -> Dict[str, Any]:
         """Queue new specs (deduplicated against everything already known).
 
-        All-or-nothing: every spec is validated before any is queued, so a
-        malformed batch (version skew, unknown dataset) rejects cleanly --
-        the client gets the validation error, and the journal never holds a
-        half-accepted batch.
+        All-or-nothing: every spec is validated (and the tenant's quota
+        checked) before any is queued, so a malformed or over-quota batch
+        rejects cleanly -- the client gets the error, and the journal never
+        holds a half-accepted batch.  Over-quota batches raise
+        :class:`AdmissionError` (the ``tenant-quota-exceeded`` code on the
+        wire).
         """
         queued = duplicates = 0
         specs = [RunSpec.from_canonical(canonical) for canonical in canonicals]
         with self._lock:
+            fresh: List[Tuple[str, RunSpec]] = []
+            seen: set = set()
             for spec in specs:
                 key = spec.key()
                 if (
-                    key in self._tasks
+                    key in seen
+                    or key in self._tasks
                     or key in self._completed
                     or (self.cache is not None and key in self.cache)
                 ):
                     duplicates += 1
                     continue
+                seen.add(key)
+                fresh.append((key, spec))
+            if self.tenant_quota is not None and fresh:
+                incomplete = sum(
+                    1 for task in self._tasks.values() if task.tenant == tenant
+                )
+                if incomplete + len(fresh) > self.tenant_quota:
+                    self.stats.admission_rejections += 1
+                    raise AdmissionError(
+                        tenant, incomplete, len(fresh), self.tenant_quota
+                    )
+            for key, spec in fresh:
                 # A resubmitted failure gets a fresh set of attempts.
                 self._failed.pop(key, None)
+                self._failed_codes.pop(key, None)
                 self._failed_specs.pop(key, None)
-                self._enqueue_locked(key, spec.canonical(), _safe_cost(spec))
+                self._enqueue_locked(
+                    key, spec.canonical(), _safe_cost(spec), tenant=tenant
+                )
                 queued += 1
             self.stats.submitted += queued
             self.stats.duplicates += duplicates
@@ -187,23 +269,36 @@ class Broker:
         return {"queued": queued, "duplicates": duplicates}
 
     def lease(self, worker: str) -> Dict[str, Any]:
-        """Hand the predicted-costliest queued spec to a pulling worker."""
+        """Hand out the next spec: fair-share across tenants, costliest
+        first within each tenant."""
         with self._lock:
             if self._shutdown:
                 return {"key": None, "shutdown": True}
             self._requeue_expired_locked()
-            while self._queue:
-                _neg_cost, _seq, key = heapq.heappop(self._queue)
-                task = self._tasks.get(key)
-                if task is None or task.leased:
-                    continue  # completed/failed/re-leased since queueing
+            for _ in range(len(self._rotation)):
+                tenant = self._rotation.popleft()
+                queue = self._queues.get(tenant, [])
+                task: Optional[_Task] = None
+                while queue:
+                    _neg_cost, _seq, key = heapq.heappop(queue)
+                    candidate = self._tasks.get(key)
+                    if candidate is None or candidate.leased:
+                        continue  # completed/failed/re-leased since queueing
+                    task = candidate
+                    break
+                if queue:
+                    self._rotation.append(tenant)  # fairness: go to the back
+                else:
+                    self._queues.pop(tenant, None)
+                if task is None:
+                    continue
                 task.attempts += 1
                 task.worker = worker
                 task.deadline = self._clock() + self.lease_timeout
                 self.stats.leases += 1
                 self._worker_ledger_locked(worker)["leases"] += 1
                 return {
-                    "key": key,
+                    "key": task.key,
                     "spec": task.canonical,
                     "attempt": task.attempts,
                     "lease_timeout": self.lease_timeout,
@@ -247,7 +342,8 @@ class Broker:
         failure the transport layer already diagnosed (e.g. a corrupt gzip
         blob) -- the upload is rejected with that exact reason (and the spec
         requeued), so the uploader can tell a broken blob apart from a
-        broker that does not understand its encoding at all.
+        broker that does not understand its encoding at all.  Rejections
+        carry a structured ``code`` next to the human-readable ``reason``.
         """
         with self._lock:
             if key in self._completed or (
@@ -268,15 +364,20 @@ class Broker:
                 # like any other -- a valid late result beats a failure.
                 canonical = self._failed_specs[key]
             else:
-                return {"accepted": False, "reason": f"unknown spec key {key}"}
+                return {
+                    "accepted": False,
+                    "reason": f"unknown spec key {key}",
+                    "code": REJECT_UNKNOWN_KEY,
+                }
         # Verification and cache writes happen outside the lock: digesting a
         # multi-megabyte payload (and possibly running the reference
         # executor, or writing to a slow shared filesystem) must not stall
         # every other worker's lease or heartbeat.
         if transport_error is not None:
-            reason = transport_error
+            reason: Optional[str] = transport_error
+            code = REJECT_TRANSPORT
         else:
-            reason = self._verify_upload(canonical, digest, payload)
+            reason, code = self._verify_upload(canonical, digest, payload)
         stored = None
         if reason is None and self.cache is not None:
             # Content-addressed and digest-checked: storing before taking
@@ -294,7 +395,7 @@ class Broker:
                 if task is not None and task.worker == worker:
                     self._requeue_locked(task, reason)
                     self._save_state_locked()
-                return {"accepted": False, "reason": reason}
+                return {"accepted": False, "reason": reason, "code": code}
             if task is None and key in self._completed:
                 return {"accepted": True, "duplicate": True}
             # A verified-valid result is accepted even when the task is no
@@ -303,6 +404,7 @@ class Broker:
             if task is not None:
                 del self._tasks[key]
             self._failed.pop(key, None)
+            self._failed_codes.pop(key, None)
             self._failed_specs.pop(key, None)
             self._completed[key] = _Completed(
                 canonical, None if stored is not None else payload
@@ -319,9 +421,12 @@ class Broker:
         cache, so a client can harvest results across a broker restart.
         Cache reads (full payload parse + digest) happen outside the broker
         lock so slow shared filesystems never stall leases and heartbeats.
+        ``failed_codes`` mirrors ``failed`` with structured codes (v3);
+        older clients simply ignore it.
         """
         results: Dict[str, Dict[str, Any]] = {}
         failed: Dict[str, str] = {}
+        failed_codes: Dict[str, str] = {}
         disk_lookups: List[str] = []
         pending = 0
         with self._lock:
@@ -332,12 +437,14 @@ class Broker:
                     results[key] = done.payload
                 elif key in self._failed:
                     failed[key] = self._failed[key]
+                    failed_codes[key] = self._failed_codes.get(key, FAIL_GAVE_UP)
                 elif done is None and key in self._tasks:
                     pending += 1
                 elif done is not None or self.cache is not None:
                     disk_lookups.append(key)  # completed-in-cache or unknown
                 else:
                     failed[key] = "never submitted to this broker"
+                    failed_codes[key] = FAIL_NEVER_SUBMITTED
         for key in disk_lookups:
             payload = self.cache.load(key) if self.cache is not None else None
             if payload is not None:
@@ -361,7 +468,28 @@ class Broker:
                     # Unknown here and not in the cache (including journal
                     # recoveries without a spec): the client resubmits.
                     failed[key] = "never submitted to this broker"
-        return {"results": results, "failed": failed, "pending": pending}
+                    failed_codes[key] = FAIL_NEVER_SUBMITTED
+        return {
+            "results": results,
+            "failed": failed,
+            "failed_codes": failed_codes,
+            "pending": pending,
+        }
+
+    def fetch_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """The completed payload for one key, or ``None``.
+
+        Backs the ``fetch_chunk`` op; deliberately free of queue side
+        effects (no requeue of vanished cache entries -- the client's
+        regular ``fetch`` poll handles that).
+        """
+        with self._lock:
+            done = self._completed.get(key)
+            if done is not None and done.payload is not None:
+                return done.payload
+        if self.cache is not None:
+            return self.cache.load(key)
+        return None
 
     def status(self) -> Dict[str, Any]:
         with self._lock:
@@ -378,7 +506,8 @@ class Broker:
 
     def fleet_stats(self) -> Dict[str, Any]:
         """Fleet-dashboard view (the ``stats`` op): queue depth, active
-        leases with per-spec attempt counts, and per-worker activity."""
+        leases with per-spec attempt counts, per-tenant depths, and
+        per-worker activity."""
         with self._lock:
             self._requeue_expired_locked()
             leases = [
@@ -397,10 +526,17 @@ class Broker:
                 for task in self._tasks.values()
                 if task.attempts > 0
             }
+            tenants: Dict[str, Dict[str, int]] = {}
+            for task in self._tasks.values():
+                ledger = tenants.setdefault(
+                    task.tenant, {"queued": 0, "leased": 0}
+                )
+                ledger["leased" if task.leased else "queued"] += 1
             return {
                 "queue_depth": len(self._tasks) - len(leases),
                 "active_leases": leases,
                 "attempts": attempts,
+                "tenants": tenants,
                 "per_worker": {
                     worker: dict(ledger)
                     for worker, ledger in sorted(self._workers.items())
@@ -426,27 +562,51 @@ class Broker:
 
     def _verify_upload(
         self, canonical: Dict[str, Any], digest: str, payload: Dict[str, Any]
-    ) -> Optional[str]:
-        """None if the upload is trustworthy, else the rejection reason."""
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """``(None, None)`` if the upload is trustworthy, else the rejection
+        ``(reason, code)``."""
         if not isinstance(payload, dict):
-            return f"payload is not an object: {type(payload).__name__}"
+            return (
+                f"payload is not an object: {type(payload).__name__}",
+                REJECT_BAD_PAYLOAD,
+            )
         actual = payload_digest(payload)
         if actual != digest:
-            return f"payload digest mismatch: claimed {digest[:12]}, got {actual[:12]}"
+            return (
+                f"payload digest mismatch: claimed {digest[:12]}, got {actual[:12]}",
+                REJECT_DIGEST_MISMATCH,
+            )
         from repro.verify.ingest import ingest_violations
 
         spec = RunSpec.from_canonical(canonical)
         violations = ingest_violations(spec, payload, conformance=self.verify_ingest)
         if violations:
-            return "; ".join(violations)
-        return None
+            return "; ".join(violations), REJECT_INGEST
+        return None, None
 
     def _enqueue_locked(
-        self, key: str, canonical: Dict[str, Any], cost: float, attempts: int = 0
+        self,
+        key: str,
+        canonical: Dict[str, Any],
+        cost: float,
+        attempts: int = 0,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         self._seq += 1
-        self._tasks[key] = _Task(key, canonical, cost, self._seq, attempts)
-        heapq.heappush(self._queue, (-cost, self._seq, key))
+        self._tasks[key] = _Task(
+            key, canonical, cost, self._seq, attempts, tenant=tenant
+        )
+        self._push_queued_locked(tenant, cost, self._seq, key)
+
+    def _push_queued_locked(
+        self, tenant: str, cost: float, seq: int, key: str
+    ) -> None:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = []
+        if tenant not in self._rotation:
+            self._rotation.append(tenant)
+        heapq.heappush(queue, (-cost, seq, key))
 
     def _requeue_locked(self, task: _Task, reason: str) -> bool:
         """Give a leased task back to the queue, or fail it at the cap."""
@@ -457,10 +617,11 @@ class Broker:
             self._failed[task.key] = (
                 f"gave up after {task.attempts} attempts (last: {reason})"
             )
+            self._failed_codes[task.key] = FAIL_GAVE_UP
             self._failed_specs[task.key] = task.canonical
             return False
         self.stats.requeues += 1
-        heapq.heappush(self._queue, (-task.cost, task.seq, task.key))
+        self._push_queued_locked(task.tenant, task.cost, task.seq, task.key)
         return True
 
     def _requeue_expired_locked(self) -> None:
@@ -492,11 +653,16 @@ class Broker:
         state = {
             "format": STATE_FORMAT,
             "tasks": [
-                {"spec": task.canonical, "attempts": task.attempts}
+                {
+                    "spec": task.canonical,
+                    "attempts": task.attempts,
+                    "tenant": task.tenant,
+                }
                 for task in self._tasks.values()
             ],
             "completed": sorted(self._completed),
             "failed": dict(self._failed),
+            "failed_codes": dict(self._failed_codes),
         }
         tmp = self.state_path.with_suffix(f".tmp.{os.getpid()}")
         self.state_path.parent.mkdir(parents=True, exist_ok=True)
@@ -533,6 +699,7 @@ class Broker:
                     spec.canonical(),
                     _safe_cost(spec),
                     attempts=int(entry.get("attempts", 0)),
+                    tenant=str(entry.get("tenant", DEFAULT_TENANT)),
                 )
             for key in state.get("completed", []):
                 if self.cache is not None and str(key) in self.cache:
@@ -546,6 +713,15 @@ class Broker:
             self._failed.update(
                 {str(k): str(v) for k, v in state.get("failed", {}).items()}
             )
+            # Pre-v3 journals carry no codes; every journaled failure is an
+            # attempt-cap give-up, so that is the faithful default.
+            codes = state.get("failed_codes", {})
+            self._failed_codes.update(
+                {
+                    key: str(codes.get(key, FAIL_GAVE_UP))
+                    for key in self._failed
+                }
+            )
 
 
 def _safe_cost(spec: RunSpec) -> float:
@@ -557,45 +733,191 @@ def _safe_cost(spec: RunSpec) -> float:
 
 
 # ------------------------------------------------------------------ server
-class _BrokerHandler(socketserver.StreamRequestHandler):
-    """One connection: serve requests until the peer disconnects."""
+class BrokerServer:
+    """Asyncio TCP front end for one :class:`Broker`.
 
-    def handle(self) -> None:
-        broker: Broker = self.server.broker  # type: ignore[attr-defined]
-        while True:
-            try:
-                message = read_message(self.rfile)
-            except Exception:
-                return  # malformed framing: drop the connection
-            if message is None:
-                return
-            response = self._dispatch(broker, message)
-            # Echo a compatible requester's protocol generation: a v1 worker
-            # or client rejects responses stamped with a version it does not
-            # know, and every v2 feature is negotiated per message anyway
-            # (payload_gz / accept_gzip), so mixed-generation fleets keep
-            # working without compression on the v1 legs.
-            requested = message.get("protocol")
-            response["protocol"] = (
-                requested if requested in COMPAT_PROTOCOLS else PROTOCOL
+    ``asyncio.start_server`` handles connection concurrency (one cheap task
+    per connection instead of one thread), with per-line frames bounded by
+    ``max_message_bytes`` -- an oversized line is answered with the typed
+    ``frame-too-large`` error and the connection dropped, so a hostile peer
+    can no longer balloon broker memory.  Every broker op runs via
+    ``asyncio.to_thread`` because the state machine's verification and
+    cache I/O may block.
+
+    The public surface is unchanged from the threaded era: ``port=0`` binds
+    an ephemeral port (synchronously, in the constructor, so ``address`` is
+    readable before serving); use as a context manager in tests, or
+    :meth:`serve_forever` in the CLI.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_message_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        if max_message_bytes < 1024:
+            raise ValueError(
+                f"max_message_bytes must be >= 1024, got {max_message_bytes}"
             )
-            try:
-                self.wfile.write(encode_message(response))
-            except OSError:
-                return
-            if message.get("op") == "shutdown":
-                # Stop accepting connections once the response is flushed.
-                threading.Thread(
-                    target=self.server.shutdown, daemon=True
-                ).start()
-                return
+        self.broker = broker
+        self.max_message_bytes = int(max_message_bytes)
+        family = socket.AF_INET6 if ":" in host else socket.AF_INET
+        # Bind eagerly (SO_REUSEADDR, like the old socketserver front end,
+        # so a restarted broker can take over a TIME_WAIT port) and hand the
+        # listening socket to the event loop later.
+        self._socket: Optional[socket.socket] = socket.create_server(
+            (host, port), family=family, backlog=128
+        )
+        self._address = self._socket.getsockname()[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._stop_requested = threading.Event()
 
-    @staticmethod
-    def _dispatch(broker: Broker, message: Dict[str, Any]) -> Dict[str, Any]:
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._address
+        return str(host), int(port)
+
+    # ------------------------------------------------------------ lifecycle
+    def serve_forever(self) -> None:
+        """Serve until :meth:`stop` or a ``shutdown`` op (CLI entry point)."""
+        try:
+            asyncio.run(self._serve())
+        finally:
+            self._close_socket()
+
+    def start(self) -> "BrokerServer":
+        """Serve on a background thread (test/fixture entry point)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop_requested.set()
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._signal_stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._close_socket()
+
+    def __enter__(self) -> "BrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _signal_stop(self) -> None:
+        if self._stop_async is not None:
+            self._stop_async.set()
+
+    def _close_socket(self) -> None:
+        sock, self._socket = self._socket, None
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        if self._stop_requested.is_set():
+            self._stop_async.set()
+        sock, self._socket = self._socket, None
+        server = await asyncio.start_server(
+            self._handle_connection,
+            sock=sock,
+            # +2 so a frame of exactly max_message_bytes (newline included)
+            # never trips the stream limit before our own length check.
+            limit=self.max_message_bytes + 2,
+        )
+        try:
+            async with server:
+                await self._stop_async.wait()
+        finally:
+            self._loop = None
+
+    # ----------------------------------------------------------- connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: serve requests until the peer disconnects."""
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Stream-limit overrun: the peer sent a line longer than
+                    # the frame cap.  Answer with the typed error, then drop
+                    # the (now desynchronized) connection.
+                    await self._reply(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": (
+                                f"message exceeds the {self.max_message_bytes}"
+                                "-byte frame cap"
+                            ),
+                            "code": ERR_FRAME_TOO_LARGE,
+                            "protocol": PROTOCOL,
+                        },
+                    )
+                    return
+                except (ConnectionError, OSError):
+                    return
+                if not line:
+                    return
+                try:
+                    message = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    return  # malformed framing: drop the connection
+                if not isinstance(message, dict):
+                    return
+                response = await asyncio.to_thread(self._dispatch, message)
+                # Echo a compatible requester's protocol generation: a v1/v2
+                # worker or client rejects responses stamped with a version
+                # it does not know, and every newer feature is negotiated
+                # per message anyway (payload_gz / accept_gzip /
+                # max_frame_bytes), so mixed-generation fleets keep working
+                # without those features on the old legs.
+                requested = message.get("protocol")
+                response["protocol"] = (
+                    requested if requested in COMPAT_PROTOCOLS else PROTOCOL
+                )
+                try:
+                    await self._reply(writer, response)
+                except (ConnectionError, OSError):
+                    return
+                if message.get("op") == "shutdown":
+                    # Stop accepting connections once the response is
+                    # flushed; asyncio.run tears down the open handlers.
+                    self._signal_stop()
+                    return
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _reply(
+        self, writer: asyncio.StreamWriter, response: Dict[str, Any]
+    ) -> None:
+        writer.write(encode_message(response))
+        await writer.drain()
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        broker = self.broker
         op = message.get("op")
         try:
             if op == "submit":
-                body = broker.submit(message.get("specs", []))
+                body = broker.submit(
+                    message.get("specs", []),
+                    tenant=str(message.get("tenant") or DEFAULT_TENANT),
+                )
             elif op == "lease":
                 body = broker.lease(str(message.get("worker", "?")))
             elif op == "heartbeat":
@@ -612,7 +934,7 @@ class _BrokerHandler(socketserver.StreamRequestHandler):
                 payload = message.get("payload")
                 transport_error = None
                 if payload is None and message.get("payload_gz") is not None:
-                    # v2 compressed upload: the digest below is computed on
+                    # v2+ compressed upload: the digest below is computed on
                     # the decompressed payload, so verification is unchanged.
                     # A corrupt blob rejects with its own distinct reason so
                     # the worker does not mistake it for a gzip-less broker.
@@ -628,15 +950,9 @@ class _BrokerHandler(socketserver.StreamRequestHandler):
                     transport_error=transport_error,
                 )
             elif op == "fetch":
-                body = broker.fetch([str(key) for key in message.get("keys", [])])
-                if message.get("accept_gzip") and body.get("results"):
-                    # v2 client: ship payloads gzipped; a v1 client never
-                    # sets the flag and keeps getting plain JSON.
-                    body["results_gz"] = {
-                        key: compress_payload(payload)
-                        for key, payload in body.pop("results").items()
-                    }
-                    body["results"] = {}
+                body = self._dispatch_fetch(message)
+            elif op == "fetch_chunk":
+                body = self._dispatch_fetch_chunk(message)
             elif op == "status":
                 body = broker.status()
             elif op == "stats":
@@ -644,54 +960,97 @@ class _BrokerHandler(socketserver.StreamRequestHandler):
             elif op == "shutdown":
                 body = broker.shutdown()
             else:
-                return {"ok": False, "error": f"unknown op {op!r}"}
+                return {
+                    "ok": False,
+                    "error": f"unknown op {op!r}",
+                    "code": ERR_UNKNOWN_OP,
+                }
+        except AdmissionError as exc:
+            return {"ok": False, "error": str(exc), "code": exc.code}
         except Exception as exc:
-            return {"ok": False, "error": f"{op}: {exc}"}
+            return {"ok": False, "error": f"{op}: {exc}", "code": ERR_BAD_REQUEST}
+        if isinstance(body, dict) and body.get("ok") is False:
+            return body  # already a typed rejection
         return dict(body, ok=True)
 
+    def _dispatch_fetch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """``fetch`` with the transport-level negotiations applied.
 
-class _Server(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
+        ``accept_gzip`` (v2) ships payloads compressed; ``max_frame_bytes``
+        (v3) bounds the response: payloads are inlined -- in key order --
+        until the next one would push the response past the budget, and the
+        rest are announced in ``chunked`` (key -> encoded byte size) for the
+        client to stream with ``fetch_chunk``.  A v1/v2 client sends neither
+        or only ``accept_gzip`` and sees the historical shapes.
+        """
+        body = self.broker.fetch(
+            [str(key) for key in message.get("keys", [])]
+        )
+        use_gzip = bool(message.get("accept_gzip"))
+        budget = message.get("max_frame_bytes")
+        results: Dict[str, Dict[str, Any]] = body.pop("results")
+        if budget is None and not use_gzip:
+            body["results"] = results
+            return body
+        inline: Dict[str, Any] = {}
+        chunked: Dict[str, int] = {}
+        spent = 0
+        for key in sorted(results):
+            blob = compress_payload(results[key]) if use_gzip else None
+            size = len(blob) if use_gzip else _plain_size(results[key])
+            if budget is not None and spent + size > int(budget):
+                # Over budget (or a single payload alone exceeding it): the
+                # client streams this one with fetch_chunk instead.
+                chunked[key] = len(
+                    blob if blob is not None else compress_payload(results[key])
+                )
+                continue
+            inline[key] = blob if use_gzip else results[key]
+            spent += size
+        if use_gzip:
+            body["results_gz"] = inline
+            body["results"] = {}
+        else:
+            body["results"] = inline
+        if budget is not None:
+            body["chunked"] = chunked
+        return body
+
+    def _dispatch_fetch_chunk(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One bounded slice of a completed payload's base64-gzip encoding.
+
+        The encoding is deterministic (``compress_payload`` pins
+        ``mtime=0``), so slicing a fresh recompression on every call is
+        stateless yet byte-stable across calls, workers and restarts.
+        """
+        key = str(message.get("key", ""))
+        offset = int(message.get("offset", 0))
+        max_bytes = int(message.get("max_bytes", DEFAULT_CHUNK_BYTES))
+        payload = self.broker.fetch_payload(key)
+        if payload is None:
+            return {
+                "ok": False,
+                "error": f"no completed payload for key {key!r}",
+                "code": ERR_UNKNOWN_KEY,
+            }
+        blob = compress_payload(payload)
+        if offset < 0 or offset > len(blob):
+            return {
+                "ok": False,
+                "error": f"chunk offset {offset} out of range (0..{len(blob)})",
+                "code": ERR_BAD_REQUEST,
+            }
+        # Leave generous headroom for the JSON envelope around the slice.
+        max_bytes = max(1, min(max_bytes, self.max_message_bytes // 2))
+        data = blob[offset : offset + max_bytes]
+        return {
+            "key": key,
+            "offset": offset,
+            "data": data,
+            "total_bytes": len(blob),
+            "eof": offset + len(data) >= len(blob),
+        }
 
 
-class BrokerServer:
-    """Threaded TCP front end for one :class:`Broker`.
-
-    ``port=0`` binds an ephemeral port; read :attr:`address` afterwards.
-    Use as a context manager in tests, or :meth:`serve_forever` in the CLI.
-    """
-
-    def __init__(self, broker: Broker, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.broker = broker
-        self._server = _Server((host, port), _BrokerHandler)
-        self._server.broker = broker  # type: ignore[attr-defined]
-        self._thread: Optional[threading.Thread] = None
-
-    @property
-    def address(self) -> Tuple[str, int]:
-        host, port = self._server.server_address[:2]
-        return str(host), int(port)
-
-    def serve_forever(self) -> None:
-        """Serve until :meth:`stop` or a ``shutdown`` op (CLI entry point)."""
-        self._server.serve_forever(poll_interval=0.1)
-
-    def start(self) -> "BrokerServer":
-        """Serve on a background thread (test/fixture entry point)."""
-        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
-        self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-
-    def __enter__(self) -> "BrokerServer":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
+def _plain_size(payload: Dict[str, Any]) -> int:
+    return len(json.dumps(payload, sort_keys=True, separators=(",", ":")))

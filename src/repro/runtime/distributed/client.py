@@ -7,9 +7,17 @@ the runner caches remote results incrementally and sweeps stay resumable.
 
 Resilience: transport errors retry with the submit/fetch loop (riding out
 broker restarts up to ``patience`` seconds of no contact), and specs a
-restarted stateless broker no longer knows are transparently resubmitted.
-A spec the broker gave up on (attempt cap) surfaces as a
+restarted stateless broker no longer knows are transparently resubmitted --
+matched on the structured v3 ``never-submitted`` failure code, with an
+exact-reason fallback for v2 brokers that send no codes.  A spec the broker
+gave up on (attempt cap) surfaces as a
 :class:`~repro.errors.SimulationError` carrying the broker's reason.
+
+Large results: every fetch names a frame budget (protocol v3); payloads the
+broker cannot inline under it are announced in a ``chunked`` map and
+streamed with ``fetch_chunk`` in bounded base64-gzip slices, reassembled and
+decompressed here.  A v2 broker ignores the budget and inlines everything,
+which the frame cap still bounds.
 """
 
 from __future__ import annotations
@@ -21,6 +29,9 @@ from repro.errors import SimulationError
 from repro.runtime.backends import RunnerBackend
 from repro.runtime.distributed.protocol import (
     BrokerError,
+    DEFAULT_TENANT,
+    FAIL_NEVER_SUBMITTED,
+    MAX_FRAME_BYTES,
     ProtocolError,
     decompress_payload,
     format_address,
@@ -28,8 +39,12 @@ from repro.runtime.distributed.protocol import (
 )
 from repro.runtime.spec import RunSpec
 
-#: The broker's fetch-time marker for keys it has no record of.
-_NEVER_SUBMITTED = "never submitted"
+#: The v2 broker's *exact* fetch-time reason for keys it has no record of.
+#: Matched whole (never as a substring): a give-up whose free-text reason
+#: merely mentions "never submitted" must surface as the failure it is, not
+#: trigger an endless resubmit loop.  v3 brokers are matched on the
+#: structured ``failed_codes`` entry instead and never reach this string.
+_NEVER_SUBMITTED_REASON = "never submitted to this broker"
 
 
 class DistributedBackend(RunnerBackend):
@@ -40,9 +55,16 @@ class DistributedBackend(RunnerBackend):
         poll_interval: delay between fetch polls while work is outstanding.
         timeout: overall wall-clock budget for one batch (None = wait
             forever -- workers may legitimately take hours on big sweeps).
+            The budget bounds everything, including submit retries against
+            an unreachable broker.
         patience: seconds of consecutive transport failures tolerated
             before declaring the broker lost.
         submit_chunk: specs per submit message (bounds message size).
+        tenant: queue identity stamped on submits (fair-share scheduling
+            and quotas on a v3 broker; ignored by older brokers).
+        max_frame_bytes: cap on any single response frame; also announced
+            to the broker so oversized payloads arrive chunked.
+        clock / sleep: injectable time sources (fake-clock tests).
     """
 
     name = "distributed"
@@ -54,12 +76,24 @@ class DistributedBackend(RunnerBackend):
         timeout: Optional[float] = None,
         patience: float = 60.0,
         submit_chunk: int = 64,
+        tenant: Optional[str] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        clock=time.monotonic,
+        sleep=time.sleep,
     ) -> None:
+        if max_frame_bytes < 4096:
+            raise ValueError(
+                f"max_frame_bytes must be >= 4096, got {max_frame_bytes}"
+            )
         self.address = address
         self.poll_interval = max(0.01, float(poll_interval))
         self.timeout = timeout
         self.patience = float(patience)
         self.submit_chunk = max(1, int(submit_chunk))
+        self.tenant = tenant or DEFAULT_TENANT
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._clock = clock
+        self._sleep_fn = sleep
 
     # ------------------------------------------------------------------ api
     def execute(
@@ -70,9 +104,9 @@ class DistributedBackend(RunnerBackend):
         outstanding: Dict[str, Dict[str, Any]] = {
             spec.key(): spec.canonical() for spec in pending
         }
-        started = time.monotonic()
+        started = self._clock()
         last_contact = started
-        self._submit(list(outstanding.values()))
+        self._submit(list(outstanding.values()), started)
         # Specs the broker gave up on: collected, not raised, until every
         # other spec has drained -- the RunnerBackend contract is that
         # completed work keeps streaming (and gets cached) before the first
@@ -80,14 +114,22 @@ class DistributedBackend(RunnerBackend):
         fatal: Dict[str, str] = {}
         while outstanding:
             try:
-                # accept_gzip: a v2 broker ships payloads compressed (an
+                # accept_gzip: a v2+ broker ships payloads compressed (an
                 # order of magnitude smaller over WAN links); a v1 broker
                 # ignores the flag and answers with plain JSON results.
+                # max_frame_bytes: a v3 broker defers payloads that do not
+                # fit the budget to the chunked stream below.
                 response = request(
                     self.address,
-                    {"op": "fetch", "keys": sorted(outstanding), "accept_gzip": True},
+                    {
+                        "op": "fetch",
+                        "keys": sorted(outstanding),
+                        "accept_gzip": True,
+                        "max_frame_bytes": self._response_budget(),
+                    },
+                    max_bytes=self.max_frame_bytes,
                 )
-                last_contact = time.monotonic()
+                last_contact = self._clock()
             except BrokerError:
                 raise  # semantic rejection: retrying cannot help
             except (OSError, ProtocolError) as exc:
@@ -97,11 +139,24 @@ class DistributedBackend(RunnerBackend):
             fetched: Dict[str, Dict[str, Any]] = dict(response.get("results", {}))
             for key, blob in response.get("results_gz", {}).items():
                 fetched[key] = decompress_payload(blob)
+            for key in response.get("chunked", {}):
+                if key in fetched or key not in outstanding:
+                    continue
+                payload = self._fetch_chunks(key)
+                if payload is not None:
+                    fetched[key] = payload
+                # else: transport hiccup mid-stream; retry next poll.
             for key, payload in fetched.items():
                 if key in outstanding:
                     del outstanding[key]
                     yield key, payload
-            self._handle_failures(response.get("failed", {}), outstanding, fatal)
+            self._handle_failures(
+                response.get("failed", {}),
+                response.get("failed_codes", {}),
+                outstanding,
+                fatal,
+                started,
+            )
             if outstanding:
                 self._sleep(started)
         if fatal:
@@ -111,35 +166,94 @@ class DistributedBackend(RunnerBackend):
             )
 
     # ------------------------------------------------------------ internals
-    def _submit(self, canonicals: List[Dict[str, Any]]) -> None:
+    def _response_budget(self) -> int:
+        """Payload bytes the broker may inline in one fetch response --
+        half the frame cap, leaving headroom for the JSON envelope."""
+        return max(2048, self.max_frame_bytes // 2)
+
+    def _submit(self, canonicals: List[Dict[str, Any]], started: float) -> None:
         for start in range(0, len(canonicals), self.submit_chunk):
             chunk = canonicals[start : start + self.submit_chunk]
-            deadline = time.monotonic() + self.patience
+            deadline = self._clock() + self.patience
             while True:
+                if (
+                    self.timeout is not None
+                    and self._clock() - started > self.timeout
+                ):
+                    # The overall batch budget binds here too: an
+                    # unreachable broker must not keep the client retrying
+                    # past its declared wall-clock limit.
+                    raise SimulationError(
+                        f"distributed batch exceeded its {self.timeout:.0f}s "
+                        f"budget while submitting to broker at "
+                        f"{format_address(self.address)}"
+                    )
                 try:
-                    request(self.address, {"op": "submit", "specs": chunk})
+                    request(
+                        self.address,
+                        {"op": "submit", "specs": chunk, "tenant": self.tenant},
+                    )
                     break
                 except BrokerError as exc:
                     # The broker *rejected* the batch (bad spec version,
-                    # unknown dataset...): deterministic, surface it now
-                    # instead of burning the patience window.
+                    # unknown dataset, tenant over quota...): deterministic,
+                    # surface it now instead of burning the patience window.
                     raise SimulationError(
                         f"broker at {format_address(self.address)} rejected "
                         f"the submitted specs: {exc}"
                     ) from exc
                 except (OSError, ProtocolError) as exc:
-                    if time.monotonic() > deadline:
+                    if self._clock() > deadline:
                         raise SimulationError(
                             f"cannot submit specs to broker at "
                             f"{format_address(self.address)}: {exc}"
                         ) from exc
-                    time.sleep(self.poll_interval)
+                    self._sleep_fn(self.poll_interval)
+
+    def _fetch_chunks(self, key: str) -> Optional[Dict[str, Any]]:
+        """Stream one payload's base64-gzip encoding in bounded slices.
+
+        Returns ``None`` on any failure (the key stays outstanding and the
+        next fetch poll retries); the encoding is deterministic, so slices
+        from different polls -- even different broker processes sharing the
+        cache -- always reassemble byte-identically.
+        """
+        chunk_budget = self._response_budget()
+        pieces: List[str] = []
+        offset = 0
+        while True:
+            try:
+                response = request(
+                    self.address,
+                    {
+                        "op": "fetch_chunk",
+                        "key": key,
+                        "offset": offset,
+                        "max_bytes": chunk_budget,
+                    },
+                    max_bytes=self.max_frame_bytes,
+                )
+            except (BrokerError, OSError, ProtocolError):
+                return None
+            data = str(response.get("data", ""))
+            if not data:
+                return None
+            pieces.append(data)
+            offset += len(data)
+            if response.get("eof"):
+                break
+        try:
+            return decompress_payload("".join(pieces))
+        except ProtocolError:
+            return None
 
     def _handle_failures(
         self,
         failed: Dict[str, str],
+        failed_codes: Dict[str, str],
         outstanding: Dict[str, Dict[str, Any]],
         fatal: Dict[str, str],
+        started: float,
     ) -> None:
         """Resubmit amnesiac-broker keys; record genuine give-ups as fatal
         (raised by the caller once everything else has drained)."""
@@ -147,7 +261,16 @@ class DistributedBackend(RunnerBackend):
         for key, reason in failed.items():
             if key not in outstanding:
                 continue
-            if _NEVER_SUBMITTED in reason:
+            code = failed_codes.get(key)
+            if code is not None:
+                amnesia = code == FAIL_NEVER_SUBMITTED
+            else:
+                # v2 broker, no codes: the never-submitted reason is a
+                # frozen exact string.  Never substring-match it -- a
+                # give-up reason that happens to *contain* the words would
+                # resubmit a genuinely failed spec forever.
+                amnesia = reason == _NEVER_SUBMITTED_REASON
+            if amnesia:
                 # The broker restarted without its journal and forgot the
                 # spec; it is still ours to finish, so hand it back.
                 lost.append(outstanding[key])
@@ -155,10 +278,10 @@ class DistributedBackend(RunnerBackend):
                 fatal[key] = reason
                 del outstanding[key]
         if lost:
-            self._submit(lost)
+            self._submit(lost, started)
 
     def _check_patience(self, last_contact: float, exc: Exception) -> None:
-        if time.monotonic() - last_contact > self.patience:
+        if self._clock() - last_contact > self.patience:
             raise SimulationError(
                 f"lost contact with broker at {format_address(self.address)} "
                 f"for over {self.patience:.0f}s: {exc}"
@@ -167,10 +290,10 @@ class DistributedBackend(RunnerBackend):
     def _sleep(self, started: float) -> None:
         if (
             self.timeout is not None
-            and time.monotonic() - started > self.timeout
+            and self._clock() - started > self.timeout
         ):
             raise SimulationError(
                 f"distributed batch exceeded its {self.timeout:.0f}s budget "
                 f"(broker {format_address(self.address)})"
             )
-        time.sleep(self.poll_interval)
+        self._sleep_fn(self.poll_interval)

@@ -22,6 +22,29 @@ byte-for-byte unchanged.  Compression is negotiated per message with a
 plain-JSON fallback -- a v1 peer simply never sees the gzip fields -- which
 is why the compat set below accepts both generations instead of hard-failing
 the handshake.
+
+``dalorex-dist/3`` makes the broker safe to share (see docs/DISTRIBUTED.md):
+
+* **structured codes**: ``ok: false`` responses carry a machine-readable
+  ``code`` (``ERR_*`` below) next to the human ``error``; ``fetch``
+  responses carry ``failed_codes`` (``FAIL_*``) next to the free-text
+  ``failed`` reasons; rejected uploads carry a ``code`` (``REJECT_*``) next
+  to ``reason``.  Peers match on the code, never on the prose.
+* **bounded frames**: every line is capped (:data:`MAX_FRAME_BYTES`,
+  configurable); oversized frames are rejected with a typed error instead
+  of buffering unbounded memory.
+* **chunked fetch**: payloads too large for one frame are announced in a
+  ``chunked`` map and streamed with the ``fetch_chunk`` op in bounded
+  base64-gzip slices.
+* **tenancy**: ``submit`` may carry a ``tenant``; the broker schedules
+  fair-share across tenants and can enforce per-tenant quotas
+  (``ERR_TENANT_QUOTA``).
+
+All v3 fields are additive and negotiated per message, so v1/v2 peers keep
+interoperating (they never send the new fields and ignore the new response
+fields).  Set ``DALOREX_PROTOCOL`` in the environment to stamp outgoing
+messages with an older generation -- the knob mixed-fleet compat tests and
+the CI smoke use to impersonate a v2 peer.
 """
 
 from __future__ import annotations
@@ -29,23 +52,49 @@ from __future__ import annotations
 import base64
 import gzip
 import json
+import os
 import socket
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ReproError
 
-#: Bump on incompatible message-shape changes; mismatches are hard errors
-#: (a fleet must not mix protocol generations silently).
-#: v2 adds optional gzip transport for result payloads (``payload_gz`` on
-#: uploads, ``accept_gzip``/``results_gz`` on fetch) -- additive, so v1
-#: remains accepted.
-PROTOCOL = "dalorex-dist/2"
+#: Known protocol generations, oldest first.
+PROTOCOL_V1 = "dalorex-dist/1"
+PROTOCOL_V2 = "dalorex-dist/2"
+PROTOCOL_V3 = "dalorex-dist/3"
 
 #: Protocol generations this build interoperates with.
-COMPAT_PROTOCOLS = ("dalorex-dist/1", PROTOCOL)
+COMPAT_PROTOCOLS = (PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3)
 
 #: Default TCP port of ``dalorex broker`` (chosen out of the ephemeral range).
 DEFAULT_PORT = 4573
+
+#: Hard cap on one wire frame (one JSON line, newline included).  Large
+#: payloads travel under this via chunked fetch; anything bigger in a single
+#: line is a protocol violation, not a legitimate message.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Queue identity used when a peer names no tenant (v1/v2 peers never do).
+DEFAULT_TENANT = "default"
+
+# --------------------------------------------------------------- v3 codes
+#: ``ok: false`` error codes.
+ERR_UNKNOWN_OP = "unknown-op"
+ERR_BAD_REQUEST = "bad-request"
+ERR_TENANT_QUOTA = "tenant-quota-exceeded"
+ERR_FRAME_TOO_LARGE = "frame-too-large"
+ERR_UNKNOWN_KEY = "unknown-key"
+
+#: ``fetch`` failure codes (``failed_codes``).
+FAIL_NEVER_SUBMITTED = "never-submitted"
+FAIL_GAVE_UP = "gave-up"
+
+#: Upload rejection codes (``result`` responses with ``accepted: false``).
+REJECT_BAD_PAYLOAD = "bad-payload"
+REJECT_DIGEST_MISMATCH = "digest-mismatch"
+REJECT_INGEST = "ingest-violation"
+REJECT_TRANSPORT = "transport-error"
+REJECT_UNKNOWN_KEY = ERR_UNKNOWN_KEY
 
 
 class ProtocolError(ReproError):
@@ -57,28 +106,84 @@ class BrokerError(ProtocolError):
 
     Unlike transport-level :class:`ProtocolError`/``OSError``, retrying the
     same request will deterministically fail again (bad spec version,
-    unknown op, ...), so callers should surface it instead of backing off.
+    unknown op, quota exceeded, ...), so callers should surface it instead
+    of backing off.  ``code`` carries the broker's structured error code
+    when it sent one (v3 brokers always do; v1/v2 leave it ``None``).
     """
+
+    def __init__(self, message: str, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _wire_protocol() -> str:
+    """The generation stamped on outgoing messages (normally the newest).
+
+    ``DALOREX_PROTOCOL`` overrides it so compat tests and the CI smoke can
+    run genuinely mixed-generation fleets from one build; anything outside
+    the known generations is a configuration error and fails loudly.
+    """
+    override = os.environ.get("DALOREX_PROTOCOL", "").strip()
+    if not override:
+        return PROTOCOL_V3
+    if override not in COMPAT_PROTOCOLS:
+        raise ProtocolError(
+            f"DALOREX_PROTOCOL={override!r} is not a known protocol "
+            f"generation {COMPAT_PROTOCOLS}"
+        )
+    return override
+
+
+#: Generation stamped on every outgoing message; mismatches beyond the
+#: compat set are hard errors (a fleet must not mix generations silently).
+PROTOCOL = _wire_protocol()
 
 
 def parse_address(text: str) -> Tuple[str, int]:
-    """Parse ``HOST:PORT`` (or bare ``:PORT`` / ``PORT``) into an address."""
+    """Parse ``HOST:PORT`` (or bare ``:PORT`` / ``PORT``) into an address.
+
+    IPv6 literals use the bracket form ``[::1]:4573`` when a port is given;
+    a bare literal (``::1``, ``fe80::2``) gets :data:`DEFAULT_PORT`.  The
+    naive ``rpartition(":")`` split used to mangle these (``::1`` parsed as
+    host ``:`` with port 1).
+    """
     raw = text.strip()
+    if not raw:
+        raise ProtocolError(f"cannot parse broker address {text!r}")
+    if raw.startswith("["):
+        # RFC 3986 bracket form: [V6HOST] or [V6HOST]:PORT.
+        host, bracket, rest = raw[1:].partition("]")
+        if not bracket or not host:
+            raise ProtocolError(f"cannot parse broker address {text!r}")
+        if not rest:
+            return host, DEFAULT_PORT
+        if not rest.startswith(":"):
+            raise ProtocolError(f"cannot parse broker address {text!r}")
+        return host, _parse_port(rest[1:], text)
+    if raw.count(":") > 1:
+        # Unbracketed IPv6 literal: the colons belong to the host.
+        return raw, DEFAULT_PORT
     host, sep, port_text = raw.rpartition(":")
     if not sep:
         host, port_text = "", raw
-    host = host or "127.0.0.1"
+    return host or "127.0.0.1", _parse_port(port_text, text)
+
+
+def _parse_port(port_text: str, original: str) -> int:
     try:
         port = int(port_text)
     except ValueError:
-        raise ProtocolError(f"cannot parse broker address {text!r}") from None
+        raise ProtocolError(f"cannot parse broker address {original!r}") from None
     if not 0 < port < 65536:
-        raise ProtocolError(f"broker port out of range in {text!r}")
-    return host, port
+        raise ProtocolError(f"broker port out of range in {original!r}")
+    return port
 
 
 def format_address(address: Tuple[str, int]) -> str:
-    return f"{address[0]}:{address[1]}"
+    host, port = address
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"
 
 
 def encode_message(message: Dict[str, Any]) -> bytes:
@@ -93,7 +198,9 @@ def compress_payload(payload: Dict[str, Any]) -> str:
 
     The bytes compressed are exactly the canonical form
     :func:`~repro.runtime.cache.payload_digest` hashes, so digesting the
-    decompressed object is identical to digesting the original.
+    decompressed object is identical to digesting the original.  ``mtime=0``
+    makes the blob deterministic, which is what lets ``fetch_chunk`` slice
+    it statelessly: every recompression yields byte-identical chunks.
     """
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
     return base64.b64encode(gzip.compress(blob, mtime=0)).decode("ascii")
@@ -113,11 +220,23 @@ def decompress_payload(text: str) -> Dict[str, Any]:
     return payload
 
 
-def read_message(rfile) -> Optional[Dict[str, Any]]:
-    """Read one message from a file-like byte stream; ``None`` on EOF."""
-    line = rfile.readline()
+def read_message(rfile, max_bytes: int = MAX_FRAME_BYTES) -> Optional[Dict[str, Any]]:
+    """Read one message from a file-like byte stream; ``None`` on EOF.
+
+    The frame is bounded: a line longer than ``max_bytes`` (newline
+    included) raises :class:`ProtocolError` instead of buffering unbounded
+    memory -- one hostile or broken peer must not be able to balloon the
+    process.  Legitimately huge payloads travel under the cap via the v3
+    chunked fetch.
+    """
+    line = rfile.readline(max_bytes + 1)
     if not line:
         return None
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            f"protocol frame exceeds the {max_bytes}-byte cap "
+            f"(got at least {len(line)} bytes without a newline)"
+        )
     try:
         message = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -131,18 +250,20 @@ def request(
     address: Tuple[str, int],
     message: Dict[str, Any],
     timeout: float = 30.0,
+    max_bytes: int = MAX_FRAME_BYTES,
 ) -> Dict[str, Any]:
     """One request/response round-trip on a fresh connection.
 
     Raises :class:`ProtocolError` on transport failure, a closed connection,
-    or an ``ok: false`` response (the server-side error message is
-    preserved).  Connection-level ``OSError`` propagates so callers can
-    distinguish "broker unreachable" (retryable) from "broker said no".
+    or an ``ok: false`` response (the server-side error message -- and v3
+    ``code`` -- is preserved on the raised :class:`BrokerError`).
+    Connection-level ``OSError`` propagates so callers can distinguish
+    "broker unreachable" (retryable) from "broker said no".
     """
     with socket.create_connection(address, timeout=timeout) as sock:
         sock.sendall(encode_message(dict(message, protocol=PROTOCOL)))
         with sock.makefile("rb") as rfile:
-            response = read_message(rfile)
+            response = read_message(rfile, max_bytes=max_bytes)
     if response is None:
         raise ProtocolError(
             f"broker at {format_address(address)} closed the connection "
@@ -155,6 +276,7 @@ def request(
         )
     if not response.get("ok"):
         raise BrokerError(
-            response.get("error") or f"request {message.get('op')!r} failed"
+            response.get("error") or f"request {message.get('op')!r} failed",
+            code=response.get("code"),
         )
     return response

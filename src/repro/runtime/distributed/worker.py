@@ -85,6 +85,13 @@ class Worker:
         self.connect_patience = float(connect_patience)
         self.executor = executor
         self.capacity = int(capacity)
+        #: How long to wait for the heartbeat thread after a run finishes.
+        #: A thread still alive past this (a heartbeat blocked in a dead TCP
+        #: connection) is left behind *with a warning* -- it is daemonized
+        #: and self-terminates once its request times out, but a silent leak
+        #: used to hide brokers with pathological connection behavior.
+        self.heartbeat_join_timeout = 5.0
+        self.leaked_heartbeats = 0
         self.completed = 0
         self.rejected = 0
         self.errors = 0
@@ -218,7 +225,14 @@ class Worker:
             return False
         finally:
             stop_beat.set()
-            beat.join(timeout=5.0)
+            beat.join(timeout=self.heartbeat_join_timeout)
+            if beat.is_alive():
+                self._count("leaked_heartbeats")
+                self._log(
+                    f"[{self.worker_id}] heartbeat thread for {key[:12]} did "
+                    f"not exit within {self.heartbeat_join_timeout:.1f}s; "
+                    "leaving it to finish in the background"
+                )
         response = self._upload(key, payload)
         if response is None:
             # The upload never reached the broker; the lease will expire and
@@ -230,9 +244,11 @@ class Worker:
             self._log(f"[{self.worker_id}] completed {key[:12]}")
             return True
         self._count("rejected")
+        code = response.get("code")
         self._log(
-            f"[{self.worker_id}] upload rejected for {key[:12]}: "
-            f"{response.get('reason')}"
+            f"[{self.worker_id}] upload rejected for {key[:12]}"
+            + (f" [{code}]" if code else "")
+            + f": {response.get('reason')}"
         )
         return False
 
@@ -262,6 +278,10 @@ class Worker:
             fallback = (
                 response is not None
                 and not response.get("accepted")
+                # A coded rejection (v3 broker) is never a downgrade signal:
+                # the broker understood the gzip upload and rejected its
+                # *content*.  Only the code-less v1 empty-payload reason is.
+                and response.get("code") is None
                 and _V1_EMPTY_PAYLOAD_REASON in str(response.get("reason", ""))
             )
             if not fallback:

@@ -33,9 +33,9 @@ def make_specs():
 
 
 @contextmanager
-def fleet(broker: Broker, num_workers: int = 2, **worker_kwargs):
+def fleet(broker: Broker, num_workers: int = 2, server_kwargs=None, **worker_kwargs):
     """A served broker plus worker threads; joins everything on exit."""
-    with BrokerServer(broker) as server:
+    with BrokerServer(broker, **(server_kwargs or {})) as server:
         worker_kwargs.setdefault("poll_interval", 0.02)
         workers = [
             Worker(server.address, worker_id=f"w{index}", **worker_kwargs)

@@ -1,0 +1,262 @@
+"""Mixed-generation fleets: v2 peers against the v3 broker and vice versa.
+
+Two directions are proven:
+
+* **old peer, new broker** -- a client/worker stamping ``dalorex-dist/2``
+  (via the ``DALOREX_PROTOCOL``-style override of ``protocol.PROTOCOL``)
+  runs a full batch against the v3 asyncio broker;
+* **new peer, old broker** -- the v3 client and worker run against a
+  minimal in-test v2 broker shim that ignores every v3 request field and
+  answers with the v2 response shapes (no ``failed_codes``, no ``code``,
+  no ``chunked``).
+"""
+
+import json
+import socket
+import socketserver
+import threading
+
+import pytest
+
+from repro.runtime.backends import execute_to_payload
+from repro.runtime.distributed import (
+    Broker,
+    BrokerServer,
+    DistributedBackend,
+    PROTOCOL_V2,
+    Worker,
+)
+from repro.runtime.distributed import protocol as protocol_module
+from repro.runtime.distributed.protocol import (
+    PROTOCOL_V3,
+    ProtocolError,
+    encode_message,
+    read_message,
+)
+
+from distributed_helpers import fleet, make_spec, make_specs
+
+
+def canonical_bytes(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+class TestDalorexProtocolOverride:
+    def test_env_override_selects_an_older_generation(self, monkeypatch):
+        monkeypatch.setenv("DALOREX_PROTOCOL", PROTOCOL_V2)
+        assert protocol_module._wire_protocol() == PROTOCOL_V2
+        monkeypatch.delenv("DALOREX_PROTOCOL")
+        assert protocol_module._wire_protocol() == PROTOCOL_V3
+
+    def test_unknown_generation_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("DALOREX_PROTOCOL", "dalorex-dist/99")
+        with pytest.raises(ProtocolError, match="dalorex-dist/99"):
+            protocol_module._wire_protocol()
+
+
+class TestV2PeersAgainstV3Broker:
+    def test_v2_stamped_client_completes_a_batch(self, monkeypatch):
+        """Every wire message stamped dalorex-dist/2 (client AND the worker
+        threads, which share the module global): the v3 broker must echo v2
+        and serve the batch to completion."""
+        monkeypatch.setattr(protocol_module, "PROTOCOL", PROTOCOL_V2)
+        broker = Broker()
+        specs = make_specs()
+        expected = {spec.key(): execute_to_payload(spec)[1] for spec in specs}
+        with fleet(broker, num_workers=2) as (server, workers):
+            backend = DistributedBackend(server.address, poll_interval=0.02)
+            fetched = dict(backend.execute(specs))
+        assert set(fetched) == set(expected)
+        for key in expected:
+            assert canonical_bytes(fetched[key]) == canonical_bytes(expected[key])
+        # The v2 gzip upload path stayed on (no spurious downgrade).
+        assert all(worker._use_gzip for worker in workers)
+
+    def test_v3_broker_echoes_a_v2_exchange(self):
+        broker = Broker()
+        with BrokerServer(broker) as server:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                sock.sendall(
+                    encode_message({"op": "status", "protocol": PROTOCOL_V2})
+                )
+                with sock.makefile("rb") as rfile:
+                    response = read_message(rfile)
+        assert response["ok"] is True
+        assert response["protocol"] == PROTOCOL_V2
+
+    def test_v2_fetch_shape_is_preserved(self, real_payload):
+        """A fetch without v3 fields must see exactly the v2 response shape
+        (inline results, no chunked map) -- old clients index into it."""
+        from repro.runtime.cache import payload_digest
+        from repro.runtime.distributed import request
+
+        key, payload = real_payload
+        broker = Broker()
+        broker.submit([make_spec().canonical()])
+        broker.lease("w0")
+        broker.ingest("w0", key, payload_digest(payload), payload)
+        with BrokerServer(broker) as server:
+            response = request(server.address, {"op": "fetch", "keys": [key]})
+        assert response["results"][key] == payload
+        assert "chunked" not in response
+        assert "results_gz" not in response
+
+
+class _V2BrokerShim(socketserver.ThreadingTCPServer):
+    """A pre-v3 broker: threaded socketserver front end, v2 response shapes.
+
+    Dispatch delegates to a real :class:`Broker` state machine but strips
+    every v3 field from requests and responses, and stamps ``protocol``
+    with dalorex-dist/2 -- exactly what a deployed v2 broker does when a v3
+    peer talks to it (the v3 fields are simply unknown keys to it).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, broker):
+        self.broker = broker
+        super().__init__(("127.0.0.1", 0), _V2ShimHandler)
+
+
+class _V2ShimHandler(socketserver.StreamRequestHandler):
+    def handle(self):
+        while True:
+            try:
+                message = read_message(self.rfile)
+            except (ProtocolError, OSError):
+                return
+            if message is None:
+                return
+            broker = self.server.broker
+            op = message.get("op")
+            try:
+                if op == "submit":
+                    body = broker.submit(message.get("specs", []))  # no tenant
+                elif op == "lease":
+                    body = broker.lease(str(message.get("worker", "?")))
+                elif op == "heartbeat":
+                    body = broker.heartbeat(
+                        str(message.get("worker", "?")), str(message.get("key", ""))
+                    )
+                elif op == "release":
+                    body = broker.release(
+                        str(message.get("worker", "?")),
+                        str(message.get("key", "")),
+                        str(message.get("error", "")),
+                    )
+                elif op == "result":
+                    payload = message.get("payload")
+                    if payload is None and message.get("payload_gz") is not None:
+                        payload = protocol_module.decompress_payload(
+                            str(message["payload_gz"])
+                        )
+                    body = broker.ingest(
+                        str(message.get("worker", "?")),
+                        str(message.get("key", "")),
+                        str(message.get("sha256", "")),
+                        payload,
+                    )
+                    body.pop("code", None)
+                elif op == "fetch":
+                    # v2 shape: inline results only, free-text failures, no
+                    # codes, no chunked map; max_frame_bytes is unknown.
+                    body = broker.fetch(
+                        [str(key) for key in message.get("keys", [])]
+                    )
+                    body.pop("failed_codes", None)
+                    if message.get("accept_gzip"):
+                        body["results_gz"] = {
+                            key: protocol_module.compress_payload(payload)
+                            for key, payload in body.pop("results").items()
+                        }
+                        body["results"] = {}
+                elif op == "status":
+                    body = broker.status()
+                elif op == "shutdown":
+                    body = broker.shutdown()
+                else:
+                    body = None
+                if body is None:
+                    response = {"ok": False, "error": f"unknown op {op!r}"}
+                else:
+                    response = dict(body, ok=True)
+            except Exception as exc:
+                response = {"ok": False, "error": f"{op}: {exc}"}
+            response["protocol"] = PROTOCOL_V2
+            try:
+                self.wfile.write(encode_message(response))
+            except OSError:
+                return
+
+
+class TestV3PeersAgainstV2Broker:
+    def test_v3_client_and_worker_complete_a_batch(self):
+        """The v3 client sends tenant + max_frame_bytes, the v3 worker sends
+        gzip uploads; a v2 broker ignores all of it and the batch still
+        completes with byte-identical payloads."""
+        broker = Broker()
+        shim = _V2BrokerShim(broker)
+        serve = threading.Thread(target=shim.serve_forever, daemon=True)
+        serve.start()
+        address = shim.server_address
+        specs = make_specs()
+        expected = {spec.key(): execute_to_payload(spec)[1] for spec in specs}
+        worker = Worker(address, worker_id="w0", poll_interval=0.02)
+        worker_thread = threading.Thread(target=worker.run, daemon=True)
+        worker_thread.start()
+        try:
+            backend = DistributedBackend(
+                address, poll_interval=0.02, tenant="ignored-by-v2"
+            )
+            fetched = dict(backend.execute(specs))
+        finally:
+            worker.stop()
+            broker.shutdown()
+            worker_thread.join(timeout=10.0)
+            shim.shutdown()
+            serve.join(timeout=10.0)
+            shim.server_close()
+        assert set(fetched) == set(expected)
+        for key in expected:
+            assert canonical_bytes(fetched[key]) == canonical_bytes(expected[key])
+
+    def test_v3_client_resubmits_on_the_exact_v2_amnesia_reason(self):
+        """A v2 broker that forgot a spec (restart without journal) answers
+        with the frozen reason string and no code; the v3 client must
+        resubmit -- through the shim this exercises the exact-match v2
+        fallback end-to-end."""
+        broker = Broker()
+        shim = _V2BrokerShim(broker)
+        serve = threading.Thread(target=shim.serve_forever, daemon=True)
+        serve.start()
+        address = shim.server_address
+        spec = make_spec()
+        worker = Worker(address, worker_id="w0", poll_interval=0.02)
+        worker_thread = threading.Thread(target=worker.run, daemon=True)
+        worker_thread.start()
+        try:
+            backend = DistributedBackend(address, poll_interval=0.02, timeout=30.0)
+            real_submit = backend._submit
+            submits = []
+
+            def amnesiac_submit(canonicals, started):
+                submits.append(list(canonicals))
+                if len(submits) == 1:
+                    return  # the broker restarted right after accepting
+                real_submit(canonicals, started)
+
+            backend._submit = amnesiac_submit
+            # First fetch hits a broker that never saw the spec -> the
+            # frozen v2 reason with no code -> the client must resubmit.
+            results = dict(backend.execute([spec]))
+        finally:
+            worker.stop()
+            broker.shutdown()
+            worker_thread.join(timeout=10.0)
+            shim.shutdown()
+            serve.join(timeout=10.0)
+            shim.server_close()
+        assert spec.key() in results
+        assert len(submits) == 2  # initial (lost) + amnesia resubmit
+        assert broker.stats.submitted == 1

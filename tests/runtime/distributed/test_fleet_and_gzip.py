@@ -81,9 +81,10 @@ class TestGzipTransport:
         plain = len(json.dumps(payload, separators=(",", ":")))
         assert len(blob) < plain
 
-    def test_protocol_v2_remains_compatible_with_v1(self):
-        assert PROTOCOL == "dalorex-dist/2"
+    def test_protocol_v3_remains_compatible_with_v1_and_v2(self):
+        assert PROTOCOL == "dalorex-dist/3"
         assert "dalorex-dist/1" in COMPAT_PROTOCOLS
+        assert "dalorex-dist/2" in COMPAT_PROTOCOLS
 
     def test_gzip_upload_is_verified_and_accepted(self, real_payload):
         key, payload = real_payload

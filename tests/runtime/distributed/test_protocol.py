@@ -30,6 +30,26 @@ class TestAddresses:
         with pytest.raises(ProtocolError):
             parse_address(bogus)
 
+    def test_ipv6_bracket_form_round_trips(self):
+        # Regression: rpartition(":") used to parse "::1" as host ":" with
+        # port 1 -- IPv6 literals were unusable.
+        assert parse_address("[::1]:4573") == ("::1", 4573)
+        assert parse_address("[fe80::2]:80") == ("fe80::2", 80)
+        assert format_address(("::1", 4573)) == "[::1]:4573"
+        assert parse_address(format_address(("::1", 9999))) == ("::1", 9999)
+
+    def test_bare_ipv6_literal_gets_default_port(self):
+        from repro.runtime.distributed.protocol import DEFAULT_PORT
+
+        assert parse_address("::1") == ("::1", DEFAULT_PORT)
+        assert parse_address("[::1]") == ("::1", DEFAULT_PORT)
+        assert parse_address("fe80::aa:2") == ("fe80::aa:2", DEFAULT_PORT)
+
+    @pytest.mark.parametrize("bogus", ["[::1", "[]:4573", "[::1]4573", "[::1]:"])
+    def test_malformed_ipv6_addresses_rejected(self, bogus):
+        with pytest.raises(ProtocolError):
+            parse_address(bogus)
+
 
 class TestFraming:
     def test_encode_read_round_trip(self):
@@ -49,6 +69,22 @@ class TestFraming:
     def test_non_object_message_raises(self):
         with pytest.raises(ProtocolError):
             read_message(io.BytesIO(b"[1,2,3]\n"))
+
+    def test_oversized_frame_rejected_instead_of_buffered(self):
+        # Regression: readline() had no bound, so one hostile line could
+        # balloon broker memory without limit.
+        hostile = b'{"op": "' + b"A" * 4096 + b'"}\n'
+        with pytest.raises(ProtocolError, match="frame exceeds"):
+            read_message(io.BytesIO(hostile), max_bytes=1024)
+        # A frame of exactly max_bytes (newline included) still parses.
+        exact = encode_message({"pad": "x" * 100})
+        assert read_message(io.BytesIO(exact), max_bytes=len(exact)) == {
+            "pad": "x" * 100
+        }
+
+    def test_oversized_frame_without_newline_rejected(self):
+        with pytest.raises(ProtocolError, match="frame exceeds"):
+            read_message(io.BytesIO(b"A" * 2048), max_bytes=1024)
 
 
 class TestRequest:
@@ -70,3 +106,32 @@ class TestRequest:
         # Server stopped: the port is closed again.
         with pytest.raises(OSError):
             request(address, {"op": "status"}, timeout=2.0)
+
+    def test_live_server_rejects_oversized_frames_with_typed_code(self):
+        import socket
+
+        from repro.runtime.distributed.protocol import (
+            ERR_FRAME_TOO_LARGE,
+            read_message,
+        )
+
+        server = BrokerServer(Broker(), max_message_bytes=2048)
+        with server:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                sock.sendall(b'{"op": "' + b"A" * 8192 + b'"}\n')
+                with sock.makefile("rb") as rfile:
+                    response = read_message(rfile)
+            assert response["ok"] is False
+            assert response["code"] == ERR_FRAME_TOO_LARGE
+            # The broker survives the hostile peer and keeps serving.
+            assert request(server.address, {"op": "status"})["ok"] is True
+
+    def test_live_server_drops_garbage_lines_quietly(self):
+        import socket
+
+        with BrokerServer(Broker()) as server:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                sock.sendall(b"complete garbage, not json\n")
+                with sock.makefile("rb") as rfile:
+                    assert rfile.readline() == b""  # connection dropped
+            assert request(server.address, {"op": "status"})["ok"] is True
