@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -130,6 +131,19 @@ def main(argv=None, timer=time.perf_counter, workload=_calibration_workload) -> 
                         help="rewrite the baseline from --bench-json instead of "
                              "checking against it")
     args = parser.parse_args(argv)
+
+    # The gate certifies the *telemetry-off* hot path (the provably-zero-cost
+    # switch of docs/OBSERVABILITY.md).  Refusing to run with telemetry
+    # enabled keeps a stray environment variable from either masking a real
+    # regression or charging instrumentation overhead to the engines.
+    enabled = os.environ.get("DALOREX_TELEMETRY", "").strip().lower()
+    if enabled in ("1", "true", "yes", "on") or \
+            os.environ.get("DALOREX_TELEMETRY_JSONL", "").strip():
+        print("error: the bench gate must measure the disabled-telemetry "
+              "path; unset DALOREX_TELEMETRY / DALOREX_TELEMETRY_JSONL "
+              "(benchmarks with telemetry on are not comparable to the "
+              "committed baseline)", file=sys.stderr)
+        return 2
 
     with open(args.bench_json, "r", encoding="utf-8") as handle:
         means = benchmark_means(json.load(handle))

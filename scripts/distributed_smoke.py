@@ -35,15 +35,17 @@ def _env() -> dict:
     return env
 
 
-def _start_broker(work_dir: Path, lease_timeout: float) -> tuple:
+def _start_broker(work_dir: Path, lease_timeout: float, trace: Path = None) -> tuple:
+    command = [sys.executable, "-m", "repro.cli", "broker",
+               "--port", "0",
+               "--cache-dir", str(work_dir / "broker-cache"),
+               "--state-file", str(work_dir / "broker-state.json"),
+               "--lease-timeout", str(lease_timeout),
+               "--verify-ingest"]
+    if trace is not None:
+        command += ["--telemetry-jsonl", str(trace)]
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "broker",
-         "--port", "0",
-         "--cache-dir", str(work_dir / "broker-cache"),
-         "--state-file", str(work_dir / "broker-state.json"),
-         "--lease-timeout", str(lease_timeout),
-         "--verify-ingest"],
-        env=_env(), stdout=subprocess.PIPE, text=True,
+        command, env=_env(), stdout=subprocess.PIPE, text=True,
     )
     line = process.stdout.readline().strip()
     prefix = "broker listening on "
@@ -53,13 +55,17 @@ def _start_broker(work_dir: Path, lease_timeout: float) -> tuple:
     return process, line[len(prefix):]
 
 
-def _start_worker(address: str, tag: str, protocol: str = None) -> subprocess.Popen:
+def _start_worker(
+    address: str, tag: str, protocol: str = None, telemetry: bool = False
+) -> subprocess.Popen:
     env = _env()
     if protocol is not None:
         # Stamp this worker's wire messages with an older protocol
         # generation: the mixed-fleet smoke proves a v2 worker still
         # completes work against the v3 asyncio broker.
         env["DALOREX_PROTOCOL"] = protocol
+    if telemetry:
+        env["DALOREX_TELEMETRY"] = "1"
     return subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "worker",
          "--connect", address, "--worker-id", tag,
@@ -80,6 +86,45 @@ def _run_sweep(args, tag: str, work_dir: Path, extra: list) -> bytes:
     return json_path.read_bytes()
 
 
+def _check_telemetry(address: str) -> None:
+    """Assert the observability surface is live on a running fleet.
+
+    The ``metrics`` op must return real counters from the sweep that just
+    ran, and ``dalorex fleet top`` must render a frame from them -- this is
+    the acceptance check behind the PR 8 telemetry subsystem.
+    """
+    from repro.runtime.distributed.protocol import parse_address, request
+
+    response = request(parse_address(address), {"op": "metrics"})
+    assert response.get("telemetry_enabled") is True, \
+        "broker telemetry should be on by default"
+    counters = response["metrics"]["counters"]
+    completed = counters.get("broker.completed", {}).get("", 0)
+    assert completed > 0, f"no completed specs counted: {sorted(counters)}"
+    leases = sum(counters.get("broker.leases", {}).values())
+    assert leases >= completed, f"lease counter lagging: {leases} < {completed}"
+    assert "dalorex_broker_op_seconds_bucket" in response["text"], \
+        "Prometheus exposition is missing op-latency histograms"
+    reported = [
+        name for name in response["metrics"].get("gauges", {})
+        if name.startswith("worker.")
+    ]
+    assert "worker.uploads" in reported, \
+        f"worker self-reports missing from the snapshot: {reported}"
+    print(f"[smoke] metrics op live: {completed} completions, "
+          f"{leases} leases, {len(reported)} worker gauges", flush=True)
+
+    top = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "fleet", "top",
+         "--connect", address, "--iterations", "1", "--no-clear"],
+        env=_env(), capture_output=True, text=True, timeout=60,
+    )
+    assert top.returncode == 0, f"fleet top failed: {top.stderr}"
+    assert "op latency:" in top.stdout and "queue depth:" in top.stdout, \
+        f"fleet top rendered no dashboard:\n{top.stdout}"
+    print("[smoke] fleet top rendered a live frame", flush=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.05)
@@ -93,20 +138,30 @@ def main(argv=None) -> int:
                         help="run one of the workers with "
                              "DALOREX_PROTOCOL=dalorex-dist/2: a mixed "
                              "v2/v3 fleet must stay byte-identical")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run the fleet with telemetry on (broker JSONL "
+                             "trace + DALOREX_TELEMETRY=1 workers), assert "
+                             "live counters via the metrics op and 'fleet "
+                             "top', and keep the byte-equality check")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="with --telemetry, copy the broker's JSONL "
+                             "trace here (CI uploads it as an artifact)")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="dalorex-smoke-") as tmp:
         work_dir = Path(tmp)
+        trace = work_dir / "broker-trace.jsonl" if args.telemetry else None
         print(f"[smoke] reference sweep on the process-pool backend", flush=True)
         reference = _run_sweep(args, "process-pool", work_dir, ["--jobs", "2"])
 
-        broker, address = _start_broker(work_dir, args.lease_timeout)
+        broker, address = _start_broker(work_dir, args.lease_timeout, trace=trace)
         print(f"[smoke] broker up at {address}", flush=True)
         workers = [
             _start_worker(
                 address,
                 f"smoke-{i}" + ("-v2" if args.v2_worker and i == 0 else ""),
                 protocol="dalorex-dist/2" if args.v2_worker and i == 0 else None,
+                telemetry=args.telemetry,
             )
             for i in range(args.workers)
         ]
@@ -130,6 +185,8 @@ def main(argv=None) -> int:
                 args, "distributed", work_dir,
                 ["--backend", "distributed", "--connect", address],
             )
+            if args.telemetry:
+                _check_telemetry(address)
         finally:
             from repro.runtime.distributed.protocol import parse_address, request
 
@@ -146,6 +203,17 @@ def main(argv=None) -> int:
                 broker.wait(timeout=30)
             except subprocess.TimeoutExpired:
                 broker.kill()
+
+        if args.telemetry:
+            assert trace.is_file() and trace.stat().st_size > 0, \
+                "broker wrote no telemetry JSONL trace"
+            lines = trace.read_bytes().count(b"\n")
+            print(f"[smoke] broker trace: {lines} JSONL records", flush=True)
+            if args.trace_out:
+                out = Path(args.trace_out)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_bytes(trace.read_bytes())
+                print(f"[smoke] trace copied to {out}", flush=True)
 
         if distributed != reference:
             print("[smoke] FAIL: distributed output differs from process pool")

@@ -19,6 +19,12 @@
   ``docs/DISTRIBUTED.md``).
 * ``dalorex fleet stats`` -- queue depth, active leases, attempts and
   per-worker completion counts of a running broker.
+* ``dalorex fleet metrics`` / ``dalorex fleet top`` -- the broker's
+  telemetry snapshot (Prometheus text by default) and a refreshing
+  plain-text fleet dashboard built on the v3 ``metrics`` op.
+* ``dalorex trace FILE`` -- aggregate a telemetry JSONL stream
+  (``DALOREX_TELEMETRY_JSONL``, ``broker --telemetry-jsonl``) into
+  per-span count / total / p50 / p99 (see ``docs/OBSERVABILITY.md``).
 
 ``run`` and ``verify`` additionally accept the NoC-simulation knobs
 (``--network analytical|simulated``, ``--routing``, ``--queue-depth``,
@@ -486,7 +492,30 @@ def broker_command(argv: Optional[List[str]] = None) -> int:
                         help="cap on one protocol frame; oversized lines are "
                              "rejected with a typed error (default: 64M; "
                              "large payloads stream via chunked fetch)")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="serve without the metrics registry; the "
+                             "'metrics' op then answers with an empty "
+                             "snapshot (telemetry is on by default for the "
+                             "broker service -- it observes the queue, never "
+                             "the simulations)")
+    parser.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
+                        help="append span/event records (lease lifecycle, "
+                             "per-op timings) as JSON lines to PATH; read "
+                             "back with 'dalorex trace PATH'")
     args = parser.parse_args(argv)
+
+    # The broker service runs with telemetry on unless told otherwise: its
+    # registry observes queue/protocol activity only, so the simulation
+    # results it brokers are byte-identical either way, and `fleet top` /
+    # the `metrics` op always have live counters to show.
+    import repro.telemetry as telemetry_mod
+
+    if args.no_telemetry:
+        if args.telemetry_jsonl:
+            parser.error("--telemetry-jsonl conflicts with --no-telemetry")
+        registry = telemetry_mod.NULL
+    else:
+        registry = telemetry_mod.configure(enabled=True, jsonl=args.telemetry_jsonl)
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     broker = Broker(
@@ -496,6 +525,7 @@ def broker_command(argv: Optional[List[str]] = None) -> int:
         verify_ingest=args.verify_ingest,
         state_path=args.state_file,
         tenant_quota=args.tenant_quota,
+        telemetry=registry,
     )
     server = BrokerServer(
         broker,
@@ -510,20 +540,113 @@ def broker_command(argv: Optional[List[str]] = None) -> int:
         pass
     finally:
         server.stop()
+        registry.close()  # flush the JSONL sink before the process exits
     status = broker.status()
     print(f"broker exiting: {status['completed']} completed, "
           f"{status['failed']} failed, {status['pending']} still pending")
     return 0
 
 
+def _format_duration(seconds: float) -> str:
+    """Compact uptime: ``42s``, ``3m42s``, ``2h05m``."""
+    seconds = max(0, int(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def _format_seconds(value: object) -> str:
+    """One latency value with an auto-scaled unit (``850us``, ``1.2ms``)."""
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _fleet_stats_text(response: dict) -> str:
+    """Render one ``stats`` op response for humans (stats and top share it)."""
+    lines = [
+        f"uptime:         {_format_duration(response.get('uptime_seconds', 0))}",
+        f"queue depth:    {response.get('queue_depth', 0)}",
+        f"completed:      {response.get('completed', 0)}",
+        f"failed:         {response.get('failed', 0)}",
+    ]
+    tenants = response.get("tenants", {})
+    if tenants:
+        lines.append(f"tenants:        {len(tenants)}")
+        for tenant in sorted(tenants):
+            ledger = tenants[tenant]
+            lines.append(f"  {tenant}: queued={ledger.get('queued', 0)} "
+                         f"leased={ledger.get('leased', 0)}")
+    leases = response.get("active_leases", [])
+    lines.append(f"active leases:  {len(leases)}")
+    for lease in leases:
+        lines.append(f"  {lease['key'][:12]}  worker={lease['worker']}  "
+                     f"attempt={lease['attempt']}")
+    per_worker = response.get("per_worker", {})
+    lines.append(f"workers:        {len(per_worker)}")
+    for worker, ledger in per_worker.items():
+        line = (f"  {worker}: completed={ledger.get('completed', 0)} "
+                f"leases={ledger.get('leases', 0)} "
+                f"rejected={ledger.get('rejected', 0)} "
+                f"released={ledger.get('released', 0)}")
+        reported = ledger.get("reported")
+        if reported:
+            line += (f" | reports: uploads={reported.get('uploads', 0)} "
+                     f"errors={reported.get('errors', 0)} "
+                     f"leaked_heartbeats={reported.get('leaked_heartbeats', 0)}")
+        lines.append(line)
+    codes = response.get("codes", {})
+    if codes:
+        lines.append("protocol codes: " + " ".join(
+            f"{code}={codes[code]}" for code in sorted(codes)))
+    return "\n".join(lines)
+
+
+def _fleet_top_text(stats: dict, metrics: dict) -> str:
+    """The ``fleet top`` frame: stats view plus broker op latencies."""
+    lines = [_fleet_stats_text(stats)]
+    if not metrics.get("telemetry_enabled"):
+        lines.append("op latency:     (broker telemetry disabled)")
+        return "\n".join(lines)
+    op_seconds = metrics.get("metrics", {}).get("histograms", {}).get(
+        "broker.op.seconds", {})
+    lines.append("op latency:")
+    for label in sorted(op_seconds):
+        hist = op_seconds[label]
+        op = label.partition("op=")[2] or "?"
+        lines.append(f"  {op:12s} n={hist.get('count', 0):<7d}"
+                     f" p50={_format_seconds(hist.get('p50')):>8s}"
+                     f" p99={_format_seconds(hist.get('p99')):>8s}"
+                     f" max={_format_seconds(hist.get('max')):>8s}")
+    if not op_seconds:
+        lines.append("  (no requests observed yet)")
+    return "\n".join(lines)
+
+
 def fleet_command(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``dalorex fleet``: inspect a running broker's fleet.
 
-    ``dalorex fleet stats --connect HOST:PORT`` asks the broker for its
-    queue depth, active leases (with per-spec attempt counts) and per-worker
-    completion counts -- the feed for fleet dashboards.
+    * ``stats`` asks for queue depth, active leases (with per-spec attempt
+      counts), per-tenant depths and per-worker ledgers.
+    * ``metrics`` fetches the broker's telemetry snapshot via the v3
+      ``metrics`` op -- Prometheus text exposition by default, the raw
+      snapshot with ``--json``.
+    * ``top`` renders both as a refreshing plain-text dashboard.
     """
-    from repro.runtime.distributed import ProtocolError, parse_address, request
+    import time
+
+    from repro.runtime.distributed import (
+        BrokerError,
+        ProtocolError,
+        parse_address,
+        request,
+    )
 
     parser = argparse.ArgumentParser(
         prog="dalorex fleet",
@@ -533,40 +656,80 @@ def fleet_command(argv: Optional[List[str]] = None) -> int:
     stats = subparsers.add_parser(
         "stats", help="queue depth, active leases, attempts, per-worker counts"
     )
-    stats.add_argument("--connect", required=True, metavar="HOST:PORT",
-                       help="broker address")
+    metrics = subparsers.add_parser(
+        "metrics", help="telemetry snapshot (Prometheus text by default)"
+    )
+    top = subparsers.add_parser(
+        "top", help="refreshing fleet dashboard (stats + broker op latency)"
+    )
+    for sub in (stats, metrics, top):
+        sub.add_argument("--connect", required=True, metavar="HOST:PORT",
+                         help="broker address")
     stats.add_argument("--json", action="store_true", help="print the raw JSON")
+    metrics.add_argument("--prom", action="store_true",
+                         help="Prometheus text exposition (the default)")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the raw snapshot JSON instead")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="refresh period (default: 2)")
+    top.add_argument("--iterations", type=_positive_int, default=None, metavar="N",
+                     help="render N frames then exit (default: until Ctrl-C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
     args = parser.parse_args(argv)
+    if args.action == "metrics" and args.prom and args.json:
+        parser.error("--prom and --json are mutually exclusive")
 
+    address = parse_address(args.connect)
     try:
-        response = request(parse_address(args.connect), {"op": "stats"})
+        if args.action == "stats":
+            response = request(address, {"op": "stats"})
+            response.pop("ok", None)
+            response.pop("protocol", None)
+            if args.json:
+                print(json.dumps(response, indent=2, sort_keys=True))
+            else:
+                print(_fleet_stats_text(response))
+            return 0
+
+        if args.action == "metrics":
+            response = request(address, {"op": "metrics"})
+            if args.json:
+                response.pop("ok", None)
+                response.pop("protocol", None)
+                print(json.dumps(response, indent=2, sort_keys=True))
+            else:
+                sys.stdout.write(response.get("text", ""))
+                if not response.get("telemetry_enabled"):
+                    print("# broker telemetry disabled (started with "
+                          "--no-telemetry)", file=sys.stderr)
+            return 0
+
+        # top: loop until interrupted (or for --iterations frames).
+        frames = 0
+        while True:
+            stats_response = request(address, {"op": "stats"})
+            try:
+                metrics_response = request(address, {"op": "metrics"})
+            except BrokerError:
+                # A pre-v3-observability broker: degrade to the stats view.
+                metrics_response = {"telemetry_enabled": False}
+            if not args.no_clear and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(_fleet_top_text(stats_response, metrics_response), flush=True)
+            frames += 1
+            if args.iterations is not None and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
     except (OSError, ProtocolError) as exc:
         # ProtocolError also covers BrokerError: an old (pre-stats) broker
         # answers ok=false for the unknown op, and a non-dalorex endpoint
         # fails framing -- both deserve a clean message, not a traceback.
-        print(f"cannot read fleet stats from {args.connect}: {exc}", file=sys.stderr)
+        print(f"cannot read fleet {args.action} from {args.connect}: {exc}",
+              file=sys.stderr)
         return 2
-    response.pop("ok", None)
-    response.pop("protocol", None)
-    if args.json:
-        print(json.dumps(response, indent=2, sort_keys=True))
-        return 0
-    print(f"queue depth:    {response.get('queue_depth', 0)}")
-    print(f"completed:      {response.get('completed', 0)}")
-    print(f"failed:         {response.get('failed', 0)}")
-    leases = response.get("active_leases", [])
-    print(f"active leases:  {len(leases)}")
-    for lease in leases:
-        print(f"  {lease['key'][:12]}  worker={lease['worker']}  "
-              f"attempt={lease['attempt']}")
-    per_worker = response.get("per_worker", {})
-    print(f"workers:        {len(per_worker)}")
-    for worker, ledger in per_worker.items():
-        print(f"  {worker}: completed={ledger.get('completed', 0)} "
-              f"leases={ledger.get('leases', 0)} "
-              f"rejected={ledger.get('rejected', 0)} "
-              f"released={ledger.get('released', 0)}")
-    return 0
 
 
 def worker_command(argv: Optional[List[str]] = None) -> int:
@@ -607,8 +770,37 @@ def worker_command(argv: Optional[List[str]] = None) -> int:
         worker.run()
     except KeyboardInterrupt:
         pass
-    print(f"worker {worker.worker_id} exiting: {worker.completed} completed, "
-          f"{worker.rejected} rejected, {worker.errors} errors", flush=True)
+    stats = worker.stats()
+    print(f"worker {worker.worker_id} exiting: {stats['completed']} completed, "
+          f"{stats['rejected']} rejected, {stats['errors']} errors "
+          f"({stats['leases']} leases, {stats['uploads']} uploads, "
+          f"{stats['leaked_heartbeats']} leaked heartbeats)", flush=True)
+    return 0
+
+
+def trace_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``dalorex trace``: aggregate a telemetry JSONL file."""
+    from repro.telemetry.trace import aggregate_spans, format_trace_report, load_records
+
+    parser = argparse.ArgumentParser(
+        prog="dalorex trace",
+        description="Aggregate the span records of a telemetry JSONL stream "
+        "(DALOREX_TELEMETRY_JSONL, broker --telemetry-jsonl) into per-span "
+        "count / total / p50 / p99 / max.",
+    )
+    parser.add_argument("file", metavar="FILE", help="telemetry JSONL file")
+    parser.add_argument("--json", action="store_true",
+                        help="print the aggregates as JSON")
+    args = parser.parse_args(argv)
+
+    if not Path(args.file).is_file():
+        print(f"trace file {args.file!r} does not exist", file=sys.stderr)
+        return 2
+    aggregates = aggregate_spans(load_records(args.file))
+    if args.json:
+        print(json.dumps(aggregates, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(format_trace_report(aggregates))
     return 0
 
 
@@ -621,6 +813,7 @@ SUBCOMMANDS = {
     "broker": broker_command,
     "worker": worker_command,
     "fleet": fleet_command,
+    "trace": trace_command,
 }
 
 
@@ -638,7 +831,7 @@ def dalorex_command(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     if argv in ([], ["-h"], ["--help"]):
-        print("usage: dalorex {run,experiments,verify,cache,broker,worker,fleet} ...\n"
+        print("usage: dalorex {run,experiments,verify,cache,broker,worker,fleet,trace} ...\n"
               "       dalorex --app ... (alias for 'dalorex run')")
         return 0
     return run_command(argv)

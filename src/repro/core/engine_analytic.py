@@ -98,9 +98,15 @@ class AnalyticalEngine(BaseEngine):
             self._tables = _MemoryTables(self.machine)
             self._rebind_state_arrays()
         run_epoch = self._run_epoch_batched if self._batch is not None else self._run_epoch
+        telemetry = self.telemetry
+        mode = "batched" if self._batch is not None else "scalar"
 
         while seeds:
-            epoch_cycles = run_epoch(seeds, epoch_index, average_hops)
+            if telemetry.enabled:
+                with telemetry.span("engine.analytic.epoch", mode=mode):
+                    epoch_cycles = run_epoch(seeds, epoch_index, average_hops)
+            else:
+                epoch_cycles = run_epoch(seeds, epoch_index, average_hops)
             total_cycles += epoch_cycles
             self.tracer.epoch_finished(epoch_index, self.counters)
             epoch_index += 1
@@ -257,11 +263,20 @@ class AnalyticalEngine(BaseEngine):
                 [(tile, task, params, 0, False) for tile, task, params in resolved]
             )
         )
+        telemetry = self.telemetry
+        telemetry_on = telemetry.enabled
         while worklist or self._refill_segments(worklist):
             segment = worklist.popleft()
-            children, executed, child_gen = self._execute_segment(
-                segment, epoch_link, epoch_busy
-            )
+            if telemetry_on:
+                with telemetry.span("engine.analytic.segment", task=segment.task.name):
+                    children, executed, child_gen = self._execute_segment(
+                        segment, epoch_link, epoch_busy
+                    )
+                telemetry.observe("engine.analytic.segment_size", segment.n)
+            else:
+                children, executed, child_gen = self._execute_segment(
+                    segment, epoch_link, epoch_busy
+                )
             tasks_this_epoch += executed
             if child_gen > max_generation:
                 max_generation = child_gen

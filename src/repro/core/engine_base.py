@@ -23,6 +23,7 @@ from repro.core.results import AggregateCounters, SimulationResult
 from repro.core.task import Task
 from repro.errors import SimulationError
 from repro.noc.analytical import LinkLoadModel
+from repro.telemetry import get_telemetry
 from repro.verify.tracing import InvariantTracer
 
 #: Above this tile count the analytical engine switches the link-load model to
@@ -58,6 +59,10 @@ class BaseEngine:
         # reference so callers can inspect the trace after run() returns.
         self.tracer = InvariantTracer(detailed=getattr(machine, "detailed_trace", False))
         machine.tracer = self.tracer
+        # Telemetry observes, never influences: simulation outputs are
+        # byte-identical with it enabled or disabled (the registry is the
+        # shared no-op singleton unless observability was switched on).
+        self.telemetry = get_telemetry()
         # The link-load model is likewise published so the network
         # conformance oracle can compare it against the simulated network's
         # per-link accounting after run() returns.

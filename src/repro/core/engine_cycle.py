@@ -127,28 +127,49 @@ class CycleEngine(BaseEngine):
         records = state.records
         busy = state.busy
         last = self._last_event_time
+        # Telemetry is observed in plain locals and flushed once after the
+        # loop: with observability off the per-event overhead is a single
+        # local-bool branch, and either way the event order is untouched.
+        telemetry_on = self.telemetry.enabled
+        deliver_count = complete_count = refill_count = 0
+        peak_heap_depth = len(heap)
         while heap:
             time, key, payload = heapq.heappop(heap)
             if time > last:
                 last = time
             kind = key >> _KIND_SHIFT
             if kind == _DELIVER:
+                if telemetry_on:
+                    deliver_count += 1
                 tile_id = records.tile[payload]
                 self._enqueue_record(tile_id, records.task[payload], payload)
                 if not busy[tile_id]:
                     self._try_dispatch(tile_id, time)
             elif kind == _COMPLETE:
+                if telemetry_on:
+                    complete_count += 1
                 tile_id, ctx = payload
                 busy[tile_id] = False
                 self._emit_outputs(tile_id, ctx, time)
                 self._try_dispatch(tile_id, time)
             else:  # _REFILL: low-priority local frontier drain (paper's T4)
+                if telemetry_on:
+                    refill_count += 1
                 tile_id = payload
                 state.refill_pending[tile_id] = False
                 if not busy[tile_id] and state.tile_is_idle(tile_id):
                     if self._refill_tile(tile_id, time):
                         self._try_dispatch(tile_id, time)
+            if telemetry_on and len(heap) > peak_heap_depth:
+                peak_heap_depth = len(heap)
         self._last_event_time = last
+        if telemetry_on and (deliver_count or complete_count or refill_count):
+            telemetry = self.telemetry
+            telemetry.count("engine.cycle.events", deliver_count, kind="deliver")
+            telemetry.count("engine.cycle.events", complete_count, kind="complete")
+            telemetry.count("engine.cycle.events", refill_count, kind="refill")
+            telemetry.gauge("engine.cycle.heap_depth_peak", peak_heap_depth)
+            telemetry.observe("engine.cycle.heap_depth", peak_heap_depth)
 
     def _refill_idle_tiles(self, now: float) -> bool:
         """Give every idle tile work from its local frontier; True if any refilled."""

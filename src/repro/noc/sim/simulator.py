@@ -43,8 +43,13 @@ from typing import Deque, Dict, List, Tuple
 
 from repro.noc.sim.routing import RoutingPolicy, make_routing
 from repro.noc.topology import Topology
+from repro.telemetry import get_telemetry
 
 Link = Tuple[int, int]
+
+#: Telemetry sampling stride: queue occupancy / latency are observed on every
+#: Nth message so the instrumented hot path stays cheap on large traces.
+_SAMPLE_STRIDE = 64
 
 
 class NocSimulator:
@@ -100,6 +105,7 @@ class NocSimulator:
         self.total_flit_hops = 0
         self.latency_sum = 0.0
         self.last_delivery = 0.0
+        self.telemetry = get_telemetry()
 
     # ------------------------------------------------------------------- send
     def send(self, src: int, dst: int, flits: int, now: float) -> float:
@@ -153,6 +159,20 @@ class NocSimulator:
         self.latency_sum += arrival - now
         if arrival > self.last_delivery:
             self.last_delivery = arrival
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("noc.sim.messages")
+            telemetry.count("noc.sim.flits", flits)
+            if message_index % _SAMPLE_STRIDE == 0:
+                # Occupancy of every buffer along this route, plus latency:
+                # sampled, because per-message histograms would dominate the
+                # flit loop on saturation traces.
+                for link in links:
+                    credit = self._credits.get(link)
+                    telemetry.observe(
+                        "noc.sim.queue_occupancy", len(credit) if credit else 0
+                    )
+                telemetry.observe("noc.sim.latency_cycles", arrival - now)
         return arrival
 
     # ------------------------------------------------------------------ stats

@@ -31,15 +31,27 @@ from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.runtime.serialize import result_to_payload
 from repro.runtime.spec import RunSpec, execute_spec
+from repro.telemetry import get_telemetry
 
 
 def execute_to_payload(spec: RunSpec) -> Tuple[str, Dict[str, Any]]:
     """Execution entry point: run one spec and return ``(key, payload)``.
 
     This is what worker processes (and remote workers) run; it is the single
-    definition of how a spec becomes a payload, whatever the backend.
+    definition of how a spec becomes a payload, whatever the backend.  It is
+    also the one place the execute/serialize stage timings are observed --
+    every backend (inline, pool worker, fleet worker) routes through here.
     """
-    return spec.key(), result_to_payload(execute_spec(spec))
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return spec.key(), result_to_payload(execute_spec(spec))
+    key = spec.key()
+    with telemetry.scope(spec=key[:12], app=spec.app, dataset=spec.dataset):
+        with telemetry.span("runtime.execute", app=spec.app):
+            result = execute_spec(spec)
+        with telemetry.span("runtime.serialize"):
+            payload = result_to_payload(result)
+    return key, payload
 
 
 class RunnerBackend(abc.ABC):

@@ -81,6 +81,7 @@ from repro.runtime.distributed.protocol import (
     encode_message,
 )
 from repro.runtime.spec import RunSpec
+from repro.telemetry import DEFAULT_TIME_EDGES, get_telemetry, to_prometheus
 
 #: Format tag of the on-disk queue journal (bump on incompatible changes).
 #: v3 adds optional per-task ``tenant`` and a ``failed_codes`` map -- both
@@ -116,6 +117,9 @@ class _Task:
     worker: Optional[str] = None
     deadline: Optional[float] = None
     tenant: str = DEFAULT_TENANT
+    #: Monotonic time of the current lease grant (telemetry only: the
+    #: lease-lifecycle histogram observes accept-time minus this).
+    leased_at: Optional[float] = None
 
     @property
     def leased(self) -> bool:
@@ -177,6 +181,7 @@ class Broker:
         state_path: Optional[os.PathLike] = None,
         clock=time.monotonic,
         tenant_quota: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
@@ -192,6 +197,21 @@ class Broker:
         self.tenant_quota = tenant_quota
         self.stats = BrokerStats()
         self._clock = clock
+        # Telemetry observes the service, never the queue semantics.  The
+        # broker CLI passes an enabled registry by default (always-on
+        # service observability); embedded brokers inherit the process-wide
+        # default, which is the no-op singleton unless switched on.
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self._started = clock()
+        self._started_wall = time.time()
+        # Totals of every structured ERR_*/FAIL_*/REJECT_* code this broker
+        # emitted or recorded, so rejections are countable, not just logged.
+        # FAIL_NEVER_SUBMITTED counts per fetch *response* (the condition is
+        # per-poll, not per-spec); everything else counts once per incident.
+        self._code_totals: Dict[str, int] = {}
+        # Latest worker-side self-reported stats (piggybacked on v3 lease
+        # requests): worker id -> {completed, leases, leaked_heartbeats, ...}.
+        self._worker_reports: Dict[str, Dict[str, int]] = {}
         self._lock = threading.Lock()
         self._tasks: Dict[str, _Task] = {}
         # One costliest-first heap per tenant plus a round-robin rotation of
@@ -250,6 +270,7 @@ class Broker:
                 )
                 if incomplete + len(fresh) > self.tenant_quota:
                     self.stats.admission_rejections += 1
+                    self._count_code_locked(ERR_TENANT_QUOTA)
                     raise AdmissionError(
                         tenant, incomplete, len(fresh), self.tenant_quota
                     )
@@ -268,10 +289,24 @@ class Broker:
                 self._save_state_locked()
         return {"queued": queued, "duplicates": duplicates}
 
-    def lease(self, worker: str) -> Dict[str, Any]:
+    def lease(
+        self, worker: str, stats: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
         """Hand out the next spec: fair-share across tenants, costliest
-        first within each tenant."""
+        first within each tenant.
+
+        ``stats`` is the worker's self-reported counter dict (piggybacked on
+        v3 lease requests); the broker keeps the latest report per worker so
+        fleet dashboards can see worker-side health (completed, uploads,
+        leaked heartbeat threads) without a side channel to every worker.
+        """
         with self._lock:
+            if stats:
+                self._worker_reports[worker] = {
+                    str(name): int(value)
+                    for name, value in stats.items()
+                    if isinstance(value, (int, float)) and not isinstance(value, bool)
+                }
             if self._shutdown:
                 return {"key": None, "shutdown": True}
             self._requeue_expired_locked()
@@ -292,11 +327,24 @@ class Broker:
                     self._queues.pop(tenant, None)
                 if task is None:
                     continue
+                now = self._clock()
                 task.attempts += 1
                 task.worker = worker
-                task.deadline = self._clock() + self.lease_timeout
+                task.deadline = now + self.lease_timeout
+                task.leased_at = now
                 self.stats.leases += 1
                 self._worker_ledger_locked(worker)["leases"] += 1
+                telemetry = self.telemetry
+                if telemetry.enabled:
+                    telemetry.count("broker.leases", tenant=task.tenant)
+                    telemetry.emit(
+                        "event",
+                        name="lease.granted",
+                        key=task.key[:12],
+                        worker=worker,
+                        tenant=task.tenant,
+                        attempt=task.attempts,
+                    )
                 return {
                     "key": task.key,
                     "spec": task.canonical,
@@ -388,6 +436,7 @@ class Broker:
             if reason is not None:
                 self.stats.rejected += 1
                 self._worker_ledger_locked(worker)["rejected"] += 1
+                self._count_code_locked(code)
                 # Requeue only if the uploader still owns the lease: a stale
                 # rejected upload (expired lease, spec re-leased or already
                 # requeued) must not strip another worker's active lease or
@@ -411,6 +460,28 @@ class Broker:
             )
             self.stats.completed += 1
             self._worker_ledger_locked(worker)["completed"] += 1
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.count("broker.completed")
+                if (
+                    task is not None
+                    and task.worker == worker
+                    and task.leased_at is not None
+                ):
+                    # Lease lifecycle: grant to verified accept, per tenant.
+                    telemetry.observe(
+                        "broker.lease.lifecycle_seconds",
+                        self._clock() - task.leased_at,
+                        edges=DEFAULT_TIME_EDGES,
+                        tenant=task.tenant,
+                    )
+                    telemetry.emit(
+                        "event",
+                        name="lease.completed",
+                        key=key[:12],
+                        worker=worker,
+                        tenant=task.tenant,
+                    )
             self._save_state_locked()
             return {"accepted": True, "duplicate": False}
 
@@ -445,6 +516,7 @@ class Broker:
                 else:
                     failed[key] = "never submitted to this broker"
                     failed_codes[key] = FAIL_NEVER_SUBMITTED
+                    self._count_code_locked(FAIL_NEVER_SUBMITTED)
         for key in disk_lookups:
             payload = self.cache.load(key) if self.cache is not None else None
             if payload is not None:
@@ -469,6 +541,7 @@ class Broker:
                     # recoveries without a spec): the client resubmits.
                     failed[key] = "never submitted to this broker"
                     failed_codes[key] = FAIL_NEVER_SUBMITTED
+                    self._count_code_locked(FAIL_NEVER_SUBMITTED)
         return {
             "results": results,
             "failed": failed,
@@ -501,13 +574,15 @@ class Broker:
                 "completed": len(self._completed),
                 "failed": len(self._failed),
                 "shutdown": self._shutdown,
+                "uptime_seconds": self._clock() - self._started,
                 "stats": self.stats.to_dict(),
             }
 
     def fleet_stats(self) -> Dict[str, Any]:
         """Fleet-dashboard view (the ``stats`` op): queue depth, active
-        leases with per-spec attempt counts, per-tenant depths, and
-        per-worker activity."""
+        leases with per-spec attempt counts, per-tenant depths, per-worker
+        activity (broker-side ledgers merged with worker self-reports),
+        uptime, and structured-code totals."""
         with self._lock:
             self._requeue_expired_locked()
             leases = [
@@ -532,18 +607,30 @@ class Broker:
                     task.tenant, {"queued": 0, "leased": 0}
                 )
                 ledger["leased" if task.leased else "queued"] += 1
+            per_worker: Dict[str, Dict[str, Any]] = {}
+            for worker in sorted(set(self._workers) | set(self._worker_reports)):
+                entry: Dict[str, Any] = dict(
+                    self._workers.get(
+                        worker,
+                        {"leases": 0, "completed": 0, "rejected": 0, "released": 0},
+                    )
+                )
+                report = self._worker_reports.get(worker)
+                if report is not None:
+                    entry["reported"] = dict(report)
+                per_worker[worker] = entry
             return {
                 "queue_depth": len(self._tasks) - len(leases),
                 "active_leases": leases,
                 "attempts": attempts,
                 "tenants": tenants,
-                "per_worker": {
-                    worker: dict(ledger)
-                    for worker, ledger in sorted(self._workers.items())
-                },
+                "per_worker": per_worker,
                 "completed": len(self._completed),
                 "failed": len(self._failed),
                 "counters": self.stats.to_dict(),
+                "uptime_seconds": self._clock() - self._started,
+                "started_unix": self._started_wall,
+                "codes": dict(self._code_totals),
             }
 
     def shutdown(self) -> Dict[str, Any]:
@@ -553,6 +640,18 @@ class Broker:
             return {"shutdown": True}
 
     # ------------------------------------------------------------ internals
+    def count_code(self, code: str) -> None:
+        """Tally one structured code incident (server-level errors call this
+        from outside the lock; internal sites use the ``_locked`` twin)."""
+        with self._lock:
+            self._count_code_locked(code)
+
+    def _count_code_locked(self, code: str) -> None:
+        self._code_totals[code] = self._code_totals.get(code, 0) + 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("broker.codes", code=code)
+
     def _worker_ledger_locked(self, worker: str) -> Dict[str, int]:
         ledger = self._workers.get(worker)
         if ledger is None:
@@ -612,6 +711,7 @@ class Broker:
         """Give a leased task back to the queue, or fail it at the cap."""
         task.worker = None
         task.deadline = None
+        task.leased_at = None
         if task.attempts >= self.max_attempts:
             del self._tasks[task.key]
             self._failed[task.key] = (
@@ -619,8 +719,11 @@ class Broker:
             )
             self._failed_codes[task.key] = FAIL_GAVE_UP
             self._failed_specs[task.key] = task.canonical
+            self._count_code_locked(FAIL_GAVE_UP)
             return False
         self.stats.requeues += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("broker.requeues", tenant=task.tenant)
         self._push_queued_locked(task.tenant, task.cost, task.seq, task.key)
         return True
 
@@ -637,6 +740,8 @@ class Broker:
             self._requeue_locked(
                 task, f"lease expired (worker {worker} stopped heartbeating)"
             )
+        if expired and self.telemetry.enabled:
+            self.telemetry.count("broker.expired_leases", len(expired))
         if expired:
             # Expiry changes what a restarted broker must re-run; journal it.
             self._save_state_locked()
@@ -854,6 +959,7 @@ class BrokerServer:
                     # Stream-limit overrun: the peer sent a line longer than
                     # the frame cap.  Answer with the typed error, then drop
                     # the (now desynchronized) connection.
+                    self.broker.count_code(ERR_FRAME_TOO_LARGE)
                     await self._reply(
                         writer,
                         {
@@ -910,6 +1016,25 @@ class BrokerServer:
 
     # ------------------------------------------------------------- dispatch
     def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one request, observing per-op counts and latency."""
+        telemetry = self.broker.telemetry
+        if not telemetry.enabled:
+            return self._dispatch_op(message)
+        op = message.get("op")
+        op_label = op if isinstance(op, str) else "?"
+        start = time.perf_counter()
+        try:
+            return self._dispatch_op(message)
+        finally:
+            telemetry.count("broker.ops", op=op_label)
+            telemetry.observe(
+                "broker.op.seconds",
+                time.perf_counter() - start,
+                edges=DEFAULT_TIME_EDGES,
+                op=op_label,
+            )
+
+    def _dispatch_op(self, message: Dict[str, Any]) -> Dict[str, Any]:
         broker = self.broker
         op = message.get("op")
         try:
@@ -919,7 +1044,11 @@ class BrokerServer:
                     tenant=str(message.get("tenant") or DEFAULT_TENANT),
                 )
             elif op == "lease":
-                body = broker.lease(str(message.get("worker", "?")))
+                reported = message.get("stats")
+                body = broker.lease(
+                    str(message.get("worker", "?")),
+                    stats=reported if isinstance(reported, dict) else None,
+                )
             elif op == "heartbeat":
                 body = broker.heartbeat(
                     str(message.get("worker", "?")), str(message.get("key", ""))
@@ -957,17 +1086,22 @@ class BrokerServer:
                 body = broker.status()
             elif op == "stats":
                 body = broker.fleet_stats()
+            elif op == "metrics":
+                body = self._dispatch_metrics()
             elif op == "shutdown":
                 body = broker.shutdown()
             else:
+                broker.count_code(ERR_UNKNOWN_OP)
                 return {
                     "ok": False,
                     "error": f"unknown op {op!r}",
                     "code": ERR_UNKNOWN_OP,
                 }
         except AdmissionError as exc:
+            # Already counted at the admission-control site.
             return {"ok": False, "error": str(exc), "code": exc.code}
         except Exception as exc:
+            broker.count_code(ERR_BAD_REQUEST)
             return {"ok": False, "error": f"{op}: {exc}", "code": ERR_BAD_REQUEST}
         if isinstance(body, dict) and body.get("ok") is False:
             return body  # already a typed rejection
@@ -1028,6 +1162,7 @@ class BrokerServer:
         max_bytes = int(message.get("max_bytes", DEFAULT_CHUNK_BYTES))
         payload = self.broker.fetch_payload(key)
         if payload is None:
+            self.broker.count_code(ERR_UNKNOWN_KEY)
             return {
                 "ok": False,
                 "error": f"no completed payload for key {key!r}",
@@ -1035,6 +1170,7 @@ class BrokerServer:
             }
         blob = compress_payload(payload)
         if offset < 0 or offset > len(blob):
+            self.broker.count_code(ERR_BAD_REQUEST)
             return {
                 "ok": False,
                 "error": f"chunk offset {offset} out of range (0..{len(blob)})",
@@ -1049,6 +1185,39 @@ class BrokerServer:
             "data": data,
             "total_bytes": len(blob),
             "eof": offset + len(data) >= len(blob),
+        }
+
+    def _dispatch_metrics(self) -> Dict[str, Any]:
+        """The v3 ``metrics`` op: registry snapshot + Prometheus exposition.
+
+        Queue-depth, per-tenant and per-worker gauges are refreshed from
+        :meth:`Broker.fleet_stats` at request time rather than maintained on
+        the lease/ingest hot path -- the snapshot is live whenever someone
+        looks, and nobody pays when nobody does.  With telemetry disabled
+        the op still succeeds (empty snapshot, ``telemetry_enabled`` false)
+        so dashboards degrade gracefully instead of erroring.
+        """
+        broker = self.broker
+        telemetry = broker.telemetry
+        fleet = broker.fleet_stats()
+        if telemetry.enabled:
+            telemetry.gauge("broker.queue_depth", fleet["queue_depth"])
+            telemetry.gauge("broker.active_leases", len(fleet["active_leases"]))
+            telemetry.gauge("broker.completed", fleet["completed"])
+            telemetry.gauge("broker.failed", fleet["failed"])
+            telemetry.gauge("broker.uptime_seconds", fleet["uptime_seconds"])
+            for tenant, ledger in fleet["tenants"].items():
+                telemetry.gauge("broker.tenant.queued", ledger["queued"], tenant=tenant)
+                telemetry.gauge("broker.tenant.leased", ledger["leased"], tenant=tenant)
+            for worker, entry in fleet["per_worker"].items():
+                for name, value in entry.get("reported", {}).items():
+                    telemetry.gauge(f"worker.{name}", value, worker=worker)
+        snapshot = telemetry.snapshot()
+        return {
+            "metrics": snapshot,
+            "text": to_prometheus(snapshot),
+            "uptime_seconds": fleet["uptime_seconds"],
+            "telemetry_enabled": telemetry.enabled,
         }
 
 

@@ -39,6 +39,11 @@ the handshake.
 * **tenancy**: ``submit`` may carry a ``tenant``; the broker schedules
   fair-share across tenants and can enforce per-tenant quotas
   (``ERR_TENANT_QUOTA``).
+* **observability**: the ``metrics`` op returns the broker's telemetry
+  snapshot (counters / gauges / histograms) plus a Prometheus-style text
+  exposition (see docs/OBSERVABILITY.md); ``lease`` requests may carry a
+  worker ``stats`` self-report the broker republishes to dashboards.  Both
+  are additive -- old peers never send or read them.
 
 All v3 fields are additive and negotiated per message, so v1/v2 peers keep
 interoperating (they never send the new fields and ignore the new response

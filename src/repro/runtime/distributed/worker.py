@@ -34,6 +34,7 @@ from repro.runtime.distributed.protocol import (
     request,
 )
 from repro.runtime.spec import RunSpec
+from repro.telemetry import get_telemetry
 
 #: How a protocol-v1 broker rejects an upload that carries no ``payload``
 #: field (it never reads ``payload_gz``).  The string is frozen in released
@@ -95,6 +96,9 @@ class Worker:
         self.completed = 0
         self.rejected = 0
         self.errors = 0
+        self.leases = 0
+        self.uploads = 0
+        self.telemetry = get_telemetry()
         self._log = log or (lambda message: None)
         self._stop = threading.Event()
         # Counter updates come from multiple lease loops when capacity > 1.
@@ -111,6 +115,22 @@ class Worker:
     def stop(self) -> None:
         """Ask the loop(s) to exit after the current spec (thread-safe)."""
         self._stop.set()
+
+    def stats(self) -> Dict[str, int]:
+        """Worker-side counters: piggybacked on every lease request (the
+        broker keeps the latest report per worker and the ``metrics`` op
+        exposes it), and printed by the CLI at exit.  ``leaked_heartbeats``
+        graduates here from a log-only warning to a countable signal."""
+        with self._counter_lock:
+            return {
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "errors": self.errors,
+                "leases": self.leases,
+                "uploads": self.uploads,
+                "leaked_heartbeats": self.leaked_heartbeats,
+                "capacity": self.capacity,
+            }
 
     def _count(self, field: str) -> int:
         """Increment one shared counter; returns the new value."""
@@ -174,7 +194,21 @@ class Worker:
                 time.sleep(self.poll_interval)
                 continue
             try:
-                lease = request(self.address, {"op": "lease", "worker": self.worker_id})
+                # Self-reported stats ride along (additive v3 field; older
+                # brokers ignore unknown fields, so mixed fleets are safe).
+                if self.telemetry.enabled:
+                    with self.telemetry.span("worker.lease"):
+                        lease = request(
+                            self.address,
+                            {"op": "lease", "worker": self.worker_id,
+                             "stats": self.stats()},
+                        )
+                else:
+                    lease = request(
+                        self.address,
+                        {"op": "lease", "worker": self.worker_id,
+                         "stats": self.stats()},
+                    )
             except (OSError, ProtocolError) as exc:
                 self._release_run_slot()
                 if time.monotonic() - last_contact > self.connect_patience:
@@ -193,6 +227,7 @@ class Worker:
                 self._release_run_slot()
                 time.sleep(self.poll_interval)
                 continue
+            self._count("leases")
             accepted = self._run_one(
                 key, lease["spec"], float(lease.get("lease_timeout", 60.0))
             )
@@ -213,8 +248,14 @@ class Worker:
             daemon=True,
         )
         beat.start()
+        telemetry = self.telemetry
         try:
-            payload = self.executor(canonical)
+            if telemetry.enabled:
+                with telemetry.scope(spec=key[:12], worker=self.worker_id):
+                    with telemetry.span("worker.execute"):
+                        payload = self.executor(canonical)
+            else:
+                payload = self.executor(canonical)
         except Exception as exc:
             self._count("errors")
             self._log(f"[{self.worker_id}] {key[:12]} failed: {exc}")
@@ -233,7 +274,13 @@ class Worker:
                     f"not exit within {self.heartbeat_join_timeout:.1f}s; "
                     "leaving it to finish in the background"
                 )
-        response = self._upload(key, payload)
+        self._count("uploads")
+        if telemetry.enabled:
+            with telemetry.scope(spec=key[:12], worker=self.worker_id):
+                with telemetry.span("worker.upload"):
+                    response = self._upload(key, payload)
+        else:
+            response = self._upload(key, payload)
         if response is None:
             # The upload never reached the broker; the lease will expire and
             # another worker (or this one, next lease) re-runs the spec.

@@ -1,0 +1,96 @@
+"""Prometheus-style text exposition of a telemetry snapshot.
+
+Mapping from the internal dotted scheme to the exposition names:
+
+* every metric gets the ``dalorex_`` prefix and dots become underscores;
+* counters append ``_total``;
+* gauges are exposed verbatim;
+* histograms expand to ``_bucket{le="..."}`` (cumulative, with a closing
+  ``le="+Inf"``), ``_sum`` and ``_count``.
+
+Output ordering is fully deterministic (sorted by metric name, then label
+string), which keeps the ``fleet metrics --prom`` output diffable and the
+smoke assertions stable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+__all__ = ["prometheus_name", "to_prometheus"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str) -> str:
+    """``broker.op.seconds`` -> ``dalorex_broker_op_seconds``."""
+    flat = _INVALID.sub("_", name)
+    if not flat or not (flat[0].isalpha() or flat[0] == "_"):
+        flat = "_" + flat
+    return f"dalorex_{flat}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_block(label_repr: str, extra: str = "") -> str:
+    """``"op=lease,tenant=t0"`` -> ``{op="lease",tenant="t0"}``."""
+    parts: List[str] = []
+    if label_repr:
+        for pair in label_repr.split(","):
+            key, _, value = pair.partition("=")
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            parts.append(f'{key}="{escaped}"')
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`Telemetry.snapshot` dict as exposition text."""
+    lines: List[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        series = snapshot["counters"][name]
+        metric = prometheus_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for label_repr in sorted(series):
+            lines.append(f"{metric}{_label_block(label_repr)} {_format_value(series[label_repr])}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        series = snapshot["gauges"][name]
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for label_repr in sorted(series):
+            lines.append(f"{metric}{_label_block(label_repr)} {_format_value(series[label_repr])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        series = snapshot["histograms"][name]
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for label_repr in sorted(series):
+            histogram = series[label_repr]
+            cumulative = 0
+            for edge, bucket in zip(histogram["edges"], histogram["buckets"]):
+                cumulative += bucket
+                le = _label_block(label_repr, f'le="{_format_value(edge)}"')
+                lines.append(f"{metric}_bucket{le} {cumulative}")
+            cumulative += histogram["buckets"][-1]
+            le = _label_block(label_repr, 'le="+Inf"')
+            lines.append(f"{metric}_bucket{le} {cumulative}")
+            block = _label_block(label_repr)
+            lines.append(f"{metric}_sum{block} {repr(float(histogram['sum']))}")
+            lines.append(f"{metric}_count{block} {histogram['count']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

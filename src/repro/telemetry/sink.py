@@ -1,0 +1,79 @@
+"""JSON-lines event sink for telemetry spans and events.
+
+One record per line, each written with a single ``write()`` call on a file
+opened in append mode -- on POSIX that makes concurrent writers (e.g. the
+process-pool backend's worker processes, which inherit the telemetry
+environment) interleave whole lines rather than corrupt each other.  Every
+record carries the writing ``pid`` so multi-process traces stay
+attributable.
+
+Records are plain JSON objects with at least ``ts`` (unix seconds) and
+``kind`` (``"span"``, ``"event"``); span records add ``name``, ``dur_s``,
+``parent`` and optional ``labels`` / ``ctx`` (see
+:mod:`repro.telemetry.registry`).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["JsonlSink"]
+
+
+class JsonlSink:
+    """Append-only JSONL writer; thread-safe, line-at-a-time, flushed."""
+
+    def __init__(self, path: Optional[str] = None, stream: Optional[TextIO] = None):
+        if (path is None) == (stream is None):
+            raise ValueError("JsonlSink needs exactly one of path= or stream=")
+        self._lock = threading.Lock()
+        self._owns_stream = stream is None
+        if stream is not None:
+            self._stream: Optional[TextIO] = stream
+            self.path = getattr(stream, "name", None)
+        else:
+            self.path = os.fspath(path)
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+
+    def write(self, record: Dict[str, Any]) -> None:
+        stream = self._stream
+        if stream is None:
+            return
+        payload = dict(record)
+        payload.setdefault("pid", self._pid)
+        line = json.dumps(payload, separators=(",", ":"), sort_keys=True, default=str)
+        with self._lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):
+                # A closed or failing sink must never take the workload down.
+                self._stream = None
+
+    def close(self) -> None:
+        with self._lock:
+            stream, self._stream = self._stream, None
+        if stream is not None and self._owns_stream:
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_memory_sink() -> "JsonlSink":
+    """A sink backed by an in-memory buffer (tests)."""
+    return JsonlSink(stream=io.StringIO())

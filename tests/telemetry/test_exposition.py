@@ -1,0 +1,74 @@
+"""Prometheus exposition: naming, label escaping, cumulative buckets."""
+
+from __future__ import annotations
+
+from repro.telemetry import Telemetry, prometheus_name, to_prometheus
+
+
+class TestNaming:
+    def test_dots_become_underscores_with_prefix(self):
+        assert prometheus_name("broker.op.seconds") == "dalorex_broker_op_seconds"
+
+    def test_invalid_characters_are_scrubbed(self):
+        assert prometheus_name("a-b c/d") == "dalorex_a_b_c_d"
+
+    def test_leading_digit_gets_an_underscore(self):
+        assert prometheus_name("3d.depth") == "dalorex__3d_depth"
+
+
+class TestExposition:
+    def test_counters_get_the_total_suffix(self):
+        t = Telemetry()
+        t.count("broker.leases", 3, tenant="t0")
+        text = to_prometheus(t.snapshot())
+        assert "# TYPE dalorex_broker_leases_total counter" in text
+        assert 'dalorex_broker_leases_total{tenant="t0"} 3' in text
+
+    def test_gauges_expose_verbatim(self):
+        t = Telemetry()
+        t.gauge("broker.queue_depth", 7)
+        text = to_prometheus(t.snapshot())
+        assert "# TYPE dalorex_broker_queue_depth gauge" in text
+        assert "dalorex_broker_queue_depth 7" in text
+
+    def test_histogram_buckets_are_cumulative_and_close_with_inf(self):
+        t = Telemetry()
+        for value in (0.5, 1.5, 2.5, 99.0):
+            t.observe("latency", value, edges=(1.0, 2.0))
+        text = to_prometheus(t.snapshot())
+        lines = text.splitlines()
+        assert 'dalorex_latency_bucket{le="1"} 1' in lines
+        assert 'dalorex_latency_bucket{le="2"} 2' in lines
+        assert 'dalorex_latency_bucket{le="+Inf"} 4' in lines
+        assert "dalorex_latency_count 4" in text
+        assert "dalorex_latency_sum" in text
+
+    def test_label_values_are_escaped(self):
+        t = Telemetry()
+        t.count("odd", kind='say "hi"\\now')
+        text = to_prometheus(t.snapshot())
+        assert 'kind="say \\"hi\\"\\\\now"' in text
+
+    def test_output_is_deterministic(self):
+        def build():
+            t = Telemetry()
+            t.count("b.z", 1, op="y")
+            t.count("b.z", 2, op="x")
+            t.count("a.a", 5)
+            t.gauge("m.g", 1.5)
+            t.observe("h.h", 3.0, edges=(1.0, 4.0))
+            return to_prometheus(t.snapshot())
+
+        assert build() == build()
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(Telemetry().snapshot()) == ""
+        assert to_prometheus({"counters": {}, "gauges": {}, "histograms": {}}) == ""
+
+    def test_integers_render_bare_floats_keep_precision(self):
+        t = Telemetry()
+        t.gauge("whole", 4.0)
+        t.gauge("fractional", 0.125)
+        text = to_prometheus(t.snapshot())
+        assert "dalorex_whole 4\n" in text
+        assert "dalorex_fractional 0.125" in text

@@ -1,0 +1,92 @@
+"""The ``dalorex trace`` aggregation pipeline: JSONL in, span table out."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    JsonlSink,
+    Telemetry,
+    aggregate_spans,
+    format_trace_report,
+    load_records,
+)
+
+
+def _span(name, dur, parent=None):
+    record = {"kind": "span", "name": name, "dur_s": dur}
+    if parent is not None:
+        record["parent"] = parent
+    return record
+
+
+class TestLoadRecords:
+    def test_skips_malformed_and_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(_span("ok", 0.5)) + "\n"
+            + "\n"
+            + "{torn line\n"
+            + '"not-an-object"\n'
+            + json.dumps(_span("ok", 1.5)) + "\n",
+            encoding="utf-8",
+        )
+        records = list(load_records(str(path)))
+        assert len(records) == 2
+        assert all(record["name"] == "ok" for record in records)
+
+    def test_round_trips_the_sink_format(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(sink=JsonlSink(path=str(path)))
+        with telemetry.span("alpha"):
+            with telemetry.span("beta"):
+                pass
+        telemetry.close()
+        aggregates = aggregate_spans(load_records(str(path)))
+        assert set(aggregates) == {"alpha", "beta"}
+        assert aggregates["beta"]["parents"] == ["alpha"]
+
+
+class TestAggregateSpans:
+    def test_groups_by_name_with_quantiles(self):
+        records = [_span("load", 0.001 * i) for i in range(1, 101)]
+        aggregates = aggregate_spans(records)
+        stats = aggregates["load"]
+        assert stats["count"] == 100
+        assert stats["max_s"] == 0.1
+        assert stats["p50_s"] <= stats["p99_s"] <= stats["max_s"]
+        assert stats["total_s"] > 0
+
+    def test_ignores_non_span_and_malformed_records(self):
+        records = [
+            {"kind": "event", "name": "x"},
+            {"kind": "span", "name": "missing-duration"},
+            {"kind": "span", "dur_s": 1.0},
+            {"kind": "span", "name": "good", "dur_s": 1.0},
+        ]
+        assert set(aggregate_spans(records)) == {"good"}
+
+    def test_collects_distinct_parents(self):
+        records = [
+            _span("leaf", 0.1, parent="a"),
+            _span("leaf", 0.2, parent="b"),
+            _span("leaf", 0.3, parent="a"),
+        ]
+        assert aggregate_spans(records)["leaf"]["parents"] == ["a", "b"]
+
+
+class TestFormatTraceReport:
+    def test_empty_aggregates(self):
+        assert format_trace_report({}) == "no span records found\n"
+
+    def test_table_sorted_by_total_with_footer(self):
+        aggregates = aggregate_spans(
+            [_span("small", 0.001)] + [_span("big", 1.0)] * 3
+        )
+        report = format_trace_report(aggregates)
+        lines = report.splitlines()
+        assert lines[0].startswith("span")
+        assert lines[2].startswith("big")  # widest total first
+        assert lines[3].startswith("small")
+        assert lines[-1].startswith("all spans")
+        assert " 4 " in lines[-1]  # total count across spans
