@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Validate Prometheus text exposition (format 0.0.4) structurally.
+
+A small, dependency-free checker for the text served by the broker's
+``/metrics`` gateway and the ``metrics`` op: the distributed-smoke CI leg
+pipes the scraped body through it, so a malformed escape, a non-numeric
+sample, or a non-cumulative histogram fails the build instead of silently
+confusing a real Prometheus scraper later.
+
+Checks:
+
+* comment discipline: only ``# HELP``/``# TYPE`` comments, each naming a
+  valid metric, ``TYPE`` at most once per metric and *before* its samples;
+* sample lines: metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label
+  names match ``[a-zA-Z_][a-zA-Z0-9_]*``, label values use only the three
+  legal escapes (``\\\\``, ``\\"``, ``\\n``), values parse as Go floats
+  (``+Inf``/``-Inf``/``NaN`` included);
+* histogram coherence: per label set, ``_bucket`` counts are cumulative
+  (non-decreasing as ``le`` ascends), a ``+Inf`` bucket exists, and
+  ``_count`` equals it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_prom_text.py metrics.txt
+    curl -s http://HOST:PORT/metrics | python scripts/check_prom_text.py -
+
+Importable too: :func:`check_prom_text` returns the list of problems (empty
+when the text is clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One sample line: name, optional {labels}, value (timestamp not emitted
+#: by our exposition, so it is rejected rather than skipped).
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+#: ``name="value"`` pairs inside a label block; the value body is scanned
+#: separately for illegal escapes / raw characters.
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> Optional[float]:
+    """Parse a Prometheus sample value; None when it is not one."""
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    # Go's strconv accepts the usual float forms; Python's float() is a
+    # superset except for underscores and inf/nan spellings we exclude.
+    if "_" in text or text.lower() in ("inf", "-inf", "+inf", "nan"):
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _check_label_block(raw: str, line_no: int, problems: List[str]) -> Dict[str, str]:
+    """Validate one ``{...}`` body; returns the parsed label map."""
+    labels: Dict[str, str] = {}
+    rest = raw
+    consumed = 0
+    for match in _LABEL_PAIR.finditer(raw):
+        name, value = match.group(1), match.group(2)
+        if name in labels:
+            problems.append(f"line {line_no}: duplicate label {name!r}")
+        labels[name] = value
+        for escape in re.finditer(r"\\(.)", value):
+            if escape.group(1) not in ('\\', '"', 'n'):
+                problems.append(
+                    f"line {line_no}: illegal escape \\{escape.group(1)} "
+                    f"in label {name!r}"
+                )
+        consumed = match.end()
+    leftover = raw[consumed:].strip().strip(",")
+    if leftover:
+        problems.append(
+            f"line {line_no}: unparseable label fragment {leftover!r}"
+        )
+    del rest
+    return labels
+
+
+def check_prom_text(text: str) -> List[str]:
+    """Return every structural problem found in an exposition body."""
+    problems: List[str] = []
+    typed: Dict[str, str] = {}  # metric -> declared TYPE
+    sampled: set = set()  # metrics that already emitted a sample
+    # (base, non-le labels) -> [(le, count)]
+    buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    sums: set = set()
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {line_no}: unrecognized comment {line!r}")
+                continue
+            metric = parts[2]
+            if not _METRIC_NAME.match(metric):
+                problems.append(
+                    f"line {line_no}: invalid metric name {metric!r} in "
+                    f"{parts[1]} comment"
+                )
+                continue
+            if parts[1] == "TYPE":
+                if metric in typed:
+                    problems.append(
+                        f"line {line_no}: duplicate TYPE for {metric!r}"
+                    )
+                if metric in sampled:
+                    problems.append(
+                        f"line {line_no}: TYPE for {metric!r} after its samples"
+                    )
+                typed[metric] = parts[3].strip() if len(parts) > 3 else ""
+            continue
+
+        match = _SAMPLE.match(line)
+        if not match:
+            problems.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        if not _METRIC_NAME.match(name):
+            problems.append(f"line {line_no}: invalid metric name {name!r}")
+        labels = (
+            _check_label_block(match.group("labels"), line_no, problems)
+            if match.group("labels") is not None
+            else {}
+        )
+        for label in labels:
+            if not _LABEL_NAME.match(label):
+                problems.append(
+                    f"line {line_no}: invalid label name {label!r}"
+                )
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {line_no}: non-numeric value {match.group('value')!r}"
+            )
+            continue
+        # TYPE-before-samples: the declared family is the sample's base name
+        # for histogram series (_bucket/_sum/_count), the name itself else.
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            problems.append(
+                f"line {line_no}: sample for {name!r} has no preceding TYPE"
+            )
+        sampled.add(base)
+        sampled.add(name)
+
+        if base != name:  # histogram series
+            series = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            key = (base, series)
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {line_no}: bucket sample without an 'le' label"
+                    )
+                    continue
+                le = _parse_value(labels["le"])
+                if le is None:
+                    problems.append(
+                        f"line {line_no}: non-numeric le {labels['le']!r}"
+                    )
+                    continue
+                buckets.setdefault(key, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[key] = value
+            else:
+                sums.add(key)
+
+    for key, series in buckets.items():
+        base, labels = key
+        label_text = "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+        ordered = sorted(series, key=lambda pair: pair[0])
+        last = None
+        for le, count in ordered:
+            if last is not None and count < last:
+                problems.append(
+                    f"{base}{label_text}: bucket counts not cumulative "
+                    f"(le={le:g} has {count:g} < {last:g})"
+                )
+            last = count
+        if not ordered or ordered[-1][0] != float("inf"):
+            problems.append(f"{base}{label_text}: missing +Inf bucket")
+        elif key in counts and counts[key] != ordered[-1][1]:
+            problems.append(
+                f"{base}{label_text}: _count {counts[key]:g} != +Inf "
+                f"bucket {ordered[-1][1]:g}"
+            )
+        if key not in counts:
+            problems.append(f"{base}{label_text}: missing _count sample")
+        if key not in sums:
+            problems.append(f"{base}{label_text}: missing _sum sample")
+
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: check_prom_text.py FILE|-", file=sys.stderr)
+        return 2
+    if argv[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    problems = check_prom_text(text)
+    for problem in problems:
+        print(f"check_prom_text: {problem}", file=sys.stderr)
+    if problems:
+        print(f"check_prom_text: {len(problems)} problem(s) in "
+              f"{len(text.splitlines())} lines", file=sys.stderr)
+        return 1
+    print(f"check_prom_text: OK ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

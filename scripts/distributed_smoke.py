@@ -35,7 +35,9 @@ def _env() -> dict:
     return env
 
 
-def _start_broker(work_dir: Path, lease_timeout: float, trace: Path = None) -> tuple:
+def _start_broker(
+    work_dir: Path, lease_timeout: float, trace: Path = None, http: bool = False
+) -> tuple:
     command = [sys.executable, "-m", "repro.cli", "broker",
                "--port", "0",
                "--cache-dir", str(work_dir / "broker-cache"),
@@ -44,6 +46,8 @@ def _start_broker(work_dir: Path, lease_timeout: float, trace: Path = None) -> t
                "--verify-ingest"]
     if trace is not None:
         command += ["--telemetry-jsonl", str(trace)]
+    if http:
+        command += ["--http-port", "0", "--sample-interval", "0.5"]
     process = subprocess.Popen(
         command, env=_env(), stdout=subprocess.PIPE, text=True,
     )
@@ -52,11 +56,24 @@ def _start_broker(work_dir: Path, lease_timeout: float, trace: Path = None) -> t
     if not line.startswith(prefix):
         process.kill()
         raise RuntimeError(f"unexpected broker banner: {line!r}")
-    return process, line[len(prefix):]
+    address = line[len(prefix):]
+    http_address = None
+    if http:
+        line = process.stdout.readline().strip()
+        http_prefix = "gateway listening on "
+        if not line.startswith(http_prefix):
+            process.kill()
+            raise RuntimeError(f"unexpected gateway banner: {line!r}")
+        http_address = line[len(http_prefix):]
+    return process, address, http_address
 
 
 def _start_worker(
-    address: str, tag: str, protocol: str = None, telemetry: bool = False
+    address: str,
+    tag: str,
+    protocol: str = None,
+    telemetry: bool = False,
+    trace: Path = None,
 ) -> subprocess.Popen:
     env = _env()
     if protocol is not None:
@@ -66,6 +83,10 @@ def _start_worker(
         env["DALOREX_PROTOCOL"] = protocol
     if telemetry:
         env["DALOREX_TELEMETRY"] = "1"
+    if trace is not None:
+        # Each worker streams its own JSONL: `dalorex trace` merges the
+        # broker's and every worker's file into one cross-process view.
+        env["DALOREX_TELEMETRY_JSONL"] = str(trace)
     return subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "worker",
          "--connect", address, "--worker-id", tag,
@@ -86,12 +107,14 @@ def _run_sweep(args, tag: str, work_dir: Path, extra: list) -> bytes:
     return json_path.read_bytes()
 
 
-def _check_telemetry(address: str) -> None:
+def _check_telemetry(address: str, worker_tags: list = ()) -> None:
     """Assert the observability surface is live on a running fleet.
 
     The ``metrics`` op must return real counters from the sweep that just
     ran, and ``dalorex fleet top`` must render a frame from them -- this is
-    the acceptance check behind the PR 8 telemetry subsystem.
+    the acceptance check behind the PR 8 telemetry subsystem.  With the
+    PR 9 aggregation layer, the snapshot is fleet-wide: every worker's
+    piggybacked report must appear as an aggregation source.
     """
     from repro.runtime.distributed.protocol import parse_address, request
 
@@ -114,6 +137,14 @@ def _check_telemetry(address: str) -> None:
     print(f"[smoke] metrics op live: {completed} completions, "
           f"{leases} leases, {len(reported)} worker gauges", flush=True)
 
+    sources = response.get("sources", {})
+    for tag in worker_tags:
+        assert tag in sources, \
+            f"worker {tag!r} missing from the fleet aggregate: {sorted(sources)}"
+    if worker_tags:
+        print(f"[smoke] fleet aggregate merges {len(sources)} worker "
+              f"source(s): {sorted(sources)}", flush=True)
+
     top = subprocess.run(
         [sys.executable, "-m", "repro.cli", "fleet", "top",
          "--connect", address, "--iterations", "1", "--no-clear"],
@@ -122,7 +153,71 @@ def _check_telemetry(address: str) -> None:
     assert top.returncode == 0, f"fleet top failed: {top.stderr}"
     assert "op latency:" in top.stdout and "queue depth:" in top.stdout, \
         f"fleet top rendered no dashboard:\n{top.stdout}"
+    assert "signals:" in top.stdout and "history:" in top.stdout, \
+        f"fleet top missing signals/sparkline sections:\n{top.stdout}"
     print("[smoke] fleet top rendered a live frame", flush=True)
+
+
+def _check_gateway(http_address: str, worker_tags: list) -> None:
+    """Scrape the broker's HTTP observability gateway and validate it.
+
+    ``/healthz`` must answer, and ``/metrics`` must serve structurally
+    valid Prometheus text (checked with scripts/check_prom_text.py) that
+    aggregates every worker's piggybacked report.
+    """
+    import urllib.request
+
+    sys.path.insert(0, str(REPO / "scripts"))
+    from check_prom_text import check_prom_text
+
+    with urllib.request.urlopen(
+        f"http://{http_address}/healthz", timeout=30
+    ) as response:
+        assert response.status == 200, f"/healthz answered {response.status}"
+    with urllib.request.urlopen(
+        f"http://{http_address}/metrics", timeout=30
+    ) as response:
+        assert response.status == 200, f"/metrics answered {response.status}"
+        text = response.read().decode("utf-8")
+    problems = check_prom_text(text)
+    assert not problems, "invalid Prometheus exposition:\n" + "\n".join(problems)
+    assert "dalorex_broker_op_seconds_bucket" in text, \
+        "gateway /metrics missing broker op-latency histograms"
+    for tag in worker_tags:
+        assert f'source="{tag}"' in text, \
+            f"worker {tag!r} absent from the gateway's fleet-wide /metrics"
+    print(f"[smoke] gateway /metrics valid: {len(text.splitlines())} lines, "
+          f"{len(worker_tags)} worker source(s) aggregated", flush=True)
+
+
+def _check_trace_links(trace_files: list) -> None:
+    """Assert the fleet's JSONL streams link into cross-process traces.
+
+    ``dalorex trace broker.jsonl w0.jsonl w1.jsonl`` must group spans per
+    trace id, and at least one trace must contain spans from two or more
+    processes (broker + worker) -- the acceptance criterion for trace
+    propagation.
+    """
+    from repro.telemetry.trace import group_traces, load_many
+
+    paths = [str(path) for path in trace_files]
+    report = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", *paths],
+        env=_env(), capture_output=True, text=True, timeout=120,
+    )
+    assert report.returncode == 0, f"dalorex trace failed: {report.stderr}"
+    assert "critical path" in report.stdout, \
+        f"dalorex trace printed no per-trace report:\n{report.stdout}"
+    grouped = group_traces(load_many(paths))
+    assert grouped, "no trace-linked spans in the fleet's JSONL streams"
+    linked = [
+        trace_id for trace_id, spans in grouped.items()
+        if len({span.get("pid") for span in spans}) >= 2
+    ]
+    assert linked, \
+        f"no trace crossed a process boundary ({len(grouped)} traces seen)"
+    print(f"[smoke] {len(grouped)} trace(s) linked, {len(linked)} spanning "
+          f">=2 processes", flush=True)
 
 
 def main(argv=None) -> int:
@@ -154,16 +249,28 @@ def main(argv=None) -> int:
         print(f"[smoke] reference sweep on the process-pool backend", flush=True)
         reference = _run_sweep(args, "process-pool", work_dir, ["--jobs", "2"])
 
-        broker, address = _start_broker(work_dir, args.lease_timeout, trace=trace)
-        print(f"[smoke] broker up at {address}", flush=True)
+        broker, address, http_address = _start_broker(
+            work_dir, args.lease_timeout, trace=trace, http=args.telemetry
+        )
+        print(f"[smoke] broker up at {address}"
+              + (f", gateway at {http_address}" if http_address else ""),
+              flush=True)
+        worker_tags = [
+            f"smoke-{i}" + ("-v2" if args.v2_worker and i == 0 else "")
+            for i in range(args.workers)
+        ]
+        worker_traces = {
+            tag: work_dir / f"worker-{tag}.jsonl" for tag in worker_tags
+        } if args.telemetry else {}
         workers = [
             _start_worker(
                 address,
-                f"smoke-{i}" + ("-v2" if args.v2_worker and i == 0 else ""),
+                tag,
                 protocol="dalorex-dist/2" if args.v2_worker and i == 0 else None,
                 telemetry=args.telemetry,
+                trace=worker_traces.get(tag),
             )
-            for i in range(args.workers)
+            for i, tag in enumerate(worker_tags)
         ]
         if args.v2_worker:
             print("[smoke] worker smoke-0-v2 speaks dalorex-dist/2", flush=True)
@@ -186,7 +293,8 @@ def main(argv=None) -> int:
                 ["--backend", "distributed", "--connect", address],
             )
             if args.telemetry:
-                _check_telemetry(address)
+                _check_telemetry(address, worker_tags=worker_tags)
+                _check_gateway(http_address, worker_tags=worker_tags)
         finally:
             from repro.runtime.distributed.protocol import parse_address, request
 
@@ -209,6 +317,13 @@ def main(argv=None) -> int:
                 "broker wrote no telemetry JSONL trace"
             lines = trace.read_bytes().count(b"\n")
             print(f"[smoke] broker trace: {lines} JSONL records", flush=True)
+            # Every fleet process has exited and flushed its stream: merge
+            # the broker's and the workers' files and require cross-process
+            # trace linking.
+            _check_trace_links(
+                [trace] + [worker_traces[tag] for tag in worker_tags
+                           if worker_traces[tag].is_file()]
+            )
             if args.trace_out:
                 out = Path(args.trace_out)
                 out.parent.mkdir(parents=True, exist_ok=True)

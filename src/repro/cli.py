@@ -20,11 +20,16 @@
 * ``dalorex fleet stats`` -- queue depth, active leases, attempts and
   per-worker completion counts of a running broker.
 * ``dalorex fleet metrics`` / ``dalorex fleet top`` -- the broker's
-  telemetry snapshot (Prometheus text by default) and a refreshing
-  plain-text fleet dashboard built on the v3 ``metrics`` op.
-* ``dalorex trace FILE`` -- aggregate a telemetry JSONL stream
-  (``DALOREX_TELEMETRY_JSONL``, ``broker --telemetry-jsonl``) into
-  per-span count / total / p50 / p99 (see ``docs/OBSERVABILITY.md``).
+  fleet-wide telemetry aggregate (Prometheus text by default) and a
+  refreshing dashboard (``--watch SECS``) with autoscaling signals and
+  ring-buffer sparklines, built on the v3 ``metrics`` op.  The broker can
+  additionally serve the same aggregate over HTTP (``--http-port``:
+  ``/metrics``, ``/healthz``, ``/readyz``, ``/stats.json``).
+* ``dalorex trace FILE...`` -- aggregate one or more telemetry JSONL
+  streams (``DALOREX_TELEMETRY_JSONL``, ``broker --telemetry-jsonl``) into
+  per-span count / total / p50 / p99, and -- when records carry trace ids
+  -- group spans per trace with a cross-process critical path (see
+  ``docs/OBSERVABILITY.md``).
 
 ``run`` and ``verify`` additionally accept the NoC-simulation knobs
 (``--network analytical|simulated``, ``--routing``, ``--queue-depth``,
@@ -492,6 +497,16 @@ def broker_command(argv: Optional[List[str]] = None) -> int:
                         help="cap on one protocol frame; oversized lines are "
                              "rejected with a typed error (default: 64M; "
                              "large payloads stream via chunked fetch)")
+    parser.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                        help="also serve the observability gateway over HTTP "
+                             "on this port (0 = ephemeral): /metrics "
+                             "(fleet-wide Prometheus text), /healthz, "
+                             "/readyz, /stats.json; binds the same --host")
+    parser.add_argument("--sample-interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="period of the gauge sampler feeding the "
+                             "time-series ring behind 'fleet top' sparklines "
+                             "and the backlog-ETA signal (default: 2)")
     parser.add_argument("--no-telemetry", action="store_true",
                         help="serve without the metrics registry; the "
                              "'metrics' op then answers with an empty "
@@ -532,8 +547,13 @@ def broker_command(argv: Optional[List[str]] = None) -> int:
         host=args.host,
         port=args.port,
         max_message_bytes=args.max_message_bytes,
+        http_port=args.http_port,
+        sample_interval=args.sample_interval,
     )
     print(f"broker listening on {format_address(server.address)}", flush=True)
+    if server.http_address is not None:
+        print(f"gateway listening on {format_address(server.http_address)}",
+              flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -608,11 +628,87 @@ def _fleet_stats_text(response: dict) -> str:
     return "\n".join(lines)
 
 
-def _fleet_top_text(stats: dict, metrics: dict) -> str:
-    """The ``fleet top`` frame: stats view plus broker op latencies."""
+#: Eight block glyphs of the unicode sparkline, shortest to tallest.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: The structured no-telemetry hint that `fleet metrics` and `fleet top`
+#: print instead of a raw error when the broker runs --no-telemetry.
+_NO_TELEMETRY_HINT = (
+    "broker telemetry disabled: it was started with --no-telemetry, so "
+    "there is no fleet aggregate to show; restart it without the flag "
+    "to collect metrics"
+)
+
+
+def _sparkline(values: list, width: int = 32, unicode_blocks: bool = True) -> str:
+    """Render the tail of a numeric series, latest sample rightmost.
+
+    On a terminal this is a block-glyph sparkline with a ``[min..max]``
+    legend; the non-TTY fallback is a plain-number summary so piped or
+    logged frames stay clean ASCII.
+    """
+    tail = [float(v) for v in values if isinstance(v, (int, float))][-width:]
+    if not tail:
+        return "(no samples yet)"
+    lo, hi = min(tail), max(tail)
+    if not unicode_blocks:
+        return f"last={tail[-1]:g} min={lo:g} max={hi:g} n={len(tail)}"
+    if hi <= lo:
+        bar = _SPARK_BLOCKS[0] * len(tail)
+    else:
+        top = len(_SPARK_BLOCKS) - 1
+        bar = "".join(
+            _SPARK_BLOCKS[round((value - lo) / (hi - lo) * top)]
+            for value in tail
+        )
+    return f"{bar} [{lo:g}..{hi:g}] now={tail[-1]:g}"
+
+
+def _fleet_signals_text(stats: dict) -> List[str]:
+    """The autoscaling-signal lines of a ``fleet top`` frame."""
+    signals = stats.get("signals")
+    if not isinstance(signals, dict):
+        return []
+    saturation = signals.get("saturation")
+    rate = signals.get("completion_rate")
+    eta = signals.get("backlog_eta_seconds")
+    parts = [
+        (f"saturation={saturation:.2f}"
+         if isinstance(saturation, (int, float)) else "saturation=-"),
+        f"capacity={signals.get('reported_capacity', 0)}",
+        (f"rate={rate:.2f}/s" if isinstance(rate, (int, float)) else "rate=-"),
+        (f"backlog_eta={_format_duration(eta)}"
+         if isinstance(eta, (int, float)) else "backlog_eta=-"),
+    ]
+    return ["signals:        " + " ".join(parts)]
+
+
+def _fleet_series_text(stats: dict, unicode_blocks: bool) -> List[str]:
+    """Sparkline lines from the broker's sampled time-series ring."""
+    series = stats.get("series")
+    if not isinstance(series, list) or not series:
+        return []
+    lines = ["history:"]
+    for field, title in (
+        ("queue_depth", "queue depth"),
+        ("active_leases", "leases"),
+        ("completed", "completed"),
+    ):
+        values = [sample.get(field) for sample in series
+                  if isinstance(sample, dict)]
+        lines.append(f"  {title:12s} "
+                     f"{_sparkline(values, unicode_blocks=unicode_blocks)}")
+    return lines
+
+
+def _fleet_top_text(stats: dict, metrics: dict, unicode_blocks: bool = True) -> str:
+    """The ``fleet top`` frame: stats view, autoscaling signals, sampled
+    sparklines, plus broker op latencies from the fleet aggregate."""
     lines = [_fleet_stats_text(stats)]
+    lines.extend(_fleet_signals_text(stats))
+    lines.extend(_fleet_series_text(stats, unicode_blocks))
     if not metrics.get("telemetry_enabled"):
-        lines.append("op latency:     (broker telemetry disabled)")
+        lines.append(f"op latency:     ({_NO_TELEMETRY_HINT})")
         return "\n".join(lines)
     op_seconds = metrics.get("metrics", {}).get("histograms", {}).get(
         "broker.op.seconds", {})
@@ -672,6 +768,9 @@ def fleet_command(argv: Optional[List[str]] = None) -> int:
                          help="print the raw snapshot JSON instead")
     top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
                      help="refresh period (default: 2)")
+    top.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                     help="live-dashboard mode: redraw every SECONDS "
+                          "(overrides --interval)")
     top.add_argument("--iterations", type=_positive_int, default=None, metavar="N",
                      help="render N frames then exit (default: until Ctrl-C)")
     top.add_argument("--no-clear", action="store_true",
@@ -693,7 +792,15 @@ def fleet_command(argv: Optional[List[str]] = None) -> int:
             return 0
 
         if args.action == "metrics":
-            response = request(address, {"op": "metrics"})
+            try:
+                response = request(address, {"op": "metrics"})
+            except BrokerError as exc:
+                # A pre-observability broker rejects the op outright; give
+                # the operator a structured pointer, not a raw wire error.
+                print(f"broker at {args.connect} does not serve the "
+                      f"'metrics' op ({exc}); upgrade it or use "
+                      f"'dalorex fleet stats'", file=sys.stderr)
+                return 2
             if args.json:
                 response.pop("ok", None)
                 response.pop("protocol", None)
@@ -701,11 +808,12 @@ def fleet_command(argv: Optional[List[str]] = None) -> int:
             else:
                 sys.stdout.write(response.get("text", ""))
                 if not response.get("telemetry_enabled"):
-                    print("# broker telemetry disabled (started with "
-                          "--no-telemetry)", file=sys.stderr)
+                    print(f"# {_NO_TELEMETRY_HINT}", file=sys.stderr)
             return 0
 
         # top: loop until interrupted (or for --iterations frames).
+        interval = args.interval if args.watch is None else max(0.1, args.watch)
+        is_tty = sys.stdout.isatty()
         frames = 0
         while True:
             stats_response = request(address, {"op": "stats"})
@@ -714,13 +822,18 @@ def fleet_command(argv: Optional[List[str]] = None) -> int:
             except BrokerError:
                 # A pre-v3-observability broker: degrade to the stats view.
                 metrics_response = {"telemetry_enabled": False}
-            if not args.no_clear and sys.stdout.isatty():
+            if not args.no_clear and is_tty:
                 print("\x1b[2J\x1b[H", end="")
-            print(_fleet_top_text(stats_response, metrics_response), flush=True)
+            print(
+                _fleet_top_text(
+                    stats_response, metrics_response, unicode_blocks=is_tty
+                ),
+                flush=True,
+            )
             frames += 1
             if args.iterations is not None and frames >= args.iterations:
                 return 0
-            time.sleep(args.interval)
+            time.sleep(interval)
     except KeyboardInterrupt:
         return 0
     except (OSError, ProtocolError) as exc:
@@ -779,28 +892,68 @@ def worker_command(argv: Optional[List[str]] = None) -> int:
 
 
 def trace_command(argv: Optional[List[str]] = None) -> int:
-    """Entry point of ``dalorex trace``: aggregate a telemetry JSONL file."""
-    from repro.telemetry.trace import aggregate_spans, format_trace_report, load_records
+    """Entry point of ``dalorex trace``: aggregate telemetry JSONL files.
+
+    One file behaves exactly as before (per-span aggregate table).  With
+    several files -- one per fleet process, e.g. the broker's stream plus
+    each worker's ``DALOREX_TELEMETRY_JSONL`` -- records are merged, and
+    spans carrying trace ids are additionally grouped per trace with a
+    cross-process critical path, which is how a single submitted spec's
+    journey through client, broker and worker reads as one story.
+    """
+    from repro.telemetry.trace import (
+        aggregate_spans,
+        format_trace_report,
+        format_trace_summary,
+        group_traces,
+        load_many,
+    )
 
     parser = argparse.ArgumentParser(
         prog="dalorex trace",
-        description="Aggregate the span records of a telemetry JSONL stream "
-        "(DALOREX_TELEMETRY_JSONL, broker --telemetry-jsonl) into per-span "
-        "count / total / p50 / p99 / max.",
+        description="Aggregate the span records of one or more telemetry "
+        "JSONL streams (DALOREX_TELEMETRY_JSONL, broker --telemetry-jsonl) "
+        "into per-span count / total / p50 / p99 / max, grouping "
+        "trace-linked spans across processes.",
     )
-    parser.add_argument("file", metavar="FILE", help="telemetry JSONL file")
+    parser.add_argument("files", metavar="FILE", nargs="+",
+                        help="telemetry JSONL file(s); pass the broker's and "
+                             "every worker's stream to link a fleet run")
     parser.add_argument("--json", action="store_true",
                         help="print the aggregates as JSON")
     args = parser.parse_args(argv)
 
-    if not Path(args.file).is_file():
-        print(f"trace file {args.file!r} does not exist", file=sys.stderr)
+    missing = [path for path in args.files if not Path(path).is_file()]
+    if missing:
+        for path in missing:
+            print(f"trace file {path!r} does not exist", file=sys.stderr)
         return 2
-    aggregates = aggregate_spans(load_records(args.file))
+    records = load_many(args.files)
+    aggregates = aggregate_spans(records)
+    grouped = group_traces(records)
     if args.json:
-        print(json.dumps(aggregates, indent=2, sort_keys=True))
+        if len(args.files) == 1:
+            # Single-file shape is frozen (scripts parse it): the flat
+            # per-span aggregate dict, exactly as previous releases.
+            print(json.dumps(aggregates, indent=2, sort_keys=True))
+        else:
+            from repro.telemetry.trace import summarize_trace
+
+            print(json.dumps(
+                {
+                    "spans": aggregates,
+                    "traces": {
+                        trace_id: summarize_trace(spans)
+                        for trace_id, spans in grouped.items()
+                    },
+                },
+                indent=2, sort_keys=True,
+            ))
     else:
         sys.stdout.write(format_trace_report(aggregates))
+        if grouped:
+            sys.stdout.write("\n")
+            sys.stdout.write(format_trace_summary(grouped))
     return 0
 
 

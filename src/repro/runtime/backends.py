@@ -31,7 +31,7 @@ from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.runtime.serialize import result_to_payload
 from repro.runtime.spec import RunSpec, execute_spec
-from repro.telemetry import get_telemetry
+from repro.telemetry import TraceContext, get_telemetry
 
 
 def execute_to_payload(spec: RunSpec) -> Tuple[str, Dict[str, Any]]:
@@ -41,16 +41,23 @@ def execute_to_payload(spec: RunSpec) -> Tuple[str, Dict[str, Any]]:
     definition of how a spec becomes a payload, whatever the backend.  It is
     also the one place the execute/serialize stage timings are observed --
     every backend (inline, pool worker, fleet worker) routes through here.
+
+    Trace identity: a fleet worker installs the :class:`TraceContext` the
+    client minted at submission before calling in here; local backends have
+    none, so one is minted per spec -- either way every span this execution
+    emits carries one trace id per unit of submitted work.
     """
     telemetry = get_telemetry()
     if not telemetry.enabled:
         return spec.key(), result_to_payload(execute_spec(spec))
     key = spec.key()
-    with telemetry.scope(spec=key[:12], app=spec.app, dataset=spec.dataset):
-        with telemetry.span("runtime.execute", app=spec.app):
-            result = execute_spec(spec)
-        with telemetry.span("runtime.serialize"):
-            payload = result_to_payload(result)
+    trace = telemetry.current_trace()
+    with telemetry.trace_scope(TraceContext.mint() if trace is None else None):
+        with telemetry.scope(spec=key[:12], app=spec.app, dataset=spec.dataset):
+            with telemetry.span("runtime.execute", app=spec.app):
+                result = execute_spec(spec)
+            with telemetry.span("runtime.serialize"):
+                payload = result_to_payload(result)
     return key, payload
 
 

@@ -15,9 +15,13 @@ execution is transport plus trust management:
   pull loops that rebuild graph and machine from the canonical spec;
 * :mod:`~repro.runtime.distributed.client` -- the
   :class:`~repro.runtime.backends.RunnerBackend` that
-  ``--backend distributed`` plugs into any ExperimentRunner call site.
+  ``--backend distributed`` plugs into any ExperimentRunner call site;
+* :mod:`~repro.runtime.distributed.gateway` -- the broker's optional HTTP
+  observability endpoint (``--http-port``): ``/metrics`` (fleet-wide
+  Prometheus text), ``/healthz``, ``/readyz``, ``/stats.json``.
 
-See ``docs/DISTRIBUTED.md`` for topology and failure semantics.
+See ``docs/DISTRIBUTED.md`` for topology and failure semantics, and
+``docs/OBSERVABILITY.md`` for trace propagation and fleet aggregation.
 """
 
 from repro.runtime.distributed.broker import (
@@ -27,6 +31,7 @@ from repro.runtime.distributed.broker import (
     BrokerStats,
 )
 from repro.runtime.distributed.client import DistributedBackend
+from repro.runtime.distributed.gateway import ObservabilityGateway
 from repro.runtime.distributed.protocol import (
     COMPAT_PROTOCOLS,
     DEFAULT_PORT,
@@ -55,6 +60,7 @@ __all__ = [
     "DEFAULT_TENANT",
     "DistributedBackend",
     "MAX_FRAME_BYTES",
+    "ObservabilityGateway",
     "PROTOCOL",
     "PROTOCOL_V1",
     "PROTOCOL_V2",

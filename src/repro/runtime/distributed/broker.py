@@ -81,7 +81,14 @@ from repro.runtime.distributed.protocol import (
     encode_message,
 )
 from repro.runtime.spec import RunSpec
-from repro.telemetry import DEFAULT_TIME_EDGES, get_telemetry, to_prometheus
+from repro.telemetry import (
+    DEFAULT_TIME_EDGES,
+    FleetAggregate,
+    TimeSeriesRing,
+    TraceContext,
+    get_telemetry,
+    to_prometheus,
+)
 
 #: Format tag of the on-disk queue journal (bump on incompatible changes).
 #: v3 adds optional per-task ``tenant`` and a ``failed_codes`` map -- both
@@ -120,6 +127,9 @@ class _Task:
     #: Monotonic time of the current lease grant (telemetry only: the
     #: lease-lifecycle histogram observes accept-time minus this).
     leased_at: Optional[float] = None
+    #: Wire-form trace context the client minted at submission (telemetry
+    #: only: echoed on the lease so the worker's spans join the same trace).
+    trace: Optional[Dict[str, str]] = None
 
     @property
     def leased(self) -> bool:
@@ -212,6 +222,14 @@ class Broker:
         # Latest worker-side self-reported stats (piggybacked on v3 lease
         # requests): worker id -> {completed, leases, leaked_heartbeats, ...}.
         self._worker_reports: Dict[str, Dict[str, int]] = {}
+        # Fleet-wide telemetry: workers piggyback cumulative registry
+        # snapshots (with a monotonic per-worker seq) on heartbeat/result
+        # messages; the aggregate keeps the latest per source and merges
+        # them with this broker's own registry on demand.  The ring holds
+        # a bounded history of sampled gauges for sparklines and the
+        # rate-derived autoscaling signals.
+        self.aggregate = FleetAggregate()
+        self.ring = TimeSeriesRing()
         self._lock = threading.Lock()
         self._tasks: Dict[str, _Task] = {}
         # One costliest-first heap per tenant plus a round-robin rotation of
@@ -236,7 +254,10 @@ class Broker:
 
     # ----------------------------------------------------------------- ops
     def submit(
-        self, canonicals: List[Dict[str, Any]], tenant: str = DEFAULT_TENANT
+        self,
+        canonicals: List[Dict[str, Any]],
+        tenant: str = DEFAULT_TENANT,
+        traces: Optional[Dict[str, Dict[str, str]]] = None,
     ) -> Dict[str, Any]:
         """Queue new specs (deduplicated against everything already known).
 
@@ -246,6 +267,12 @@ class Broker:
         holds a half-accepted batch.  Over-quota batches raise
         :class:`AdmissionError` (the ``tenant-quota-exceeded`` code on the
         wire).
+
+        ``traces`` optionally maps spec keys to wire-form trace contexts
+        (protocol v3, additive): the broker stores each with its task and
+        echoes it on the lease, which is how a worker's spans join the trace
+        the submitting client minted.  Purely observational -- scheduling
+        never reads it.
         """
         queued = duplicates = 0
         specs = [RunSpec.from_canonical(canonical) for canonical in canonicals]
@@ -279,8 +306,15 @@ class Broker:
                 self._failed.pop(key, None)
                 self._failed_codes.pop(key, None)
                 self._failed_specs.pop(key, None)
+                trace = traces.get(key) if traces else None
+                if TraceContext.from_wire(trace) is None:
+                    trace = None  # absent or malformed: queue without one
                 self._enqueue_locked(
-                    key, spec.canonical(), _safe_cost(spec), tenant=tenant
+                    key,
+                    spec.canonical(),
+                    _safe_cost(spec),
+                    tenant=tenant,
+                    trace=trace,
                 )
                 queued += 1
             self.stats.submitted += queued
@@ -344,13 +378,19 @@ class Broker:
                         worker=worker,
                         tenant=task.tenant,
                         attempt=task.attempts,
+                        trace=(task.trace or {}).get("trace"),
                     )
-                return {
+                lease = {
                     "key": task.key,
                     "spec": task.canonical,
                     "attempt": task.attempts,
                     "lease_timeout": self.lease_timeout,
                 }
+                if task.trace is not None:
+                    # Additive v3 field: a v2 worker ignores it and its
+                    # spans simply stay unlinked.
+                    lease["trace"] = dict(task.trace)
+                return lease
             return {"key": None, "shutdown": False}
 
     def heartbeat(self, worker: str, key: str) -> Dict[str, Any]:
@@ -383,6 +423,7 @@ class Broker:
         digest: str,
         payload: Dict[str, Any],
         transport_error: Optional[str] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         """Verify and accept one uploaded result (first valid upload wins).
 
@@ -392,6 +433,11 @@ class Broker:
         requeued), so the uploader can tell a broken blob apart from a
         broker that does not understand its encoding at all.  Rejections
         carry a structured ``code`` next to the human-readable ``reason``.
+
+        ``trace`` is the wire-form trace context echoed on the upload
+        envelope (protocol v3, additive): the broker-side verification span
+        joins the same trace as the client submission and the worker
+        execution.  Falls back to the trace stored with the task.
         """
         with self._lock:
             if key in self._completed or (
@@ -401,6 +447,8 @@ class Broker:
             task = self._tasks.get(key)
             if task is not None:
                 canonical = task.canonical
+                if trace is None and task.trace is not None:
+                    trace = dict(task.trace)
                 if task.leased:
                     # A fresh full lease window for the verification below:
                     # the worker stops heartbeating once it starts uploading,
@@ -421,16 +469,22 @@ class Broker:
         # multi-megabyte payload (and possibly running the reference
         # executor, or writing to a slow shared filesystem) must not stall
         # every other worker's lease or heartbeat.
-        if transport_error is not None:
-            reason: Optional[str] = transport_error
-            code = REJECT_TRANSPORT
-        else:
-            reason, code = self._verify_upload(canonical, digest, payload)
-        stored = None
-        if reason is None and self.cache is not None:
-            # Content-addressed and digest-checked: storing before taking
-            # the final decision is idempotent even if a twin upload races.
-            stored = self.cache.store(key, payload)
+        telemetry = self.telemetry
+        with telemetry.trace_scope(
+            TraceContext.from_wire(trace) if telemetry.enabled else None
+        ), telemetry.scope(spec=key[:12], worker=worker), telemetry.span(
+            "broker.ingest"
+        ):
+            if transport_error is not None:
+                reason: Optional[str] = transport_error
+                code = REJECT_TRANSPORT
+            else:
+                reason, code = self._verify_upload(canonical, digest, payload)
+            stored = None
+            if reason is None and self.cache is not None:
+                # Content-addressed and digest-checked: storing before taking
+                # the final decision is idempotent even if a twin upload races.
+                stored = self.cache.store(key, payload)
         with self._lock:
             task = self._tasks.get(key)
             if reason is not None:
@@ -481,6 +535,7 @@ class Broker:
                         key=key[:12],
                         worker=worker,
                         tenant=task.tenant,
+                        trace=(trace or {}).get("trace"),
                     )
             self._save_state_locked()
             return {"accepted": True, "duplicate": False}
@@ -619,8 +674,13 @@ class Broker:
                 if report is not None:
                     entry["reported"] = dict(report)
                 per_worker[worker] = entry
+            queue_depth = len(self._tasks) - len(leases)
+            reported_capacity = sum(
+                report.get("capacity", 0)
+                for report in self._worker_reports.values()
+            )
             return {
-                "queue_depth": len(self._tasks) - len(leases),
+                "queue_depth": queue_depth,
                 "active_leases": leases,
                 "attempts": attempts,
                 "tenants": tenants,
@@ -631,7 +691,138 @@ class Broker:
                 "uptime_seconds": self._clock() - self._started,
                 "started_unix": self._started_wall,
                 "codes": dict(self._code_totals),
+                "signals": self._signals(queue_depth, len(leases), reported_capacity),
+                "series": self.ring.to_list(),
             }
+
+    def _signals(
+        self, queue_depth: int, active_leases: int, reported_capacity: int
+    ) -> Dict[str, Any]:
+        """Autoscaling signals derived from the queue and the gauge ring.
+
+        * ``saturation``: active leases over the fleet's self-reported
+          capacity -- near 1.0 the fleet is fully busy (scale up if the
+          backlog grows), near 0.0 workers idle (scale down).
+        * ``completion_rate``: accepted results per second across the ring's
+          sampled window.
+        * ``backlog_eta_seconds``: queue depth over that rate -- how long
+          the current backlog takes to drain at the current pace (``None``
+          while the rate is unknown or zero with work still queued).
+        """
+        rate = self.ring.rate("completed")
+        if queue_depth == 0:
+            eta: Optional[float] = 0.0
+        elif rate is not None and rate > 0:
+            eta = queue_depth / rate
+        else:
+            eta = None
+        return {
+            "saturation": (
+                active_leases / reported_capacity if reported_capacity else None
+            ),
+            "reported_capacity": reported_capacity,
+            "completion_rate": rate,
+            "backlog_eta_seconds": eta,
+        }
+
+    def record_worker_telemetry(self, source: str, report: Any) -> bool:
+        """Adopt one worker's piggybacked registry snapshot (v3, additive).
+
+        ``report`` is ``{"seq": n, "counters": ..., "gauges": ...,
+        "histograms": ...}`` -- a *cumulative* snapshot with a monotonic
+        per-worker sequence number, so retried or reordered heartbeats are
+        idempotent no-ops (see :class:`~repro.telemetry.aggregate.FleetAggregate`).
+        Malformed reports are dropped, never an error: telemetry must not
+        take down the op that carried it.
+        """
+        if not isinstance(report, dict):
+            return False
+        seq = report.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool):
+            return False
+        snapshot = {
+            family: report.get(family)
+            for family in ("counters", "gauges", "histograms")
+            if isinstance(report.get(family), dict)
+        }
+        if not snapshot:
+            return False
+        return self.aggregate.update(str(source), seq, snapshot)
+
+    def sample_metrics(self) -> None:
+        """Append one gauge sample to the ring (called by the server's
+        sampler task, or by anything else that wants a history point)."""
+        with self._lock:
+            leased = sum(1 for task in self._tasks.values() if task.leased)
+            values: Dict[str, float] = {
+                "queue_depth": float(len(self._tasks) - leased),
+                "active_leases": float(leased),
+                "completed": float(self.stats.completed),
+                "failed": float(len(self._failed)),
+                "uploads": float(self.stats.completed + self.stats.rejected),
+            }
+            for task in self._tasks.values():
+                field = f"tenant.{task.tenant}.depth"
+                values[field] = values.get(field, 0.0) + 1.0
+        self.ring.sample(time.time(), values)
+
+    def observability(self) -> Dict[str, Any]:
+        """Fleet-wide snapshot + Prometheus text (the ``metrics`` op and the
+        HTTP gateway's ``/metrics`` both serve this).
+
+        Queue-depth, per-tenant and per-worker gauges are refreshed from
+        :meth:`fleet_stats` at request time rather than maintained on the
+        lease/ingest hot path -- live whenever someone looks, free when
+        nobody does.  The broker's own registry then merges with every
+        worker's piggybacked snapshot into one fleet-wide view.  With
+        telemetry disabled (and no worker reports) the snapshot is empty and
+        ``telemetry_enabled`` is false, so dashboards degrade instead of
+        erroring.
+        """
+        telemetry = self.telemetry
+        fleet = self.fleet_stats()
+        if telemetry.enabled:
+            telemetry.gauge("broker.queue_depth", fleet["queue_depth"])
+            telemetry.gauge("broker.active_leases", len(fleet["active_leases"]))
+            telemetry.gauge("broker.completed", fleet["completed"])
+            telemetry.gauge("broker.failed", fleet["failed"])
+            telemetry.gauge("broker.uptime_seconds", fleet["uptime_seconds"])
+            signals = fleet["signals"]
+            if signals["saturation"] is not None:
+                telemetry.gauge("broker.fleet.saturation", signals["saturation"])
+            if signals["completion_rate"] is not None:
+                telemetry.gauge(
+                    "broker.fleet.completion_rate", signals["completion_rate"]
+                )
+            if signals["backlog_eta_seconds"] is not None:
+                telemetry.gauge(
+                    "broker.fleet.backlog_eta_seconds",
+                    signals["backlog_eta_seconds"],
+                )
+            for tenant, ledger in fleet["tenants"].items():
+                telemetry.gauge("broker.tenant.queued", ledger["queued"], tenant=tenant)
+                telemetry.gauge("broker.tenant.leased", ledger["leased"], tenant=tenant)
+            for worker, entry in fleet["per_worker"].items():
+                for name, value in entry.get("reported", {}).items():
+                    telemetry.gauge(f"worker.{name}", value, worker=worker)
+        own = telemetry.snapshot()
+        if telemetry.enabled or self.aggregate.sources():
+            snapshot = self.aggregate.merged(base=own if telemetry.enabled else None)
+        else:
+            snapshot = own  # disabled, nothing reported: the empty shape
+        return {
+            "metrics": snapshot,
+            "text": to_prometheus(snapshot),
+            "uptime_seconds": fleet["uptime_seconds"],
+            "telemetry_enabled": telemetry.enabled,
+            "signals": fleet["signals"],
+            "sources": self.aggregate.sources(),
+        }
+
+    @property
+    def is_shutdown(self) -> bool:
+        with self._lock:
+            return self._shutdown
 
     def shutdown(self) -> Dict[str, Any]:
         """Stop handing out work; subsequent leases tell workers to exit."""
@@ -690,10 +881,11 @@ class Broker:
         cost: float,
         attempts: int = 0,
         tenant: str = DEFAULT_TENANT,
+        trace: Optional[Dict[str, str]] = None,
     ) -> None:
         self._seq += 1
         self._tasks[key] = _Task(
-            key, canonical, cost, self._seq, attempts, tenant=tenant
+            key, canonical, cost, self._seq, attempts, tenant=tenant, trace=trace
         )
         self._push_queued_locked(tenant, cost, self._seq, key)
 
@@ -762,6 +954,9 @@ class Broker:
                     "spec": task.canonical,
                     "attempts": task.attempts,
                     "tenant": task.tenant,
+                    # Additive (absent pre-v3 and for untraced tasks):
+                    # journals travel in either direction across upgrades.
+                    **({"trace": task.trace} if task.trace else {}),
                 }
                 for task in self._tasks.values()
             ],
@@ -799,12 +994,16 @@ class Broker:
                 # In-flight leases died with the previous broker process:
                 # everything incomplete restarts as queued.  Attempt counts
                 # survive so a crash-looping spec still hits the cap.
+                trace = entry.get("trace")
+                if TraceContext.from_wire(trace) is None:
+                    trace = None
                 self._enqueue_locked(
                     key,
                     spec.canonical(),
                     _safe_cost(spec),
                     attempts=int(entry.get("attempts", 0)),
                     tenant=str(entry.get("tenant", DEFAULT_TENANT)),
+                    trace=trace,
                 )
             for key in state.get("completed", []):
                 if self.cache is not None and str(key) in self.cache:
@@ -861,13 +1060,20 @@ class BrokerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_message_bytes: int = MAX_FRAME_BYTES,
+        http_port: Optional[int] = None,
+        sample_interval: float = 2.0,
     ) -> None:
         if max_message_bytes < 1024:
             raise ValueError(
                 f"max_message_bytes must be >= 1024, got {max_message_bytes}"
             )
+        if sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be > 0, got {sample_interval}"
+            )
         self.broker = broker
         self.max_message_bytes = int(max_message_bytes)
+        self.sample_interval = float(sample_interval)
         family = socket.AF_INET6 if ":" in host else socket.AF_INET
         # Bind eagerly (SO_REUSEADDR, like the old socketserver front end,
         # so a restarted broker can take over a TIME_WAIT port) and hand the
@@ -876,6 +1082,14 @@ class BrokerServer:
             (host, port), family=family, backlog=128
         )
         self._address = self._socket.getsockname()[:2]
+        # Optional HTTP observability gateway (/metrics, /healthz, /readyz,
+        # /stats.json) on the same event loop; ``http_port=0`` binds an
+        # ephemeral port, ``None`` disables the gateway entirely.
+        self.gateway = None
+        if http_port is not None:
+            from repro.runtime.distributed.gateway import ObservabilityGateway
+
+            self.gateway = ObservabilityGateway(broker, host=host, port=http_port)
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_async: Optional[asyncio.Event] = None
@@ -885,6 +1099,11 @@ class BrokerServer:
     def address(self) -> Tuple[str, int]:
         host, port = self._address
         return str(host), int(port)
+
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        """The gateway's ``(host, port)``, or ``None`` when disabled."""
+        return self.gateway.address if self.gateway is not None else None
 
     # ------------------------------------------------------------ lifecycle
     def serve_forever(self) -> None:
@@ -926,6 +1145,19 @@ class BrokerServer:
         if sock is not None:
             with contextlib.suppress(OSError):
                 sock.close()
+        if self.gateway is not None:
+            self.gateway.close_socket()
+
+    async def _sample_loop(self) -> None:
+        """Feed the broker's gauge ring at a steady cadence.
+
+        Sampling reads broker state under its lock, so it runs on a worker
+        thread like every other op.  Purely observational: queue semantics
+        never depend on the ring.
+        """
+        while True:
+            await asyncio.to_thread(self.broker.sample_metrics)
+            await asyncio.sleep(self.sample_interval)
 
     async def _serve(self) -> None:
         self._loop = asyncio.get_running_loop()
@@ -940,10 +1172,18 @@ class BrokerServer:
             # never trips the stream limit before our own length check.
             limit=self.max_message_bytes + 2,
         )
+        if self.gateway is not None:
+            await self.gateway.start()
+        sampler = asyncio.ensure_future(self._sample_loop())
         try:
             async with server:
                 await self._stop_async.wait()
         finally:
+            sampler.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await sampler
+            if self.gateway is not None:
+                await self.gateway.aclose()
             self._loop = None
 
     # ----------------------------------------------------------- connection
@@ -1039,9 +1279,11 @@ class BrokerServer:
         op = message.get("op")
         try:
             if op == "submit":
+                traces = message.get("traces")
                 body = broker.submit(
                     message.get("specs", []),
                     tenant=str(message.get("tenant") or DEFAULT_TENANT),
+                    traces=traces if isinstance(traces, dict) else None,
                 )
             elif op == "lease":
                 reported = message.get("stats")
@@ -1050,6 +1292,13 @@ class BrokerServer:
                     stats=reported if isinstance(reported, dict) else None,
                 )
             elif op == "heartbeat":
+                # Workers piggyback cumulative telemetry snapshots here
+                # (additive v3 field; v1/v2 workers never send one).
+                report = message.get("telemetry")
+                if report is not None:
+                    broker.record_worker_telemetry(
+                        str(message.get("worker", "?")), report
+                    )
                 body = broker.heartbeat(
                     str(message.get("worker", "?")), str(message.get("key", ""))
                 )
@@ -1071,12 +1320,19 @@ class BrokerServer:
                         payload = decompress_payload(str(message["payload_gz"]))
                     except ProtocolError as exc:
                         transport_error = str(exc)
+                report = message.get("telemetry")
+                if report is not None:
+                    broker.record_worker_telemetry(
+                        str(message.get("worker", "?")), report
+                    )
+                trace = message.get("trace")
                 body = broker.ingest(
                     str(message.get("worker", "?")),
                     str(message.get("key", "")),
                     str(message.get("sha256", "")),
                     payload,
                     transport_error=transport_error,
+                    trace=trace if isinstance(trace, dict) else None,
                 )
             elif op == "fetch":
                 body = self._dispatch_fetch(message)
@@ -1188,37 +1444,16 @@ class BrokerServer:
         }
 
     def _dispatch_metrics(self) -> Dict[str, Any]:
-        """The v3 ``metrics`` op: registry snapshot + Prometheus exposition.
+        """The v3 ``metrics`` op: fleet-wide snapshot + Prometheus text.
 
-        Queue-depth, per-tenant and per-worker gauges are refreshed from
-        :meth:`Broker.fleet_stats` at request time rather than maintained on
-        the lease/ingest hot path -- the snapshot is live whenever someone
-        looks, and nobody pays when nobody does.  With telemetry disabled
-        the op still succeeds (empty snapshot, ``telemetry_enabled`` false)
-        so dashboards degrade gracefully instead of erroring.
+        Delegates to :meth:`Broker.observability`, the same builder behind
+        the HTTP gateway's ``/metrics``: gauges refreshed at request time,
+        the broker's own registry merged with every worker's piggybacked
+        snapshot.  With telemetry disabled the op still succeeds (empty
+        snapshot, ``telemetry_enabled`` false) so dashboards degrade
+        gracefully instead of erroring.
         """
-        broker = self.broker
-        telemetry = broker.telemetry
-        fleet = broker.fleet_stats()
-        if telemetry.enabled:
-            telemetry.gauge("broker.queue_depth", fleet["queue_depth"])
-            telemetry.gauge("broker.active_leases", len(fleet["active_leases"]))
-            telemetry.gauge("broker.completed", fleet["completed"])
-            telemetry.gauge("broker.failed", fleet["failed"])
-            telemetry.gauge("broker.uptime_seconds", fleet["uptime_seconds"])
-            for tenant, ledger in fleet["tenants"].items():
-                telemetry.gauge("broker.tenant.queued", ledger["queued"], tenant=tenant)
-                telemetry.gauge("broker.tenant.leased", ledger["leased"], tenant=tenant)
-            for worker, entry in fleet["per_worker"].items():
-                for name, value in entry.get("reported", {}).items():
-                    telemetry.gauge(f"worker.{name}", value, worker=worker)
-        snapshot = telemetry.snapshot()
-        return {
-            "metrics": snapshot,
-            "text": to_prometheus(snapshot),
-            "uptime_seconds": fleet["uptime_seconds"],
-            "telemetry_enabled": telemetry.enabled,
-        }
+        return self.broker.observability()
 
 
 def _plain_size(payload: Dict[str, Any]) -> int:

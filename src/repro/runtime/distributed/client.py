@@ -22,6 +22,8 @@ which the frame cap still bounds.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -38,6 +40,7 @@ from repro.runtime.distributed.protocol import (
     request,
 )
 from repro.runtime.spec import RunSpec
+from repro.telemetry import TraceContext
 
 #: The v2 broker's *exact* fetch-time reason for keys it has no record of.
 #: Matched whole (never as a substring): a give-up whose free-text reason
@@ -45,6 +48,15 @@ from repro.runtime.spec import RunSpec
 #: trigger an endless resubmit loop.  v3 brokers are matched on the
 #: structured ``failed_codes`` entry instead and never reach this string.
 _NEVER_SUBMITTED_REASON = "never submitted to this broker"
+
+
+def _canonical_key(canonical: Dict[str, Any]) -> str:
+    """The spec key the broker will assign this canonical: SHA-256 of its
+    canonical JSON -- the exact :meth:`RunSpec.key` computation, done here
+    without rebuilding the spec so trace contexts can be matched to the
+    canonicals in a submit chunk."""
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class DistributedBackend(RunnerBackend):
@@ -94,6 +106,10 @@ class DistributedBackend(RunnerBackend):
         self.max_frame_bytes = int(max_frame_bytes)
         self._clock = clock
         self._sleep_fn = sleep
+        # key -> trace wire form, minted per batch in execute().  Held on
+        # the instance (not threaded through _submit) so the submit call
+        # signature stays stable for callers and tests that wrap it.
+        self._trace_wires: Dict[str, Dict[str, str]] = {}
 
     # ------------------------------------------------------------------ api
     def execute(
@@ -103,6 +119,14 @@ class DistributedBackend(RunnerBackend):
             return
         outstanding: Dict[str, Dict[str, Any]] = {
             spec.key(): spec.canonical() for spec in pending
+        }
+        # One trace id per submitted spec, minted here at the submission
+        # boundary (cold path, so unconditionally -- workers may run with
+        # telemetry on even when this client does not).  The broker stores
+        # each context with its task and echoes it on the lease, which is
+        # what links client, broker and worker spans into one trace.
+        self._trace_wires = {
+            key: TraceContext.mint().to_wire() for key in outstanding
         }
         started = self._clock()
         last_contact = started
@@ -171,9 +195,26 @@ class DistributedBackend(RunnerBackend):
         half the frame cap, leaving headroom for the JSON envelope."""
         return max(2048, self.max_frame_bytes // 2)
 
-    def _submit(self, canonicals: List[Dict[str, Any]], started: float) -> None:
+    def _submit(
+        self,
+        canonicals: List[Dict[str, Any]],
+        started: float,
+    ) -> None:
+        """Submit canonical specs, chunked, with their trace contexts.
+
+        The per-chunk ``traces`` map (keys from ``self._trace_wires``,
+        matched by recomputing each canonical's spec key) is an additive v3
+        field: older brokers ignore it and the fleet's spans simply stay
+        unlinked.
+        """
         for start in range(0, len(canonicals), self.submit_chunk):
             chunk = canonicals[start : start + self.submit_chunk]
+            chunk_traces: Dict[str, Dict[str, str]] = {}
+            if self._trace_wires:
+                for canonical in chunk:
+                    key = _canonical_key(canonical)
+                    if key in self._trace_wires:
+                        chunk_traces[key] = self._trace_wires[key]
             deadline = self._clock() + self.patience
             while True:
                 if (
@@ -189,10 +230,14 @@ class DistributedBackend(RunnerBackend):
                         f"{format_address(self.address)}"
                     )
                 try:
-                    request(
-                        self.address,
-                        {"op": "submit", "specs": chunk, "tenant": self.tenant},
-                    )
+                    message = {
+                        "op": "submit",
+                        "specs": chunk,
+                        "tenant": self.tenant,
+                    }
+                    if chunk_traces:
+                        message["traces"] = chunk_traces
+                    request(self.address, message)
                     break
                 except BrokerError as exc:
                     # The broker *rejected* the batch (bad spec version,
@@ -272,7 +317,9 @@ class DistributedBackend(RunnerBackend):
                 amnesia = reason == _NEVER_SUBMITTED_REASON
             if amnesia:
                 # The broker restarted without its journal and forgot the
-                # spec; it is still ours to finish, so hand it back.
+                # spec; it is still ours to finish, so hand it back (with
+                # its original trace context: the resubmitted run still
+                # belongs to the same trace).
                 lost.append(outstanding[key])
             else:
                 fatal[key] = reason

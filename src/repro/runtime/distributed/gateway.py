@@ -1,0 +1,138 @@
+"""HTTP observability gateway: scrape the broker with any HTTP client.
+
+A minimal stdlib-only asyncio HTTP/1.0 server that shares the broker
+server's event loop (``dalorex broker --http-port N``).  It exposes the
+read-only observability surface -- never queue mutations -- so operators
+can point Prometheus, a load balancer health check, or plain ``curl`` at a
+running fleet without speaking the dalorex-dist protocol:
+
+==============  ============================================================
+``/metrics``    Prometheus text exposition of the **fleet-wide** aggregate
+                (broker registry merged with every worker's piggybacked
+                snapshot; ``text/plain; version=0.0.4``)
+``/healthz``    liveness: 200 ``ok`` while the process serves
+``/readyz``     readiness: 200 ``ready``, or 503 once shutdown has begun
+``/stats.json`` the ``stats`` op's JSON body (queue depths, per-worker
+                ledgers, autoscaling signals, sampled gauge series)
+==============  ============================================================
+
+Requests are answered one per connection (``Connection: close``), bodies
+are ignored, and anything but GET/HEAD gets a 405 -- deliberately the
+smallest surface that a scraper needs.  Snapshot building runs on a worker
+thread (``asyncio.to_thread``) so a slow merge never stalls the event loop
+that is also serving lease traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ObservabilityGateway"]
+
+#: Cap on the request head (request line + headers) we are willing to read.
+_MAX_REQUEST_BYTES = 16 * 1024
+
+
+class ObservabilityGateway:
+    """Asyncio HTTP front end over one :class:`~.broker.Broker`.
+
+    Binds eagerly in the constructor (``port=0`` picks an ephemeral port,
+    readable via :attr:`address` before serving) exactly like
+    :class:`~.broker.BrokerServer`; :meth:`start` attaches it to the running
+    event loop.
+    """
+
+    def __init__(self, broker, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.broker = broker
+        family = socket.AF_INET6 if ":" in host else socket.AF_INET
+        self._socket: Optional[socket.socket] = socket.create_server(
+            (host, port), family=family, backlog=32
+        )
+        self._address = self._socket.getsockname()[:2]
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._address
+        return str(host), int(port)
+
+    async def start(self) -> None:
+        sock, self._socket = self._socket, None
+        self._server = await asyncio.start_server(
+            self._handle_connection, sock=sock, limit=_MAX_REQUEST_BYTES
+        )
+
+    async def aclose(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        self.close_socket()
+
+    def close_socket(self) -> None:
+        sock, self._socket = self._socket, None
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    # ---------------------------------------------------------------- serving
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0].upper(), parts[1]
+            # Drain the headers; the routes take no request bodies.
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            status, content_type, body = await self._route(method, target)
+            head = (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            writer.write(head if method == "HEAD" else head + body)
+            await writer.drain()
+        except (ConnectionError, OSError, ValueError, asyncio.LimitOverrunError):
+            return
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, method: str, target: str) -> Tuple[str, str, bytes]:
+        path = target.split("?", 1)[0]
+        if method not in ("GET", "HEAD"):
+            return "405 Method Not Allowed", "text/plain", b"method not allowed\n"
+        if path == "/metrics":
+            body = await asyncio.to_thread(self._metrics_text)
+            return "200 OK", "text/plain; version=0.0.4; charset=utf-8", body
+        if path == "/healthz":
+            return "200 OK", "text/plain", b"ok\n"
+        if path == "/readyz":
+            if self.broker.is_shutdown:
+                return "503 Service Unavailable", "text/plain", b"shutting down\n"
+            return "200 OK", "text/plain", b"ready\n"
+        if path == "/stats.json":
+            body = await asyncio.to_thread(self._stats_json)
+            return "200 OK", "application/json", body
+        return "404 Not Found", "text/plain", b"not found\n"
+
+    def _metrics_text(self) -> bytes:
+        return self.broker.observability()["text"].encode("utf-8")
+
+    def _stats_json(self) -> bytes:
+        stats: Dict[str, Any] = self.broker.fleet_stats()
+        return json.dumps(stats, sort_keys=True, default=str).encode("utf-8")

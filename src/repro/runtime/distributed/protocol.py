@@ -39,11 +39,21 @@ the handshake.
 * **tenancy**: ``submit`` may carry a ``tenant``; the broker schedules
   fair-share across tenants and can enforce per-tenant quotas
   (``ERR_TENANT_QUOTA``).
-* **observability**: the ``metrics`` op returns the broker's telemetry
+* **observability**: the ``metrics`` op returns the *fleet-wide* telemetry
   snapshot (counters / gauges / histograms) plus a Prometheus-style text
   exposition (see docs/OBSERVABILITY.md); ``lease`` requests may carry a
   worker ``stats`` self-report the broker republishes to dashboards.  Both
   are additive -- old peers never send or read them.
+* **trace propagation** (additive, absent-tolerant): ``submit`` may carry a
+  ``traces`` map (spec key -> ``{"trace": id, "parent": span_id}``); the
+  broker echoes each context as ``trace`` on the matching ``lease`` and
+  accepts it back on the ``result`` envelope, linking client, broker and
+  worker spans into one trace per spec.  Trace fields never enter the
+  result *payload*, so digests and byte-equality are untouched.
+* **telemetry piggyback** (additive): ``heartbeat`` and ``result`` messages
+  may carry a ``telemetry`` report -- the worker's *cumulative* registry
+  snapshot with a monotonic ``seq`` -- which the broker merges into its
+  fleet aggregate (idempotent under retry/duplication: newest seq wins).
 
 All v3 fields are additive and negotiated per message, so v1/v2 peers keep
 interoperating (they never send the new fields and ignore the new response

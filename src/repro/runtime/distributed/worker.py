@@ -34,7 +34,7 @@ from repro.runtime.distributed.protocol import (
     request,
 )
 from repro.runtime.spec import RunSpec
-from repro.telemetry import get_telemetry
+from repro.telemetry import TraceContext, get_telemetry
 
 #: How a protocol-v1 broker rejects an upload that carries no ``payload``
 #: field (it never reads ``payload_gz``).  The string is frozen in released
@@ -111,6 +111,11 @@ class Worker:
         # rejects the gzip-only upload as an empty payload, which flips this
         # flag and the worker falls back to plain JSON for its lifetime.
         self._use_gzip = True
+        # Monotonic generation of the telemetry snapshots piggybacked on
+        # heartbeat/result messages: the broker applies a report only when
+        # its seq advances, which makes retried or reordered deliveries
+        # idempotent (see repro.telemetry.aggregate).
+        self._telemetry_seq = 0
 
     def stop(self) -> None:
         """Ask the loop(s) to exit after the current spec (thread-safe)."""
@@ -138,6 +143,28 @@ class Worker:
             value = getattr(self, field) + 1
             setattr(self, field, value)
             return value
+
+    def _telemetry_report(self) -> Optional[Dict[str, Any]]:
+        """Cumulative registry snapshot to piggyback on a broker message.
+
+        ``None`` with telemetry off (the field is simply absent from the
+        wire).  Always the *full* cumulative snapshot, never a delta, with a
+        fresh monotonic ``seq`` -- dropped, duplicated or reordered
+        deliveries all converge on the broker applying the newest one.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return None
+        with self._counter_lock:
+            self._telemetry_seq += 1
+            seq = self._telemetry_seq
+        snapshot = telemetry.snapshot()
+        return {
+            "seq": seq,
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+        }
 
     def _claim_run_slot(self) -> bool:
         """Reserve one accepted-result slot toward ``max_runs``.
@@ -229,7 +256,10 @@ class Worker:
                 continue
             self._count("leases")
             accepted = self._run_one(
-                key, lease["spec"], float(lease.get("lease_timeout", 60.0))
+                key,
+                lease["spec"],
+                float(lease.get("lease_timeout", 60.0)),
+                trace_wire=lease.get("trace"),
             )
             if not accepted:
                 self._release_run_slot()
@@ -238,9 +268,21 @@ class Worker:
                 break
 
     def _run_one(
-        self, key: str, canonical: Dict[str, Any], lease_timeout: float
+        self,
+        key: str,
+        canonical: Dict[str, Any],
+        lease_timeout: float,
+        trace_wire: Optional[Dict[str, str]] = None,
     ) -> bool:
-        """Execute one leased spec; True when the upload was accepted."""
+        """Execute one leased spec; True when the upload was accepted.
+
+        ``trace_wire`` is the trace context the lease carried (minted by the
+        submitting client, echoed by the broker): installed around execution
+        and upload so this worker's spans -- and everything the executor
+        emits -- join the client's trace, and echoed back on the upload
+        envelope.  It never touches the payload object itself, so payload
+        bytes and digests are identical with tracing on or off.
+        """
         stop_beat = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop,
@@ -249,11 +291,13 @@ class Worker:
         )
         beat.start()
         telemetry = self.telemetry
+        trace = TraceContext.from_wire(trace_wire) if telemetry.enabled else None
         try:
             if telemetry.enabled:
-                with telemetry.scope(spec=key[:12], worker=self.worker_id):
-                    with telemetry.span("worker.execute"):
-                        payload = self.executor(canonical)
+                with telemetry.trace_scope(trace):
+                    with telemetry.scope(spec=key[:12], worker=self.worker_id):
+                        with telemetry.span("worker.execute"):
+                            payload = self.executor(canonical)
             else:
                 payload = self.executor(canonical)
         except Exception as exc:
@@ -276,11 +320,12 @@ class Worker:
                 )
         self._count("uploads")
         if telemetry.enabled:
-            with telemetry.scope(spec=key[:12], worker=self.worker_id):
-                with telemetry.span("worker.upload"):
-                    response = self._upload(key, payload)
+            with telemetry.trace_scope(trace):
+                with telemetry.scope(spec=key[:12], worker=self.worker_id):
+                    with telemetry.span("worker.upload"):
+                        response = self._upload(key, payload, trace_wire=trace_wire)
         else:
-            response = self._upload(key, payload)
+            response = self._upload(key, payload, trace_wire=trace_wire)
         if response is None:
             # The upload never reached the broker; the lease will expire and
             # another worker (or this one, next lease) re-runs the spec.
@@ -300,7 +345,7 @@ class Worker:
         return False
 
     def _upload(
-        self, key: str, payload: Dict[str, Any]
+        self, key: str, payload: Dict[str, Any], trace_wire=None
     ) -> Optional[Dict[str, Any]]:
         """Send one result, gzipped when the broker understands it.
 
@@ -311,6 +356,11 @@ class Worker:
         result is resent immediately (the broker requeued the spec on
         rejection, so the plain upload is accepted as a fresh first-valid
         result).
+
+        Trace context and the telemetry snapshot ride on the upload
+        *envelope* (additive v3 fields the broker strips before
+        verification), never inside ``payload`` -- digests and byte-equality
+        are untouched.
         """
         upload = {
             "op": "result",
@@ -318,6 +368,11 @@ class Worker:
             "key": key,
             "sha256": payload_digest(payload),
         }
+        if isinstance(trace_wire, dict):
+            upload["trace"] = trace_wire
+        report = self._telemetry_report()
+        if report is not None:
+            upload["telemetry"] = report
         if self._use_gzip:
             response = self._send_quietly(
                 dict(upload, payload_gz=compress_payload(payload))
@@ -346,9 +401,14 @@ class Worker:
         """Renew the lease at 3x the rate it expires; stop if it was lost."""
         interval = max(0.05, lease_timeout / 3.0)
         while not stop.wait(interval):
-            response = self._send_quietly(
-                {"op": "heartbeat", "worker": self.worker_id, "key": key}
-            )
+            beat = {"op": "heartbeat", "worker": self.worker_id, "key": key}
+            report = self._telemetry_report()
+            if report is not None:
+                # Piggybacked cumulative snapshot (additive v3 field): the
+                # broker's fleet aggregate sees this worker's counters while
+                # it is mid-simulation, not only after an upload.
+                beat["telemetry"] = report
+            response = self._send_quietly(beat)
             if response is not None and not response.get("active", False):
                 return  # lease reassigned; the eventual upload still counts once
 

@@ -33,6 +33,8 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.telemetry.aggregate import FleetAggregate, TimeSeriesRing, merge_snapshots
+from repro.telemetry.context import TraceContext
 from repro.telemetry.exposition import prometheus_name, to_prometheus
 from repro.telemetry.registry import (
     DEFAULT_COUNT_EDGES,
@@ -42,24 +44,41 @@ from repro.telemetry.registry import (
     NullTelemetry,
     Telemetry,
 )
-from repro.telemetry.sink import JsonlSink
-from repro.telemetry.trace import aggregate_spans, format_trace_report, load_records
+from repro.telemetry.sink import ENV_JSONL_MAX_BYTES, JsonlSink
+from repro.telemetry.trace import (
+    aggregate_spans,
+    format_trace_report,
+    format_trace_summary,
+    group_traces,
+    load_many,
+    load_records,
+    summarize_trace,
+)
 
 __all__ = [
     "DEFAULT_COUNT_EDGES",
     "DEFAULT_TIME_EDGES",
+    "ENV_JSONL_MAX_BYTES",
+    "FleetAggregate",
     "Histogram",
     "JsonlSink",
     "NULL",
     "NullTelemetry",
     "Telemetry",
+    "TimeSeriesRing",
+    "TraceContext",
     "aggregate_spans",
     "configure",
     "format_trace_report",
+    "format_trace_summary",
     "get_telemetry",
+    "group_traces",
+    "load_many",
     "load_records",
+    "merge_snapshots",
     "prometheus_name",
     "set_telemetry",
+    "summarize_trace",
     "telemetry_session",
     "to_prometheus",
 ]

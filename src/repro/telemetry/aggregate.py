@@ -1,0 +1,225 @@
+"""Fleet-wide aggregation of per-process telemetry snapshots.
+
+Workers piggyback their registry snapshot on heartbeat/result messages;
+the broker feeds those into a :class:`FleetAggregate`, which merges them
+with its own registry into one fleet-wide view for the ``metrics`` op and
+the HTTP ``/metrics`` gateway.
+
+The merge must survive an unreliable transport, so the unit of exchange is
+a **cumulative** snapshot stamped with a per-source monotonic ``seq`` --
+never a delta.  The aggregate stores at most one snapshot per source and
+applies an update only when its ``seq`` exceeds the stored one, which makes
+ingestion:
+
+* **order-independent** -- reordered heartbeats converge on the same state
+  (max seq wins);
+* **idempotent** -- a duplicated/retried heartbeat is a no-op;
+* **crash-retentive** -- a SIGKILLed worker's last snapshot stays in the
+  aggregate (its counters keep counting toward fleet totals) without any
+  risk of corruption.
+
+Merge semantics per metric family: counters and histograms (on matching
+bucket edges) are summed across sources into fleet totals; gauges are
+point-in-time per process, so each source's gauges are re-labelled with a
+``source=<id>`` label instead of being summed.  A ``fleet.source.last_seq``
+gauge per source records which snapshot generation the view reflects.
+
+:class:`TimeSeriesRing` is the bounded gauge history behind sparklines and
+rate-derived autoscaling signals (backlog-drain ETA, upload rate).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["FleetAggregate", "TimeSeriesRing", "merge_snapshots"]
+
+
+def _with_source(label_repr: str, source: str) -> str:
+    """Insert ``source=<id>`` into a ``"k=v,k2=v2"`` label string, sorted."""
+    pairs = [("source", source)]
+    if label_repr:
+        for pair in label_repr.split(","):
+            key, _, value = pair.partition("=")
+            if key != "source":
+                pairs.append((key, value))
+    return ",".join(f"{k}={v}" for k, v in sorted(pairs))
+
+
+def _dict_quantile(histogram: Dict[str, Any], q: float) -> float:
+    """Interpolated quantile from a histogram *dict* (mirrors Histogram)."""
+    count = histogram["count"]
+    if not count:
+        return 0.0
+    edges = histogram["edges"]
+    buckets = histogram["buckets"]
+    minimum = histogram["min"]
+    maximum = histogram["max"]
+    rank = q * count
+    cumulative = 0
+    previous_edge = 0.0 if edges[0] > 0 else minimum
+    for index, edge in enumerate(edges):
+        in_bucket = buckets[index]
+        if cumulative + in_bucket >= rank and in_bucket > 0:
+            fraction = (rank - cumulative) / in_bucket
+            estimate = previous_edge + fraction * (edge - previous_edge)
+            return min(max(estimate, minimum), maximum)
+        cumulative += in_bucket
+        previous_edge = edge
+    return maximum
+
+
+def _merge_histograms(into: Dict[str, Any], other: Dict[str, Any]) -> Dict[str, Any]:
+    """Sum two histogram dicts with identical edges; recompute quantiles."""
+    merged = {
+        "edges": list(into["edges"]),
+        "buckets": [a + b for a, b in zip(into["buckets"], other["buckets"])],
+        "count": into["count"] + other["count"],
+        "sum": into["sum"] + other["sum"],
+    }
+    mins = [m for m in (into.get("min"), other.get("min")) if m is not None]
+    maxs = [m for m in (into.get("max"), other.get("max")) if m is not None]
+    merged["min"] = min(mins) if mins else None
+    merged["max"] = max(maxs) if maxs else None
+    merged["p50"] = _dict_quantile(merged, 0.5)
+    merged["p99"] = _dict_quantile(merged, 0.99)
+    return merged
+
+
+def merge_snapshots(
+    base: Dict[str, Any], source: str, snapshot: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Merge one source's snapshot into ``base`` (mutated and returned).
+
+    Counters and same-edged histograms add into the fleet totals; gauges
+    land under a ``source=<id>`` label; a histogram whose edges disagree
+    with the existing series is also kept per-source rather than corrupting
+    the sum.
+    """
+    counters = base.setdefault("counters", {})
+    for name, series in (snapshot.get("counters") or {}).items():
+        target = counters.setdefault(name, {})
+        for label_repr, value in series.items():
+            target[label_repr] = target.get(label_repr, 0) + value
+
+    gauges = base.setdefault("gauges", {})
+    for name, series in (snapshot.get("gauges") or {}).items():
+        target = gauges.setdefault(name, {})
+        for label_repr, value in series.items():
+            target[_with_source(label_repr, source)] = value
+
+    histograms = base.setdefault("histograms", {})
+    for name, series in (snapshot.get("histograms") or {}).items():
+        target = histograms.setdefault(name, {})
+        for label_repr, histogram in series.items():
+            existing = target.get(label_repr)
+            if existing is None:
+                target[label_repr] = dict(histogram)
+            elif list(existing["edges"]) == list(histogram["edges"]):
+                target[label_repr] = _merge_histograms(existing, histogram)
+            else:
+                target[_with_source(label_repr, source)] = dict(histogram)
+    return base
+
+
+class FleetAggregate:
+    """Seq-guarded store of the latest cumulative snapshot per source."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sources: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+
+    def update(self, source: str, seq: int, snapshot: Dict[str, Any]) -> bool:
+        """Adopt ``snapshot`` iff ``seq`` advances past the stored one.
+
+        Returns True when the snapshot was applied.  Stale, duplicated or
+        reordered reports (seq <= stored) are dropped, which is what makes
+        heartbeat retry/duplication harmless.
+        """
+        if (
+            not isinstance(seq, int)
+            or isinstance(seq, bool)  # True would pass the int check
+            or not isinstance(snapshot, dict)
+        ):
+            return False
+        with self._lock:
+            stored = self._sources.get(source)
+            if stored is not None and seq <= stored[0]:
+                return False
+            self._sources[source] = (seq, snapshot)
+            return True
+
+    def sources(self) -> Dict[str, int]:
+        """``{source: last applied seq}`` for every reporting process."""
+        with self._lock:
+            return {source: seq for source, (seq, _) in self._sources.items()}
+
+    def forget(self, source: str) -> None:
+        with self._lock:
+            self._sources.pop(source, None)
+
+    def merged(self, base: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Fleet-wide snapshot: ``base`` (the broker's own) + every source.
+
+        ``base`` is deep-copied, never mutated; sources merge in sorted
+        order so the result is deterministic for a given set of reports.
+        """
+        with self._lock:
+            items = sorted(self._sources.items())
+        result: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        if base:
+            for family in ("counters", "gauges", "histograms"):
+                result[family] = {
+                    name: dict(series)
+                    for name, series in (base.get(family) or {}).items()
+                }
+            if "created" in base:
+                result["created"] = base["created"]
+        for source, (seq, snapshot) in items:
+            merge_snapshots(result, source, snapshot)
+            result["gauges"].setdefault("fleet.source.last_seq", {})[
+                f"source={source}"
+            ] = float(seq)
+        return result
+
+
+class TimeSeriesRing:
+    """Bounded ring of timestamped gauge samples (sparklines, rates)."""
+
+    def __init__(self, maxlen: int = 240):
+        self._lock = threading.Lock()
+        self._points: deque = deque(maxlen=maxlen)
+
+    def sample(self, ts: float, values: Dict[str, float]) -> None:
+        with self._lock:
+            self._points.append({"ts": float(ts), **values})
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)
+
+    def to_list(self) -> List[Dict[str, float]]:
+        with self._lock:
+            return [dict(point) for point in self._points]
+
+    def series(self, field: str) -> List[float]:
+        """The history of one sampled field, oldest first (gaps skipped)."""
+        with self._lock:
+            return [point[field] for point in self._points if field in point]
+
+    def rate(self, field: str) -> Optional[float]:
+        """Per-second rate of change of a cumulative field across the ring.
+
+        Uses the first and last samples carrying ``field``; returns None
+        with fewer than two samples or no elapsed time.
+        """
+        with self._lock:
+            points = [p for p in self._points if field in p]
+        if len(points) < 2:
+            return None
+        elapsed = points[-1]["ts"] - points[0]["ts"]
+        if elapsed <= 0:
+            return None
+        return (points[-1][field] - points[0][field]) / elapsed

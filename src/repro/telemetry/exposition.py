@@ -48,7 +48,12 @@ def _label_block(label_repr: str, extra: str = "") -> str:
     if label_repr:
         for pair in label_repr.split(","):
             key, _, value = pair.partition("=")
-            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            # Exposition-format escaping for label values: backslash first,
+            # then quote and newline (a raw newline would split the sample
+            # line and corrupt the whole scrape).
+            escaped = (
+                value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+            )
             parts.append(f'{key}="{escaped}"')
     if extra:
         parts.append(extra)

@@ -27,10 +27,15 @@ span/scope nesting state is ``threading.local``.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.telemetry.context import TraceContext
 
 __all__ = [
     "DEFAULT_COUNT_EDGES",
@@ -39,6 +44,7 @@ __all__ = [
     "NULL",
     "NullTelemetry",
     "Telemetry",
+    "TraceContext",
 ]
 
 #: Default edges for duration histograms (seconds): 1us .. ~100s, geometric.
@@ -131,11 +137,12 @@ class Histogram:
 
 
 class _ThreadState(threading.local):
-    """Per-thread span nesting stack and correlation context."""
+    """Per-thread span nesting stack, correlation context and trace context."""
 
     def __init__(self):
-        self.span_stack = []
+        self.span_stack = []  # entries: (name, span_id)
         self.context: Dict[str, Any] = {}
+        self.trace: Optional[TraceContext] = None
 
 
 class Telemetry:
@@ -157,6 +164,11 @@ class Telemetry:
         self._histograms: Dict[Tuple[str, LabelsKey], Histogram] = {}
         self._local = _ThreadState()
         self._created = time.time()
+        # Span ids are "<pid hex>-<random fragment>-<seq hex>": unique across
+        # the processes of one run without any coordination, short enough to
+        # stay cheap in JSONL records.
+        self._span_token = f"{os.getpid():x}-{uuid.uuid4().hex[:6]}"
+        self._span_seq = itertools.count(1)
 
     # -- recording ---------------------------------------------------------
 
@@ -194,11 +206,18 @@ class Telemetry:
         """Time a block: aggregates into ``span.<name>.seconds`` + JSONL.
 
         Spans nest per thread; each emitted event carries the name of its
-        enclosing span (``parent``) so traces reconstruct the call tree.
+        enclosing span (``parent``) for in-process call trees plus a unique
+        ``span_id`` / ``parent_id`` pair.  When a :class:`TraceContext` is
+        installed (:meth:`trace_scope`), top-of-stack spans parent under the
+        context's remote ``parent_id`` and every record carries the trace id,
+        which is what links one run's spans across client/broker/worker
+        processes.
         """
-        stack = self._local.span_stack
-        parent = stack[-1] if stack else None
-        stack.append(name)
+        local = self._local
+        stack = local.span_stack
+        parent_name, enclosing_id = stack[-1] if stack else (None, None)
+        span_id = f"{self._span_token}-{next(self._span_seq):x}"
+        stack.append((name, span_id))
         start = self._clock()
         try:
             yield
@@ -209,13 +228,42 @@ class Telemetry:
                 f"span.{name}.seconds", duration, edges=DEFAULT_TIME_EDGES, **labels
             )
             if self._sink is not None:
+                trace = local.trace
+                parent_id = enclosing_id
+                if parent_id is None and trace is not None:
+                    parent_id = trace.parent_id
                 self.emit(
                     "span",
                     name=name,
                     dur_s=duration,
-                    parent=parent,
+                    parent=parent_name,
+                    span_id=span_id,
+                    parent_id=parent_id,
                     labels=labels or None,
                 )
+
+    @contextmanager
+    def trace_scope(self, trace: Optional[TraceContext]) -> Iterator[None]:
+        """Install ``trace`` as this thread's trace context (None = no-op)."""
+        if trace is None:
+            yield
+            return
+        local = self._local
+        previous = local.trace
+        local.trace = trace
+        try:
+            yield
+        finally:
+            local.trace = previous
+
+    def current_trace(self) -> Optional[TraceContext]:
+        """The thread's installed trace context, if any."""
+        return self._local.trace
+
+    def current_span_id(self) -> Optional[str]:
+        """The innermost open span's id on this thread, if any."""
+        stack = self._local.span_stack
+        return stack[-1][1] if stack else None
 
     @contextmanager
     def scope(self, **context) -> Iterator[None]:
@@ -241,9 +289,11 @@ class Telemetry:
         if sink is None:
             return
         record: Dict[str, Any] = {"ts": round(time.time(), 6), "kind": kind}
-        context = self._local.context
-        if context:
-            record["ctx"] = dict(context)
+        local = self._local
+        if local.context:
+            record["ctx"] = dict(local.context)
+        if local.trace is not None and "trace" not in fields:
+            record["trace"] = local.trace.trace_id
         for field, value in fields.items():
             if value is not None:
                 record[field] = value
@@ -337,11 +387,20 @@ class NullTelemetry:
     def scope(self, **context):
         return _NULL_CONTEXT
 
+    def trace_scope(self, trace):
+        return _NULL_CONTEXT
+
     def emit(self, kind, **fields):
         pass
 
     def current_context(self):
         return {}
+
+    def current_trace(self):
+        return None
+
+    def current_span_id(self):
+        return None
 
     def snapshot(self):
         return {"counters": {}, "gauges": {}, "histograms": {}, "created": None}

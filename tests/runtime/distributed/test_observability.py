@@ -1,0 +1,298 @@
+"""ISSUE 9 fleet observability: trace propagation end to end over a live
+fleet, heartbeat-piggybacked snapshot aggregation, the autoscaling signals,
+the HTTP gateway endpoints, and the ``--no-telemetry`` CLI hint."""
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.runtime.distributed import Broker, BrokerServer
+from repro.telemetry import (
+    Telemetry,
+    TraceContext,
+    group_traces,
+    load_records,
+    summarize_trace,
+    telemetry_session,
+)
+
+from distributed_helpers import fleet, make_spec, make_specs
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[3] / "scripts"))
+from check_prom_text import check_prom_text  # noqa: E402
+
+
+def wait_until(predicate, timeout=20.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def http_get(address, path, method="GET"):
+    host, port = address
+    req = urllib.request.Request(f"http://{host}:{port}{path}", method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=10) as response:
+            return response.status, response.headers.get("Content-Type"), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers.get("Content-Type"), exc.read()
+
+
+class TestHttpGateway:
+    def test_no_gateway_without_http_port(self):
+        with BrokerServer(Broker()) as server:
+            assert server.http_address is None
+
+    def test_all_endpoints_over_a_live_broker(self):
+        broker = Broker(telemetry=Telemetry())
+        broker.submit([spec.canonical() for spec in make_specs()])
+        with BrokerServer(broker, http_port=0, sample_interval=0.05) as server:
+            address = server.http_address
+            assert address is not None and address[1] > 0
+
+            status, ctype, body = http_get(address, "/healthz")
+            assert (status, body) == (200, b"ok\n")
+
+            status, _, body = http_get(address, "/readyz")
+            assert (status, body) == (200, b"ready\n")
+
+            status, ctype, body = http_get(address, "/metrics")
+            assert status == 200
+            assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+            text = body.decode("utf-8")
+            assert "dalorex_broker_queue_depth" in text
+            assert check_prom_text(text) == []  # a real scraper would parse it
+
+            status, ctype, body = http_get(address, "/stats.json")
+            assert status == 200 and ctype == "application/json"
+            stats = json.loads(body)
+            assert stats["queue_depth"] == len(make_specs())
+            assert "signals" in stats and "series" in stats
+
+            assert http_get(address, "/nope")[0] == 404
+            assert http_get(address, "/metrics", method="POST")[0] == 405
+
+    def test_readyz_flips_to_503_once_shutdown_begins(self):
+        broker = Broker()
+        with BrokerServer(broker, http_port=0) as server:
+            assert http_get(server.http_address, "/readyz")[0] == 200
+            broker.shutdown()
+            status, _, body = http_get(server.http_address, "/readyz")
+            assert (status, body) == (503, b"shutting down\n")
+
+    def test_metrics_exposes_piggybacked_worker_sources(self):
+        broker = Broker(telemetry=Telemetry())
+        broker.record_worker_telemetry(
+            "wA", {"seq": 3, "gauges": {"worker.busy": {"": 1.0}}}
+        )
+        with BrokerServer(broker, http_port=0) as server:
+            text = http_get(server.http_address, "/metrics")[2].decode("utf-8")
+        assert 'dalorex_fleet_source_last_seq{source="wA"} 3' in text
+        assert 'dalorex_worker_busy{source="wA"} 1' in text
+        assert check_prom_text(text) == []
+
+
+class TestTracePropagation:
+    def test_lease_echoes_the_submitted_trace(self):
+        broker = Broker()
+        spec = make_spec()
+        wire = TraceContext.mint().child("client-span-1").to_wire()
+        broker.submit([spec.canonical()], traces={spec.key(): wire})
+        lease = broker.lease("w0")
+        assert lease["key"] == spec.key()
+        assert lease["trace"] == wire
+
+    def test_malformed_trace_is_dropped_not_fatal(self):
+        broker = Broker()
+        spec = make_spec()
+        broker.submit([spec.canonical()], traces={spec.key(): {"bogus": 1}})
+        lease = broker.lease("w0")
+        assert lease["key"] == spec.key()
+        assert "trace" not in lease
+
+    def test_worker_spans_join_the_client_trace(self, tmp_path):
+        """End to end over a live fleet: the wire context submitted with a
+        spec must stamp the executing worker's spans with the client's
+        trace id and re-parent them under the client's span -- exactly what
+        ``dalorex trace`` reassembles across files."""
+        trace_path = tmp_path / "worker.jsonl"
+        ctx = TraceContext(trace_id="f" * 16, parent_id="client-span-1")
+        spec = make_spec()
+        # Workers cache the process registry at construction, so the session
+        # must be active before fleet() builds them.
+        with telemetry_session(jsonl=str(trace_path)):
+            broker = Broker(telemetry=Telemetry())
+            with fleet(broker, num_workers=1) as (server, workers):
+                broker.submit([spec.canonical()], traces={spec.key(): ctx.to_wire()})
+                assert wait_until(
+                    lambda: broker.fleet_stats()["completed"] == 1
+                )
+
+        records = list(load_records(str(trace_path)))
+        traced = [r for r in records if r.get("trace") == ctx.trace_id]
+        spans = {r["name"]: r for r in traced if r.get("kind") == "span"}
+        assert {"worker.execute", "worker.upload"} <= set(spans)
+        # Root spans of the scoped work adopt the client's span as parent:
+        # that is the cross-process link.
+        assert spans["worker.execute"]["parent_id"] == "client-span-1"
+        assert spans["worker.upload"]["parent_id"] == "client-span-1"
+        # The lease poll that carried no trace context stays unlinked.
+        grouped = group_traces(records)
+        assert set(grouped) == {ctx.trace_id}
+        summary = summarize_trace(grouped[ctx.trace_id])
+        assert summary["spans"] >= 2
+        assert summary["critical_path"], "trace must yield a critical path"
+
+    def test_fleet_metrics_op_collects_worker_sources(self):
+        """Workers piggyback cumulative snapshots on heartbeat/result; the
+        broker's metrics op must report them in ``sources`` and merge their
+        series into the fleet-wide snapshot."""
+        from repro.runtime.distributed import request
+
+        with telemetry_session(Telemetry()):
+            broker = Broker(telemetry=Telemetry())
+            specs = make_specs()
+            with fleet(broker, num_workers=2) as (server, workers):
+                broker.submit([spec.canonical() for spec in specs])
+                assert wait_until(
+                    lambda: broker.fleet_stats()["completed"] == len(specs)
+                )
+                assert wait_until(
+                    lambda: request(server.address, {"op": "metrics"})["sources"]
+                )
+                response = request(server.address, {"op": "metrics"})
+        sources = response["sources"]
+        assert set(sources) <= {"w0", "w1"}
+        assert all(
+            isinstance(seq, int) and seq >= 1 for seq in sources.values()
+        )
+        gauges = response["metrics"]["gauges"]
+        last_seq = gauges["fleet.source.last_seq"]
+        assert {f"source={tag}" for tag in sources} == set(last_seq)
+        # Worker-side span histograms merged into the fleet snapshot.
+        histograms = response["metrics"]["histograms"]
+        assert "span.worker.execute.seconds" in histograms
+
+
+class TestPiggybackAggregation:
+    def test_duplicate_and_stale_reports_are_no_ops(self):
+        broker = Broker(telemetry=Telemetry())
+        report = {"seq": 2, "counters": {"worker.uploads": {"": 3}}}
+        assert broker.record_worker_telemetry("wA", report) is True
+        assert broker.record_worker_telemetry("wA", report) is False  # dup
+        assert broker.record_worker_telemetry(
+            "wA", {"seq": 1, "counters": {"worker.uploads": {"": 99}}}
+        ) is False  # stale
+        counters = broker.observability()["metrics"]["counters"]
+        assert counters["worker.uploads"][""] == 3
+
+    def test_counters_sum_across_sources(self):
+        broker = Broker(telemetry=Telemetry())
+        broker.record_worker_telemetry(
+            "wA", {"seq": 1, "counters": {"worker.uploads": {"": 3}}}
+        )
+        broker.record_worker_telemetry(
+            "wB", {"seq": 1, "counters": {"worker.uploads": {"": 4}}}
+        )
+        view = broker.observability()
+        assert view["metrics"]["counters"]["worker.uploads"][""] == 7
+        assert view["sources"] == {"wA": 1, "wB": 1}
+
+    def test_malformed_reports_are_dropped(self):
+        broker = Broker(telemetry=Telemetry())
+        for hostile in (
+            None, "text", 7, [],                        # not a dict
+            {"counters": {"c": {"": 1}}},               # no seq
+            {"seq": True, "counters": {"c": {"": 1}}},  # bool seq
+            {"seq": 1},                                 # no families
+            {"seq": 1, "counters": "nope"},             # family not a dict
+        ):
+            assert broker.record_worker_telemetry("wA", hostile) is False
+        assert broker.observability()["sources"] == {}
+
+    def test_disabled_broker_still_serves_worker_reports(self):
+        """A --no-telemetry broker has no registry of its own, but snapshots
+        a worker pushed must not vanish: the fleet view is their merge."""
+        broker = Broker()  # NULL registry
+        broker.record_worker_telemetry(
+            "wA", {"seq": 1, "counters": {"worker.uploads": {"": 5}}}
+        )
+        view = broker.observability()
+        assert view["telemetry_enabled"] is False
+        assert view["metrics"]["counters"]["worker.uploads"][""] == 5
+        assert 'source="wA"' in view["text"]
+
+
+class TestAutoscalingSignals:
+    def test_idle_broker_without_capacity_reports(self):
+        signals = Broker().fleet_stats()["signals"]
+        assert signals["saturation"] is None  # no capacity known
+        assert signals["reported_capacity"] == 0
+        assert signals["backlog_eta_seconds"] == 0.0  # nothing queued
+        assert signals["completion_rate"] is None
+
+    def test_backlog_with_unknown_rate_has_no_eta(self):
+        broker = Broker()
+        broker.submit([make_spec().canonical()])
+        signals = broker.fleet_stats()["signals"]
+        assert signals["backlog_eta_seconds"] is None
+
+    def test_saturation_and_eta_derive_from_reports_and_ring(self):
+        broker = Broker()
+        broker.lease("w0", stats={"capacity": 4})  # no work yet: report only
+        broker.submit([make_spec(seed=s).canonical() for s in (1, 2)])
+        lease = broker.lease("w0")
+        assert lease["key"]
+        broker.ring.sample(0.0, {"completed": 0.0})
+        broker.ring.sample(2.0, {"completed": 8.0})
+        signals = broker.fleet_stats()["signals"]
+        assert signals["saturation"] == 0.25        # 1 lease / capacity 4
+        assert signals["completion_rate"] == 4.0    # 8 results / 2 s
+        assert signals["backlog_eta_seconds"] == 0.25  # 1 queued / 4 per s
+
+    def test_sample_metrics_feeds_the_series(self):
+        broker = Broker()
+        broker.submit([make_spec().canonical()], tenant="teamA")
+        broker.sample_metrics()
+        broker.sample_metrics()
+        series = broker.fleet_stats()["series"]
+        assert len(series) >= 2
+        latest = series[-1]
+        assert latest["queue_depth"] == 1.0
+        assert latest["tenant.teamA.depth"] == 1.0
+        assert {"completed", "uploads", "active_leases", "ts"} <= set(latest)
+
+
+class TestCliNoTelemetryHint:
+    def address_of(self, server):
+        host, port = server.address
+        return f"{host}:{port}"
+
+    def test_fleet_metrics_prints_a_structured_hint(self, capsys):
+        from repro.cli import _NO_TELEMETRY_HINT, fleet_command
+
+        with BrokerServer(Broker()) as server:
+            rc = fleet_command(["metrics", "--connect", self.address_of(server)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""  # no exposition text to show
+        assert _NO_TELEMETRY_HINT in captured.err
+
+    def test_fleet_top_frame_carries_the_hint_inline(self, capsys):
+        from repro.cli import _NO_TELEMETRY_HINT, fleet_command
+
+        with BrokerServer(Broker()) as server:
+            rc = fleet_command([
+                "top", "--connect", self.address_of(server),
+                "--iterations", "1", "--no-clear",
+            ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "signals:" in out
+        assert _NO_TELEMETRY_HINT in out  # replaces the op-latency table

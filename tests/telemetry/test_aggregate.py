@@ -1,0 +1,230 @@
+"""Fleet aggregation semantics: merge_snapshots, FleetAggregate and the
+TimeSeriesRing behind the broker's autoscaling signals.
+
+The load-bearing properties (ISSUE 9 satellite): the aggregate a broker
+derives from worker-piggybacked snapshots must be *order-independent* and
+*idempotent* under heartbeat retry/duplication, and a SIGKILLed worker's
+last snapshot must persist without corrupting the merge.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import FleetAggregate, TimeSeriesRing, merge_snapshots
+
+
+def snapshot(counters=None, gauges=None, histograms=None):
+    return {
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    }
+
+
+def fleet_counters(aggregate):
+    return aggregate.merged()["counters"]
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_across_sources(self):
+        base = snapshot(counters={"worker.uploads": {"": 3}})
+        merge_snapshots(base, "w1", snapshot(
+            counters={"worker.uploads": {"": 4}, "worker.errors": {"": 1}}
+        ))
+        assert base["counters"]["worker.uploads"][""] == 7
+        assert base["counters"]["worker.errors"][""] == 1
+
+    def test_label_series_merge_independently(self):
+        base = snapshot(counters={"broker.ops": {"op=lease": 1}})
+        merge_snapshots(base, "w1", snapshot(
+            counters={"broker.ops": {"op=lease": 2, "op=fetch": 5}}
+        ))
+        assert base["counters"]["broker.ops"] == {"op=lease": 3, "op=fetch": 5}
+
+    def test_gauges_are_source_tagged_not_summed(self):
+        base = snapshot(gauges={"worker.capacity": {"": 2.0}})
+        merge_snapshots(base, "w1", snapshot(
+            gauges={"worker.capacity": {"": 4.0}}
+        ))
+        series = base["gauges"]["worker.capacity"]
+        assert series[""] == 2.0  # the base's own gauge is untouched
+        assert series["source=w1"] == 4.0
+
+    def test_histograms_with_matching_edges_sum(self):
+        hist = {
+            "edges": [1.0, 2.0], "buckets": [1, 0, 0],
+            "count": 1, "sum": 0.5, "min": 0.5, "max": 0.5,
+            "p50": 0.5, "p99": 0.5,
+        }
+        other = {
+            "edges": [1.0, 2.0], "buckets": [0, 2, 0],
+            "count": 2, "sum": 3.0, "min": 1.2, "max": 1.8,
+            "p50": 1.2, "p99": 1.8,
+        }
+        base = snapshot(histograms={"op.seconds": {"": dict(hist)}})
+        merge_snapshots(base, "w1", snapshot(
+            histograms={"op.seconds": {"": dict(other)}}
+        ))
+        merged = base["histograms"]["op.seconds"][""]
+        assert merged["buckets"] == [1, 2, 0]
+        assert merged["count"] == 3
+        assert merged["sum"] == 3.5
+        assert merged["min"] == 0.5
+        assert merged["max"] == 1.8
+
+    def test_histograms_with_different_edges_stay_separate(self):
+        hist_a = {"edges": [1.0], "buckets": [1, 0], "count": 1, "sum": 0.5,
+                  "min": 0.5, "max": 0.5, "p50": 0.5, "p99": 0.5}
+        hist_b = {"edges": [2.0], "buckets": [2, 0], "count": 2, "sum": 1.0,
+                  "min": 0.5, "max": 0.5, "p50": 0.5, "p99": 0.5}
+        base = snapshot(histograms={"h": {"": dict(hist_a)}})
+        merge_snapshots(base, "w1", snapshot(histograms={"h": {"": dict(hist_b)}}))
+        series = base["histograms"]["h"]
+        assert series[""]["count"] == 1  # incompatible edges never sum
+        assert series["source=w1"]["count"] == 2
+
+
+class TestFleetAggregate:
+    def test_newer_seq_replaces_older(self):
+        aggregate = FleetAggregate()
+        assert aggregate.update("w0", 1, snapshot(counters={"c": {"": 1}}))
+        assert aggregate.update("w0", 2, snapshot(counters={"c": {"": 5}}))
+        assert fleet_counters(aggregate)["c"][""] == 5
+
+    def test_stale_and_duplicate_seqs_are_ignored(self):
+        aggregate = FleetAggregate()
+        assert aggregate.update("w0", 3, snapshot(counters={"c": {"": 7}}))
+        assert not aggregate.update("w0", 3, snapshot(counters={"c": {"": 9}}))
+        assert not aggregate.update("w0", 2, snapshot(counters={"c": {"": 9}}))
+        assert fleet_counters(aggregate)["c"][""] == 7
+
+    def test_garbage_seq_rejected(self):
+        aggregate = FleetAggregate()
+        assert not aggregate.update("w0", "nope", snapshot())
+        assert not aggregate.update("w0", True, snapshot())
+        assert aggregate.sources() == {}
+
+    def test_last_seq_gauge_per_source(self):
+        aggregate = FleetAggregate()
+        aggregate.update("w0", 4, snapshot())
+        aggregate.update("w1", 9, snapshot())
+        gauges = aggregate.merged()["gauges"]["fleet.source.last_seq"]
+        assert gauges["source=w0"] == 4
+        assert gauges["source=w1"] == 9
+
+    def test_merged_leaves_base_snapshot_unmutated(self):
+        aggregate = FleetAggregate()
+        aggregate.update("w0", 1, snapshot(counters={"c": {"": 2}}))
+        base = snapshot(counters={"c": {"": 1}})
+        merged = aggregate.merged(base=base)
+        assert merged["counters"]["c"][""] == 3
+        assert base["counters"]["c"][""] == 1
+
+    def test_dead_workers_last_snapshot_persists(self):
+        """A SIGKILLed worker never retracts its report: its final
+        cumulative snapshot stays in the aggregate, uncorrupted, while
+        the survivors keep updating around it."""
+        aggregate = FleetAggregate()
+        aggregate.update("victim", 5, snapshot(
+            counters={"worker.uploads": {"": 11}},
+            gauges={"worker.capacity": {"": 2.0}},
+        ))
+        # The victim dies here; the survivor reports many more rounds.
+        for seq in range(1, 20):
+            aggregate.update("survivor", seq, snapshot(
+                counters={"worker.uploads": {"": float(seq)}}
+            ))
+        merged = aggregate.merged()
+        assert merged["counters"]["worker.uploads"][""] == 11 + 19
+        assert merged["gauges"]["worker.capacity"]["source=victim"] == 2.0
+        assert aggregate.sources() == {"victim": 5, "survivor": 19}
+
+    def test_forget_removes_a_source(self):
+        aggregate = FleetAggregate()
+        aggregate.update("w0", 1, snapshot(counters={"c": {"": 1}}))
+        aggregate.forget("w0")
+        assert aggregate.sources() == {}
+        assert "c" not in fleet_counters(aggregate)
+
+
+@st.composite
+def worker_reports(draw):
+    """Per-worker cumulative report sequences, as (source, seq, value)."""
+    num_workers = draw(st.integers(min_value=1, max_value=4))
+    events = []
+    for index in range(num_workers):
+        # Cumulative counter values: non-decreasing, like a real worker's
+        # uploads counter between heartbeats.
+        values = draw(
+            st.lists(st.integers(min_value=0, max_value=50),
+                     min_size=1, max_size=6)
+        )
+        running = 0
+        for seq, delta in enumerate(values, start=1):
+            running += delta
+            events.append((f"w{index}", seq, running))
+    return events
+
+
+class TestMergeProperties:
+    @given(reports=worker_reports(), seed=st.integers(0, 2**16),
+           duplicates=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_order_independent_and_idempotent(self, reports, seed, duplicates):
+        """Any interleaving of heartbeat arrivals -- including retries that
+        duplicate whole reports -- converges to the same fleet aggregate:
+        per worker, the highest-seq cumulative snapshot."""
+        shuffled = list(reports)
+        if duplicates:
+            shuffled += reports  # every report delivered twice (retry storm)
+        random.Random(seed).shuffle(shuffled)
+
+        aggregate = FleetAggregate()
+        for source, seq, value in shuffled:
+            aggregate.update(source, seq, snapshot(
+                counters={"worker.uploads": {"": value}}
+            ))
+
+        expected_latest = {}
+        for source, seq, value in reports:
+            best = expected_latest.get(source)
+            if best is None or seq > best[0]:
+                expected_latest[source] = (seq, value)
+        expected_total = sum(value for _seq, value in expected_latest.values())
+        assert fleet_counters(aggregate).get(
+            "worker.uploads", {}).get("", 0) == expected_total
+        assert aggregate.sources() == {
+            source: seq for source, (seq, _value) in expected_latest.items()
+        }
+
+
+class TestTimeSeriesRing:
+    def test_bounded_and_ordered(self):
+        ring = TimeSeriesRing(maxlen=3)
+        for step in range(5):
+            ring.sample(float(step), {"depth": step})
+        assert len(ring) == 3
+        assert ring.series("depth") == [2, 3, 4]
+
+    def test_rate_over_window(self):
+        ring = TimeSeriesRing()
+        ring.sample(10.0, {"completed": 0})
+        ring.sample(20.0, {"completed": 40})
+        assert ring.rate("completed") == 4.0
+
+    def test_rate_unknown_cases(self):
+        ring = TimeSeriesRing()
+        assert ring.rate("completed") is None
+        ring.sample(10.0, {"completed": 1})
+        assert ring.rate("completed") is None  # one sample: no window
+        ring.sample(10.0, {"completed": 2})
+        assert ring.rate("completed") is None  # zero elapsed time
+
+    def test_to_list_returns_copies(self):
+        ring = TimeSeriesRing()
+        ring.sample(1.0, {"depth": 2})
+        exported = ring.to_list()
+        exported[0]["depth"] = 99
+        assert ring.series("depth") == [2]

@@ -49,6 +49,33 @@ class TestExposition:
         text = to_prometheus(t.snapshot())
         assert 'kind="say \\"hi\\"\\\\now"' in text
 
+    def test_newlines_in_label_values_are_escaped(self):
+        """Satellite regression: a raw newline inside a label value would
+        break line-oriented exposition parsing entirely; the format mandates
+        the two-character escape ``\\n``."""
+        t = Telemetry()
+        t.count("odd", kind='line1\nline2\\"\n')
+        text = to_prometheus(t.snapshot())
+        # Every emitted line must still be a whole sample line.
+        sample = [line for line in text.splitlines()
+                  if "odd_total" in line and not line.startswith("#")]
+        assert len(sample) == 1
+        assert 'kind="line1\\nline2\\\\\\"\\n"' in sample[0]
+        assert "\n" not in sample[0]
+
+    def test_hostile_label_value_survives_a_parser(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[2] / "scripts")
+        )
+        from check_prom_text import check_prom_text
+
+        t = Telemetry()
+        t.count("odd", kind='multi\nline "quoted" back\\slash')
+        assert check_prom_text(to_prometheus(t.snapshot())) == []
+
     def test_output_is_deterministic(self):
         def build():
             t = Telemetry()

@@ -1,0 +1,139 @@
+"""JsonlSink size bounding: one deterministic rotation to ``<path>.1``
+(ISSUE 9 satellite), driven by ``max_bytes=`` or the
+``DALOREX_TELEMETRY_JSONL_MAX_BYTES`` environment variable."""
+
+import json
+
+from repro.telemetry import ENV_JSONL_MAX_BYTES, JsonlSink
+
+
+def record(tag, padding=0):
+    return {"kind": "event", "tag": tag, "pad": "x" * padding, "ts": 0.0}
+
+
+def lines(path):
+    if not path.exists():
+        return []
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestRotationBoundary:
+    def test_unbounded_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path=str(path)) as sink:
+            assert sink.max_bytes is None
+            for i in range(50):
+                sink.write(record(i))
+        assert len(lines(path)) == 50
+        assert not (tmp_path / "t.jsonl.1").exists()
+
+    def test_rotates_exactly_when_a_record_would_cross_the_bound(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path=str(path), max_bytes=400)
+        written = []
+        rotated_at = None
+        for i in range(100):
+            before = path.stat().st_size if path.exists() else 0
+            sink.write(record(i))
+            after = path.stat().st_size
+            written.append(i)
+            if after < before:  # the file shrank: rotation happened
+                rotated_at = i
+                break
+        sink.close()
+        assert rotated_at is not None, "sink never rotated under a 400B bound"
+        old = tmp_path / "t.jsonl.1"
+        assert old.is_file()
+        # Nothing lost: the two files together hold every record, in order.
+        merged = [r["tag"] for r in lines(old)] + [r["tag"] for r in lines(path)]
+        assert merged == written
+        # The retired file respects the bound; the live file restarted.
+        assert old.stat().st_size <= 400
+        assert [r["tag"] for r in lines(path)] == [rotated_at]
+
+    def test_boundary_record_exactly_at_max_bytes_does_not_rotate(self, tmp_path):
+        """A record that lands the file *exactly on* max_bytes fits; only
+        the first byte past the bound triggers rotation."""
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path=str(path), max_bytes=10_000)
+        sink.write(record(0))
+        one_record = path.stat().st_size
+        sink.close()
+        path.unlink()
+
+        sink = JsonlSink(path=str(path), max_bytes=2 * one_record)
+        sink.write(record(0))
+        sink.write(record(0))  # lands exactly at the bound: kept
+        assert not (tmp_path / "t.jsonl.1").exists()
+        sink.write(record(0))  # would cross: rotates first
+        sink.close()
+        assert (tmp_path / "t.jsonl.1").is_file()
+        assert len(lines(tmp_path / "t.jsonl.1")) == 2
+        assert len(lines(path)) == 1
+
+    def test_single_oversized_record_never_rotates_an_empty_file(self, tmp_path):
+        """A record larger than max_bytes on a fresh file is written whole:
+        rotating an empty file would loop forever and lose the record."""
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path=str(path), max_bytes=10) as sink:
+            sink.write(record(0, padding=500))
+            sink.write(record(1, padding=500))
+        # Each oversized record triggers at most one rotation; both survive.
+        total = lines(path) + lines(tmp_path / "t.jsonl.1")
+        assert {r["tag"] for r in total} == {0, 1}
+
+    def test_second_rotation_replaces_the_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path=str(path), max_bytes=200) as sink:
+            for i in range(40):
+                sink.write(record(i))
+        old = lines(tmp_path / "t.jsonl.1")
+        live = lines(path)
+        # Single .1 file only (no .2): the newest records always survive.
+        assert not (tmp_path / "t.jsonl.2").exists()
+        assert live or old
+        newest = (live or old)[-1]["tag"]
+        assert newest == 39
+
+    def test_resumes_byte_count_from_an_existing_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path=str(path), max_bytes=10_000) as sink:
+            sink.write(record(0, padding=100))
+        size = path.stat().st_size
+        # Reopen with a bound the existing content nearly fills: the very
+        # first write of the new sink must already account for those bytes.
+        with JsonlSink(path=str(path), max_bytes=size + 10) as sink:
+            sink.write(record(1, padding=100))
+        assert (tmp_path / "t.jsonl.1").is_file()
+        assert [r["tag"] for r in lines(tmp_path / "t.jsonl.1")] == [0]
+        assert [r["tag"] for r in lines(path)] == [1]
+
+
+class TestEnvConfiguration:
+    def test_env_var_bounds_path_sinks(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_JSONL_MAX_BYTES, "300")
+        sink = JsonlSink(path=str(tmp_path / "t.jsonl"))
+        assert sink.max_bytes == 300
+        sink.close()
+
+    def test_explicit_max_bytes_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_JSONL_MAX_BYTES, "300")
+        sink = JsonlSink(path=str(tmp_path / "t.jsonl"), max_bytes=700)
+        assert sink.max_bytes == 700
+        sink.close()
+
+    def test_garbage_env_values_are_ignored(self, tmp_path, monkeypatch):
+        for hostile in ("zero", "-5", "0", ""):
+            monkeypatch.setenv(ENV_JSONL_MAX_BYTES, hostile)
+            sink = JsonlSink(path=str(tmp_path / "t.jsonl"))
+            assert sink.max_bytes is None
+            sink.close()
+
+    def test_stream_sinks_never_rotate(self, monkeypatch):
+        import io
+
+        monkeypatch.setenv(ENV_JSONL_MAX_BYTES, "10")
+        sink = JsonlSink(stream=io.StringIO())
+        assert sink.max_bytes is None
+        for i in range(10):
+            sink.write(record(i))  # must not try os.replace on a StringIO

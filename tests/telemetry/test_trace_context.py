@@ -1,0 +1,113 @@
+"""TraceContext semantics and cross-process span linking in the registry:
+wire round-trips, hostile-wire tolerance, span-id uniqueness, and the
+trace/span_id/parent_id stamping that `dalorex trace` reassembles."""
+
+import json
+
+from repro.telemetry import NULL, Telemetry, TraceContext
+from repro.telemetry.sink import JsonlSink
+
+
+class TestTraceContext:
+    def test_mint_is_unique_and_wire_round_trips(self):
+        a, b = TraceContext.mint(), TraceContext.mint()
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 16
+        restored = TraceContext.from_wire(a.to_wire())
+        assert restored == a
+
+    def test_child_sets_parent_span(self):
+        ctx = TraceContext.mint().child("abc-123-1")
+        wire = ctx.to_wire()
+        assert wire["parent"] == "abc-123-1"
+        assert TraceContext.from_wire(wire).parent_id == "abc-123-1"
+
+    def test_from_wire_tolerates_garbage(self):
+        for hostile in (None, 42, "text", [], {}, {"trace": ""},
+                        {"trace": None}, {"parent": "p"}):
+            assert TraceContext.from_wire(hostile) is None
+        # A bad parent degrades to None rather than poisoning the trace.
+        ctx = TraceContext.from_wire({"trace": "t" * 16, "parent": 7})
+        assert ctx is not None and ctx.parent_id is None
+
+    def test_wire_form_is_json_safe(self):
+        wire = TraceContext.mint().child("s1").to_wire()
+        assert json.loads(json.dumps(wire)) == wire
+
+
+class TestSpanLinking:
+    def read(self, stream):
+        return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+    def test_span_ids_are_unique_and_parents_link(self):
+        import io
+
+        stream = io.StringIO()
+        telemetry = Telemetry(sink=JsonlSink(stream=stream))
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        with telemetry.span("outer"):
+            pass
+        spans = {r["name"]: r for r in self.read(stream) if r["kind"] == "span"}
+        ids = [r["span_id"] for r in self.read(stream) if r["kind"] == "span"]
+        assert len(set(ids)) == 3
+        assert spans["inner"]["parent_id"] == [
+            r for r in self.read(stream) if r["name"] == "outer"
+        ][0]["span_id"]
+        assert spans["inner"]["parent"] == "outer"
+
+    def test_trace_scope_stamps_every_record(self):
+        import io
+
+        stream = io.StringIO()
+        telemetry = Telemetry(sink=JsonlSink(stream=stream))
+        ctx = TraceContext.mint()
+        with telemetry.trace_scope(ctx):
+            with telemetry.span("work"):
+                telemetry.emit("event", note="n1")
+        with telemetry.span("untraced"):
+            pass
+        records = self.read(stream)
+        traced = [r for r in records if r.get("trace") == ctx.trace_id]
+        assert {r["name"] for r in traced if r["kind"] == "span"} == {"work"}
+        assert any(r["kind"] == "event" for r in traced)
+        untraced = [r for r in records if r.get("name") == "untraced"]
+        assert "trace" not in untraced[0]
+
+    def test_trace_parent_becomes_root_span_parent_id(self):
+        """The wire parent (the submitting client's span) re-parents this
+        process's root spans, which is what links the tree across pids."""
+        import io
+
+        stream = io.StringIO()
+        telemetry = Telemetry(sink=JsonlSink(stream=stream))
+        ctx = TraceContext(trace_id="t" * 16, parent_id="client-span-1")
+        with telemetry.trace_scope(ctx):
+            with telemetry.span("root"):
+                with telemetry.span("child"):
+                    pass
+        spans = {r["name"]: r for r in self.read(stream) if r["kind"] == "span"}
+        assert spans["root"]["parent_id"] == "client-span-1"
+        assert spans["child"]["parent_id"] == spans["root"]["span_id"]
+
+    def test_trace_scope_none_is_a_no_op(self):
+        telemetry = Telemetry()
+        with telemetry.trace_scope(None):
+            assert telemetry.current_trace() is None
+
+    def test_current_helpers(self):
+        telemetry = Telemetry()
+        ctx = TraceContext.mint()
+        assert telemetry.current_span_id() is None
+        with telemetry.trace_scope(ctx):
+            assert telemetry.current_trace() is ctx
+            with telemetry.span("s"):
+                assert telemetry.current_span_id()
+        assert telemetry.current_trace() is None
+
+    def test_null_registry_accepts_the_full_surface(self):
+        with NULL.trace_scope(TraceContext.mint()):
+            pass
+        assert NULL.current_trace() is None
+        assert NULL.current_span_id() is None

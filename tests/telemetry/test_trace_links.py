@@ -1,0 +1,109 @@
+"""Cross-process trace grouping: load_many, group_traces, summarize_trace
+and the per-trace report behind ``dalorex trace FILE...``."""
+
+import json
+
+from repro.telemetry import (
+    format_trace_summary,
+    group_traces,
+    load_many,
+    summarize_trace,
+)
+
+
+def span(name, span_id, parent_id=None, trace="t" * 16, ts=1.0, dur=0.5, pid=100):
+    record = {
+        "kind": "span", "name": name, "span_id": span_id,
+        "trace": trace, "ts": ts, "dur_s": dur, "pid": pid,
+    }
+    if parent_id is not None:
+        record["parent_id"] = parent_id
+    return record
+
+
+class TestLoadMany:
+    def test_merges_files_in_order(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(json.dumps(span("x", "s1")) + "\n")
+        b.write_text(json.dumps(span("y", "s2")) + "\ngarbage-line\n")
+        records = list(load_many([str(a), str(b)]))
+        assert [r["name"] for r in records] == ["x", "y"]
+
+
+class TestGroupTraces:
+    def test_groups_by_trace_id_only_spans(self):
+        records = [
+            span("a", "s1", trace="t1" * 8),
+            span("b", "s2", trace="t2" * 8),
+            span("c", "s3", trace="t1" * 8),
+            {"kind": "event", "trace": "t1" * 8},       # not a span
+            {"kind": "span", "name": "untraced", "ts": 1.0, "dur_s": 0.1},
+            {"kind": "span", "name": "bad", "trace": 42, "ts": 1, "dur_s": 1},
+        ]
+        grouped = group_traces(records)
+        assert set(grouped) == {"t1" * 8, "t2" * 8}
+        assert [s["name"] for s in grouped["t1" * 8]] == ["a", "c"]
+
+
+class TestSummarizeTrace:
+    def test_cross_process_critical_path(self):
+        """Client (pid 1) submits; broker (pid 2) ingests; worker (pid 3)
+        executes under the broker's span.  The critical path must descend
+        the latest-ending chain across all three processes."""
+        spans = [
+            span("client.wait", "c1", ts=10.0, dur=9.0, pid=1),
+            span("broker.ingest", "b1", parent_id="c1", ts=9.5, dur=1.0, pid=2),
+            span("worker.execute", "w1", parent_id="b1", ts=9.0, dur=5.0, pid=3),
+            span("worker.upload", "w2", parent_id="b1", ts=9.4, dur=0.2, pid=3),
+        ]
+        summary = summarize_trace(spans)
+        assert summary["spans"] == 4
+        assert summary["processes"] == 3
+        path = [step["name"] for step in summary["critical_path"]]
+        assert path[0] == "client.wait"
+        assert "broker.ingest" in path
+        # Within broker.ingest, upload ended later than execute.
+        assert path[-1] == "worker.upload"
+        assert summary["wall_s"] > 0
+
+    def test_orphan_parent_makes_a_root(self):
+        """A span whose parent_id points at a span from a file we were not
+        given still summarizes -- it becomes a root, not an error."""
+        spans = [span("w", "w1", parent_id="missing-span", ts=5.0, dur=1.0)]
+        summary = summarize_trace(spans)
+        assert summary["spans"] == 1
+        assert [s["name"] for s in summary["critical_path"]] == ["w"]
+
+    def test_cycle_guard_terminates(self):
+        spans = [
+            span("a", "s1", parent_id="s2", ts=1.0, dur=0.5),
+            span("b", "s2", parent_id="s1", ts=1.1, dur=0.5),
+        ]
+        summary = summarize_trace(spans)  # must not loop forever
+        assert summary["spans"] == 2
+
+
+class TestFormatTraceSummary:
+    def test_report_shape(self):
+        grouped = group_traces([
+            span("outer", "s1", trace="a" * 16, ts=2.0, dur=1.5, pid=1),
+            span("inner", "s2", parent_id="s1", trace="a" * 16,
+                 ts=1.9, dur=1.0, pid=2),
+            span("solo", "s3", trace="b" * 16, ts=1.0, dur=0.1, pid=1),
+        ])
+        text = format_trace_summary(grouped)
+        assert "2 trace(s) across 2 process(es)" in text
+        assert "critical path" in text
+        assert "outer > inner" in text
+        assert "a" * 16 in text and "b" * 16 in text
+
+    def test_empty_grouping(self):
+        assert format_trace_summary({}) == "no trace-linked spans found\n"
+
+    def test_limit_elides_the_tail(self):
+        grouped = group_traces([
+            span("s", f"s{i}", trace=f"{i:016x}", ts=float(i), dur=0.1)
+            for i in range(15)
+        ])
+        text = format_trace_summary(grouped, limit=10)
+        assert "... and 5 more trace(s)" in text
