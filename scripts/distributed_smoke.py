@@ -74,6 +74,7 @@ def _start_worker(
     protocol: str = None,
     telemetry: bool = False,
     trace: Path = None,
+    gang: bool = False,
 ) -> subprocess.Popen:
     env = _env()
     if protocol is not None:
@@ -87,12 +88,12 @@ def _start_worker(
         # Each worker streams its own JSONL: `dalorex trace` merges the
         # broker's and every worker's file into one cross-process view.
         env["DALOREX_TELEMETRY_JSONL"] = str(trace)
-    return subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "worker",
-         "--connect", address, "--worker-id", tag,
-         "--poll-interval", "0.1", "--patience", "60"],
-        env=env, stdout=subprocess.DEVNULL,
-    )
+    command = [sys.executable, "-m", "repro.cli", "worker",
+               "--connect", address, "--worker-id", tag,
+               "--poll-interval", "0.1", "--patience", "60"]
+    if gang:
+        command.append("--gang")
+    return subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
 
 
 def _run_sweep(args, tag: str, work_dir: Path, extra: list) -> bytes:
@@ -220,6 +221,56 @@ def _check_trace_links(trace_files: list) -> None:
           f">=2 processes", flush=True)
 
 
+def _sharded_gang_phase(args, work_dir: Path, reference: bytes) -> bool:
+    """Run the sweep again as 2-shard broker gangs; must stay byte-identical.
+
+    A fresh broker (own cache/state under ``work_dir/gang``) so the main
+    phase's ingested payloads cannot short-circuit the submits, plus two
+    gang-capable workers: every spec executes jointly -- the popping worker
+    becomes the hub (coordinator + shard 0) and the other joins as shard 1,
+    exchanging segments through the broker's gang mailbox.  The broker's
+    ``broker.gang.joins`` counter proves gangs actually formed.
+    """
+    from repro.runtime.distributed.protocol import parse_address, request
+
+    gang_dir = work_dir / "gang"
+    gang_dir.mkdir()
+    broker, address, _http = _start_broker(gang_dir, args.lease_timeout)
+    print(f"[smoke] gang broker up at {address}", flush=True)
+    workers = [_start_worker(address, f"gang-{i}", gang=True) for i in range(2)]
+    try:
+        print("[smoke] sharded sweep via a 2-worker gang fleet", flush=True)
+        sharded = _run_sweep(
+            args, "sharded-gang", work_dir,
+            ["--backend", "distributed", "--connect", address, "--shards", "2"],
+        )
+        response = request(parse_address(address), {"op": "metrics"})
+        joins = sum(
+            response["metrics"]["counters"].get("broker.gang.joins", {}).values()
+        )
+        assert joins >= 1, "no gang ever formed: the sharded sweep ran solo"
+        print(f"[smoke] {joins} gang join(s) recorded by the broker", flush=True)
+    finally:
+        try:
+            request(parse_address(address), {"op": "shutdown"})
+        except Exception:
+            broker.send_signal(signal.SIGINT)
+        for process in workers:
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        try:
+            broker.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            broker.kill()
+    if sharded != reference:
+        print("[smoke] FAIL: 2-shard gang output differs from process pool")
+        return False
+    print(f"[smoke] OK: {len(sharded)} JSON bytes identical at 2-shard gangs")
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.05)
@@ -241,6 +292,11 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="with --telemetry, copy the broker's JSONL "
                              "trace here (CI uploads it as an artifact)")
+    parser.add_argument("--sharded-gang", action="store_true",
+                        help="after the main phase, re-run the sweep with "
+                             "--shards 2 on a fresh broker whose workers are "
+                             "gang-capable: each spec executes as a 2-shard "
+                             "broker gang and must stay byte-identical")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="dalorex-smoke-") as tmp:
@@ -334,6 +390,9 @@ def main(argv=None) -> int:
             print("[smoke] FAIL: distributed output differs from process pool")
             return 1
         print(f"[smoke] OK: {len(reference)} JSON bytes identical across backends")
+
+        if args.sharded_gang and not _sharded_gang_phase(args, work_dir, reference):
+            return 1
         return 0
 
 

@@ -45,7 +45,10 @@
 * ``--cache-dir PATH`` replays previously computed runs from a
   content-addressed on-disk cache (one JSON blob per run, keyed by the
   SHA-256 of the run's spec) and stores new ones;
-* ``--no-cache`` disables the cache even when ``--cache-dir`` is given.
+* ``--no-cache`` disables the cache even when ``--cache-dir`` is given;
+* ``--shards N`` partitions every simulation across N shard workers
+  (``--shard-backend`` picks the transport); reports stay byte-identical
+  to serial execution at any shard count (see ``docs/SHARDING.md``).
 
 Results are bit-identical whatever the backend/jobs/cache settings.
 """
@@ -71,6 +74,7 @@ from repro.runtime import (
     resolve_backend,
 )
 from repro.runtime.cache import PRUNE_POLICIES
+from repro.runtime.sharding import SHARD_BACKEND_CHOICES
 
 
 def _positive_int(text: str) -> int:
@@ -111,10 +115,23 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="tenant queue to submit under on a multi-tenant broker "
              "(--backend distributed only; default: the shared queue)",
     )
+    parser.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="N",
+        help="partition each simulation across N shard workers "
+             "(byte-identical to serial execution; see docs/SHARDING.md)",
+    )
+    parser.add_argument(
+        "--shard-backend", choices=SHARD_BACKEND_CHOICES, default=None,
+        help="transport for --shards > 1: 'local' forks a process pool "
+             "per run (default), 'inproc' runs shards in-process, 'gang' "
+             "is reserved for broker-fleet workers",
+    )
 
 
 def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     """Build the shared experiment runner the parsed flags describe."""
+    import os
+
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ResultCache(args.cache_dir)
@@ -127,7 +144,15 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    return ExperimentRunner(jobs=args.jobs, cache=cache, backend=backend)
+    shard_backend = getattr(args, "shard_backend", None)
+    if shard_backend is not None:
+        # The environment carries the choice into execute_spec wherever the
+        # run lands: inline, the process pool, or a fleet worker's subtree.
+        os.environ["DALOREX_SHARD_BACKEND"] = shard_backend
+    return ExperimentRunner(
+        jobs=args.jobs, cache=cache, backend=backend,
+        shards=getattr(args, "shards", None),
+    )
 
 
 def add_workload_arguments(
@@ -867,6 +892,9 @@ def worker_command(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--capacity", type=_positive_int, default=1, metavar="N",
                         help="lease and execute up to N specs concurrently "
                              "(default: 1)")
+    parser.add_argument("--gang", action="store_true",
+                        help="join broker-coordinated gangs for sharded specs "
+                             "(hub or member shard; see docs/SHARDING.md)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     args = parser.parse_args(argv)
 
@@ -877,6 +905,7 @@ def worker_command(argv: Optional[List[str]] = None) -> int:
         max_runs=args.max_runs,
         connect_patience=args.patience,
         capacity=args.capacity,
+        gang=args.gang,
         log=None if args.quiet else lambda line: print(line, flush=True),
     )
     try:

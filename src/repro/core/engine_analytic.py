@@ -269,12 +269,12 @@ class AnalyticalEngine(BaseEngine):
             segment = worklist.popleft()
             if telemetry_on:
                 with telemetry.span("engine.analytic.segment", task=segment.task.name):
-                    children, executed, child_gen = self._execute_segment(
+                    children, executed, child_gen, _counts = self._execute_segment(
                         segment, epoch_link, epoch_busy
                     )
                 telemetry.observe("engine.analytic.segment_size", segment.n)
             else:
-                children, executed, child_gen = self._execute_segment(
+                children, executed, child_gen, _counts = self._execute_segment(
                     segment, epoch_link, epoch_busy
                 )
             tasks_this_epoch += executed
@@ -301,7 +301,13 @@ class AnalyticalEngine(BaseEngine):
         return True
 
     def _execute_segment(self, segment: Segment, epoch_link, epoch_busy):
-        """Execute one same-task run as a batch; returns (children, count, max_gen)."""
+        """Execute one same-task run as a batch.
+
+        Returns ``(children, count, max_gen, counts_per_item)`` where
+        ``counts_per_item`` is the per-item emission count (or ``None`` when
+        the segment emitted nothing) -- the sharded executor uses it to
+        assign every child its canonical global position.
+        """
         handler = self._batch[segment.task.name]
         try:
             result = handler(segment)
@@ -354,6 +360,7 @@ class AnalyticalEngine(BaseEngine):
         max_child_gen = 0
         out_task = None
         out_count = 0
+        counts_per_item = None
         if result.emits is not None:
             out_task, dests, out_params, counts_per_item = result.emits
             out_count = len(dests)
@@ -379,7 +386,7 @@ class AnalyticalEngine(BaseEngine):
             child_gens = np.repeat(segment.gens + 1, counts_per_item)
             max_child_gen = int(child_gens.max())
             children.append(Segment(out_task, dests, out_params, child_gens, remote_out))
-        return children, n, max_child_gen
+        return children, n, max_child_gen, (counts_per_item if out_count else None)
 
     def _execute_segment_scalar(self, segment: Segment, epoch_link, epoch_busy):
         """Per-item fallback: the exact scalar path over one segment's items."""
@@ -387,6 +394,7 @@ class AnalyticalEngine(BaseEngine):
         counters = self.counters
         items_out = []
         max_child_gen = 0
+        emit_counts = np.zeros(segment.n, dtype=np.int64)
         for index in range(segment.n):
             tile_id = int(segment.tiles[index])
             params = tuple(column[index] for column in segment.params)
@@ -398,6 +406,7 @@ class AnalyticalEngine(BaseEngine):
             state.pu_instructions[tile_id] += ctx.instructions
             state.pu_tasks_executed[tile_id] += 1
             epoch_busy[tile_id] += cost
+            emit_counts[index] = len(ctx.outgoing)
             for out_task, out_params, destination in ctx.outgoing:
                 flits = out_task.flits_per_invocation
                 counters.messages += 1
@@ -421,7 +430,8 @@ class AnalyticalEngine(BaseEngine):
                      destination != tile_id)
                 )
             self.release_context(ctx)
-        return segments_from_items(items_out), segment.n, max_child_gen
+        children = segments_from_items(items_out)
+        return children, segment.n, max_child_gen, (emit_counts if items_out else None)
 
     def _epoch_cycles(
         self,

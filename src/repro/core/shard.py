@@ -1,0 +1,197 @@
+"""Sharded simulation primitives: tile-extent partitioning and exchange codecs.
+
+One simulation can be partitioned across ``S`` shard workers: the tile grid is
+split into ``S`` contiguous tile extents (spartan-style block splitting), each
+shard executes the items of every segment whose destination tile falls inside
+its extent, and a hub coordinator keeps the global worklist order.  This
+module owns the pieces that are pure data plumbing:
+
+* :class:`ShardPlan` -- the balanced contiguous tile split plus the
+  vectorized tile->shard ownership map;
+* the **columnar codec** (:func:`encode_tree` / :func:`decode_tree`) that
+  turns numpy column batches into JSON-safe payloads for trust-boundary
+  transports (the broker gang mailbox), preserving dtypes exactly;
+* the **link-state codec** (:func:`export_link_state` /
+  :func:`apply_link_state`) that ships a shard's per-epoch
+  :class:`~repro.noc.analytical.LinkLoadModel` integer tallies to the hub.
+  Float flit-millimeters are deliberately *excluded*: IEEE addition does not
+  associate, so the hub replays that fold itself in global emission order
+  (see :mod:`repro.core.shard_exec` for the determinism argument).
+
+Everything here is deterministic and transport-independent; byte-identical
+reports at any shard count are a property of the algorithm, not the wire.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noc.analytical import LinkLoadModel
+
+
+class ShardPlan:
+    """Contiguous balanced partition of ``num_tiles`` tiles into shards.
+
+    Shard ``i`` owns tiles ``[bounds[i], bounds[i+1])``; the first
+    ``num_tiles % shards`` extents are one tile longer, so no two extents
+    differ by more than one tile.  Requested shard counts above the tile
+    count are clamped (an extent must own at least one tile).
+    """
+
+    def __init__(self, num_tiles: int, shards: int) -> None:
+        if num_tiles < 1:
+            raise ConfigurationError("a shard plan needs at least one tile")
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.num_tiles = int(num_tiles)
+        self.num_shards = min(int(shards), self.num_tiles)
+        base, extra = divmod(self.num_tiles, self.num_shards)
+        sizes = np.full(self.num_shards, base, dtype=np.int64)
+        sizes[:extra] += 1
+        self.bounds = np.zeros(self.num_shards + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.bounds[1:])
+
+    def extent(self, shard: int) -> Tuple[int, int]:
+        """Half-open tile range ``[lo, hi)`` owned by ``shard``."""
+        if shard < 0 or shard >= self.num_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        return int(self.bounds[shard]), int(self.bounds[shard + 1])
+
+    def owner_of(self, tiles: np.ndarray) -> np.ndarray:
+        """Shard index owning each tile id (vectorized)."""
+        tiles = np.asarray(tiles, dtype=np.int64)
+        return np.searchsorted(self.bounds, tiles, side="right") - 1
+
+    def owned_mask(self, shard: int, tiles: np.ndarray) -> np.ndarray:
+        lo, hi = self.extent(shard)
+        tiles = np.asarray(tiles, dtype=np.int64)
+        return (tiles >= lo) & (tiles < hi)
+
+    def shards_of(self, tiles: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(shard, item_index_array)`` for every shard with items.
+
+        Index arrays preserve the original item order, so per-shard
+        sub-columns keep their relative (and hence per-tile) ordering.
+        """
+        owners = self.owner_of(tiles)
+        for shard in np.unique(owners).tolist():
+            yield int(shard), np.flatnonzero(owners == shard)
+
+    def describe(self) -> str:
+        return f"{self.num_shards} shard(s) over {self.num_tiles} tiles"
+
+
+# ------------------------------------------------------------ columnar codec
+_ND_TAG = "__nd__"
+_TUPLE_TAG = "__tuple__"
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """JSON-safe dtype-exact encoding of one numpy array."""
+    array = np.ascontiguousarray(array)
+    return {
+        _ND_TAG: True,
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(blob: Dict[str, Any]) -> np.ndarray:
+    raw = base64.b64decode(blob["data"].encode("ascii"))
+    array = np.frombuffer(raw, dtype=np.dtype(blob["dtype"]))
+    return array.reshape(tuple(blob["shape"])).copy()
+
+
+def encode_tree(value: Any) -> Any:
+    """Recursively encode dict/list/tuple trees with ndarray leaves.
+
+    Tuples are tagged so :func:`decode_tree` restores them exactly (segment
+    params are tuples of columns).  Numpy scalars become Python scalars.
+    """
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [encode_tree(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_tree(item) for item in value]
+    if isinstance(value, dict):
+        return {key: encode_tree(item) for key, item in value.items()}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def decode_tree(value: Any) -> Any:
+    if isinstance(value, dict):
+        if value.get(_ND_TAG):
+            return decode_array(value)
+        if _TUPLE_TAG in value and len(value) == 1:
+            return tuple(decode_tree(item) for item in value[_TUPLE_TAG])
+        return {key: decode_tree(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_tree(item) for item in value]
+    return value
+
+
+# ---------------------------------------------------------- link-state codec
+def export_link_state(link: LinkLoadModel) -> Dict[str, Any]:
+    """Integer traffic tallies of one epoch-local link model, as arrays.
+
+    ``total_flit_millimeters`` is intentionally omitted: the shard's local
+    fold order differs from the serial engine's global emission order, so the
+    hub recomputes the millimeter fold itself (bit-exactly) from per-message
+    hop counts.
+    """
+    num_tiles = link.topology.num_tiles
+    if link.link_flits:
+        codes = np.fromiter(
+            (src * num_tiles + dst for src, dst in link.link_flits),
+            dtype=np.int64,
+            count=len(link.link_flits),
+        )
+        counts = np.fromiter(
+            link.link_flits.values(), dtype=np.int64, count=len(link.link_flits)
+        )
+    else:
+        codes = np.empty(0, dtype=np.int64)
+        counts = np.empty(0, dtype=np.int64)
+    return {
+        "link_codes": codes,
+        "link_counts": counts,
+        "router_flits": np.asarray(link.router_flits, dtype=np.int64),
+        "injected_flits": np.asarray(link.injected_flits, dtype=np.int64),
+        "ejected_flits": np.asarray(link.ejected_flits, dtype=np.int64),
+        "total_flit_hops": int(link.total_flit_hops),
+        "total_messages": int(link.total_messages),
+        "bisection_flits": int(link._bisection_flits),
+    }
+
+
+def apply_link_state(target: LinkLoadModel, state: Dict[str, Any]) -> None:
+    """Accumulate one shard's exported integer tallies into ``target``."""
+    num_tiles = target.topology.num_tiles
+    codes = np.asarray(state["link_codes"], dtype=np.int64)
+    counts = np.asarray(state["link_counts"], dtype=np.int64)
+    link_flits = target.link_flits
+    for code, flits in zip(codes.tolist(), counts.tolist()):
+        link = (code // num_tiles, code % num_tiles)
+        link_flits[link] = link_flits.get(link, 0) + flits
+    for field in ("router_flits", "injected_flits", "ejected_flits"):
+        merged = np.asarray(getattr(target, field), dtype=np.int64) + np.asarray(
+            state[field], dtype=np.int64
+        )
+        setattr(target, field, merged.tolist())
+    target.total_flit_hops += int(state["total_flit_hops"])
+    target.total_messages += int(state["total_messages"])
+    target._bisection_flits += int(state["bisection_flits"])

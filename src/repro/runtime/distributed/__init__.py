@@ -13,6 +13,9 @@ execution is transport plus trust management:
   oracle-checked ingest, and an optional restart-safe journal;
 * :mod:`~repro.runtime.distributed.worker` -- ``dalorex worker``: stateless
   pull loops that rebuild graph and machine from the canonical spec;
+* :mod:`~repro.runtime.distributed.gang` -- the ``--gang`` transport: one
+  ``shards > 1`` spec executed jointly by several fleet workers (hub +
+  member shards) through the broker's gang mailbox, all-or-nothing;
 * :mod:`~repro.runtime.distributed.client` -- the
   :class:`~repro.runtime.backends.RunnerBackend` that
   ``--backend distributed`` plugs into any ExperimentRunner call site;
@@ -31,6 +34,12 @@ from repro.runtime.distributed.broker import (
     BrokerStats,
 )
 from repro.runtime.distributed.client import DistributedBackend
+from repro.runtime.distributed.gang import (
+    GangAborted,
+    GangChannel,
+    run_gang_hub,
+    run_gang_member,
+)
 from repro.runtime.distributed.gateway import ObservabilityGateway
 from repro.runtime.distributed.protocol import (
     COMPAT_PROTOCOLS,
@@ -59,6 +68,8 @@ __all__ = [
     "DEFAULT_PORT",
     "DEFAULT_TENANT",
     "DistributedBackend",
+    "GangAborted",
+    "GangChannel",
     "MAX_FRAME_BYTES",
     "ObservabilityGateway",
     "PROTOCOL",
@@ -71,4 +82,6 @@ __all__ = [
     "format_address",
     "parse_address",
     "request",
+    "run_gang_hub",
+    "run_gang_member",
 ]

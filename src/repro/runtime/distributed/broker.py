@@ -130,10 +130,63 @@ class _Task:
     #: Wire-form trace context the client minted at submission (telemetry
     #: only: echoed on the lease so the worker's spans join the same trace).
     trace: Optional[Dict[str, str]] = None
+    #: Gang currently executing this task (``shards > 1`` tasks leased by
+    #: gang-capable workers); ``None`` for solo leases.
+    gang_id: Optional[str] = None
 
     @property
     def leased(self) -> bool:
         return self.worker is not None
+
+
+@dataclass
+class _Gang:
+    """One all-or-nothing gang jointly executing a sharded task.
+
+    The worker that pops the task becomes the *hub* (it runs the shard
+    coordinator plus shard 0 in-process); every later gang-capable lease
+    joins as one member shard until shards ``1..size-1`` are all held.  The
+    broker relays the hub <-> member exchange through ``mailbox`` (FIFO
+    per ``(shard, box)``; ``"in"`` carries hub->member messages, ``"out"``
+    the replies).  Any member failure -- missed heartbeats, an executor
+    error, or a formation window that never fills -- aborts the *whole*
+    gang and requeues the task, so a partial gang can never publish a
+    partial result.
+    """
+
+    gang_id: str
+    key: str
+    #: Effective shard count (``min(spec.shards, num_tiles)``); the hub
+    #: holds shard 0, so a complete gang has ``size - 1`` members.
+    size: int
+    #: Member shard index -> worker id (shards ``1..size-1``).
+    members: Dict[int, str] = field(default_factory=dict)
+    #: Member shard index -> lease deadline (heartbeat-extended).
+    deadlines: Dict[int, float] = field(default_factory=dict)
+    #: The gang aborts if it is still missing members past this instant.
+    formation_deadline: float = 0.0
+    #: ``(shard, box)`` -> FIFO of JSON-safe exchange blobs.
+    mailbox: Dict[Tuple[int, str], Deque[Any]] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.members) >= self.size - 1
+
+    def next_shard(self) -> int:
+        """Smallest member shard index not yet held."""
+        for shard in range(1, self.size):
+            if shard not in self.members:
+                return shard
+        raise ValueError(f"gang {self.gang_id} is already complete")
+
+
+def _effective_shards(canonical: Dict[str, Any]) -> int:
+    """Shard count a gang for this spec needs (1 = not a gang candidate)."""
+    try:
+        spec = RunSpec.from_canonical(canonical)
+        return max(1, min(int(spec.shards), spec.config.num_tiles))
+    except Exception:  # malformed spec: lease it solo, let the worker fail it
+        return 1
 
 
 @dataclass
@@ -247,6 +300,10 @@ class Broker:
         # Canonical specs of failed keys (in-memory only): lets a late but
         # valid upload for a given-up spec still be verified and accepted.
         self._failed_specs: Dict[str, Dict[str, Any]] = {}
+        # Live gangs (in-memory only: a broker restart aborts every gang,
+        # which is exactly the whole-gang-requeue failure semantics).
+        self._gangs: Dict[str, _Gang] = {}
+        self._gang_seq = 0
         self._seq = 0
         self._shutdown = False
         if self.state_path is not None:
@@ -324,7 +381,10 @@ class Broker:
         return {"queued": queued, "duplicates": duplicates}
 
     def lease(
-        self, worker: str, stats: Optional[Dict[str, Any]] = None
+        self,
+        worker: str,
+        stats: Optional[Dict[str, Any]] = None,
+        gang_ok: bool = False,
     ) -> Dict[str, Any]:
         """Hand out the next spec: fair-share across tenants, costliest
         first within each tenant.
@@ -333,6 +393,13 @@ class Broker:
         v3 lease requests); the broker keeps the latest report per worker so
         fleet dashboards can see worker-side health (completed, uploads,
         leaked heartbeat threads) without a side channel to every worker.
+
+        ``gang_ok`` (additive v3 field) marks a gang-capable worker: it
+        first fills any forming gang (joining as one member shard of an
+        already-leased sharded task), and a ``shards > 1`` task it pops
+        itself starts a new gang with this worker as the hub.  Workers that
+        never send the flag lease sharded tasks solo (the local transports
+        execute them byte-identically), so a mixed fleet stays live.
         """
         with self._lock:
             if stats:
@@ -344,6 +411,10 @@ class Broker:
             if self._shutdown:
                 return {"key": None, "shutdown": True}
             self._requeue_expired_locked()
+            if gang_ok:
+                joined = self._join_gang_locked(worker)
+                if joined is not None:
+                    return joined
             for _ in range(len(self._rotation)):
                 tenant = self._rotation.popleft()
                 queue = self._queues.get(tenant, [])
@@ -368,6 +439,20 @@ class Broker:
                 task.leased_at = now
                 self.stats.leases += 1
                 self._worker_ledger_locked(worker)["leases"] += 1
+                gang_info: Optional[Dict[str, Any]] = None
+                if gang_ok:
+                    size = _effective_shards(task.canonical)
+                    if size > 1:
+                        self._gang_seq += 1
+                        gang_id = f"gang-{self._gang_seq}-{task.key[:8]}"
+                        self._gangs[gang_id] = _Gang(
+                            gang_id,
+                            task.key,
+                            size,
+                            formation_deadline=now + self.lease_timeout,
+                        )
+                        task.gang_id = gang_id
+                        gang_info = {"id": gang_id, "shard": 0, "size": size}
                 telemetry = self.telemetry
                 if telemetry.enabled:
                     telemetry.count("broker.leases", tenant=task.tenant)
@@ -386,6 +471,8 @@ class Broker:
                     "attempt": task.attempts,
                     "lease_timeout": self.lease_timeout,
                 }
+                if gang_info is not None:
+                    lease["gang"] = gang_info
                 if task.trace is not None:
                     # Additive v3 field: a v2 worker ignores it and its
                     # spans simply stay unlinked.
@@ -393,21 +480,135 @@ class Broker:
                 return lease
             return {"key": None, "shutdown": False}
 
+    def _join_gang_locked(self, worker: str) -> Optional[Dict[str, Any]]:
+        """Seat ``worker`` in the oldest forming gang, if any.
+
+        The member lease reuses the task's key/spec/attempt so the worker's
+        heartbeat and release plumbing works unchanged; joining never
+        consumes a task attempt (the gang's formation already did).
+        """
+        for gang in self._gangs.values():
+            if gang.complete:
+                continue
+            task = self._tasks.get(gang.key)
+            if task is None or task.gang_id != gang.gang_id:
+                continue  # stale gang; the sweep will collect it
+            shard = gang.next_shard()
+            gang.members[shard] = worker
+            gang.deadlines[shard] = self._clock() + self.lease_timeout
+            self.stats.leases += 1
+            self._worker_ledger_locked(worker)["leases"] += 1
+            if self.telemetry.enabled:
+                self.telemetry.count("broker.gang.joins")
+                self.telemetry.emit(
+                    "event",
+                    name="gang.joined",
+                    key=task.key[:12],
+                    worker=worker,
+                    gang=gang.gang_id,
+                    shard=shard,
+                )
+            lease = {
+                "key": task.key,
+                "spec": task.canonical,
+                "attempt": task.attempts,
+                "lease_timeout": self.lease_timeout,
+                "gang": {"id": gang.gang_id, "shard": shard, "size": gang.size},
+            }
+            if task.trace is not None:
+                lease["trace"] = dict(task.trace)
+            return lease
+        return None
+
+    # ---------------------------------------------------------------- gangs
+    def gang_put(self, gang_id: str, shard: int, box: str, data: Any) -> Dict[str, Any]:
+        """Append one exchange blob to a gang mailbox FIFO.
+
+        ``box`` is ``"in"`` (hub -> member ``shard``) or ``"out"`` (member
+        ``shard`` -> hub).  A missing or swept gang answers ``aborted`` so
+        both ends stop immediately instead of timing out.
+        """
+        if box not in ("in", "out"):
+            raise ValueError(f"gang box must be 'in' or 'out', got {box!r}")
+        with self._lock:
+            gang = self._gangs.get(gang_id)
+            if gang is None:
+                return {"aborted": True}
+            queue = gang.mailbox.setdefault((int(shard), box), deque())
+            queue.append(data)
+            return {"posted": True}
+
+    def gang_take(self, gang_id: str, shard: int, box: str) -> Dict[str, Any]:
+        """Pop the next blob from a gang mailbox FIFO (non-blocking).
+
+        ``pending`` means "poll again"; ``aborted`` means the gang is gone
+        (completed, swept, or released) and the caller must unwind.  The
+        expiry sweep runs here too, so a fleet whose workers are all busy
+        polling mailboxes still detects dead members promptly.
+        """
+        with self._lock:
+            self._requeue_expired_locked()
+            gang = self._gangs.get(gang_id)
+            if gang is None:
+                return {"aborted": True}
+            queue = gang.mailbox.get((int(shard), box))
+            if not queue:
+                return {"pending": True}
+            return {"data": queue.popleft()}
+
+    def _abort_gang_locked(self, gang_id: Optional[str]) -> None:
+        """Drop one gang; pollers of its mailbox then see ``aborted``."""
+        if gang_id is None:
+            return
+        gang = self._gangs.pop(gang_id, None)
+        if gang is not None and self.telemetry.enabled:
+            self.telemetry.count("broker.gang.aborts")
+
     def heartbeat(self, worker: str, key: str) -> Dict[str, Any]:
-        """Extend a lease; ``active: False`` tells the worker it lost it."""
+        """Extend a lease; ``active: False`` tells the worker it lost it.
+
+        Gang members heartbeat with the shared task key but their own worker
+        id: every member shard that worker holds is extended (one worker may
+        hold several shards when its capacity exceeds one).
+        """
         with self._lock:
             task = self._tasks.get(key)
-            if task is None or task.worker != worker:
+            if task is None:
                 return {"active": False}
-            task.deadline = self._clock() + self.lease_timeout
-            return {"active": True}
+            now = self._clock()
+            if task.worker == worker:
+                task.deadline = now + self.lease_timeout
+                return {"active": True}
+            gang = self._gangs.get(task.gang_id) if task.gang_id else None
+            if gang is not None:
+                held = [
+                    shard
+                    for shard, member in gang.members.items()
+                    if member == worker
+                ]
+                if held:
+                    for shard in held:
+                        gang.deadlines[shard] = now + self.lease_timeout
+                    return {"active": True}
+            return {"active": False}
 
     def release(self, worker: str, key: str, error: str = "") -> Dict[str, Any]:
         """A worker gives a spec back (its executor raised): requeue now
-        instead of waiting for the lease to expire."""
+        instead of waiting for the lease to expire.
+
+        A release from any gang member aborts the whole gang -- the sharded
+        exchange cannot survive a lost shard, so the task requeues as one
+        unit and the surviving members unwind on their next mailbox poll.
+        """
         with self._lock:
             task = self._tasks.get(key)
-            if task is None or task.worker != worker:
+            if task is None:
+                return {"requeued": False}
+            is_member = False
+            if task.gang_id is not None and task.worker != worker:
+                gang = self._gangs.get(task.gang_id)
+                is_member = gang is not None and worker in gang.members.values()
+            if task.worker != worker and not is_member:
                 return {"requeued": False}
             requeued = self._requeue_locked(
                 task, error or f"released by worker {worker}"
@@ -505,6 +706,10 @@ class Broker:
             # longer live -- including a spec the broker gave up on while
             # the (slow) verification ran: first valid upload wins.
             if task is not None:
+                # A completed gang run retires its mailbox; members that are
+                # still polling see ``aborted`` and exit cleanly.
+                if task.gang_id is not None:
+                    self._gangs.pop(task.gang_id, None)
                 del self._tasks[key]
             self._failed.pop(key, None)
             self._failed_codes.pop(key, None)
@@ -628,6 +833,7 @@ class Broker:
                 "leased": leased,
                 "completed": len(self._completed),
                 "failed": len(self._failed),
+                "gangs": len(self._gangs),
                 "shutdown": self._shutdown,
                 "uptime_seconds": self._clock() - self._started,
                 "stats": self.stats.to_dict(),
@@ -901,6 +1107,8 @@ class Broker:
 
     def _requeue_locked(self, task: _Task, reason: str) -> bool:
         """Give a leased task back to the queue, or fail it at the cap."""
+        self._abort_gang_locked(task.gang_id)
+        task.gang_id = None
         task.worker = None
         task.deadline = None
         task.leased_at = None
@@ -921,6 +1129,30 @@ class Broker:
 
     def _requeue_expired_locked(self) -> None:
         now = self._clock()
+        # Gangs first: a member that stopped heartbeating, or a forming gang
+        # that never filled, fails the *whole* gang (all-or-nothing) -- the
+        # task requeues as one unit and every surviving participant unwinds
+        # on its next mailbox poll or heartbeat.
+        for gang in list(self._gangs.values()):
+            task = self._tasks.get(gang.key)
+            if task is None or task.gang_id != gang.gang_id:
+                # Task completed/failed since; just drop the mailbox.
+                self._gangs.pop(gang.gang_id, None)
+                continue
+            member_expired = any(
+                deadline < now for deadline in gang.deadlines.values()
+            )
+            never_formed = not gang.complete and gang.formation_deadline < now
+            if member_expired or never_formed:
+                self.stats.expired_leases += 1
+                reason = (
+                    "gang member stopped heartbeating"
+                    if member_expired
+                    else f"gang never filled {gang.size - 1} member slot(s) "
+                    f"within the formation window"
+                )
+                self._requeue_locked(task, reason)
+                self._save_state_locked()
         expired = [
             task
             for task in self._tasks.values()
@@ -1290,6 +1522,22 @@ class BrokerServer:
                 body = broker.lease(
                     str(message.get("worker", "?")),
                     stats=reported if isinstance(reported, dict) else None,
+                    # Additive v3 field: gang-capable workers opt in; every
+                    # other worker leases sharded specs solo as before.
+                    gang_ok=bool(message.get("gang")),
+                )
+            elif op == "gang_put":
+                body = broker.gang_put(
+                    str(message.get("gang", "")),
+                    int(message.get("shard", 0)),
+                    str(message.get("box", "")),
+                    message.get("data"),
+                )
+            elif op == "gang_take":
+                body = broker.gang_take(
+                    str(message.get("gang", "")),
+                    int(message.get("shard", 0)),
+                    str(message.get("box", "")),
                 )
             elif op == "heartbeat":
                 # Workers piggyback cumulative telemetry snapshots here

@@ -1,0 +1,224 @@
+"""Broker-fleet gang transport: one sharded run spread across fleet workers.
+
+A ``shards > 1`` spec leased by gang-capable workers executes as a *gang*:
+the worker that popped the task is the **hub** (it runs the
+:class:`~repro.core.shard_exec.ShardCoordinator` plus shard 0 in-process),
+and every later gang lease joins as one member shard.  The hub <-> member
+exchange -- the same :class:`~repro.core.shard_exec.ShardWorker` messages
+the in-process and process-pool transports carry -- travels through the
+broker's gang mailbox (``gang_put`` / ``gang_take`` ops, protocol v3
+additive), serialized with :func:`~repro.core.shard.encode_tree` so numpy
+dtypes survive the JSON wire exactly.
+
+Byte-identity is inherited, not re-proven: the coordinator and the shard
+workers exchange identical messages whatever the wire, so the hub's upload
+is byte-identical to the same spec executed serially or on the local
+transports.  Failure semantics are all-or-nothing: if any participant dies,
+the broker aborts the whole gang and requeues the task; surviving
+participants observe ``aborted`` on their next mailbox poll and unwind.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.core.shard import ShardPlan, decode_tree, encode_tree
+from repro.core.shard_exec import InprocChannel, ShardWorker, run_sharded
+from repro.errors import SimulationError
+from repro.runtime.distributed.protocol import ProtocolError, request
+from repro.runtime.serialize import result_to_payload
+from repro.runtime.spec import RunSpec, build_machine
+
+#: Seconds between mailbox polls while a reply (or the next command) is
+#: pending.  Deliberately tight: the exchange is request/reply per segment,
+#: so every poll sleep is pure added latency on the critical path, and a
+#: localhost TCP round-trip is far cheaper than the sleep.
+DEFAULT_POLL_INTERVAL = 0.005
+
+#: Seconds of consecutive transport failures tolerated before a gang
+#: participant declares the broker unreachable and unwinds.
+DEFAULT_PATIENCE = 30.0
+
+
+class GangAborted(SimulationError):
+    """The broker dropped this gang (member death, expiry, or completion)."""
+
+
+def _gang_request(
+    address,
+    message: Dict[str, Any],
+    patience: float,
+    poll_interval: float,
+) -> Dict[str, Any]:
+    """One mailbox op with transport-error retries (rides out broker hiccups)."""
+    deadline = time.monotonic() + patience
+    while True:
+        try:
+            return request(address, message)
+        except (OSError, ProtocolError) as exc:
+            if time.monotonic() >= deadline:
+                raise SimulationError(
+                    f"broker unreachable for {patience:.0f}s during gang "
+                    f"exchange: {exc}"
+                ) from exc
+            time.sleep(poll_interval)
+
+
+class GangChannel:
+    """Hub-side endpoint of one member shard, over the broker mailbox.
+
+    Implements the shard-channel interface (``post``/``wait``/``request``/
+    ``close``) the :class:`~repro.core.shard_exec.ShardCoordinator` drives;
+    replies mirror the process transport's ``{"ok": bool, ...}`` envelope.
+    """
+
+    def __init__(
+        self,
+        address,
+        gang_id: str,
+        shard: int,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        patience: float = DEFAULT_PATIENCE,
+    ) -> None:
+        self.address = address
+        self.gang_id = gang_id
+        self.shard = int(shard)
+        self.poll_interval = poll_interval
+        self.patience = patience
+
+    def _op(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return _gang_request(
+            self.address,
+            dict(message, gang=self.gang_id, shard=self.shard),
+            self.patience,
+            self.poll_interval,
+        )
+
+    def post(self, msg: Dict[str, Any]) -> None:
+        response = self._op(
+            {"op": "gang_put", "box": "in", "data": encode_tree(msg)}
+        )
+        if response.get("aborted"):
+            raise GangAborted(
+                f"gang {self.gang_id} aborted while posting to shard {self.shard}"
+            )
+
+    def wait(self) -> Any:
+        while True:
+            response = self._op({"op": "gang_take", "box": "out"})
+            if response.get("aborted"):
+                raise GangAborted(
+                    f"gang {self.gang_id} aborted while waiting on shard "
+                    f"{self.shard}"
+                )
+            if "data" in response:
+                reply = decode_tree(response["data"])
+                if not reply.get("ok"):
+                    raise SimulationError(
+                        f"gang shard {self.shard} failed: {reply.get('error')}"
+                    )
+                return reply.get("reply")
+            time.sleep(self.poll_interval)
+
+    def request(self, msg: Dict[str, Any]) -> Any:
+        self.post(msg)
+        return self.wait()
+
+    def close(self) -> None:
+        """Best-effort shutdown message; an already-gone gang is fine."""
+        try:
+            self._op({"op": "gang_put", "box": "in",
+                      "data": encode_tree({"op": "shutdown"})})
+        except SimulationError:
+            pass
+
+
+def run_gang_hub(address, gang: Dict[str, Any], canonical: Dict[str, Any]):
+    """Execute one sharded spec as the gang hub; returns the result payload.
+
+    The hub runs the coordinator and shard 0 in this process (an
+    :class:`InprocChannel`, exactly like the reference transport) and
+    reaches shards ``1..size-1`` through the broker mailbox.  The returned
+    payload is what a solo worker would have uploaded for the same spec.
+    """
+    spec = RunSpec.from_canonical(canonical)
+    size = int(gang["size"])
+
+    def channel_factory(plan: ShardPlan):
+        if plan.num_shards != size:
+            raise SimulationError(
+                f"gang {gang['id']} was formed for {size} shards but the "
+                f"spec plans {plan.num_shards}"
+            )
+        channels = [InprocChannel(ShardWorker(build_machine(spec), plan, 0))]
+        for shard in range(1, plan.num_shards):
+            channels.append(GangChannel(address, gang["id"], shard))
+        return channels
+
+    result = run_sharded(
+        lambda: build_machine(spec),
+        spec.shards,
+        verify=spec.verify,
+        channel_factory=channel_factory,
+    )
+    return result_to_payload(result)
+
+
+def run_gang_member(
+    address,
+    gang: Dict[str, Any],
+    canonical: Dict[str, Any],
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    patience: float = DEFAULT_PATIENCE,
+    stop: Optional[Any] = None,
+) -> str:
+    """Serve one member shard until shutdown or abort; returns the outcome.
+
+    Outcomes: ``"done"`` (the hub sent shutdown -- the run completed),
+    ``"aborted"`` (the broker dropped the gang; the task was requeued or
+    finished without us).  A shard-worker exception posts an error reply for
+    the hub, then re-raises so the fleet worker releases the task.  ``stop``
+    is an optional ``threading.Event``-like object; when set, the loop
+    treats the gang as aborted (worker shutdown).
+    """
+    spec = RunSpec.from_canonical(canonical)
+    machine = build_machine(spec)
+    plan = ShardPlan(machine.config.num_tiles, int(gang["size"]))
+    worker = ShardWorker(machine, plan, int(gang["shard"]))
+    envelope = {"op": "gang_take", "gang": gang["id"],
+                "shard": int(gang["shard"]), "box": "in"}
+    while True:
+        if stop is not None and stop.is_set():
+            return "aborted"
+        response = _gang_request(address, dict(envelope), patience, poll_interval)
+        if response.get("aborted"):
+            return "aborted"
+        if "data" not in response:
+            time.sleep(poll_interval)
+            continue
+        msg = decode_tree(response["data"])
+        if msg is None or msg.get("op") == "shutdown":
+            return "done"
+        try:
+            reply = {"ok": True, "reply": worker.handle(msg)}
+        except Exception as exc:  # noqa: BLE001 - the hub must hear about it
+            _gang_request(
+                address,
+                {"op": "gang_put", "gang": gang["id"],
+                 "shard": int(gang["shard"]), "box": "out",
+                 "data": encode_tree(
+                     {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                 )},
+                patience,
+                poll_interval,
+            )
+            raise
+        _gang_request(
+            address,
+            {"op": "gang_put", "gang": gang["id"],
+             "shard": int(gang["shard"]), "box": "out",
+             "data": encode_tree(reply)},
+            patience,
+            poll_interval,
+        )

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.runtime.backends import execute_to_payload
 from repro.runtime.cache import payload_digest
+from repro.runtime.distributed.gang import run_gang_hub, run_gang_member
 from repro.runtime.distributed.protocol import (
     ProtocolError,
     compress_payload,
@@ -64,6 +65,11 @@ class Worker:
             poisoned ones).
         log: progress sink, e.g. ``print`` (default: silent).
         capacity: concurrent leases this worker holds and executes (>= 1).
+        gang: advertise gang capability on every lease (``dalorex worker
+            --gang``): sharded specs then execute as broker-coordinated
+            gangs -- this worker may be handed the hub role or one member
+            shard.  Off by default; a non-gang worker executes sharded
+            specs solo through the local transports, byte-identically.
     """
 
     def __init__(
@@ -76,10 +82,12 @@ class Worker:
         executor: Callable[[Dict[str, Any]], Dict[str, Any]] = execute_canonical,
         log: Optional[Callable[[str], None]] = None,
         capacity: int = 1,
+        gang: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.address = address
+        self.gang = bool(gang)
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.poll_interval = max(0.01, float(poll_interval))
         self.max_runs = max_runs
@@ -223,19 +231,17 @@ class Worker:
             try:
                 # Self-reported stats ride along (additive v3 field; older
                 # brokers ignore unknown fields, so mixed fleets are safe).
+                lease_request = {"op": "lease", "worker": self.worker_id,
+                                 "stats": self.stats()}
+                if self.gang:
+                    # Additive v3 field: opt in to gang scheduling for
+                    # sharded specs (hub or member role, broker's choice).
+                    lease_request["gang"] = True
                 if self.telemetry.enabled:
                     with self.telemetry.span("worker.lease"):
-                        lease = request(
-                            self.address,
-                            {"op": "lease", "worker": self.worker_id,
-                             "stats": self.stats()},
-                        )
+                        lease = request(self.address, lease_request)
                 else:
-                    lease = request(
-                        self.address,
-                        {"op": "lease", "worker": self.worker_id,
-                         "stats": self.stats()},
-                    )
+                    lease = request(self.address, lease_request)
             except (OSError, ProtocolError) as exc:
                 self._release_run_slot()
                 if time.monotonic() - last_contact > self.connect_patience:
@@ -255,11 +261,13 @@ class Worker:
                 time.sleep(self.poll_interval)
                 continue
             self._count("leases")
+            gang = lease.get("gang")
             accepted = self._run_one(
                 key,
                 lease["spec"],
                 float(lease.get("lease_timeout", 60.0)),
                 trace_wire=lease.get("trace"),
+                gang=gang if isinstance(gang, dict) else None,
             )
             if not accepted:
                 self._release_run_slot()
@@ -273,6 +281,7 @@ class Worker:
         canonical: Dict[str, Any],
         lease_timeout: float,
         trace_wire: Optional[Dict[str, str]] = None,
+        gang: Optional[Dict[str, Any]] = None,
     ) -> bool:
         """Execute one leased spec; True when the upload was accepted.
 
@@ -282,7 +291,16 @@ class Worker:
         emits -- join the client's trace, and echoed back on the upload
         envelope.  It never touches the payload object itself, so payload
         bytes and digests are identical with tracing on or off.
+
+        ``gang`` is the gang assignment from the lease, if any.  Shard 0 is
+        the hub: it runs the shard coordinator (reaching the other shards
+        through the broker mailbox) and uploads the result through the
+        normal path below.  Member shards serve the exchange loop instead
+        -- they heartbeat like any lease but never upload; their run ends
+        when the hub shuts them down or the gang aborts.
         """
+        if gang is not None and int(gang.get("shard", 0)) != 0:
+            return self._run_gang_member(key, canonical, lease_timeout, gang)
         stop_beat = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop,
@@ -292,14 +310,18 @@ class Worker:
         beat.start()
         telemetry = self.telemetry
         trace = TraceContext.from_wire(trace_wire) if telemetry.enabled else None
+        if gang is None:
+            executor = self.executor
+        else:
+            executor = lambda c: run_gang_hub(self.address, gang, c)  # noqa: E731
         try:
             if telemetry.enabled:
                 with telemetry.trace_scope(trace):
                     with telemetry.scope(spec=key[:12], worker=self.worker_id):
                         with telemetry.span("worker.execute"):
-                            payload = self.executor(canonical)
+                            payload = executor(canonical)
             else:
-                payload = self.executor(canonical)
+                payload = executor(canonical)
         except Exception as exc:
             self._count("errors")
             self._log(f"[{self.worker_id}] {key[:12]} failed: {exc}")
@@ -342,6 +364,60 @@ class Worker:
             + (f" [{code}]" if code else "")
             + f": {response.get('reason')}"
         )
+        return False
+
+    def _run_gang_member(
+        self,
+        key: str,
+        canonical: Dict[str, Any],
+        lease_timeout: float,
+        gang: Dict[str, Any],
+    ) -> bool:
+        """Serve one member shard of a gang; never uploads (the hub does).
+
+        Heartbeats run exactly like a solo lease -- the broker extends this
+        member's gang deadline instead of the task deadline.  A clean end
+        ("done"/"aborted") releases nothing: the hub owns the task outcome.
+        A shard-worker exception releases the task, which aborts the whole
+        gang and requeues the spec as one unit.
+        """
+        stop_beat = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(key, lease_timeout, stop_beat),
+            daemon=True,
+        )
+        beat.start()
+        shard = int(gang.get("shard", 0))
+        try:
+            outcome = run_gang_member(
+                self.address,
+                gang,
+                canonical,
+                # The member's poll gates every segment round-trip, so it is
+                # much tighter than the idle-queue poll interval.
+                poll_interval=min(self.poll_interval, 0.01),
+                patience=self.connect_patience,
+                stop=self._stop,
+            )
+            self._log(
+                f"[{self.worker_id}] gang {gang['id']} shard {shard}: {outcome}"
+            )
+        except Exception as exc:  # noqa: BLE001 - fail the whole gang
+            self._count("errors")
+            self._log(
+                f"[{self.worker_id}] gang {gang['id']} shard {shard} "
+                f"failed: {exc}"
+            )
+            self._send_quietly(
+                {"op": "release", "worker": self.worker_id, "key": key,
+                 "error": f"gang member shard {shard} raised: {exc}"}
+            )
+        finally:
+            stop_beat.set()
+            beat.join(timeout=self.heartbeat_join_timeout)
+            if beat.is_alive():
+                self._count("leaked_heartbeats")
         return False
 
     def _upload(

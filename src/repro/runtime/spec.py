@@ -27,7 +27,13 @@ from repro.graph.datasets import resolve_dataset_name
 #: changes incompatibly, so stale cache entries never alias new runs.
 #: Version 2: MachineConfig grew the depth / network / routing / queue_depth
 #: knobs (3D grids and the contention-aware NoC simulator).
-SPEC_VERSION = 2
+#: Version 3: sharded execution -- ``shards`` joins the canonical form (only
+#: when > 1, so single-shard keys are untouched by the field itself).
+SPEC_VERSION = 3
+
+#: Canonical-form versions :meth:`RunSpec.from_canonical` still accepts.
+#: Version 2 payloads simply predate the ``shards`` knob (implicitly 1).
+_ACCEPTED_SPEC_VERSIONS = (2, 3)
 
 
 def _default_pagerank_iterations() -> int:
@@ -54,6 +60,11 @@ class RunSpec:
     seed: int = 7
     verify: bool = False
     pagerank_iterations: int = field(default_factory=_default_pagerank_iterations)
+    #: Partition the run across this many shard workers (1 = serial).  The
+    #: sharded executor is byte-identical to serial at any count, so shards
+    #: only joins the cache key when > 1 to keep existing keys stable within
+    #: a spec version.
+    shards: int = 1
 
     # ---------------------------------------------------------------- identity
     def canonical(self) -> dict:
@@ -62,9 +73,12 @@ class RunSpec:
         ``pagerank_iterations`` only participates for the pagerank app; other
         kernels ignore it, and two identical simulations must never get
         distinct cache keys because of a knob that cannot affect them.
+        ``shards`` participates only when the effective count (clamped to the
+        tile count) exceeds 1, for the same reason: sharding is
+        byte-identical, so a single-shard run must alias the serial one.
         """
         app = self.app.strip().lower()
-        return {
+        data = {
             "version": SPEC_VERSION,
             "app": app,
             "dataset": resolve_dataset_name(self.dataset),
@@ -76,6 +90,10 @@ class RunSpec:
                 int(self.pagerank_iterations) if app == "pagerank" else None
             ),
         }
+        effective_shards = min(int(self.shards), self.config.num_tiles)
+        if effective_shards > 1:
+            data["shards"] = effective_shards
+        return data
 
     def key(self) -> str:
         """Stable content hash: SHA-256 hex digest of the canonical JSON."""
@@ -90,9 +108,10 @@ class RunSpec:
         compares equal to ``spec`` and produces the same cache key.
         """
         version = data.get("version", SPEC_VERSION)
-        if version != SPEC_VERSION:
+        if version not in _ACCEPTED_SPEC_VERSIONS:
             raise ValueError(
-                f"spec version {version} is not supported (expected {SPEC_VERSION})"
+                f"spec version {version} is not supported "
+                f"(accepted: {_ACCEPTED_SPEC_VERSIONS})"
             )
         pagerank_iterations = data.get("pagerank_iterations")
         kwargs = {}
@@ -105,6 +124,7 @@ class RunSpec:
             scale=float(data.get("scale", 1.0)),
             seed=int(data.get("seed", 7)),
             verify=bool(data.get("verify", False)),
+            shards=int(data.get("shards", 1)),
             **kwargs,
         )
 
@@ -129,13 +149,21 @@ class RunSpec:
 
         divisor = experiment_scale_divisor(self.dataset, self.scale)
         edges = dataset_spec(self.dataset).stand_in_edges(divisor)
-        return (
+        cost = (
             float(self.config.num_tiles)
             * float(edges)
             * engine_cost_factor(self.config.engine)
             * app_cost_factor(self.app, self.pagerank_iterations)
             * network_cost_factor(self.config.network, self.config.engine)
         )
+        effective_shards = min(int(self.shards), self.config.num_tiles)
+        if effective_shards > 1:
+            # Sharded gangs split the compute but pay exchange overhead, so
+            # the divisor is sub-linear; single-shard costs stay untouched so
+            # the broker's costliest-first ordering is unchanged for the
+            # existing fleet.
+            cost /= 1.0 + 0.75 * (effective_shards - 1)
+        return cost
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RunSpec):
@@ -203,8 +231,12 @@ def load_graph(dataset: str, scale: float = 1.0, seed: int = 7) -> CSRGraph:
     return graph
 
 
-def execute_spec(spec: RunSpec) -> SimulationResult:
-    """Run one spec from scratch and return the simulation result."""
+def build_machine(spec: RunSpec) -> "DalorexMachine":
+    """Build the (fresh, un-run) machine a spec describes.
+
+    Deterministic: every call builds an identical machine, which is what the
+    sharded executor relies on to give hub and shard workers the same model.
+    """
     from repro.core.machine import DalorexMachine
     from repro.experiments.common import build_kernel
 
@@ -212,10 +244,18 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     kernel = build_kernel(
         spec.app, graph, pagerank_iterations=spec.pagerank_iterations
     )
-    machine = DalorexMachine(
+    return DalorexMachine(
         spec.config.validate(),
         kernel,
         graph,
         dataset_name=resolve_dataset_name(spec.dataset),
     )
-    return machine.run(verify=spec.verify)
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Run one spec from scratch and return the simulation result."""
+    if min(int(spec.shards), spec.config.num_tiles) > 1:
+        from repro.runtime.sharding import execute_spec_sharded
+
+        return execute_spec_sharded(spec)
+    return build_machine(spec).run(verify=spec.verify)

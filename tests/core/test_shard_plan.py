@@ -1,0 +1,156 @@
+"""Unit tests for the sharding primitives: plan geometry, codecs, link state."""
+
+import numpy as np
+import pytest
+
+from repro.core.shard import (
+    ShardPlan,
+    apply_link_state,
+    decode_array,
+    decode_tree,
+    encode_array,
+    encode_tree,
+    export_link_state,
+)
+from repro.errors import ConfigurationError
+from repro.noc.analytical import LinkLoadModel
+from repro.noc.topology import make_topology
+
+
+class TestShardPlan:
+    def test_extents_are_contiguous_and_cover_every_tile(self):
+        plan = ShardPlan(10, 3)
+        extents = [plan.extent(s) for s in range(plan.num_shards)]
+        assert extents[0][0] == 0
+        assert extents[-1][1] == 10
+        for (_, hi), (lo, _) in zip(extents, extents[1:]):
+            assert hi == lo
+
+    def test_extents_are_balanced_within_one_tile(self):
+        plan = ShardPlan(11, 4)
+        sizes = [hi - lo for lo, hi in (plan.extent(s) for s in range(4))]
+        assert sum(sizes) == 11
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_count_clamps_to_tile_count(self):
+        plan = ShardPlan(3, 8)
+        assert plan.num_shards == 3
+
+    def test_owner_of_matches_extents(self):
+        plan = ShardPlan(17, 5)
+        tiles = np.arange(17)
+        owners = plan.owner_of(tiles)
+        for shard in range(plan.num_shards):
+            lo, hi = plan.extent(shard)
+            assert (owners[lo:hi] == shard).all()
+
+    def test_shards_of_partitions_preserving_order(self):
+        plan = ShardPlan(8, 2)
+        tiles = np.array([7, 0, 3, 4, 1, 7, 2])
+        pieces = dict(plan.shards_of(tiles))
+        recovered = np.concatenate([pieces[s] for s in sorted(pieces)])
+        assert sorted(recovered.tolist()) == list(range(len(tiles)))
+        for shard, idx in pieces.items():
+            lo, hi = plan.extent(shard)
+            assert ((tiles[idx] >= lo) & (tiles[idx] < hi)).all()
+            # Index arrays ascend, so per-shard item order is preserved.
+            assert (np.diff(idx) > 0).all() or len(idx) <= 1
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_shard_counts_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(4, bad)
+
+    def test_invalid_extent_lookup_raises(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(4, 2).extent(2)
+
+
+class TestColumnarCodec:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(5, dtype=np.int64),
+            np.array([1.5, -0.0, np.pi], dtype=np.float64),
+            np.array([True, False, True]),
+            np.empty(0, dtype=np.int32),
+        ],
+    )
+    def test_array_roundtrip_is_dtype_exact(self, array):
+        restored = decode_array(encode_array(array))
+        assert restored.dtype == array.dtype
+        assert restored.shape == array.shape
+        assert np.array_equal(restored, array)
+
+    def test_tree_roundtrip_preserves_tuples_and_nesting(self):
+        tree = {
+            "op": "exec",
+            "params": (np.arange(3), np.array([0.5, 1.5, 2.5])),
+            "nested": [{"tiles": np.array([1, 2])}, 7, "name"],
+            "scalar": np.int64(42),
+        }
+        restored = decode_tree(encode_tree(tree))
+        assert isinstance(restored["params"], tuple)
+        assert np.array_equal(restored["params"][1], tree["params"][1])
+        assert restored["params"][1].dtype == np.float64
+        assert np.array_equal(restored["nested"][0]["tiles"], np.array([1, 2]))
+        assert restored["scalar"] == 42 and isinstance(restored["scalar"], int)
+
+    def test_encoded_tree_is_json_serializable(self):
+        import json
+
+        blob = json.dumps(encode_tree({"cols": (np.arange(4), np.ones(4))}))
+        restored = decode_tree(json.loads(blob))
+        assert np.array_equal(restored["cols"][0], np.arange(4))
+
+
+class TestLinkStateCodec:
+    def _loaded_model(self, detailed):
+        topology = make_topology("torus", 4, 4)
+        model = LinkLoadModel(topology, detailed=detailed)
+        model.record_message(0, 5, 3, tile_pitch_mm=0.5)
+        model.record_message(2, 9, 2, tile_pitch_mm=0.5)
+        model.record_batch(
+            np.array([1, 3, 6]), np.array([8, 2, 0]), 4, tile_pitch_mm=0.5
+        )
+        return topology, model
+
+    @pytest.mark.parametrize("detailed", [True, False])
+    def test_export_apply_reproduces_integer_tallies(self, detailed):
+        topology, model = self._loaded_model(detailed)
+        target = LinkLoadModel(topology, detailed=detailed)
+        apply_link_state(target, export_link_state(model))
+        assert target.total_flit_hops == model.total_flit_hops
+        assert target.total_messages == model.total_messages
+        assert target._bisection_flits == model._bisection_flits
+        assert list(target.router_flits) == list(model.router_flits)
+        assert list(target.injected_flits) == list(model.injected_flits)
+        assert list(target.ejected_flits) == list(model.ejected_flits)
+        assert dict(target.link_flits) == dict(model.link_flits)
+
+    def test_millimeters_are_not_exported(self):
+        topology, model = self._loaded_model(False)
+        state = export_link_state(model)
+        assert "total_flit_millimeters" not in state
+        target = LinkLoadModel(topology, detailed=False)
+        apply_link_state(target, state)
+        assert target.total_flit_millimeters == 0.0
+
+    @pytest.mark.parametrize("detailed", [True, False])
+    def test_apply_accumulates_across_shards(self, detailed):
+        topology, model = self._loaded_model(detailed)
+        target = LinkLoadModel(topology, detailed=detailed)
+        state = export_link_state(model)
+        apply_link_state(target, state)
+        apply_link_state(target, state)
+        assert target.total_flit_hops == 2 * model.total_flit_hops
+        assert target.total_messages == 2 * model.total_messages
+
+    def test_export_survives_json_roundtrip(self):
+        import json
+
+        topology, model = self._loaded_model(True)
+        blob = json.dumps(encode_tree(export_link_state(model)))
+        target = LinkLoadModel(topology, detailed=True)
+        apply_link_state(target, decode_tree(json.loads(blob)))
+        assert dict(target.link_flits) == dict(model.link_flits)

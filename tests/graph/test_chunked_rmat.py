@@ -1,0 +1,75 @@
+"""Chunked RMAT generation must be graph-identical to the serial generator.
+
+``rmat_graph_chunked`` replays the serial generator's PCG64 stream with
+``advance()`` instead of holding the whole edge list, so every CSR array it
+produces must be byte-identical to ``rmat_graph`` for any chunk size --
+including chunk sizes that split the stream mid-level and mid-weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import rmat_graph, rmat_graph_chunked
+
+
+def assert_identical(serial, chunked):
+    assert chunked.num_vertices == serial.num_vertices
+    assert chunked.directed == serial.directed
+    assert chunked.name == serial.name
+    assert np.array_equal(chunked.indptr, serial.indptr)
+    assert np.array_equal(chunked.indices, serial.indices)
+    # Weights are integer-valued floats; require bit equality, not allclose.
+    assert chunked.values.tobytes() == serial.values.tobytes()
+
+
+class TestChunkedEquality:
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    @pytest.mark.parametrize("weighted", [True, False])
+    def test_matches_serial_generator(self, seed, weighted):
+        kwargs = dict(scale=7, edge_factor=6, seed=seed, weighted=weighted)
+        assert_identical(
+            rmat_graph(**kwargs), rmat_graph_chunked(chunk_edges=97, **kwargs)
+        )
+
+    @pytest.mark.parametrize("chunk_edges", [1, 13, 256, 1 << 22])
+    def test_every_chunk_size_is_equivalent(self, chunk_edges):
+        kwargs = dict(scale=6, edge_factor=5, seed=3)
+        assert_identical(
+            rmat_graph(**kwargs),
+            rmat_graph_chunked(chunk_edges=chunk_edges, **kwargs),
+        )
+
+    def test_undirected_and_skewed_probabilities(self):
+        kwargs = dict(
+            scale=8, edge_factor=4, seed=11, undirected=True, a=0.45, b=0.25, c=0.2
+        )
+        serial = rmat_graph(**kwargs)
+        chunked = rmat_graph_chunked(chunk_edges=301, **kwargs)
+        assert not serial.directed
+        assert_identical(serial, chunked)
+
+    def test_custom_name_and_max_weight(self):
+        kwargs = dict(scale=6, edge_factor=3, seed=2, max_weight=5, name="demo")
+        assert_identical(
+            rmat_graph(**kwargs), rmat_graph_chunked(chunk_edges=50, **kwargs)
+        )
+
+    def test_dataset_scale_graph_matches(self):
+        # The R16 stand-in recipe at the paper's default divisor.
+        kwargs = dict(scale=12, edge_factor=10, seed=0)
+        assert_identical(rmat_graph(**kwargs), rmat_graph_chunked(**kwargs))
+
+
+class TestChunkedValidation:
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(GraphError):
+            rmat_graph_chunked(scale=4, chunk_edges=0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph_chunked(scale=4, a=0.6, b=0.3, c=0.2)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(GraphError):
+            rmat_graph_chunked(scale=0)

@@ -1,0 +1,265 @@
+"""Gang scheduling: sharded specs executed jointly by a broker fleet.
+
+Three layers:
+
+* broker-level gang semantics (no TCP, fake clock): formation, all-or-
+  nothing abort, member heartbeats, mailbox FIFO ordering;
+* an end-to-end thread fleet: a ``shards > 1`` spec completes through a
+  real gang and the payload is byte-identical to local execution;
+* a real-process fault drill: SIGKILL one gang member mid-run, the whole
+  gang requeues, and a replacement fleet finishes byte-identically.
+"""
+
+import dataclasses
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import execute_to_payload
+from repro.runtime.distributed import Broker, BrokerServer
+from repro.runtime.distributed.protocol import format_address
+
+from distributed_helpers import fleet, make_spec
+
+
+def sharded_spec(shards=2, **kwargs):
+    return dataclasses.replace(make_spec(**kwargs), shards=shards)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestGangFormation:
+    def test_gang_ok_lease_of_sharded_task_forms_a_gang(self):
+        broker = Broker()
+        broker.submit([sharded_spec().canonical()])
+        hub = broker.lease("w-hub", gang_ok=True)
+        assert hub["gang"] == {"id": hub["gang"]["id"], "shard": 0, "size": 2}
+        member = broker.lease("w-member", gang_ok=True)
+        assert member["key"] == hub["key"]
+        assert member["gang"]["id"] == hub["gang"]["id"]
+        assert member["gang"]["shard"] == 1
+        # The gang is complete: a third gang worker gets nothing.
+        assert broker.lease("w-late", gang_ok=True)["key"] is None
+        assert broker.status()["gangs"] == 1
+
+    def test_solo_worker_leases_sharded_task_without_a_gang(self):
+        broker = Broker()
+        broker.submit([sharded_spec().canonical()])
+        lease = broker.lease("w0")
+        assert lease["key"] is not None
+        assert "gang" not in lease
+        assert broker.status()["gangs"] == 0
+
+    def test_unsharded_task_never_forms_a_gang(self):
+        broker = Broker()
+        broker.submit([make_spec().canonical()])
+        lease = broker.lease("w0", gang_ok=True)
+        assert lease["key"] is not None
+        assert "gang" not in lease
+
+    def test_join_does_not_consume_an_attempt(self):
+        broker = Broker()
+        broker.submit([sharded_spec().canonical()])
+        hub = broker.lease("w-hub", gang_ok=True)
+        member = broker.lease("w-member", gang_ok=True)
+        assert hub["attempt"] == member["attempt"] == 1
+
+
+class TestGangFailure:
+    def test_unfilled_gang_requeues_after_the_formation_window(self):
+        clock = FakeClock()
+        broker = Broker(lease_timeout=5.0, clock=clock)
+        broker.submit([sharded_spec().canonical()])
+        hub = broker.lease("w-hub", gang_ok=True)
+        gang_id = hub["gang"]["id"]
+        clock.advance(6.0)
+        # The sweep runs inside lease/gang_take: the hub's next poll learns.
+        assert broker.gang_take(gang_id, 1, "out") == {"aborted": True}
+        # Task is queued again and can be leased solo.
+        release = broker.lease("w-solo")
+        assert release["key"] == hub["key"]
+        assert "gang" not in release
+
+    def test_member_missing_heartbeats_aborts_the_whole_gang(self):
+        clock = FakeClock()
+        broker = Broker(lease_timeout=5.0, max_attempts=10, clock=clock)
+        broker.submit([sharded_spec().canonical()])
+        hub = broker.lease("w-hub", gang_ok=True)
+        broker.lease("w-member", gang_ok=True)
+        gang_id = hub["gang"]["id"]
+        clock.advance(3.0)
+        # Hub heartbeats; the member goes silent.
+        assert broker.heartbeat("w-hub", hub["key"])["active"] is True
+        clock.advance(3.0)
+        assert broker.gang_take(gang_id, 1, "in") == {"aborted": True}
+        # The hub lost the task with the gang.
+        assert broker.heartbeat("w-hub", hub["key"])["active"] is False
+        assert broker.status()["pending"] == 1
+
+    def test_member_release_aborts_and_requeues(self):
+        broker = Broker(max_attempts=10)
+        broker.submit([sharded_spec().canonical()])
+        hub = broker.lease("w-hub", gang_ok=True)
+        broker.lease("w-member", gang_ok=True)
+        assert broker.release("w-member", hub["key"], "shard died")["requeued"]
+        assert broker.gang_take(hub["gang"]["id"], 1, "out") == {"aborted": True}
+        assert broker.status()["pending"] == 1
+
+    def test_stranger_release_still_rejected(self):
+        broker = Broker()
+        broker.submit([sharded_spec().canonical()])
+        hub = broker.lease("w-hub", gang_ok=True)
+        assert broker.release("w-imposter", hub["key"])["requeued"] is False
+        assert broker.status()["gangs"] == 1
+
+    def test_member_heartbeat_extends_only_membership(self):
+        clock = FakeClock()
+        broker = Broker(lease_timeout=5.0, clock=clock)
+        broker.submit([sharded_spec().canonical()])
+        hub = broker.lease("w-hub", gang_ok=True)
+        broker.lease("w-member", gang_ok=True)
+        assert broker.heartbeat("w-member", hub["key"])["active"] is True
+        assert broker.heartbeat("w-imposter", hub["key"])["active"] is False
+
+
+class TestGangMailbox:
+    def test_fifo_per_box_and_pending_when_empty(self):
+        broker = Broker()
+        broker.submit([sharded_spec(shards=3).canonical()])
+        hub = broker.lease("w-hub", gang_ok=True)
+        gang_id = hub["gang"]["id"]
+        assert broker.gang_take(gang_id, 1, "in") == {"pending": True}
+        broker.gang_put(gang_id, 1, "in", {"n": 1})
+        broker.gang_put(gang_id, 1, "in", {"n": 2})
+        broker.gang_put(gang_id, 2, "in", {"n": 3})
+        assert broker.gang_take(gang_id, 1, "in")["data"] == {"n": 1}
+        assert broker.gang_take(gang_id, 1, "in")["data"] == {"n": 2}
+        assert broker.gang_take(gang_id, 2, "in")["data"] == {"n": 3}
+        assert broker.gang_take(gang_id, 1, "in") == {"pending": True}
+
+    def test_unknown_gang_is_aborted(self):
+        broker = Broker()
+        assert broker.gang_take("no-such-gang", 0, "out") == {"aborted": True}
+        assert broker.gang_put("no-such-gang", 0, "in", {}) == {"aborted": True}
+
+
+class TestGangEndToEnd:
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_gang_execution_is_byte_identical_to_local(self, shards, monkeypatch):
+        monkeypatch.setenv("DALOREX_SHARD_BACKEND", "inproc")
+        spec = sharded_spec(shards=shards)
+        key, reference = execute_to_payload(spec)
+        broker = Broker(lease_timeout=30.0)
+        broker.submit([spec.canonical()])
+        with fleet(broker, num_workers=shards, gang=True) as (server, workers):
+            deadline = time.monotonic() + 120.0
+            payload = None
+            while payload is None and time.monotonic() < deadline:
+                payload = broker.fetch_payload(key)
+                if payload is None:
+                    time.sleep(0.05)
+        assert payload is not None, "gang never completed the sharded spec"
+        assert payload == reference
+        # The gang retired with the task.
+        assert broker.status()["gangs"] == 0
+
+    def test_mixed_fleet_completes_sharded_spec_solo(self, monkeypatch):
+        # No gang-capable worker around: a plain worker must still finish
+        # the sharded spec (locally sharded), byte-identically.
+        monkeypatch.setenv("DALOREX_SHARD_BACKEND", "inproc")
+        spec = sharded_spec()
+        key, reference = execute_to_payload(spec)
+        broker = Broker()
+        broker.submit([spec.canonical()])
+        with fleet(broker, num_workers=1) as (server, workers):
+            deadline = time.monotonic() + 120.0
+            payload = None
+            while payload is None and time.monotonic() < deadline:
+                payload = broker.fetch_payload(key)
+                if payload is None:
+                    time.sleep(0.05)
+        assert payload == reference
+
+
+REPO = Path(__file__).resolve().parents[3]
+
+
+def _spawn_gang_worker(address, tag):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker",
+         "--connect", address, "--worker-id", tag, "--gang",
+         "--poll-interval", "0.05", "--patience", "60", "--quiet"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+class TestGangSigkill:
+    def test_sigkilled_member_requeues_whole_gang_then_completes(self):
+        """SIGKILL one gang member mid-run: the broker aborts the whole
+        gang, requeues the spec, and a replacement fleet finishes it with a
+        byte-identical payload (ISSUE acceptance: whole-gang crash-requeue)."""
+        spec = sharded_spec()
+        key, reference = execute_to_payload(spec)
+        broker = Broker(lease_timeout=1.0, max_attempts=20)
+        broker.submit([spec.canonical()])
+        processes = {}
+        try:
+            with BrokerServer(broker) as server:
+                address = format_address(server.address)
+                for tag in ("gang-a", "gang-b"):
+                    processes[tag] = _spawn_gang_worker(address, tag)
+                # Wait for a formed gang with a seated member, then shoot it.
+                victim_tag = None
+                deadline = time.monotonic() + 60.0
+                while victim_tag is None and time.monotonic() < deadline:
+                    with broker._lock:
+                        for gang in broker._gangs.values():
+                            if gang.members:
+                                victim_tag = next(iter(gang.members.values()))
+                                break
+                    if victim_tag is None:
+                        time.sleep(0.05)
+                assert victim_tag in processes, "no gang ever seated a member"
+                processes[victim_tag].send_signal(signal.SIGKILL)
+                # Replacement capacity so a fresh gang can form.
+                processes["gang-c"] = _spawn_gang_worker(address, "gang-c")
+                payload = None
+                deadline = time.monotonic() + 180.0
+                while payload is None and time.monotonic() < deadline:
+                    payload = broker.fetch_payload(key)
+                    if payload is None:
+                        time.sleep(0.1)
+                assert payload is not None, "fleet never recovered from the kill"
+                assert payload == reference
+                # The kill was observed as a whole-gang requeue, not a no-op.
+                assert broker.stats.requeues >= 1
+                broker.shutdown()
+                # Drain the workers while the server can still answer their
+                # lease polls with the shutdown notice (closing the socket
+                # first would leave them retrying until patience runs out).
+                for process in processes.values():
+                    try:
+                        process.wait(timeout=30)
+                    except subprocess.TimeoutExpired:
+                        process.kill()
+        finally:
+            for process in processes.values():
+                if process.poll() is None:
+                    process.kill()
